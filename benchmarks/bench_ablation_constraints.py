@@ -1,0 +1,82 @@
+"""Ablation — what each added Table I constraint buys (Section IV-C).
+
+The paper claims its dependence-graph model improves on prior
+RISC-oriented models through a richer constraint set (the ``+`` rows of
+Table I).  This bench quantifies that on our substrate: each constraint
+family is disabled in turn and the graph-model error against the
+simulator is re-measured over baseline and optimised design points.
+Expected shape: the full model is the most accurate; dropping the
+address path or the load/store ordering hurts the most on memory-heavy
+workloads.
+"""
+
+import numpy as np
+
+from conftest import get_session, write_report
+
+from repro.common.events import EventType
+from repro.dse.report import format_table
+from repro.graphmodel.builder import BuilderOptions, build_graph
+
+WORKLOADS = ("gamess", "mcf", "leslie3d", "bzip2")
+
+ABLATIONS = (
+    ("full model", BuilderOptions()),
+    ("no issue dependency", BuilderOptions(issue_dependency=False)),
+    ("no address path", BuilderOptions(address_path=False)),
+    ("no load/store ordering", BuilderOptions(load_store_ordering=False)),
+    ("no line sharing", BuilderOptions(cache_line_sharing=False)),
+    ("no macro-op commit", BuilderOptions(uop_commit_dependency=False)),
+    ("no fetch buffer", BuilderOptions(fetch_buffer_edge=False)),
+)
+
+SCENARIOS = (
+    {},
+    {EventType.L1D: 1},
+    {EventType.FP_ADD: 1, EventType.FP_MUL: 1},
+    {EventType.MEM_D: 33},
+)
+
+
+def _mean_error(options: BuilderOptions) -> float:
+    errors = []
+    for name in WORKLOADS:
+        session = get_session(name)
+        graph = build_graph(session.baseline_result, options)
+        base = session.config.latency
+        for overrides in SCENARIOS:
+            latency = base.with_overrides(overrides)
+            simulated = session.machine.cycles(latency)
+            predicted = graph.longest_path_length(latency)
+            errors.append(abs(predicted - simulated) / simulated * 100)
+    return float(np.mean(errors))
+
+
+def test_ablation_constraint_value(benchmark):
+    full_error = benchmark.pedantic(
+        _mean_error, args=(BuilderOptions(),), rounds=1, iterations=1
+    )
+    rows = [["full model", f"{full_error:.2f}%", "-"]]
+    results = {"full model": full_error}
+    for label, options in ABLATIONS[1:]:
+        error = _mean_error(options)
+        results[label] = error
+        rows.append(
+            [label, f"{error:.2f}%", f"{error - full_error:+.2f}%"]
+        )
+
+    text = (
+        "Ablation: graph-model error vs simulator with Table I "
+        "constraint families disabled\n"
+        "(mean |error| over "
+        + ", ".join(WORKLOADS)
+        + " x baseline + 3 optimisation scenarios)\n"
+        + format_table(["model variant", "mean error", "delta"], rows)
+    )
+    write_report("ablation_constraints.txt", text)
+
+    # The full model is the most accurate configuration, and the
+    # memory-path constraints carry the most weight.
+    assert full_error == min(results.values())
+    assert results["no address path"] > full_error + 1.0
+    assert results["no load/store ordering"] > full_error + 1.0

@@ -1,0 +1,123 @@
+"""Ablation — the path-reduction machinery itself (§III-C).
+
+Complements the Fig 14 sensitivity bench with the two knobs the paper
+does not sweep explicitly:
+
+* **merging off** (threshold 1.0, dominance only) — the accuracy upper
+  bound of the reduction pipeline, at the cost of a larger population
+  and slower generation;
+* **population cap** (``max_paths``) — how hard the bounded-memory
+  safety valve can squeeze the per-node population before accuracy
+  suffers.
+"""
+
+import numpy as np
+
+from conftest import get_session, write_report
+
+from repro.common.events import EventType
+from repro.core.generator import generate_rpstacks
+from repro.core.reduction import ReductionPolicy
+from repro.core.generator import RpStacksGenerator
+from repro.dse.report import format_table
+from repro.dse.validate import (
+    bottleneck_reduction_scenarios,
+    validate_predictors,
+)
+
+WORKLOADS = ("gamess", "leslie3d", "gcc")
+
+
+def _bottlenecks(session, count=2):
+    ranked = sorted(
+        session.cp1.cpi_stack().items(), key=lambda kv: -kv[1]
+    )
+    return [
+        event
+        for event, _value in ranked
+        if event not in (EventType.BASE, EventType.BR_MISP)
+    ][:count]
+
+
+def _evaluate(threshold: float, max_paths: int):
+    """(mean error %, total paths, total generation seconds)."""
+    errors = []
+    paths = 0
+    seconds = 0.0
+    for name in WORKLOADS:
+        session = get_session(name)
+        model = RpStacksGenerator(
+            session.graph,
+            session.config.latency,
+            policy=ReductionPolicy(
+                similarity_threshold=threshold, max_paths=max_paths
+            ),
+        ).generate()
+        paths += model.num_paths
+        seconds += model.stats.analysis_seconds
+        scenarios = bottleneck_reduction_scenarios(
+            session.config.latency, _bottlenecks(session), 0.2
+        )
+        report = validate_predictors(
+            session.machine, {"m": model}, scenarios
+        )
+        errors.append(report.mean_abs_error("m"))
+    return float(np.mean(errors)), paths, seconds
+
+
+def test_ablation_reduction_machinery(benchmark):
+    # Benchmark the default-policy generation once.
+    session = get_session("gamess")
+    benchmark.pedantic(
+        generate_rpstacks,
+        args=(session.graph, session.config.latency),
+        rounds=1,
+        iterations=1,
+    )
+
+    rows = []
+    results = {}
+    for label, threshold, cap in (
+        # τ=1.0 disables merging; the population is then bounded only by
+        # dominance plus a generous cap (uncapped blows up quadratic
+        # reduction cost without changing the conclusion).
+        ("dominance only (no merge)", 1.0, 128),
+        ("default (tau=0.7, cap 32)", 0.7, 32),
+        ("aggressive merge (tau=0.4)", 0.4, 32),
+        ("cap 8", 0.7, 8),
+        ("cap 4", 0.7, 4),
+        ("cap 2", 0.7, 2),
+        ("cap 1 (critical path only)", 0.7, 1),
+    ):
+        error, paths, seconds = _evaluate(threshold, cap)
+        results[label] = (error, paths, seconds)
+        rows.append(
+            [label, f"{error:.2f}%", paths, f"{seconds:.2f}s"]
+        )
+
+    text = (
+        "Ablation: path-reduction machinery\n"
+        "(mean |error| on Fig 11b scenarios over "
+        + ", ".join(WORKLOADS)
+        + ")\n"
+        + format_table(
+            ["variant", "mean error", "paths kept", "generation time"],
+            rows,
+        )
+    )
+    write_report("ablation_reduction.txt", text)
+
+    default_error, default_paths, default_seconds = results[
+        "default (tau=0.7, cap 32)"
+    ]
+    no_merge = results["dominance only (no merge)"]
+    single = results["cap 1 (critical path only)"]
+    # Dominance-only keeps at least as many paths and is no less
+    # accurate; the default trades a little accuracy for a much smaller
+    # population.
+    assert no_merge[1] >= default_paths
+    assert no_merge[0] <= default_error + 0.5
+    # Squeezing to a single path per segment degenerates towards CP1:
+    # strictly fewer paths, accuracy no better than the default.
+    assert single[1] < default_paths
+    assert single[0] >= default_error - 0.1

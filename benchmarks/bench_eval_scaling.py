@@ -1,0 +1,79 @@
+"""Extension — evaluation-throughput scaling.
+
+The entire Fig 2b/13 story rests on one number: how many design points
+per second the RpStacks model prices.  This bench characterises it:
+single-point latency, batched throughput (``predict_many``), and how
+both scale with model size (paths x segments).
+"""
+
+import time
+
+import numpy as np
+
+from conftest import get_session, write_report
+
+from repro.common.events import EventType
+from repro.core.generator import generate_rpstacks
+from repro.dse.designspace import DesignSpace
+from repro.dse.report import format_table
+
+SPACE = {
+    EventType.L1D: [1, 2, 3, 4],
+    EventType.FP_ADD: [1, 2, 3, 4, 5, 6],
+    EventType.FP_MUL: [1, 2, 3, 4, 5, 6],
+    EventType.L2D: [3, 6, 12],
+    EventType.MEM_D: [33, 66, 133],
+}
+
+
+def test_eval_throughput_scaling(benchmark):
+    session = get_session("gamess")
+    base = session.config.latency
+    points = DesignSpace.from_mapping(SPACE, base=base).points()
+
+    # Models of different sizes via the segment length.
+    rows = []
+    throughputs = {}
+    for segment_length in (64, 256, 1024):
+        model = generate_rpstacks(
+            session.graph, base, segment_length=segment_length
+        )
+        start = time.perf_counter()
+        model.predict_many(points)
+        batch_seconds = time.perf_counter() - start
+        start = time.perf_counter()
+        for point in points[:200]:
+            model.predict_cycles(point)
+        single_seconds = (time.perf_counter() - start) / 200
+        throughput = len(points) / batch_seconds
+        throughputs[segment_length] = throughput
+        rows.append(
+            [
+                f"S={segment_length}",
+                model.num_paths,
+                model.num_segments,
+                f"{single_seconds * 1e6:.1f}us",
+                f"{throughput / 1e3:.0f}k pts/s",
+            ]
+        )
+
+    model = generate_rpstacks(session.graph, base)
+    result = benchmark(model.predict_many, points)
+    assert len(result) == len(points)
+
+    text = (
+        "Evaluation-throughput scaling (gamess model, "
+        f"{len(points)}-point space)\n"
+        + format_table(
+            [
+                "segmentation", "paths", "segments",
+                "single-point", "batched throughput",
+            ],
+            rows,
+        )
+    )
+    write_report("eval_scaling.txt", text)
+
+    # The enabling property: even the largest model prices tens of
+    # thousands of points per second in batch mode.
+    assert min(throughputs.values()) > 10_000

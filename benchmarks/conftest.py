@@ -1,0 +1,52 @@
+"""Shared fixtures and reporting helpers for the reproduction benches.
+
+Every ``bench_figXX`` module regenerates one table/figure of the paper:
+it computes the figure's data, writes a formatted text report to
+``benchmarks/results/``, attaches headline numbers to the
+pytest-benchmark ``extra_info`` (so they land in the benchmark JSON), and
+times the operation the figure is *about*.
+
+Scale note: workload lengths are scaled to Python-simulator speeds
+(hundreds of macro-ops instead of 1M-instruction SimPoints).  All
+comparisons are self-consistent ratios, so the figures' shapes — who
+wins, where curves cross — are what is being reproduced, not absolute
+numbers (see DESIGN.md §2 and EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import pathlib
+from typing import Dict
+
+import pytest
+
+from repro.dse.pipeline import AnalysisSession, analyze
+from repro.workloads.suite import make_workload, suite_names
+
+#: Macro-ops per workload for accuracy benches.
+BENCH_MACROS = 300
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+_SESSION_CACHE: Dict[str, AnalysisSession] = {}
+
+
+def get_session(name: str, macros: int = BENCH_MACROS) -> AnalysisSession:
+    """Analysis session for a suite workload, cached across benches."""
+    key = f"{name}:{macros}"
+    if key not in _SESSION_CACHE:
+        _SESSION_CACHE[key] = analyze(make_workload(name, macros))
+    return _SESSION_CACHE[key]
+
+
+def write_report(filename: str, text: str) -> pathlib.Path:
+    """Persist a figure's text report under benchmarks/results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / filename
+    path.write_text(text + "\n")
+    return path
+
+
+@pytest.fixture(scope="session")
+def bench_suite_names():
+    return suite_names()

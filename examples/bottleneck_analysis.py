@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""Bottleneck analysis across the workload suite (Fig 12 style).
+
+For every SPEC-2006 analogue this prints the baseline CPI and the
+penalty decomposition three ways — RpStacks' representative stack, the
+single critical path (CP1), and FMT's commit-stall accounting — showing
+how the three methods disagree about where the cycles went (the paper's
+Figs 3, 6 and 12 discussion).
+
+Run:  python examples/bottleneck_analysis.py [workload ...]
+"""
+
+import sys
+
+from repro import analyze, make_workload, suite_names
+from repro.dse.report import format_table, render_component_map
+from repro.workloads import SPEC_LABELS, characterize
+
+
+def main() -> None:
+    names = sys.argv[1:] or list(suite_names())
+    rows = []
+    for name in names:
+        workload = make_workload(name, num_macro_ops=500)
+        stats = characterize(workload)
+        session = analyze(workload)
+        base = session.config.latency
+        top = session.rpstacks.bottlenecks(base, top=3)
+        rows.append(
+            [
+                SPEC_LABELS.get(name, name),
+                f"{session.baseline_cpi:.3f}",
+                ", ".join(label for label, _v in top),
+                session.rpstacks.num_paths,
+                f"{stats.load_fraction:.0%}",
+                f"{stats.branch_fraction:.0%}",
+                f"{stats.data_footprint_bytes // 1024}K",
+            ]
+        )
+        if len(names) <= 3:
+            print(f"=== {name} (CPI {session.baseline_cpi:.3f}) ===")
+            print("RpStacks representative stack:")
+            stack = session.rpstacks.representative_stack(base)
+            print(render_component_map(
+                {e: v / len(session.workload)
+                 for e, v in stack.penalties(base).items()}))
+            print("CP1 critical-path stack:")
+            print(render_component_map(session.cp1.cpi_stack()))
+            print("FMT commit-stall stack:")
+            print(render_component_map(session.fmt.cpi_stack()))
+            print()
+
+    print(
+        format_table(
+            [
+                "application", "baseline CPI", "top bottlenecks",
+                "paths", "loads", "branches", "data footprint",
+            ],
+            rows,
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,91 @@
+#!/usr/bin/env python
+"""Large-scale latency design space exploration (Fig 6a / Fig 13).
+
+Builds the RpStacks model for two workloads with different characters
+(416.gamess, 437.leslie3d), then prices a >2500-point latency design
+space from the single baseline simulation each, reporting:
+
+* how many designs meet the target CPI,
+* the cost/performance Pareto front,
+* the wall-clock comparison against what per-point re-simulation would
+  have cost (extrapolated from a measured single run),
+* a spot-check of prediction accuracy on a few sampled points.
+
+Run:  python examples/design_space_exploration.py
+"""
+
+import time
+
+from repro import analyze, make_workload
+from repro.common import EventType
+from repro.dse import DesignSpace
+from repro.dse.report import format_table
+
+
+def explore_workload(name: str) -> None:
+    workload = make_workload(name, num_macro_ops=600)
+    t0 = time.perf_counter()
+    session = analyze(workload)
+    analysis_time = time.perf_counter() - t0
+    base = session.config.latency
+    print(f"=== {name}: baseline CPI {session.baseline_cpi:.3f} "
+          f"(analysis {analysis_time:.1f}s) ===")
+
+    # >3000 latency combinations around the workload's top bottlenecks.
+    space = DesignSpace.from_mapping(
+        {
+            EventType.L1D: [1, 2, 3, 4],
+            EventType.LD: [1, 2],
+            EventType.FP_ADD: [1, 2, 3, 4, 5, 6],
+            EventType.FP_MUL: [1, 2, 3, 4, 5, 6],
+            EventType.L2D: [3, 6, 9, 12],
+            EventType.MEM_D: [33, 66, 133],
+        }
+    )
+    target = session.baseline_cpi * 0.75
+    t0 = time.perf_counter()
+    result = session.explore(space, target_cpi=target)
+    sweep_time = time.perf_counter() - t0
+    print(
+        f"swept {result.num_points} design points in {sweep_time * 1e3:.1f} ms"
+        f" -> {result.num_meeting_target} meet target CPI {target:.3f}"
+    )
+
+    # What would per-point simulation have cost?  One run took roughly
+    # the baseline simulation time; scale it.
+    sim_seconds = analysis_time  # analysis includes the one simulation
+    print(
+        f"per-point re-simulation would need ~"
+        f"{result.num_points * sim_seconds / 60:.1f} min; RpStacks needed "
+        f"{analysis_time + sweep_time:.1f}s total "
+        f"({result.num_points * sim_seconds / (analysis_time + sweep_time):.0f}x)"
+    )
+
+    print("Pareto front (cost vs CPI):")
+    for candidate in result.pareto_front()[:6]:
+        print("  " + candidate.describe())
+
+    # Spot-check: validate three sampled points against the simulator.
+    rows = []
+    for point in space.sample(3, seed=1):
+        predicted = session.rpstacks.predict_cpi(point)
+        simulated = session.simulate(point).cpi
+        rows.append(
+            [
+                point.describe(),
+                f"{predicted:.3f}",
+                f"{simulated:.3f}",
+                f"{(predicted - simulated) / simulated * 100:+.2f}%",
+            ]
+        )
+    print(format_table(["design point", "predicted", "simulated", "error"], rows))
+    print()
+
+
+def main() -> None:
+    for name in ("gamess", "leslie3d"):
+        explore_workload(name)
+
+
+if __name__ == "__main__":
+    main()

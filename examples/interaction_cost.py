@@ -1,0 +1,89 @@
+#!/usr/bin/env python
+"""Criticality and interaction costs — understanding a design point.
+
+RpStacks tells you *what* each design point costs; the critical-path
+toolkit it builds on (Fields et al.) tells you *why*.  This example runs
+both on the 416.gamess analogue:
+
+* slack / criticality: which µops sit on the critical path, and how much
+  headroom the non-critical ones have;
+* interaction costs: for the top bottleneck events, whether their
+  penalties are serial (optimise both!) or parallel (optimising one just
+  exposes the other — the paper's Figure 1a trap);
+* a cross-check: negative interaction = the events overlap, which is
+  exactly the case where single-stack predictors (CP1/FMT) go wrong and
+  the RpStacks hidden-path machinery pays off.
+
+Run:  python examples/interaction_cost.py
+"""
+
+from repro import analyze, make_workload
+from repro.common import EventType, parse_event
+from repro.dse.report import format_table
+from repro.graphmodel import CriticalityAnalysis, interaction_matrix
+
+
+def main() -> None:
+    session = analyze(make_workload("gamess", num_macro_ops=500))
+    base = session.config.latency
+    graph = session.graph
+    print(
+        f"{session.workload.name}: baseline CPI {session.baseline_cpi:.3f}"
+    )
+
+    # --- criticality / slack --------------------------------------
+    analysis = CriticalityAnalysis(graph, base)
+    critical_uops = analysis.critical_uops()
+    print(
+        f"critical path length {analysis.length:.0f} cycles; "
+        f"{len(critical_uops)}/{graph.num_uops} µops "
+        f"({analysis.criticality_fraction():.0%}) touch a critical path"
+    )
+
+    # --- interaction costs over the top bottlenecks ----------------
+    bottlenecks = session.rpstacks.bottlenecks(base, top=4)
+    optimisations = []
+    for label, _share in bottlenecks:
+        event = parse_event(label)
+        optimisations.append((event, max(1, base[event] // 4)))
+    matrix = interaction_matrix(graph, base, optimisations)
+
+    header = ["vs"] + [
+        event.name for event, _v in optimisations
+    ]
+    rows = []
+    for i, (event, _value) in enumerate(optimisations):
+        rows.append(
+            [event.name]
+            + [f"{matrix[i, j]:+.0f}" for j in range(len(optimisations))]
+        )
+    print("\ninteraction costs (cycles; negative = overlapping penalties):")
+    print(format_table(header, rows))
+
+    # --- tie-back to prediction accuracy ---------------------------
+    most_negative = None
+    for i in range(len(optimisations)):
+        for j in range(i + 1, len(optimisations)):
+            if most_negative is None or matrix[i, j] < most_negative[0]:
+                most_negative = (matrix[i, j], i, j)
+    cost, i, j = most_negative
+    first, second = optimisations[i], optimisations[j]
+    print(
+        f"\nmost parallel pair: {first[0].name} + {second[0].name} "
+        f"(interaction {cost:+.0f} cycles)"
+    )
+    overrides = {first[0]: first[1], second[0]: second[1]}
+    latency = base.with_overrides(overrides)
+    simulated = session.machine.cycles(latency)
+    rows = []
+    for name, predictor in session.predictors().items():
+        predicted = predictor.predict_cycles(latency)
+        rows.append(
+            [name, f"{(predicted - simulated) / simulated * 100:+.2f}%"]
+        )
+    print("prediction errors when optimising both together:")
+    print(format_table(["method", "error"], rows))
+
+
+if __name__ == "__main__":
+    main()

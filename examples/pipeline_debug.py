@@ -1,0 +1,58 @@
+#!/usr/bin/env python
+"""Pipeline-level debugging: diagrams, slack and a what-if.
+
+When a prediction surprises you, the question is always "what is the
+machine actually doing?".  This example drives the low-level toolkit on
+the STREAM triad kernel:
+
+1. the ASCII pipeline diagram shows iteration i+1's loads camping in the
+   issue queue (``r`` then dots) until iteration i's store issues — the
+   conservative memory ordering of Table I, visible;
+2. criticality analysis shows the whole per-iteration chain
+   (load -> mul -> add -> store) is critical: every class appears once
+   per iteration in the critical-µop histogram;
+3. a what-if re-simulation quantifies the levers: the two FP links are
+   the longer share of the ~16-cycle chain, so halving FP latency saves
+   about three times as much as halving the load path — a conclusion
+   you can read straight off the diagram.
+
+Run:  python examples/pipeline_debug.py
+"""
+
+from repro.common import EventType, baseline_config
+from repro.graphmodel import CriticalityAnalysis, build_graph
+from repro.simulator import render_pipeline, simulate
+from repro.workloads import stream_triad
+
+
+def main() -> None:
+    workload = stream_triad(iterations=24)
+    config = baseline_config()
+    result = simulate(workload, config)
+    print(result.describe())
+    print()
+    print(render_pipeline(result, first=0, count=12, max_width=100))
+
+    graph = build_graph(result)
+    analysis = CriticalityAnalysis(graph, config.latency)
+    histogram = analysis.critical_opclass_histogram(workload)
+    print(
+        f"\ncritical path: {analysis.length:.0f} cycles; critical µops "
+        f"by class: {histogram}"
+    )
+
+    print("\nwhat-if (re-simulated):")
+    for label, overrides in (
+        ("FP twice as fast", {EventType.FP_ADD: 3, EventType.FP_MUL: 3}),
+        ("load path twice as fast", {EventType.L1D: 2, EventType.LD: 1}),
+    ):
+        latency = config.latency.with_overrides(overrides)
+        cycles = simulate(workload, config.with_latency(latency)).cycles
+        print(
+            f"  {label:26s}: {cycles} cycles "
+            f"({(result.cycles - cycles) / result.cycles:+.1%} saved)"
+        )
+
+
+if __name__ == "__main__":
+    main()

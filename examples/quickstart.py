@@ -1,0 +1,71 @@
+#!/usr/bin/env python
+"""Quickstart: one simulation, then explore a whole latency design space.
+
+This walks the RpStacks workflow of Fig 6a on the 416.gamess analogue:
+
+1. simulate the Table II baseline once and build the RpStacks model;
+2. read the bottleneck decomposition (the representative stall-event
+   stack) to pick optimisation targets;
+3. sweep dozens of latency design points *without further simulation*;
+4. validate the chosen design against a ground-truth re-simulation.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import analyze, make_workload
+from repro.common import EventType
+from repro.dse import DesignSpace
+from repro.dse.report import render_cpi_stack
+
+
+def main() -> None:
+    workload = make_workload("gamess", num_macro_ops=800)
+    print(f"workload: {workload.name}, {len(workload)} micro-ops")
+
+    # Step 1 — the single simulation plus analysis (Fig 8a pipeline).
+    session = analyze(workload)
+    base = session.config.latency
+    print(f"baseline CPI (simulator): {session.baseline_cpi:.3f}")
+    print(
+        f"RpStacks: {session.rpstacks.num_paths} representative paths in "
+        f"{session.rpstacks.num_segments} segments\n"
+    )
+
+    # Step 2 — identify bottlenecks from the representative stack.
+    stack = session.rpstacks.representative_stack(base)
+    print(render_cpi_stack("baseline penalty decomposition", stack, base,
+                           len(workload)))
+    top = session.rpstacks.bottlenecks(base, top=3)
+    print("\nmajor bottlenecks:", ", ".join(f"{n} ({v:.2f} CPI)" for n, v in top))
+
+    # Step 3 — sweep latency combinations around the bottlenecks.
+    space = DesignSpace.from_mapping(
+        {
+            EventType.L1D: [1, 2, 3, 4],
+            EventType.FP_ADD: [1, 2, 3, 4, 5, 6],
+            EventType.FP_MUL: [1, 2, 3, 4, 5, 6],
+        }
+    )
+    target = session.baseline_cpi * 0.80
+    result = session.explore(space, target_cpi=target)
+    print(
+        f"\nexplored {result.num_points} design points; "
+        f"{result.num_meeting_target} meet target CPI {target:.3f}"
+    )
+    print("cost/CPI Pareto front:")
+    for candidate in result.pareto_front():
+        print("  " + candidate.describe())
+
+    # Step 4 — validate the cheapest candidate with the simulator.
+    best = result.best()
+    truth = session.simulate(best.latency)
+    error = (best.predicted_cpi - truth.cpi) / truth.cpi * 100
+    print(
+        f"\nchosen design: {best.latency.describe()}\n"
+        f"predicted CPI {best.predicted_cpi:.3f} vs simulated "
+        f"{truth.cpi:.3f}  (error {error:+.2f}%)"
+    )
+
+
+if __name__ == "__main__":
+    main()

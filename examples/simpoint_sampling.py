@@ -1,0 +1,116 @@
+#!/usr/bin/env python
+"""SimPoint sampling over a phased workload (Fig 7a workflow).
+
+Builds a three-phase program (FP-dense, pointer-chasing, branchy), lets
+the SimPoint pipeline (BBV -> projection -> k-means) pick weighted
+representative intervals, then generates RpStacks *per simpoint* and
+combines predictions by weight — the paper's per-SimPoint analysis,
+which also parallelises naturally.
+
+Run:  python examples/simpoint_sampling.py
+"""
+
+from repro import analyze
+from repro.common import EventType
+from repro.dse.report import format_table
+from repro.sampling import select_simpoints, simpoint_machine, weighted_cpi
+from repro.simulator import Machine
+from repro.workloads import WorkloadSpec, make_phased_workload
+
+PHASES = [
+    (
+        WorkloadSpec(
+            name="fp-phase", p_fp_add=0.25, p_fp_mul=0.2, p_load=0.2,
+            working_set_bytes=8 * 1024, code_footprint_bytes=256,
+        ),
+        400,
+    ),
+    (
+        WorkloadSpec(
+            name="mem-phase", p_load=0.4, pointer_chase_fraction=0.5,
+            working_set_bytes=8 << 20, code_footprint_bytes=256,
+        ),
+        400,
+    ),
+    (
+        WorkloadSpec(
+            name="branch-phase", p_branch=0.25, p_load=0.2,
+            hard_branch_fraction=0.4, working_set_bytes=16 * 1024,
+            code_footprint_bytes=256,
+        ),
+        400,
+    ),
+]
+
+
+def main() -> None:
+    workload = make_phased_workload(PHASES, name="three-phase", seed=2)
+    print(f"phased workload: {len(workload)} micro-ops, 3 phases")
+
+    simpoints = select_simpoints(workload, interval_macros=200, max_k=6)
+    print(f"SimPoint selected {len(simpoints)} representative intervals:")
+    rows = [
+        [sp.interval_index, f"{sp.weight:.2f}", len(sp.workload)]
+        for sp in simpoints
+    ]
+    print(format_table(["interval", "weight", "uops"], rows))
+
+    # Per-simpoint analysis (independent -> parallelisable).  Each
+    # interval is measured with checkpoint warming (simpoint_machine),
+    # and the analysis pipeline runs on the warmed machine's trace.
+    from repro.baselines import CP1Predictor, FMTPredictor
+    from repro.core import generate_rpstacks
+    from repro.graphmodel import build_graph
+
+    class MiniSession:
+        def __init__(self, machine):
+            self.machine = machine
+            self.config = machine.config
+            self.baseline_result = machine.simulate()
+            self.baseline_cpi = self.baseline_result.cpi
+            graph = build_graph(self.baseline_result)
+            self.rpstacks = generate_rpstacks(
+                graph, machine.config.latency
+            )
+
+    sessions = [
+        MiniSession(simpoint_machine(workload, sp)) for sp in simpoints
+    ]
+    base = sessions[0].config.latency
+
+    baseline_estimate = weighted_cpi(
+        [s.baseline_cpi for s in sessions], simpoints
+    )
+    full_cpi = Machine(workload).simulate().cpi
+    print(
+        f"\nweighted simpoint CPI {baseline_estimate:.3f} vs "
+        f"full-stream CPI {full_cpi:.3f}"
+    )
+
+    print("\nper-simpoint bottlenecks (phases have different ones):")
+    for sp, session in zip(simpoints, sessions):
+        top = session.rpstacks.bottlenecks(base, top=2)
+        print(
+            f"  interval {sp.interval_index} (weight {sp.weight:.2f}): "
+            + ", ".join(f"{n} {v:.2f}" for n, v in top)
+        )
+
+    # Whole-program prediction for a candidate design = weighted
+    # combination of per-simpoint RpStacks predictions.
+    candidate = base.with_overrides(
+        {EventType.FP_ADD: 2, EventType.FP_MUL: 2, EventType.MEM_D: 66}
+    )
+    predicted = weighted_cpi(
+        [s.rpstacks.predict_cpi(candidate) for s in sessions], simpoints
+    )
+    simulated = Machine(workload).simulate(candidate).cpi
+    print(
+        f"\ncandidate design {candidate.describe()}:\n"
+        f"  weighted RpStacks prediction CPI {predicted:.3f}, "
+        f"full simulation CPI {simulated:.3f} "
+        f"({(predicted - simulated) / simulated * 100:+.1f}%)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+"""RpStacks reproduction: fast and accurate processor design space
+exploration using representative stall-event stacks (MICRO 2014).
+
+Quickstart::
+
+    from repro import analyze, make_workload, reduction_space
+    from repro.common import EventType
+
+    session = analyze(make_workload("gamess"))
+    print("baseline CPI:", session.baseline_cpi)
+    print("bottlenecks:", session.rpstacks.bottlenecks(session.config.latency))
+
+    space = reduction_space([EventType.L1D, EventType.FP_ADD])
+    result = session.explore(space, target_cpi=session.baseline_cpi * 0.8)
+    print(result.best().describe())
+
+Package map (see DESIGN.md for the full inventory):
+
+* ``repro.core`` — the contribution: stall-event stacks, reduction,
+  the RpStacks generator and predictor.
+* ``repro.simulator`` — cycle-level out-of-order timing simulator.
+* ``repro.graphmodel`` — Table I dependence-graph model.
+* ``repro.baselines`` — CP1, FMT, graph re-evaluation.
+* ``repro.workloads`` — SPEC CPU 2006 analogue suite.
+* ``repro.sampling`` — SimPoint-style interval selection.
+* ``repro.dse`` — design spaces, exploration, validation, overheads.
+"""
+
+from repro.common.config import (
+    LatencyConfig,
+    MicroarchConfig,
+    baseline_config,
+)
+from repro.common.events import EventType
+from repro.core import RpStacksModel, StallEventStack, generate_rpstacks
+from repro.dse import (
+    AnalysisSession,
+    DesignSpace,
+    Explorer,
+    analyze,
+    reduction_space,
+)
+from repro.graphmodel import build_graph
+from repro.isa import MicroOp, OpClass, Workload
+from repro.simulator import Machine, simulate
+from repro.workloads import WorkloadSpec, generate, make_workload, suite_names
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AnalysisSession",
+    "DesignSpace",
+    "EventType",
+    "Explorer",
+    "LatencyConfig",
+    "Machine",
+    "MicroOp",
+    "MicroarchConfig",
+    "OpClass",
+    "RpStacksModel",
+    "StallEventStack",
+    "Workload",
+    "WorkloadSpec",
+    "analyze",
+    "baseline_config",
+    "build_graph",
+    "generate",
+    "generate_rpstacks",
+    "make_workload",
+    "reduction_space",
+    "simulate",
+    "suite_names",
+    "__version__",
+]

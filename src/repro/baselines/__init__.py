@@ -1,0 +1,32 @@
+"""Comparison baselines: CP1, FMT, and graph re-evaluation.
+
+``GraphReevalPredictor`` lives in :mod:`repro.graphmodel` (it is a thin
+wrapper over the graph) and is re-exported here so all predictors share
+one import site.
+"""
+
+from repro.baselines.cp1 import CP1Predictor
+from repro.baselines.fmt import FMTPredictor
+from repro.baselines.interval import (
+    IntervalModelPredictor,
+    IntervalStatistics,
+    collect_statistics,
+)
+from repro.baselines.regression import (
+    RegressionPredictor,
+    latency_features,
+    train_regression,
+)
+from repro.graphmodel.reeval import GraphReevalPredictor
+
+__all__ = [
+    "CP1Predictor",
+    "FMTPredictor",
+    "GraphReevalPredictor",
+    "IntervalModelPredictor",
+    "IntervalStatistics",
+    "collect_statistics",
+    "RegressionPredictor",
+    "latency_features",
+    "train_regression",
+]

@@ -1,0 +1,48 @@
+"""Single-critical-path analysis (CP1) — comparison baseline.
+
+CP1 is the classic critical-path analysis the paper compares against
+(Figs 6 and 11): extract the *one* longest path of the baseline run's
+dependence graph, translate it into a CPI stack, and predict any design
+point by re-pricing that single stack.
+
+Its failure mode, demonstrated by the paper and reproduced here, is the
+*hidden execution path*: once latency changes make a secondary path
+critical, the ex-critical path's stack under-predicts execution time
+(Fig 4b).  RpStacks fixes exactly this by retaining the secondary paths.
+"""
+
+from __future__ import annotations
+
+from repro.common.config import LatencyConfig
+from repro.core.stack import StallEventStack
+from repro.graphmodel.graph import DependenceGraph
+
+
+class CP1Predictor:
+    """Predicts performance from the baseline critical path's stack."""
+
+    name = "cp1"
+
+    def __init__(
+        self, graph: DependenceGraph, baseline: LatencyConfig
+    ) -> None:
+        self.baseline = baseline
+        self.num_uops = graph.num_uops
+        length, stack_vector = graph.critical_path(baseline)
+        self.baseline_cycles = length
+        self.stack = StallEventStack.from_vector(stack_vector)
+
+    def predict_cycles(self, latency: LatencyConfig) -> float:
+        """Re-price the (single) baseline critical path under *latency*."""
+        return self.stack.cycles(latency)
+
+    def predict_cpi(self, latency: LatencyConfig) -> float:
+        return self.predict_cycles(latency) / self.num_uops
+
+    def cpi_stack(self, latency: LatencyConfig = None) -> dict:
+        """Per-event CPI components of the critical path."""
+        latency = latency or self.baseline
+        return {
+            event: value / self.num_uops
+            for event, value in self.stack.penalties(latency).items()
+        }

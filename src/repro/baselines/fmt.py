@@ -1,0 +1,153 @@
+"""Pipeline-stall analysis baseline: the Frontend Miss Table (FMT).
+
+Eyerman et al.'s FMT is a performance-counter architecture that builds a
+CPI stack by attributing each cycle in which the pipeline makes no
+forward progress to *one* miss event.  The paper implements FMT on its
+simulator as the pipeline-stall-analysis baseline (Section V-A); we do
+the same as a post-processing pass over the timing trace:
+
+* a cycle in which at least one µop commits is a **base** cycle;
+* a stall cycle with the ROB head in flight is attributed to the head's
+  dominant pending event (its largest-penalty stall event — a memory
+  access level, a long FU latency, a DTLB walk);
+* a stall cycle with an empty/starved ROB head is attributed to the
+  front end: the branch-misprediction redirect or the I-cache/ITLB miss
+  chain blocking fetch.
+
+Prediction scales each non-base component by the latency ratio of its
+event.  The two documented FMT weaknesses fall out of this construction,
+exactly as the paper argues (Section II-C): concurrent events are
+charged to a single winner (overlap blindness), and low-rate stalls that
+never fully block commit are folded into base cycles.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.common.config import LatencyConfig
+from repro.common.events import EventType
+from repro.simulator.trace import SimResult
+
+
+def _dominant_event(record, uop, theta) -> EventType:
+    """The single event FMT blames for a µop's in-flight delay."""
+    best_event = EventType.BASE
+    best_cost = 0
+    for event, units in record.exec_charge:
+        cost = units * theta[event]
+        if event is not EventType.BASE and cost > best_cost:
+            best_cost = cost
+            best_event = event
+    if record.dtlb_miss and theta[EventType.DTLB] > best_cost:
+        best_event = EventType.DTLB
+    return best_event
+
+
+def _frontend_event(record, theta) -> EventType:
+    """The event FMT blames for a starved front end at a µop."""
+    if record.mispredicted:
+        return EventType.BR_MISP
+    best_event = EventType.BASE
+    best_cost = 0
+    for event, units in record.fetch_charge:
+        cost = units * theta[event]
+        if cost > best_cost:
+            best_cost = cost
+            best_event = event
+    return best_event
+
+
+class FMTPredictor:
+    """CPI-stack predictor built from commit-stall attribution."""
+
+    name = "fmt"
+
+    def __init__(self, result: SimResult) -> None:
+        self.baseline = result.config.latency
+        self.num_uops = result.num_uops
+        self.baseline_cycles = result.cycles
+        self.components = self._build_stack(result)
+
+    def _build_stack(self, result: SimResult) -> Dict[EventType, float]:
+        theta = result.config.latency.cycles
+        total_cycles = result.cycles
+        records = result.uops
+        workload = result.workload
+        n = len(records)
+
+        commit_cycles = [0] * (total_cycles + 2)
+        for record in records:
+            commit_cycles[min(record.t_commit, total_cycles + 1)] += 1
+
+        components: Dict[EventType, float] = {EventType.BASE: 0.0}
+        head = 0
+        # Cache the blame for the current head µop so the per-cycle loop
+        # stays O(total_cycles + n).
+        cached_head = -1
+        cached_blame = EventType.BASE
+        for cycle in range(1, total_cycles + 1):
+            if commit_cycles[cycle]:
+                components[EventType.BASE] = (
+                    components.get(EventType.BASE, 0.0) + 1.0
+                )
+                continue
+            while head < n and records[head].t_commit <= cycle:
+                head += 1
+            if head >= n:
+                break
+            record = records[head]
+            if head != cached_head:
+                cached_head = head
+                if record.t_rename != -1 and record.t_rename <= cycle:
+                    # Head is in the window, waiting to complete: blame
+                    # its dominant (or its macro-op's dominant) event.
+                    blame = _dominant_event(record, workload[head], theta)
+                    if record.t_complete != -1 and record.t_complete <= cycle:
+                        # Head done; the macro-op gate holds it — blame
+                        # the slowest other member of the macro-op.
+                        macro_id = workload[head].macro_id
+                        member = head + 1
+                        while (
+                            member < n
+                            and workload[member].macro_id == macro_id
+                        ):
+                            blame = _dominant_event(
+                                records[member], workload[member], theta
+                            )
+                            member += 1
+                    cached_blame = blame
+                else:
+                    # Front end starved: blame the fetch-side blocker of
+                    # the head (or the mispredicted branch before it).
+                    if head > 0 and records[head - 1].mispredicted:
+                        cached_blame = EventType.BR_MISP
+                    else:
+                        cached_blame = _frontend_event(record, theta)
+            components[cached_blame] = components.get(cached_blame, 0.0) + 1.0
+        return components
+
+    # ------------------------------------------------------------------
+
+    def cpi_stack(self) -> Dict[EventType, float]:
+        """Baseline CPI stack (components sum to the baseline CPI)."""
+        return {
+            event: cycles / self.num_uops
+            for event, cycles in self.components.items()
+            if cycles > 0
+        }
+
+    def predict_cycles(self, latency: LatencyConfig) -> float:
+        """Scale each stall component by its event's latency ratio."""
+        base_theta = self.baseline.cycles
+        new_theta = latency.cycles
+        total = 0.0
+        for event, cycles in self.components.items():
+            if event is EventType.BASE or base_theta[event] == 0:
+                total += cycles
+            else:
+                total += cycles * new_theta[event] / base_theta[event]
+        return total
+
+    def predict_cpi(self, latency: LatencyConfig) -> float:
+        return self.predict_cycles(latency) / self.num_uops

@@ -1,0 +1,159 @@
+"""First-order mechanistic interval model (Karkhanis & Smith / Eyerman).
+
+The paper's related work (Section VI) singles out mechanistic analytic
+models: instruction flow is ideal (dispatch-width-limited) except where
+*miss events* interrupt it, and total cycles are the ideal time plus a
+per-event penalty for each miss interval.  This implements the classic
+first-order model from trace statistics alone:
+
+    cycles = N / D                              (ideal dispatch)
+           + #mispredictions x (redirect + refill)
+           + #I$ misses x their latency          (front-end stalls)
+           + #long-latency loads x exposed latency / MLP
+
+where the memory term divides by the measured memory-level parallelism
+(overlapping long misses are the interval model's signature refinement),
+and short-latency back-end events are assumed hidden by out-of-order
+execution — the model's documented blind spot for the dependence-chain
+bottlenecks (FP chains, L1-resident pointer chasing) that RpStacks, CP1
+and the graph model all capture.
+
+Prediction for a new latency configuration re-prices each term; like
+FMT, the model has a *fixed decomposition*, so it cannot see interactions
+or hidden paths.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.common.config import LatencyConfig
+from repro.common.events import EventType
+from repro.simulator.trace import SimResult
+
+
+@dataclass
+class IntervalStatistics:
+    """Trace statistics the first-order model consumes."""
+
+    num_uops: int
+    dispatch_width: int
+    mispredictions: int
+    icache_units: Dict[EventType, int]
+    #: counts of long data-access units (L2D / MEM_D / DTLB)
+    memory_units: Dict[EventType, int]
+    #: measured long-miss MLP (overlapping misses per serialised miss)
+    memory_parallelism: float
+
+
+def collect_statistics(result: SimResult) -> IntervalStatistics:
+    """Extract the interval model's inputs from one simulation trace."""
+    icache_units: Dict[EventType, int] = {}
+    memory_units: Dict[EventType, int] = {}
+    mispredictions = 0
+
+    # Measure long-miss MLP from the trace: group long loads by
+    # overlapping [issue, complete) windows and compare summed latency
+    # against the span actually covered.
+    long_windows = []
+    for record in result.uops:
+        if record.mispredicted:
+            mispredictions += 1
+        for event, units in record.fetch_charge:
+            if event in (EventType.L2I, EventType.MEM_I, EventType.ITLB):
+                icache_units[event] = icache_units.get(event, 0) + units
+        is_long = False
+        for event, units in record.exec_charge:
+            if event in (EventType.L2D, EventType.MEM_D):
+                memory_units[event] = memory_units.get(event, 0) + units
+                is_long = True
+        if record.dtlb_miss:
+            memory_units[EventType.DTLB] = (
+                memory_units.get(EventType.DTLB, 0) + 1
+            )
+        if is_long:
+            long_windows.append((record.t_issue, record.t_complete))
+
+    if long_windows:
+        long_windows.sort()
+        total_latency = sum(stop - start for start, stop in long_windows)
+        covered = 0
+        span_start, span_stop = long_windows[0]
+        for start, stop in long_windows[1:]:
+            if start <= span_stop:
+                span_stop = max(span_stop, stop)
+            else:
+                covered += span_stop - span_start
+                span_start, span_stop = start, stop
+        covered += span_stop - span_start
+        parallelism = max(1.0, total_latency / max(1, covered))
+    else:
+        parallelism = 1.0
+
+    return IntervalStatistics(
+        num_uops=result.num_uops,
+        dispatch_width=result.config.core.dispatch_width,
+        mispredictions=mispredictions,
+        icache_units=icache_units,
+        memory_units=memory_units,
+        memory_parallelism=parallelism,
+    )
+
+
+class IntervalModelPredictor:
+    """First-order interval-analysis predictor from one trace."""
+
+    name = "interval"
+
+    #: pipeline refill cost added to each redirect, in dispatch groups
+    REFILL_GROUPS = 4
+
+    def __init__(self, result: SimResult) -> None:
+        self.stats = collect_statistics(result)
+        self.baseline = result.config.latency
+        self.num_uops = result.num_uops
+
+    def predict_cycles(self, latency: LatencyConfig) -> float:
+        stats = self.stats
+        ideal = stats.num_uops / stats.dispatch_width
+        branch_term = stats.mispredictions * (
+            latency[EventType.BR_MISP] + self.REFILL_GROUPS
+        )
+        frontend_term = sum(
+            units * latency[event]
+            for event, units in stats.icache_units.items()
+        )
+        memory_term = (
+            sum(
+                units * latency[event]
+                for event, units in stats.memory_units.items()
+            )
+            / stats.memory_parallelism
+        )
+        return ideal + branch_term + frontend_term + memory_term
+
+    def predict_cpi(self, latency: LatencyConfig) -> float:
+        return self.predict_cycles(latency) / self.num_uops
+
+    def cpi_stack(self) -> Dict[str, float]:
+        """The model's fixed decomposition at the baseline (per µop)."""
+        stats = self.stats
+        base = self.baseline
+        return {
+            "base": 1.0 / stats.dispatch_width,
+            "branch": stats.mispredictions
+            * (base[EventType.BR_MISP] + self.REFILL_GROUPS)
+            / stats.num_uops,
+            "frontend": sum(
+                units * base[event]
+                for event, units in stats.icache_units.items()
+            )
+            / stats.num_uops,
+            "memory": sum(
+                units * base[event]
+                for event, units in stats.memory_units.items()
+            )
+            / stats.memory_parallelism
+            / stats.num_uops,
+        }

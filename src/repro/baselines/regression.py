@@ -1,0 +1,109 @@
+"""Empirical regression baseline (the Section VI "empirical model" family).
+
+Joseph et al. and Lee & Brooks predict performance with regression models
+fitted to *sampled simulations* of the design space.  This baseline
+implements that approach over the latency domain: features are the
+per-event latencies (plus an intercept), the target is simulated cycles,
+and the model is ordinary least squares — linear in latencies, which is
+exactly the right model family here because a fixed execution path's
+length *is* linear in θ (path switching is what makes the true function
+piecewise-linear and the regression imperfect).
+
+Its defining cost is training data: every sample is a full timing
+simulation, so accuracy is bought with the very currency RpStacks saves.
+The comparison bench measures accuracy as a function of the training
+budget against RpStacks' single simulation.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.common.config import LatencyConfig
+from repro.common.events import LATENCY_DOMAIN
+from repro.simulator.machine import Machine
+
+
+def latency_features(latency: LatencyConfig) -> np.ndarray:
+    """Feature vector: intercept + every latency-domain event's cycles."""
+    return np.concatenate(
+        ([1.0], [float(latency[event]) for event in LATENCY_DOMAIN])
+    )
+
+
+class RegressionPredictor:
+    """Least-squares cycles model over latency-domain features."""
+
+    name = "regression"
+
+    def __init__(self, num_uops: int) -> None:
+        self.num_uops = num_uops
+        self._coefficients: Optional[np.ndarray] = None
+        #: simulations consumed for training (the method's cost metric)
+        self.training_runs = 0
+
+    @property
+    def is_trained(self) -> bool:
+        return self._coefficients is not None
+
+    def fit(
+        self,
+        machine: Machine,
+        training_points: Sequence[LatencyConfig],
+        ridge: float = 1e-6,
+    ) -> "RegressionPredictor":
+        """Simulate every training point and fit the model.
+
+        Args:
+            machine: simulator bound to the workload under study.
+            training_points: design points to simulate (each one full
+                timing run — the method's cost).
+            ridge: Tikhonov damping for ill-conditioned designs (few or
+                collinear samples).
+        """
+        if not training_points:
+            raise ValueError("regression needs at least one training point")
+        features = np.stack(
+            [latency_features(point) for point in training_points]
+        )
+        targets = np.array(
+            [float(machine.cycles(point)) for point in training_points]
+        )
+        self.training_runs += len(training_points)
+        dim = features.shape[1]
+        gram = features.T @ features + ridge * np.eye(dim)
+        self._coefficients = np.linalg.solve(gram, features.T @ targets)
+        return self
+
+    def predict_cycles(self, latency: LatencyConfig) -> float:
+        if self._coefficients is None:
+            raise RuntimeError("fit() the model before predicting")
+        return float(latency_features(latency) @ self._coefficients)
+
+    def predict_cpi(self, latency: LatencyConfig) -> float:
+        return self.predict_cycles(latency) / self.num_uops
+
+
+def train_regression(
+    machine: Machine,
+    space,
+    num_samples: int,
+    seed: int = 0,
+    include_baseline: bool = True,
+) -> RegressionPredictor:
+    """Fit a :class:`RegressionPredictor` on a sampled design space.
+
+    Args:
+        machine: the workload's simulator.
+        space: a :class:`~repro.dse.designspace.DesignSpace` to sample.
+        num_samples: training simulations to spend.
+        seed: sampling seed.
+        include_baseline: always include the space's base point.
+    """
+    points: List[LatencyConfig] = space.sample(num_samples, seed=seed)
+    if include_baseline and space.base not in points:
+        points[0] = space.base
+    predictor = RegressionPredictor(num_uops=len(machine.workload))
+    return predictor.fit(machine, points)

@@ -1,0 +1,312 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Commands mirror the workflow of the paper's Figure 6a:
+
+* ``simulate``   — run the timing simulator once, print CPI and stats;
+* ``analyze``    — full single-simulation analysis: bottleneck stacks,
+  optionally archive the RpStacks model to ``.npz``;
+* ``explore``    — sweep a latency design space (from a live analysis or
+  a previously saved model) and print the Pareto front;
+* ``compare``    — score RpStacks / CP1 / FMT against a ground-truth
+  re-simulation on given latency overrides;
+* ``pipeline``   — textbook-style ASCII pipeline diagram of a run;
+* ``suite``      — the Figure 12 table over all workload analogues.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Dict, List, Optional, Sequence
+
+from repro.common.config import LatencyConfig
+from repro.common.events import LATENCY_DOMAIN, EventType, parse_event
+from repro.core.io import load_model, save_model
+from repro.dse.designspace import DesignSpace
+from repro.dse.explorer import Explorer
+from repro.dse.pipeline import analyze
+from repro.dse.report import format_table, render_cpi_stack
+from repro.simulator.machine import Machine
+from repro.workloads.suite import SPEC_LABELS, make_workload, suite_names
+
+
+def _parse_overrides(items: Sequence[str]) -> Dict[EventType, int]:
+    """Parse ``EVENT=CYCLES`` pairs (e.g. ``L1D=2 Fadd=3``)."""
+    overrides: Dict[EventType, int] = {}
+    for item in items:
+        try:
+            name, value = item.split("=", 1)
+            overrides[parse_event(name)] = int(value)
+        except (ValueError, KeyError) as error:
+            raise SystemExit(f"bad override {item!r}: {error}")
+    return overrides
+
+
+def _parse_axis(spec: str) -> tuple:
+    """Parse ``EVENT=v1,v2,v3`` into (event, values)."""
+    try:
+        name, values = spec.split("=", 1)
+        event = parse_event(name)
+        candidates = [int(v) for v in values.split(",") if v]
+        if not candidates:
+            raise ValueError("no candidate latencies")
+        return event, candidates
+    except (ValueError, KeyError) as error:
+        raise SystemExit(f"bad axis {spec!r}: {error}")
+
+
+def _workload(args) -> object:
+    if args.workload not in suite_names():
+        raise SystemExit(
+            f"unknown workload {args.workload!r}; "
+            f"choose from {', '.join(suite_names())}"
+        )
+    return make_workload(args.workload, args.macros, seed=args.seed)
+
+
+def cmd_simulate(args) -> int:
+    workload = _workload(args)
+    machine = Machine(workload)
+    latency = LatencyConfig().with_overrides(_parse_overrides(args.override))
+    result = machine.simulate(latency)
+    print(result.describe())
+    rows = [[key, value] for key, value in sorted(result.stats.items())]
+    print(format_table(["stat", "value"], rows))
+    if args.save_trace:
+        from repro.simulator.traceio import save_result
+
+        path = save_result(result, args.save_trace)
+        print(f"trace saved to {path}")
+    return 0
+
+
+def cmd_analyze(args) -> int:
+    if args.from_trace:
+        from repro.core.generator import generate_rpstacks
+        from repro.graphmodel.builder import build_graph
+        from repro.simulator.traceio import load_result
+
+        result = load_result(args.from_trace)
+        workload = result.workload
+        base = result.config.latency
+        graph = build_graph(result)
+        model = generate_rpstacks(
+            graph, base, segment_length=args.segment_length
+        )
+        baseline_cpi = result.cpi
+    else:
+        workload = _workload(args)
+        session = analyze(workload, segment_length=args.segment_length)
+        base = session.config.latency
+        model = session.rpstacks
+        baseline_cpi = session.baseline_cpi
+    print(
+        f"{workload.name}: {len(workload)} uops, baseline CPI "
+        f"{baseline_cpi:.3f}, {model.num_paths} "
+        f"representative paths in {model.num_segments} segments"
+    )
+    stack = model.representative_stack(base)
+    print(render_cpi_stack("penalty decomposition", stack, base, len(workload)))
+    if args.save:
+        path = save_model(model, args.save)
+        print(f"model saved to {path}")
+    return 0
+
+
+def cmd_explore(args) -> int:
+    axes = dict(_parse_axis(spec) for spec in args.axis)
+    if not axes:
+        raise SystemExit("explore needs at least one --axis")
+    try:
+        space = DesignSpace.from_mapping(axes)
+    except ValueError as error:
+        raise SystemExit(str(error))
+
+    if args.model:
+        model = load_model(args.model)
+        print(f"loaded model: {model.num_paths} paths, "
+              f"{model.num_uops} uops")
+    else:
+        workload = _workload(args)
+        model = analyze(workload).rpstacks
+    target = args.target_cpi
+    if target is None and args.target_fraction is not None:
+        target = model.predict_cpi(model.baseline) * args.target_fraction
+    result = Explorer(model).explore(space, target_cpi=target)
+    if args.json:
+        import json
+
+        print(json.dumps(result.as_dict(), indent=2))
+        return 0
+    print(
+        f"{result.num_points} design points, "
+        f"{result.num_meeting_target} meet the target"
+        + (f" CPI {target:.3f}" if target is not None else "")
+    )
+    rows = [
+        [c.latency.describe(), f"{c.predicted_cpi:.3f}", f"{c.cost:.2f}"]
+        for c in result.pareto_front()[: args.top]
+    ]
+    print(format_table(["design point", "predicted CPI", "cost"], rows))
+    return 0
+
+
+def cmd_compare(args) -> int:
+    workload = _workload(args)
+    session = analyze(workload)
+    overrides = _parse_overrides(args.override)
+    if not overrides:
+        raise SystemExit("compare needs at least one --override")
+    latency = session.config.latency.with_overrides(overrides)
+    simulated = session.machine.cycles(latency)
+    rows = []
+    for name, predictor in session.predictors().items():
+        predicted = predictor.predict_cycles(latency)
+        rows.append(
+            [
+                name,
+                f"{predicted / len(workload):.3f}",
+                f"{(predicted - simulated) / simulated * 100:+.2f}%",
+            ]
+        )
+    print(f"simulated CPI: {simulated / len(workload):.3f}")
+    print(format_table(["method", "predicted CPI", "error"], rows))
+    return 0
+
+
+def cmd_report(args) -> int:
+    workload = _workload(args)
+    session = analyze(workload)
+    from repro.dse.markdown import workload_report
+
+    overrides = _parse_overrides(args.override) or None
+    text = workload_report(session, probe_overrides=overrides)
+    if args.output:
+        import pathlib
+
+        path = pathlib.Path(args.output)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(text)
+        print(f"report written to {path}")
+    else:
+        print(text)
+    return 0
+
+
+def cmd_pipeline(args) -> int:
+    workload = _workload(args)
+    machine = Machine(workload)
+    latency = LatencyConfig().with_overrides(_parse_overrides(args.override))
+    result = machine.simulate(latency)
+    from repro.simulator.pipeview import render_pipeline
+
+    print(result.describe())
+    print(
+        render_pipeline(
+            result, first=args.first, count=args.count,
+            max_width=args.width,
+        )
+    )
+    return 0
+
+
+def cmd_suite(args) -> int:
+    rows = []
+    for name in suite_names():
+        session = analyze(make_workload(name, args.macros, seed=args.seed))
+        top = session.rpstacks.bottlenecks(session.config.latency, top=3)
+        rows.append(
+            [
+                SPEC_LABELS[name],
+                f"{session.baseline_cpi:.3f}",
+                ", ".join(label for label, _v in top),
+            ]
+        )
+    print(format_table(["application", "baseline CPI", "bottlenecks"], rows))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="RpStacks: single-simulation processor design space "
+        "exploration (MICRO 2014 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_workload_args(p):
+        p.add_argument("workload", help="suite workload name (e.g. gamess)")
+        p.add_argument("--macros", type=int, default=500,
+                       help="dynamic length in macro-ops")
+        p.add_argument("--seed", type=int, default=1)
+
+    p = sub.add_parser("simulate", help="one timing simulation")
+    add_workload_args(p)
+    p.add_argument("--override", action="append", default=[],
+                   metavar="EVENT=CYCLES")
+    p.add_argument("--save-trace", help="archive the run (.npz)")
+    p.set_defaults(func=cmd_simulate)
+
+    p = sub.add_parser("analyze", help="bottleneck analysis + model")
+    add_workload_args(p)
+    p.add_argument("--segment-length", type=int, default=256)
+    p.add_argument("--save", help="archive the RpStacks model (.npz)")
+    p.add_argument("--from-trace",
+                   help="analyse a saved trace instead of simulating")
+    p.set_defaults(func=cmd_analyze)
+
+    p = sub.add_parser("explore", help="sweep a latency design space")
+    add_workload_args(p)
+    p.add_argument("--axis", action="append", default=[],
+                   metavar="EVENT=V1,V2,...")
+    p.add_argument("--model", help="load a saved model instead of analysing")
+    p.add_argument("--target-cpi", type=float)
+    p.add_argument("--target-fraction", type=float,
+                   help="target = baseline CPI x fraction")
+    p.add_argument("--top", type=int, default=10,
+                   help="Pareto entries to print")
+    p.add_argument("--json", action="store_true",
+                   help="emit the result as JSON")
+    p.set_defaults(func=cmd_explore)
+
+    p = sub.add_parser("compare", help="RpStacks vs CP1 vs FMT vs simulator")
+    add_workload_args(p)
+    p.add_argument("--override", action="append", default=[],
+                   metavar="EVENT=CYCLES")
+    p.set_defaults(func=cmd_compare)
+
+    p = sub.add_parser("report", help="one-stop markdown analysis report")
+    add_workload_args(p)
+    p.add_argument("--override", action="append", default=[],
+                   metavar="EVENT=CYCLES",
+                   help="probe scenario for the validation section")
+    p.add_argument("--output", help="write the report to a file")
+    p.set_defaults(func=cmd_report)
+
+    p = sub.add_parser("pipeline", help="ASCII pipeline diagram of a run")
+    add_workload_args(p)
+    p.add_argument("--override", action="append", default=[],
+                   metavar="EVENT=CYCLES")
+    p.add_argument("--first", type=int, default=0,
+                   help="first µop to draw")
+    p.add_argument("--count", type=int, default=16,
+                   help="number of µops")
+    p.add_argument("--width", type=int, default=120,
+                   help="maximum cycle columns")
+    p.set_defaults(func=cmd_pipeline)
+
+    p = sub.add_parser("suite", help="Fig 12 table over all analogues")
+    p.add_argument("--macros", type=int, default=300)
+    p.add_argument("--seed", type=int, default=1)
+    p.set_defaults(func=cmd_suite)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

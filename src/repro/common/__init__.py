@@ -1,0 +1,53 @@
+"""Shared vocabulary: event taxonomy and microarchitecture configuration."""
+
+from repro.common.config import (
+    DEFAULT_LATENCIES,
+    CacheConfig,
+    ConfigError,
+    CoreConfig,
+    LatencyConfig,
+    MicroarchConfig,
+    TLBConfig,
+    baseline_config,
+    sweep_latencies,
+)
+from repro.common.presets import (
+    big_core,
+    little_core,
+    paper_baseline,
+    preset,
+    preset_names,
+)
+from repro.common.events import (
+    EVENT_LABELS,
+    LATENCY_DOMAIN,
+    NUM_EVENTS,
+    STRUCTURE_DOMAIN,
+    EventType,
+    event_label,
+    parse_event,
+)
+
+__all__ = [
+    "DEFAULT_LATENCIES",
+    "CacheConfig",
+    "ConfigError",
+    "CoreConfig",
+    "EVENT_LABELS",
+    "EventType",
+    "LATENCY_DOMAIN",
+    "LatencyConfig",
+    "MicroarchConfig",
+    "NUM_EVENTS",
+    "STRUCTURE_DOMAIN",
+    "TLBConfig",
+    "baseline_config",
+    "big_core",
+    "little_core",
+    "paper_baseline",
+    "preset",
+    "preset_names",
+    "event_label",
+    "parse_event",
+    "sweep_latencies",
+]

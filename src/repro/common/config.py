@@ -1,0 +1,316 @@
+"""Microarchitecture configuration (Table II of the paper).
+
+The configuration is split along the paper's two exploration domains:
+
+* :class:`LatencyConfig` — the latency domain: one integer cycle count per
+  :class:`~repro.common.events.EventType`.  RpStacks explores this domain
+  from a single simulation.
+* :class:`CoreConfig` / :class:`CacheConfig` — the structure domain:
+  widths, queue sizes, cache geometry, branch predictor.  Changing a
+  structure parameter requires a new simulation (and a new dependence
+  graph), exactly as in the paper.
+
+The defaults reproduce Table II::
+
+    ROB / IssueQ / LSQ     128 / 36 / 64
+    Pipeline width         fetch/rename/dispatch/issue/commit: 4
+    # functional units     LD(2) ST(2) FP(2) BaseALU(4) LongALU(2)
+    FU latencies (cycles)  LD(2) IntMul(4) IntDiv(32) FP(6) FPDiv(24)
+    L1 I-cache             48KB 4-way, 2 cycles
+    L1 D-cache             48KB 4-way, 4 cycles
+    L2 cache               4MB 8-way, 12 cycles
+    Main memory            133 cycles
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Mapping, Tuple
+
+import numpy as np
+
+from repro.common.events import NUM_EVENTS, LATENCY_DOMAIN, EventType
+
+
+class ConfigError(ValueError):
+    """Raised for inconsistent or out-of-range configuration values."""
+
+
+#: Table II latency-domain defaults, in cycles.
+DEFAULT_LATENCIES: Dict[EventType, int] = {
+    EventType.BASE: 1,
+    EventType.L1I: 2,
+    EventType.L2I: 12,
+    EventType.MEM_I: 133,
+    EventType.ITLB: 20,
+    EventType.L1D: 4,
+    EventType.L2D: 12,
+    EventType.MEM_D: 133,
+    EventType.DTLB: 20,
+    EventType.INT_ALU: 1,
+    EventType.INT_MUL: 4,
+    EventType.INT_DIV: 32,
+    EventType.FP_ADD: 6,
+    EventType.FP_MUL: 6,
+    EventType.FP_DIV: 24,
+    EventType.LD: 2,
+    EventType.ST: 1,
+    EventType.BR_MISP: 6,
+}
+
+
+@dataclass(frozen=True)
+class LatencyConfig:
+    """A point in the latency domain: cycles charged per event occurrence.
+
+    Instances are immutable and hashable, so they can key result caches in
+    the design-space explorer.  Use :meth:`with_overrides` to derive a
+    neighbouring design point.
+    """
+
+    cycles: Tuple[int, ...] = tuple(
+        DEFAULT_LATENCIES[EventType(i)] for i in range(NUM_EVENTS)
+    )
+
+    def __post_init__(self) -> None:
+        if len(self.cycles) != NUM_EVENTS:
+            raise ConfigError(
+                f"LatencyConfig needs {NUM_EVENTS} entries, got {len(self.cycles)}"
+            )
+        for event_index, value in enumerate(self.cycles):
+            if value < 0:
+                raise ConfigError(
+                    f"negative latency for {EventType(event_index).name}: {value}"
+                )
+        if self.cycles[EventType.BASE] != 1:
+            raise ConfigError("BASE latency is the unit cycle and must stay 1")
+
+    @classmethod
+    def from_mapping(cls, latencies: Mapping[EventType, int]) -> "LatencyConfig":
+        """Build a config from a full or partial event->cycles mapping.
+
+        Events absent from *latencies* take their Table II default.
+        """
+        cycles = [DEFAULT_LATENCIES[EventType(i)] for i in range(NUM_EVENTS)]
+        for event, value in latencies.items():
+            cycles[EventType(event)] = int(value)
+        return cls(tuple(cycles))
+
+    def __getitem__(self, event: EventType) -> int:
+        return self.cycles[EventType(event)]
+
+    def with_overrides(self, overrides: Mapping[EventType, int]) -> "LatencyConfig":
+        """Return a copy with the latencies in *overrides* replaced."""
+        cycles = list(self.cycles)
+        for event, value in overrides.items():
+            cycles[EventType(event)] = int(value)
+        return LatencyConfig(tuple(cycles))
+
+    def scaled(self, factors: Mapping[EventType, float]) -> "LatencyConfig":
+        """Return a copy with each event in *factors* scaled and rounded.
+
+        Latencies are clamped to at least one cycle, mirroring the paper's
+        "integer-cycle operations" constraint in Section V-B.
+        """
+        cycles = list(self.cycles)
+        for event, factor in factors.items():
+            index = EventType(event)
+            cycles[index] = max(1, int(round(self.cycles[index] * factor)))
+        return LatencyConfig(tuple(cycles))
+
+    def as_vector(self) -> np.ndarray:
+        """Return latencies as a float vector indexed by event id.
+
+        This is the pricing vector dotted with stall-event stacks.
+        """
+        return np.asarray(self.cycles, dtype=np.float64)
+
+    def describe(self) -> str:
+        """One-line summary of non-default latency-domain entries."""
+        deltas = [
+            f"{EventType(i).name}={value}"
+            for i, value in enumerate(self.cycles)
+            if EventType(i) in LATENCY_DOMAIN
+            and value != DEFAULT_LATENCIES[EventType(i)]
+        ]
+        return "baseline" if not deltas else ", ".join(deltas)
+
+    def diff(self, other: "LatencyConfig") -> Dict[EventType, Tuple[int, int]]:
+        """Events whose latencies differ: event -> (self, other)."""
+        return {
+            EventType(i): (mine, theirs)
+            for i, (mine, theirs) in enumerate(
+                zip(self.cycles, other.cycles)
+            )
+            if mine != theirs
+        }
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Geometry of one cache level (latency lives in :class:`LatencyConfig`)."""
+
+    size_bytes: int
+    associativity: int
+    line_bytes: int = 64
+
+    def __post_init__(self) -> None:
+        if self.size_bytes <= 0 or self.associativity <= 0 or self.line_bytes <= 0:
+            raise ConfigError("cache dimensions must be positive")
+        if self.size_bytes % (self.associativity * self.line_bytes) != 0:
+            raise ConfigError(
+                "cache size must be a multiple of associativity * line size"
+            )
+
+    @property
+    def num_sets(self) -> int:
+        return self.size_bytes // (self.associativity * self.line_bytes)
+
+
+@dataclass(frozen=True)
+class TLBConfig:
+    """Geometry of a TLB; a miss costs ``LatencyConfig[ITLB/DTLB]`` cycles."""
+
+    entries: int = 64
+    page_bytes: int = 4096
+
+    def __post_init__(self) -> None:
+        if self.entries <= 0 or self.page_bytes <= 0:
+            raise ConfigError("TLB dimensions must be positive")
+
+
+@dataclass(frozen=True)
+class CoreConfig:
+    """Structure-domain core parameters (Table II defaults)."""
+
+    rob_size: int = 128
+    iq_size: int = 36
+    lsq_size: int = 64
+    fetch_width: int = 4
+    rename_width: int = 4
+    dispatch_width: int = 4
+    issue_width: int = 4
+    commit_width: int = 4
+    fetch_buffer: int = 16
+    #: Fixed decode pipeline depth between I-cache return and rename.
+    decode_depth: int = 2
+    phys_regs: int = 192
+    #: Functional-unit counts: load, store, FP, simple-int, long-int pipes.
+    fu_load: int = 2
+    fu_store: int = 2
+    fu_fp: int = 2
+    fu_base_alu: int = 4
+    fu_long_alu: int = 2
+    #: Branch predictor kind: "gshare", "bimodal" or "taken".
+    branch_predictor: str = "gshare"
+    branch_predictor_entries: int = 4096
+    #: Miss-status holding registers: outstanding demand misses the
+    #: memory system sustains (bounds memory-level parallelism).  The
+    #: default comfortably exceeds what a 36-entry issue queue can
+    #: expose, so it only binds when explicitly shrunk.
+    mshr_entries: int = 16
+
+    def __post_init__(self) -> None:
+        positive_fields = (
+            "rob_size",
+            "iq_size",
+            "lsq_size",
+            "fetch_width",
+            "rename_width",
+            "dispatch_width",
+            "issue_width",
+            "commit_width",
+            "fetch_buffer",
+            "phys_regs",
+            "fu_load",
+            "fu_store",
+            "fu_fp",
+            "fu_base_alu",
+            "fu_long_alu",
+            "branch_predictor_entries",
+            "mshr_entries",
+        )
+        for name in positive_fields:
+            if getattr(self, name) <= 0:
+                raise ConfigError(f"{name} must be positive")
+        if self.decode_depth < 0:
+            raise ConfigError("decode_depth cannot be negative")
+        if self.branch_predictor not in ("gshare", "bimodal", "taken"):
+            raise ConfigError(
+                f"unknown branch predictor: {self.branch_predictor!r}"
+            )
+        if self.phys_regs <= self.rob_size // 2:
+            raise ConfigError(
+                "phys_regs too small to sustain the ROB; increase phys_regs"
+            )
+
+
+@dataclass(frozen=True)
+class MicroarchConfig:
+    """Complete design point: structure domain plus latency domain."""
+
+    core: CoreConfig = field(default_factory=CoreConfig)
+    l1i: CacheConfig = field(
+        default_factory=lambda: CacheConfig(48 * 1024, 4)
+    )
+    l1d: CacheConfig = field(
+        default_factory=lambda: CacheConfig(48 * 1024, 4)
+    )
+    l2: CacheConfig = field(
+        default_factory=lambda: CacheConfig(4 * 1024 * 1024, 8)
+    )
+    itlb: TLBConfig = field(default_factory=TLBConfig)
+    dtlb: TLBConfig = field(default_factory=TLBConfig)
+    latency: LatencyConfig = field(default_factory=LatencyConfig)
+    #: Data prefetcher design (structure domain): "none", "next-line"
+    #: or "stride".
+    prefetcher: str = "none"
+
+    def __post_init__(self) -> None:
+        if self.prefetcher not in ("none", "next-line", "stride"):
+            raise ConfigError(
+                f"unknown prefetcher: {self.prefetcher!r}"
+            )
+
+    def with_latency(self, latency: LatencyConfig) -> "MicroarchConfig":
+        """Same structure, different latency-domain point."""
+        return dataclasses.replace(self, latency=latency)
+
+    def with_latency_overrides(
+        self, overrides: Mapping[EventType, int]
+    ) -> "MicroarchConfig":
+        """Convenience: override individual event latencies."""
+        return self.with_latency(self.latency.with_overrides(overrides))
+
+
+def baseline_config() -> MicroarchConfig:
+    """The paper's Table II baseline design point."""
+    return MicroarchConfig()
+
+
+def sweep_latencies(
+    base: LatencyConfig, axes: Mapping[EventType, Iterable[int]]
+) -> Tuple[LatencyConfig, ...]:
+    """Cartesian-product sweep over per-event candidate latencies.
+
+    Args:
+        base: the design point providing all unswept latencies.
+        axes: event -> iterable of candidate cycle counts.
+
+    Returns:
+        One :class:`LatencyConfig` per combination, in row-major order of
+        the axes' iteration order.
+    """
+    events = list(axes)
+    configs = [base]
+    for event in events:
+        values = list(axes[event])
+        if not values:
+            raise ConfigError(f"empty sweep axis for {EventType(event).name}")
+        configs = [
+            config.with_overrides({event: value})
+            for config in configs
+            for value in values
+        ]
+    return tuple(configs)

@@ -1,0 +1,141 @@
+"""Stall-event taxonomy for RpStacks.
+
+Every cycle a dependence-graph edge charges to an execution path is
+attributed to exactly one :class:`EventType`.  Events split into two
+domains, following Figure 1b of the paper:
+
+* the **latency domain** — events whose per-occurrence cycle cost an
+  architect can tune (cache and TLB access latencies, functional-unit
+  latencies).  These are the axes of the design space RpStacks explores
+  from a single simulation.
+* the **structure domain** — events whose cost is fixed within one
+  dependence graph (the single-cycle pipeline advance ``BASE`` and the
+  branch-misprediction redirect ``BR_MISP``; per Section IV-D a new graph
+  must be generated per branch-predictor design).
+
+A *stall-event stack* is a vector indexed by these events: component ``e``
+holds the number of latency *units* of event ``e`` accumulated along a
+path, so the path's length under a latency configuration ``theta`` is the
+dot product ``sum(units[e] * theta[e] for e)``.
+"""
+
+from __future__ import annotations
+
+from enum import IntEnum
+from typing import Tuple
+
+
+class EventType(IntEnum):
+    """All penalty-event kinds recognised by the simulator and graph model."""
+
+    #: Fixed single-cycle pipeline advance (decode step, width slot, ...).
+    BASE = 0
+
+    # ----- memory system: instruction side -----
+    #: L1 instruction-cache lookup (paid by every fetch group).
+    L1I = 1
+    #: L2 access on an L1I miss.
+    L2I = 2
+    #: Main-memory access on an L2 miss for an instruction fetch.
+    MEM_I = 3
+    #: Instruction-TLB miss (page-walk) penalty.
+    ITLB = 4
+
+    # ----- memory system: data side -----
+    #: L1 data-cache lookup (paid by every load that reaches the cache).
+    L1D = 5
+    #: L2 access on an L1D miss.
+    L2D = 6
+    #: Main-memory access on an L2 miss for a data access.
+    MEM_D = 7
+    #: Data-TLB miss (page-walk) penalty.
+    DTLB = 8
+
+    # ----- functional units -----
+    INT_ALU = 9
+    INT_MUL = 10
+    INT_DIV = 11
+    FP_ADD = 12
+    FP_MUL = 13
+    FP_DIV = 14
+    #: Load-pipe (address-generation / load-port) latency.
+    LD = 15
+    #: Store-pipe latency.
+    ST = 16
+
+    # ----- structure domain -----
+    #: Branch-misprediction redirect penalty (frozen within one graph).
+    BR_MISP = 17
+
+
+#: Number of event kinds; stall-event stacks are vectors of this length.
+NUM_EVENTS: int = len(EventType)
+
+#: Events whose latency the design-space exploration may vary.
+LATENCY_DOMAIN: Tuple[EventType, ...] = (
+    EventType.L1I,
+    EventType.L2I,
+    EventType.MEM_I,
+    EventType.ITLB,
+    EventType.L1D,
+    EventType.L2D,
+    EventType.MEM_D,
+    EventType.DTLB,
+    EventType.INT_ALU,
+    EventType.INT_MUL,
+    EventType.INT_DIV,
+    EventType.FP_ADD,
+    EventType.FP_MUL,
+    EventType.FP_DIV,
+    EventType.LD,
+    EventType.ST,
+)
+
+#: Events whose latency is frozen within a single dependence graph.
+STRUCTURE_DOMAIN: Tuple[EventType, ...] = (
+    EventType.BASE,
+    EventType.BR_MISP,
+)
+
+#: Short human-readable labels, used by report printers and examples.
+EVENT_LABELS = {
+    EventType.BASE: "Base",
+    EventType.L1I: "L1I",
+    EventType.L2I: "L2I",
+    EventType.MEM_I: "MemI",
+    EventType.ITLB: "ITLB",
+    EventType.L1D: "L1D",
+    EventType.L2D: "L2D",
+    EventType.MEM_D: "MemD",
+    EventType.DTLB: "DTLB",
+    EventType.INT_ALU: "IntALU",
+    EventType.INT_MUL: "IntMul",
+    EventType.INT_DIV: "IntDiv",
+    EventType.FP_ADD: "Fadd",
+    EventType.FP_MUL: "Fmul",
+    EventType.FP_DIV: "Fdiv",
+    EventType.LD: "LD",
+    EventType.ST: "ST",
+    EventType.BR_MISP: "BrMisp",
+}
+
+
+def event_label(event: EventType) -> str:
+    """Return the short display label for *event* (e.g. ``"Fadd"``)."""
+    return EVENT_LABELS[EventType(event)]
+
+
+def parse_event(name: str) -> EventType:
+    """Resolve *name* to an :class:`EventType`.
+
+    Accepts the enum member name (``"FP_ADD"``) or the display label
+    (``"Fadd"``), case-insensitively.
+
+    Raises:
+        KeyError: if the name matches no event.
+    """
+    folded = name.strip().lower()
+    for member in EventType:
+        if member.name.lower() == folded or EVENT_LABELS[member].lower() == folded:
+            return member
+    raise KeyError(f"unknown event name: {name!r}")

@@ -1,0 +1,95 @@
+"""Named microarchitecture presets for structure-domain studies.
+
+Table II's configuration is the paper's single baseline; real
+explorations compare core *classes*.  These presets bracket it with a
+small efficiency core and a wide performance core, keeping the same
+memory hierarchy so latency-domain comparisons stay apples-to-apples.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.common.config import CoreConfig, MicroarchConfig
+
+
+def paper_baseline() -> MicroarchConfig:
+    """The Table II design point (alias of ``baseline_config``)."""
+    return MicroarchConfig()
+
+
+def little_core() -> MicroarchConfig:
+    """A 2-wide efficiency core: halved widths, small windows, bimodal
+    prediction, fewer pipes."""
+    return MicroarchConfig(
+        core=CoreConfig(
+            rob_size=48,
+            iq_size=16,
+            lsq_size=24,
+            fetch_width=2,
+            rename_width=2,
+            dispatch_width=2,
+            issue_width=2,
+            commit_width=2,
+            fetch_buffer=8,
+            phys_regs=96,
+            fu_load=1,
+            fu_store=1,
+            fu_fp=1,
+            fu_base_alu=2,
+            fu_long_alu=1,
+            branch_predictor="bimodal",
+            branch_predictor_entries=1024,
+            mshr_entries=4,
+        )
+    )
+
+
+def big_core() -> MicroarchConfig:
+    """A 6-wide performance core: larger windows, more pipes, deeper
+    MLP, stride prefetching."""
+    return MicroarchConfig(
+        core=CoreConfig(
+            rob_size=256,
+            iq_size=72,
+            lsq_size=128,
+            fetch_width=6,
+            rename_width=6,
+            dispatch_width=6,
+            issue_width=6,
+            commit_width=6,
+            fetch_buffer=32,
+            phys_regs=320,
+            fu_load=3,
+            fu_store=2,
+            fu_fp=3,
+            fu_base_alu=6,
+            fu_long_alu=2,
+            branch_predictor="gshare",
+            branch_predictor_entries=16384,
+            mshr_entries=32,
+        ),
+        prefetcher="stride",
+    )
+
+
+PRESETS: Dict[str, MicroarchConfig] = {}
+
+
+def preset(name: str) -> MicroarchConfig:
+    """Look up a preset by name: "baseline", "little" or "big"."""
+    factories = {
+        "baseline": paper_baseline,
+        "little": little_core,
+        "big": big_core,
+    }
+    try:
+        return factories[name]()
+    except KeyError:
+        raise KeyError(
+            f"unknown preset {name!r}; choose from {sorted(factories)}"
+        ) from None
+
+
+def preset_names() -> Tuple[str, ...]:
+    return ("baseline", "little", "big")

@@ -1,0 +1,34 @@
+"""RpStacks — the paper's primary contribution.
+
+Pipeline: one baseline simulation -> dependence graph -> segmented stack
+propagation with path reduction -> :class:`RpStacksModel`, whose
+``predict_cycles``/``predict_many`` price any latency design point in
+microseconds.
+"""
+
+from repro.core.generator import RpStacksGenerator, generate_rpstacks
+from repro.core.io import ModelFormatError, load_model, save_model
+from repro.core.model import GenerationStats, RpStacksModel
+from repro.core.reduction import (
+    ReductionPolicy,
+    reduce_stacks,
+    unique_dimension_mask,
+)
+from repro.core.similarity import modified_cosine, similarity_to_set
+from repro.core.stack import StallEventStack
+
+__all__ = [
+    "GenerationStats",
+    "ModelFormatError",
+    "load_model",
+    "save_model",
+    "ReductionPolicy",
+    "RpStacksGenerator",
+    "RpStacksModel",
+    "StallEventStack",
+    "generate_rpstacks",
+    "modified_cosine",
+    "reduce_stacks",
+    "similarity_to_set",
+    "unique_dimension_mask",
+]

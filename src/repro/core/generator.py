@@ -1,0 +1,182 @@
+"""RpStacks generation: segmented stack propagation over the graph.
+
+This is the paper's Section IV-D algorithm.  The dependence graph is
+walked in topological order; every node carries the stall-event stacks of
+the distinct performance-critical paths reaching it.  Crossing an edge
+adds the edge's event charge to each stack; where paths converge the
+reduction rules (similarity merge / dominance / uniqueness — Section
+III-C) prune the population.  The stacks surviving at the final commit
+node of each *segment* become that segment's representative stacks.
+
+Segmentation (Fig 7b) bounds path diversity: edges crossing a segment
+boundary are dropped, each segment is analysed from a fresh zero stack,
+and the per-segment results are summed at prediction time.  The paper's
+A-A'/B'-B argument — the summed per-segment maxima can slightly exceed
+the true end-to-end critical path — is preserved and tested.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.common.config import LatencyConfig
+from repro.common.events import NUM_EVENTS
+from repro.core.model import GenerationStats, RpStacksModel
+from repro.core.reduction import ReductionPolicy, reduce_stacks
+from repro.graphmodel.graph import DependenceGraph
+from repro.graphmodel.nodes import NODES_PER_UOP
+
+
+class RpStacksGenerator:
+    """Generates an :class:`RpStacksModel` from one dependence graph.
+
+    Args:
+        graph: the baseline run's dependence graph.
+        baseline: latency configuration of the generating simulation
+            (prices the keep-the-larger merge rule).
+        policy: path-reduction tunables.
+        segment_length: graph segment size in µops.  The paper tunes
+            5000 for 1M-µop SimPoints; our streams are ~10^3 µops and
+            statistically homogeneous, so the scaled default is 256 —
+            the Fig 14 bench sweeps this and shows the same U-shaped
+            error curve (small segments over-predict via boundary
+            traversals, large segments lose hidden paths to reduction).
+    """
+
+    def __init__(
+        self,
+        graph: DependenceGraph,
+        baseline: LatencyConfig,
+        policy: Optional[ReductionPolicy] = None,
+        segment_length: int = 256,
+    ) -> None:
+        if segment_length < 1:
+            raise ValueError("segment_length must be positive")
+        self.graph = graph
+        self.baseline = baseline
+        self.policy = policy or ReductionPolicy()
+        self.segment_length = segment_length
+
+    def generate(self) -> RpStacksModel:
+        """Run the traversal and return the model."""
+        start_time = time.perf_counter()
+        graph = self.graph
+        base_theta = self.baseline.as_vector()
+        policy = self.policy
+        seg_len = self.segment_length
+
+        topo = graph.topological_order()
+        src = graph.edge_src.tolist()
+        indptr = graph.in_indptr.tolist()
+        charge_rows = graph.edge_charge_vectors()
+        edge_has_charge = (charge_rows != 0).any(axis=1).tolist()
+
+        num_nodes = graph.num_nodes
+        # Remaining consumers per node, for releasing stack sets early.
+        remaining = [0] * num_nodes
+        for s in src:
+            remaining[s] += 1
+
+        zero_set = np.zeros((1, NUM_EVENTS))
+        node_sets: Dict[int, np.ndarray] = {}
+        segment_results: List[np.ndarray] = []
+        num_segments = (graph.num_uops + seg_len - 1) // seg_len
+        segment_sinks = set()
+        for segment in range(num_segments):
+            last_uop = min((segment + 1) * seg_len, graph.num_uops) - 1
+            segment_sinks.add(last_uop * NODES_PER_UOP + (NODES_PER_UOP - 1))
+
+        stats = GenerationStats()
+        sink_results: Dict[int, np.ndarray] = {}
+
+        for v in topo:
+            segment = (v // NODES_PER_UOP) // seg_len
+            begin, end = indptr[v], indptr[v + 1]
+            gathered: List[np.ndarray] = []
+            single: Optional[np.ndarray] = None
+            single_edge = -1
+            intra_edges = 0
+            for e in range(begin, end):
+                s = src[e]
+                remaining[s] -= 1
+                released = remaining[s] == 0
+                if (s // NODES_PER_UOP) // seg_len != segment:
+                    if released:
+                        node_sets.pop(s, None)
+                    continue  # segment boundary: cross edges are dropped
+                intra_edges += 1
+                pred_set = node_sets.get(s, zero_set)
+                if intra_edges == 1:
+                    single = pred_set
+                    single_edge = e
+                else:
+                    if single is not None:
+                        gathered.append(
+                            single + charge_rows[single_edge]
+                            if edge_has_charge[single_edge]
+                            else single
+                        )
+                        single = None
+                    gathered.append(
+                        pred_set + charge_rows[e]
+                        if edge_has_charge[e]
+                        else pred_set
+                    )
+                if released:
+                    node_sets.pop(s, None)
+
+            if intra_edges == 0:
+                result = zero_set  # segment entry: start from nothing
+            elif single is not None:
+                # Fast path: one predecessor — the set moves unchanged
+                # (shared) or shifted by the edge charge; reduction is a
+                # no-op because adding a constant preserves both the
+                # ordering and the dominance relation of the population.
+                result = (
+                    single + charge_rows[single_edge]
+                    if edge_has_charge[single_edge]
+                    else single
+                )
+            else:
+                candidates = np.vstack(gathered)
+                stats.candidate_stacks += candidates.shape[0]
+                result = reduce_stacks(candidates, base_theta, policy)
+                stats.reductions += 1
+            node_sets[v] = result
+            stats.nodes_visited += 1
+            if v in segment_sinks:
+                sink_results[v] = result.copy()
+
+        # Order the segment results by segment index.
+        for sink in sorted(sink_results):
+            segment_results.append(sink_results[sink])
+
+        stats.analysis_seconds = time.perf_counter() - start_time
+        return RpStacksModel(
+            segment_results,
+            baseline=self.baseline,
+            num_uops=graph.num_uops,
+            stats=stats,
+        )
+
+
+def generate_rpstacks(
+    graph: DependenceGraph,
+    baseline: LatencyConfig,
+    similarity_threshold: float = 0.7,
+    segment_length: int = 256,
+    max_paths: int = 32,
+    preserve_unique: bool = True,
+) -> RpStacksModel:
+    """One-call convenience wrapper around :class:`RpStacksGenerator`."""
+    policy = ReductionPolicy(
+        similarity_threshold=similarity_threshold,
+        max_paths=max_paths,
+        preserve_unique=preserve_unique,
+    )
+    return RpStacksGenerator(
+        graph, baseline, policy=policy, segment_length=segment_length
+    ).generate()

@@ -1,0 +1,225 @@
+"""The RpStacks model: representative stacks plus the fast predictor.
+
+A :class:`RpStacksModel` is the *output* of analysing one baseline
+simulation: per dependence-graph segment, the reduced set of stall-event
+stacks of that segment's representative execution paths.  Predicting the
+execution time of any latency design point is then
+
+    cycles(θ) = Σ over segments of max over stacks of (stack · θ)
+
+— a handful of tiny dot products, independent of how many design points
+are explored.  That O(1)-per-point evaluation is the paper's headline
+mechanism (Figs 2b and 13).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.common.config import LatencyConfig
+from repro.common.events import NUM_EVENTS
+from repro.core.stack import StallEventStack
+
+
+@dataclass
+class GenerationStats:
+    """Bookkeeping from one RpStacks generation run."""
+
+    nodes_visited: int = 0
+    candidate_stacks: int = 0
+    reductions: int = 0
+    #: wall-clock seconds spent in graph traversal + reduction
+    analysis_seconds: float = 0.0
+    extra: Dict[str, float] = field(default_factory=dict)
+
+
+class RpStacksModel:
+    """Representative stall-event stacks of one (workload, structure).
+
+    Args:
+        segment_stacks: one ``(k_i, NUM_EVENTS)`` array per graph
+            segment — the surviving representative path stacks.
+        baseline: the latency configuration of the generating simulation.
+        num_uops: µop count of the analysed stream (CPI normalisation).
+        stats: generation bookkeeping (may be omitted in tests).
+    """
+
+    def __init__(
+        self,
+        segment_stacks: Sequence[np.ndarray],
+        baseline: LatencyConfig,
+        num_uops: int,
+        stats: GenerationStats = None,
+    ) -> None:
+        if not segment_stacks:
+            raise ValueError("a model needs at least one segment")
+        for stacks in segment_stacks:
+            if stacks.ndim != 2 or stacks.shape[1] != NUM_EVENTS:
+                raise ValueError("each segment needs a (k, NUM_EVENTS) array")
+            if stacks.shape[0] == 0:
+                raise ValueError("segments cannot be empty")
+        self.segment_stacks: Tuple[np.ndarray, ...] = tuple(
+            np.asarray(s, dtype=np.float64) for s in segment_stacks
+        )
+        self.baseline = baseline
+        self.num_uops = num_uops
+        self.stats = stats or GenerationStats()
+
+        # Flattened representation for batch evaluation.
+        self._matrix = np.vstack(self.segment_stacks)
+        boundaries = np.cumsum([s.shape[0] for s in self.segment_stacks])
+        self._segment_starts = np.concatenate(([0], boundaries[:-1]))
+
+    # ---- inspection ---------------------------------------------------
+
+    @property
+    def name(self) -> str:
+        return "rpstacks"
+
+    @property
+    def num_segments(self) -> int:
+        return len(self.segment_stacks)
+
+    @property
+    def num_paths(self) -> int:
+        """Total representative paths across all segments."""
+        return int(self._matrix.shape[0])
+
+    def stacks(self, segment: int = 0) -> List[StallEventStack]:
+        """Representative stacks of one segment, as value objects."""
+        return [
+            StallEventStack.from_vector(row)
+            for row in self.segment_stacks[segment]
+        ]
+
+    # ---- prediction ---------------------------------------------------
+
+    def predict_cycles(self, latency: LatencyConfig) -> float:
+        """Predicted execution cycles under *latency*."""
+        values = self._matrix @ latency.as_vector()
+        maxima = np.maximum.reduceat(values, self._segment_starts)
+        return float(maxima.sum())
+
+    def predict_cpi(self, latency: LatencyConfig) -> float:
+        """Predicted cycles per µop under *latency*."""
+        return self.predict_cycles(latency) / self.num_uops
+
+    def predict_many(
+        self, latencies: Sequence[LatencyConfig]
+    ) -> np.ndarray:
+        """Vectorised prediction over many design points at once.
+
+        This is the design-space-exploration fast path: one matrix
+        product prices every stack under every configuration.
+        """
+        thetas = np.stack([lat.as_vector() for lat in latencies], axis=1)
+        values = self._matrix @ thetas  # (paths, configs)
+        maxima = np.maximum.reduceat(values, self._segment_starts, axis=0)
+        return maxima.sum(axis=0)
+
+    def representative_stack(
+        self, latency: LatencyConfig
+    ) -> StallEventStack:
+        """The stack describing execution under *latency*.
+
+        Per segment, the critical (maximum-penalty) stack is selected
+        and the per-segment winners are summed — this is the penalty
+        decomposition an architect reads to identify bottlenecks, and it
+        shifts as latencies change (Fig 6's per-design stacks).
+        """
+        theta = latency.as_vector()
+        total = np.zeros(NUM_EVENTS)
+        for stacks in self.segment_stacks:
+            winner = int(np.argmax(stacks @ theta))
+            total += stacks[winner]
+        return StallEventStack.from_vector(total)
+
+    def sensitivity(self, latency: LatencyConfig) -> Dict:
+        """Analytic CPI gradient: d(CPI)/d(latency) per event.
+
+        The prediction is, per segment, a max of linear functions of θ;
+        wherever the winner is unique the derivative w.r.t. one event's
+        latency is simply the winning stack's unit count for that event.
+        Summed over segments and normalised by µops, this tells an
+        architect how much CPI one cycle on each event is worth *at this
+        design point* — the local version of the exploration question.
+        """
+        from repro.common.events import EventType
+
+        theta = latency.as_vector()
+        gradient = np.zeros(NUM_EVENTS)
+        for stacks in self.segment_stacks:
+            winner = int(np.argmax(stacks @ theta))
+            gradient += stacks[winner]
+        return {
+            EventType(i): float(gradient[i]) / self.num_uops
+            for i in range(NUM_EVENTS)
+            if gradient[i] > 0
+        }
+
+    def segment_bottlenecks(
+        self, latency: LatencyConfig
+    ) -> List[Tuple[int, str, float]]:
+        """Per-segment dominant stall event under *latency*.
+
+        Returns ``(segment_index, event_label, cycles_share)`` rows,
+        where the share is the event's fraction of the segment's winning
+        stack.  On phased workloads this is a bottleneck *timeline*: the
+        dominant event shifts at phase boundaries.
+        """
+        from repro.common.events import EventType, event_label
+
+        theta = latency.as_vector()
+        rows: List[Tuple[int, str, float]] = []
+        for index, stacks in enumerate(self.segment_stacks):
+            values = stacks @ theta
+            winner = stacks[int(np.argmax(values))]
+            contributions = winner * theta
+            total = float(contributions.sum())
+            best_event = int(np.argmax(contributions))
+            share = (
+                float(contributions[best_event]) / total if total else 0.0
+            )
+            rows.append(
+                (index, event_label(EventType(best_event)), share)
+            )
+        return rows
+
+    def explain_change(
+        self, before: LatencyConfig, after: LatencyConfig
+    ) -> Dict:
+        """Per-event CPI deltas between two design points.
+
+        Compares the penalty decompositions of the representative stacks
+        each configuration elects.  Negative values are cycles saved on
+        that event; a *positive* entry for an event whose latency did not
+        change is the signature of a newly exposed hidden path (the
+        winner switched to a stack richer in that event).
+        """
+        from repro.common.events import EventType
+
+        pen_before = self.representative_stack(before).penalties(before)
+        pen_after = self.representative_stack(after).penalties(after)
+        deltas: Dict[EventType, float] = {}
+        for event in set(pen_before) | set(pen_after):
+            delta = pen_after.get(event, 0.0) - pen_before.get(event, 0.0)
+            if delta:
+                deltas[event] = delta / self.num_uops
+        return deltas
+
+    def bottlenecks(
+        self, latency: LatencyConfig, top: int = 3
+    ) -> List[Tuple[str, float]]:
+        """The *top* penalty components under *latency*, as CPI shares."""
+        from repro.common.events import event_label
+
+        stack = self.representative_stack(latency)
+        penalties = stack.penalties(latency)
+        ranked = sorted(penalties.items(), key=lambda item: -item[1])
+        return [
+            (event_label(event), value / self.num_uops)
+            for event, value in ranked[:top]
+        ]

@@ -1,0 +1,220 @@
+"""Path reduction: merging, dominance elimination, uniqueness (§III-C).
+
+Applied at every converging dependence-graph node, reduction keeps the
+per-node path population small without losing any path that could become
+critical under some latency configuration:
+
+* **dominance elimination** — a stack whose every component is ≤ another
+  stack's can never out-price it under non-negative latencies, so it is
+  dropped (sound, never costs accuracy);
+* **similarity merging** — stacks whose modified cosine similarity
+  exceeds the threshold are merged, keeping the one with the larger
+  baseline penalty (lossy; the threshold trades speed for accuracy,
+  swept in the Fig 14 bench);
+* **uniqueness preservation** — a stack owning an event dimension that no
+  other stack has is exempt from merging, so every event that *could* be
+  made a bottleneck keeps a witness path (the paper shows accuracy
+  collapses without this).
+
+The reducer also enforces a hard population cap as a safety valve; the
+baseline-maximum stack is always retained, which preserves the invariant
+that RpStacks' prediction at the baseline configuration equals the exact
+critical-path length.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.common.events import EventType
+from repro.core.similarity import pairwise_modified_cosine
+
+
+@dataclass(frozen=True)
+class ReductionPolicy:
+    """Tunables of the per-node path reduction.
+
+    Attributes:
+        similarity_threshold: merge stacks whose modified cosine
+            similarity exceeds this (paper default 0.7).
+        max_paths: hard cap on stacks kept per node.
+        preserve_unique: exempt stacks with a unique event dimension from
+            merging (the paper's uniqueness rule; disabling it reproduces
+            the accuracy collapse of Fig 14).
+        include_base_in_similarity: compare the BASE dimension too when
+            computing similarity.  Off by default (stall-only vectors
+            separate rare-event paths on their own); turning it on makes
+            the shared pipeline backbone inflate similarity — the regime
+            where the uniqueness rule carries first-order weight, which
+            is the likely reading of the paper's Fig 14.
+    """
+
+    similarity_threshold: float = 0.7
+    max_paths: int = 32
+    preserve_unique: bool = True
+    include_base_in_similarity: bool = False
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.similarity_threshold <= 1.0:
+            raise ValueError("similarity_threshold must be in [0, 1]")
+        if self.max_paths < 1:
+            raise ValueError("max_paths must be at least 1")
+
+
+def _drop_duplicates(stacks: np.ndarray) -> np.ndarray:
+    """Remove exact duplicate rows, keeping first occurrences in order."""
+    seen = set()
+    keep = []
+    for i in range(stacks.shape[0]):
+        key = stacks[i].tobytes()
+        if key not in seen:
+            seen.add(key)
+            keep.append(i)
+    if len(keep) == stacks.shape[0]:
+        return stacks
+    return stacks[keep]
+
+
+def unique_dimension_mask(stacks: np.ndarray) -> np.ndarray:
+    """Rows owning an event dimension no other row has (k-vector of bool)."""
+    positive = stacks > 0
+    support = positive.sum(axis=0)
+    return (positive & (support == 1)).any(axis=1)
+
+
+def reduce_stacks(
+    stacks: np.ndarray,
+    base_theta: np.ndarray,
+    policy: ReductionPolicy,
+) -> np.ndarray:
+    """Reduce a candidate stack population to its representatives.
+
+    Args:
+        stacks: (k, NUM_EVENTS) candidate unit vectors.
+        base_theta: baseline latency pricing vector (decides which of two
+            merged paths is "larger" and orders the population).
+        policy: reduction tunables.
+
+    Returns:
+        (k', NUM_EVENTS) reduced population, sorted by descending
+        baseline penalty; row 0 is always the baseline-maximum stack.
+    """
+    if stacks.ndim != 2:
+        raise ValueError("stacks must be a 2-D array")
+    if stacks.shape[0] <= 1:
+        return stacks
+    if stacks.shape[0] == 2:
+        # Two-candidate fast path: the overwhelmingly common case at
+        # converging pipeline nodes, worth skipping the matrix machinery
+        # for.  Semantics identical to the general path below.
+        return _reduce_pair(stacks, base_theta, policy)
+
+    stacks = _drop_duplicates(stacks)
+    count = stacks.shape[0]
+    if count == 1:
+        return stacks
+
+    penalties = stacks @ base_theta
+    order = np.argsort(-penalties, kind="stable")
+    stacks = stacks[order]
+    penalties = penalties[order]
+
+    # Dominance: row i is dropped if some earlier (>= penalty) row is >=
+    # element-wise.  Duplicates are gone, so domination is never mutual
+    # under a strictly positive pricing vector.
+    covers = (stacks[:, None, :] >= stacks[None, :, :]).all(axis=2)
+    earlier = np.tri(count, count, -1, dtype=bool).T  # earlier[j, i]: j < i
+    dominated = (covers & earlier).any(axis=0)
+    stacks = stacks[~dominated]
+    count = stacks.shape[0]
+    if count == 1:
+        return stacks
+
+    unique_mask = (
+        unique_dimension_mask(stacks)
+        if policy.preserve_unique
+        else np.zeros(count, dtype=bool)
+    )
+
+    # Similarity merge, greedy in descending-penalty order: a candidate
+    # is absorbed by the first kept mergeable stack it resembles.  The
+    # kept stack has the larger baseline penalty, which is exactly the
+    # paper's keep-the-larger rule.  By default similarity compares only
+    # the *stall-event* dimensions (Fig 9's penalty vectors): the BASE
+    # backbone is common to every path through the same program region
+    # and would otherwise make genuinely different paths look alike.
+    if policy.include_base_in_similarity:
+        sims = pairwise_modified_cosine(stacks)
+    else:
+        sims = pairwise_modified_cosine(stacks[:, EventType.BASE + 1 :])
+    threshold = policy.similarity_threshold
+    kept_indices = [0]
+    kept_mergeable = [] if unique_mask[0] else [0]
+    kept_unique = [bool(unique_mask[0])]
+    for i in range(1, count):
+        if unique_mask[i]:
+            kept_indices.append(i)
+            kept_unique.append(True)
+            continue
+        if kept_mergeable and (sims[i, kept_mergeable] > threshold).any():
+            continue  # absorbed by a larger, similar path
+        kept_indices.append(i)
+        kept_mergeable.append(i)
+        kept_unique.append(False)
+
+    reduced = stacks[kept_indices]
+    if reduced.shape[0] > policy.max_paths:
+        # Cap (bounded-memory safety valve): the baseline-maximum row and
+        # unique rows take priority, then the largest remaining paths.
+        priority = sorted(
+            range(reduced.shape[0]),
+            key=lambda j: (j != 0, not kept_unique[j], j),
+        )
+        chosen = sorted(priority[: policy.max_paths])
+        reduced = reduced[chosen]
+    return reduced
+
+
+def _reduce_pair(
+    stacks: np.ndarray,
+    base_theta: np.ndarray,
+    policy: ReductionPolicy,
+) -> np.ndarray:
+    """reduce_stacks specialised to exactly two candidates."""
+    first, second = stacks[0], stacks[1]
+    penalty_first = float(first @ base_theta)
+    penalty_second = float(second @ base_theta)
+    if penalty_second > penalty_first:
+        first, second = second, first
+        penalty_first, penalty_second = penalty_second, penalty_first
+    if (second == first).all():
+        return first[None, :]
+    if (second <= first).all():
+        return first[None, :]  # dominated
+    keep_both = np.stack([first, second])
+    if policy.preserve_unique:
+        first_positive = first > 0
+        second_positive = second > 0
+        # A unique stack neither absorbs nor is absorbed: if either row
+        # owns a dimension the other lacks, no merge can happen.
+        if (second_positive & ~first_positive).any() or (
+            first_positive & ~second_positive
+        ).any():
+            return keep_both
+    if policy.include_base_in_similarity:
+        a, b = first, second
+    else:
+        a, b = first[EventType.BASE + 1 :], second[EventType.BASE + 1 :]
+    from repro.core.similarity import modified_cosine
+
+    if modified_cosine(a, b) > policy.similarity_threshold:
+        return first[None, :]  # merged, keeping the larger
+    return keep_both
+
+
+def merge_counts(before: int, after: int) -> Tuple[int, int]:
+    """Bookkeeping helper for reduction statistics."""
+    return before, before - after

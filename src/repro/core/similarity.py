@@ -1,0 +1,96 @@
+"""Modified cosine similarity between stall-event stacks (Fig 9).
+
+Plain cosine similarity over penalty vectors would let large-magnitude
+dimensions (e.g. a 133-cycle memory component) drown out small ones.  The
+paper therefore normalises each dimension by the larger of the two
+vectors' components before taking the cosine, giving every event kind
+equal say in whether two paths are "the same kind of path".
+
+Similarity ranges over [0, 1]: 1 for parallel (after normalisation)
+vectors, 0 for orthogonal ones.  By convention two all-zero stacks are
+identical (similarity 1) and a zero stack is orthogonal to any non-zero
+stack (similarity 0).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def modified_cosine(a: np.ndarray, b: np.ndarray) -> float:
+    """Per-dimension max-normalised cosine similarity of two stacks."""
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    if a.shape != b.shape:
+        raise ValueError(f"shape mismatch: {a.shape} vs {b.shape}")
+    scale = np.maximum(a, b)
+    nonzero = scale > 0
+    if not nonzero.any():
+        return 1.0
+    a_norm = np.zeros_like(a)
+    b_norm = np.zeros_like(b)
+    a_norm[nonzero] = a[nonzero] / scale[nonzero]
+    b_norm[nonzero] = b[nonzero] / scale[nonzero]
+    denom = float(np.linalg.norm(a_norm) * np.linalg.norm(b_norm))
+    if denom == 0.0:
+        return 0.0
+    value = float(a_norm @ b_norm) / denom
+    # Guard against floating-point drift outside [0, 1].
+    return min(1.0, max(0.0, value))
+
+
+def pairwise_modified_cosine(stacks: np.ndarray) -> np.ndarray:
+    """Full (k x k) modified-cosine similarity matrix of a population.
+
+    Used by the reduction hot loop: one vectorised computation replaces
+    per-candidate comparisons.  Semantics match :func:`modified_cosine`
+    pairwise; the matrix is symmetric with a unit diagonal.
+    """
+    stacks = np.asarray(stacks, dtype=np.float64)
+    if stacks.ndim != 2:
+        raise ValueError("stacks must be a 2-D array")
+    a = stacks[:, None, :]
+    b = stacks[None, :, :]
+    scale = np.maximum(a, b)
+    safe = np.where(scale > 0, scale, 1.0)
+    a_norm = a / safe
+    b_norm = b / safe
+    dots = (a_norm * b_norm).sum(axis=-1)
+    norms_a = np.sqrt((a_norm * a_norm).sum(axis=-1))
+    norms_b = np.sqrt((b_norm * b_norm).sum(axis=-1))
+    denom = norms_a * norms_b
+    sims = np.divide(
+        dots, np.where(denom > 0, denom, 1.0), where=denom > 0,
+        out=np.zeros_like(dots),
+    )
+    # Two all-zero stacks are identical by convention.
+    all_zero = ~(scale > 0).any(axis=-1)
+    sims[all_zero] = 1.0
+    return np.clip(sims, 0.0, 1.0)
+
+
+def similarity_to_set(candidate: np.ndarray, kept: np.ndarray) -> np.ndarray:
+    """Similarities of *candidate* against every row of *kept* (k x D).
+
+    Vectorised version of :func:`modified_cosine` used in the reduction
+    hot loop; semantics match the scalar function row-by-row.
+    """
+    candidate = np.asarray(candidate, dtype=np.float64)
+    kept = np.asarray(kept, dtype=np.float64)
+    if kept.ndim != 2 or kept.shape[1] != candidate.shape[0]:
+        raise ValueError(f"kept must be (k, {candidate.shape[0]})")
+    if kept.shape[0] == 0:
+        return np.zeros(0)
+    scale = np.maximum(kept, candidate)
+    nonzero = scale > 0
+    cand_norm = np.where(nonzero, candidate / np.where(nonzero, scale, 1.0), 0.0)
+    kept_norm = np.where(nonzero, kept / np.where(nonzero, scale, 1.0), 0.0)
+    dots = (cand_norm * kept_norm).sum(axis=1)
+    denom = np.linalg.norm(cand_norm, axis=1) * np.linalg.norm(kept_norm, axis=1)
+    sims = np.zeros(kept.shape[0])
+    positive = denom > 0
+    sims[positive] = dots[positive] / denom[positive]
+    # Two all-zero stacks are identical by convention.
+    all_zero = ~nonzero.any(axis=1)
+    sims[all_zero] = 1.0
+    return np.clip(sims, 0.0, 1.0)

@@ -1,0 +1,135 @@
+"""Stall-event stacks: penalty decompositions of execution paths.
+
+A stall-event stack records, per :class:`~repro.common.events.EventType`,
+how many latency *units* of that event a path through the dependence
+graph accumulated.  Re-pricing the stack under a latency configuration θ
+(a dot product) gives the path's length in cycles — the primitive that
+turns one simulation into a whole-latency-domain predictor.
+
+Internally the analysis pipeline works on bare ``numpy`` vectors for
+speed; :class:`StallEventStack` is the ergonomic wrapper the public API
+hands out for inspection and reporting.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping, Tuple
+
+import numpy as np
+
+from repro.common.config import LatencyConfig
+from repro.common.events import NUM_EVENTS, EventType, event_label
+
+
+class StallEventStack:
+    """One path's per-event penalty-unit vector.
+
+    Instances are immutable value objects; arithmetic returns new stacks.
+    """
+
+    __slots__ = ("_units",)
+
+    def __init__(self, units: Iterable[float]) -> None:
+        vector = np.asarray(tuple(units), dtype=np.float64)
+        if vector.shape != (NUM_EVENTS,):
+            raise ValueError(
+                f"stack needs {NUM_EVENTS} components, got {vector.shape}"
+            )
+        if (vector < 0).any():
+            raise ValueError("stack components cannot be negative")
+        vector.setflags(write=False)
+        self._units = vector
+
+    # ---- constructors -------------------------------------------------
+
+    @classmethod
+    def zeros(cls) -> "StallEventStack":
+        return cls(np.zeros(NUM_EVENTS))
+
+    @classmethod
+    def from_mapping(
+        cls, units: Mapping[EventType, float]
+    ) -> "StallEventStack":
+        vector = np.zeros(NUM_EVENTS)
+        for event, count in units.items():
+            vector[EventType(event)] = count
+        return cls(vector)
+
+    @classmethod
+    def from_vector(cls, vector: np.ndarray) -> "StallEventStack":
+        return cls(vector)
+
+    # ---- accessors ----------------------------------------------------
+
+    @property
+    def units(self) -> np.ndarray:
+        """The underlying read-only unit vector."""
+        return self._units
+
+    def __getitem__(self, event: EventType) -> float:
+        return float(self._units[EventType(event)])
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, StallEventStack):
+            return NotImplemented
+        return bool(np.array_equal(self._units, other._units))
+
+    def __hash__(self) -> int:
+        return hash(self._units.tobytes())
+
+    def __add__(self, other: "StallEventStack") -> "StallEventStack":
+        return StallEventStack(self._units + other._units)
+
+    # ---- pricing ------------------------------------------------------
+
+    def cycles(self, latency: LatencyConfig) -> float:
+        """Path length in cycles under *latency*."""
+        return float(self._units @ latency.as_vector())
+
+    def penalties(self, latency: LatencyConfig) -> Dict[EventType, float]:
+        """Per-event cycle contributions under *latency* (the CPI stack).
+
+        Only events with a non-zero contribution are included.
+        """
+        theta = latency.as_vector()
+        contributions = self._units * theta
+        return {
+            EventType(i): float(contributions[i])
+            for i in range(NUM_EVENTS)
+            if contributions[i] > 0
+        }
+
+    def nonzero_events(self) -> Tuple[EventType, ...]:
+        """Events this path experienced at least once."""
+        return tuple(
+            EventType(i) for i in range(NUM_EVENTS) if self._units[i] > 0
+        )
+
+    # ---- reporting ----------------------------------------------------
+
+    def describe(
+        self, latency: LatencyConfig, num_uops: int = 0
+    ) -> str:
+        """Human-readable penalty breakdown, largest component first.
+
+        If *num_uops* is given, components are normalised to CPI.
+        """
+        penalties = self.penalties(latency)
+        scale = 1.0 / num_uops if num_uops else 1.0
+        unit = "CPI" if num_uops else "cycles"
+        parts = [
+            f"{event_label(event)}={value * scale:.3f}"
+            for event, value in sorted(
+                penalties.items(), key=lambda item: -item[1]
+            )
+        ]
+        total = sum(penalties.values()) * scale
+        return f"total={total:.3f} {unit} [{', '.join(parts)}]"
+
+    def __repr__(self) -> str:
+        parts = [
+            f"{event_label(EventType(i))}:{self._units[i]:g}"
+            for i in range(NUM_EVENTS)
+            if self._units[i] > 0
+        ]
+        return f"StallEventStack({', '.join(parts)})"

@@ -1,0 +1,106 @@
+"""Latency-domain design-space enumeration.
+
+A design space is a set of per-event candidate latencies (Fig 1b's
+"latency combinations"); its points are full :class:`LatencyConfig`
+instances.  Spaces compose with structure-domain choices externally (one
+space per structure, as in Fig 6c).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import product
+from typing import Dict, Iterable, Iterator, List, Mapping, Sequence, Tuple
+
+import numpy as np
+
+from repro.common.config import LatencyConfig
+from repro.common.events import LATENCY_DOMAIN, EventType
+
+
+@dataclass(frozen=True)
+class DesignSpace:
+    """Cartesian latency design space over selected events.
+
+    Attributes:
+        base: the design point supplying all unswept latencies.
+        axes: event -> tuple of candidate cycle counts.
+    """
+
+    base: LatencyConfig
+    axes: Tuple[Tuple[EventType, Tuple[int, ...]], ...]
+
+    @classmethod
+    def from_mapping(
+        cls,
+        axes: Mapping[EventType, Iterable[int]],
+        base: LatencyConfig = None,
+    ) -> "DesignSpace":
+        base = base or LatencyConfig()
+        normalised: List[Tuple[EventType, Tuple[int, ...]]] = []
+        for event, values in axes.items():
+            event = EventType(event)
+            if event not in LATENCY_DOMAIN:
+                raise ValueError(
+                    f"{event.name} is structure-domain; only latency-domain "
+                    "events can be swept from a single simulation"
+                )
+            candidates = tuple(sorted(set(int(v) for v in values)))
+            if not candidates:
+                raise ValueError(f"empty axis for {event.name}")
+            if candidates[0] < 0:
+                raise ValueError(f"negative latency on axis {event.name}")
+            normalised.append((event, candidates))
+        return cls(base=base, axes=tuple(normalised))
+
+    @property
+    def num_points(self) -> int:
+        count = 1
+        for _event, values in self.axes:
+            count *= len(values)
+        return count
+
+    def __len__(self) -> int:
+        return self.num_points
+
+    def __iter__(self) -> Iterator[LatencyConfig]:
+        events = [event for event, _values in self.axes]
+        for combo in product(*(values for _event, values in self.axes)):
+            yield self.base.with_overrides(dict(zip(events, combo)))
+
+    def points(self) -> List[LatencyConfig]:
+        """Materialise every design point (row-major over the axes)."""
+        return list(self)
+
+    def sample(self, count: int, seed: int = 0) -> List[LatencyConfig]:
+        """A deterministic uniform sample of *count* design points."""
+        rng = np.random.default_rng(seed)
+        events = [event for event, _values in self.axes]
+        values = [vals for _event, vals in self.axes]
+        picks = []
+        for _ in range(count):
+            combo = {
+                event: vals[int(rng.integers(0, len(vals)))]
+                for event, vals in zip(events, values)
+            }
+            picks.append(self.base.with_overrides(combo))
+        return picks
+
+
+def reduction_space(
+    events: Sequence[EventType],
+    base: LatencyConfig = None,
+    fractions: Sequence[float] = (1.0, 0.75, 0.5, 0.25),
+) -> DesignSpace:
+    """A space scaling each event's baseline latency by the fractions.
+
+    Latencies are rounded and clamped to at least one cycle (integer-cycle
+    operation, per Section V-B).
+    """
+    base = base or LatencyConfig()
+    axes: Dict[EventType, List[int]] = {}
+    for event in events:
+        axes[EventType(event)] = [
+            max(1, int(round(base[event] * fraction))) for fraction in fractions
+        ]
+    return DesignSpace.from_mapping(axes, base=base)

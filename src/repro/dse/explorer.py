@@ -1,0 +1,158 @@
+"""Design-space exploration engine (Fig 6a's workflow).
+
+Given a predictor and a :class:`~repro.dse.designspace.DesignSpace`, the
+explorer prices every point, filters by a target CPI, attaches an
+optimisation-cost estimate, and returns the Pareto-optimal candidates —
+the "compare the selected designs to finalize the decision" step of the
+paper's scenario.  With an :class:`~repro.core.model.RpStacksModel` the
+whole sweep is a single matrix product (``predict_many``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.common.config import LatencyConfig
+from repro.common.events import LATENCY_DOMAIN, EventType
+from repro.dse.designspace import DesignSpace
+
+
+def default_cost_model(
+    point: LatencyConfig, base: LatencyConfig
+) -> float:
+    """Optimisation cost of reaching *point* from *base*.
+
+    Shrinking an event's latency costs effort proportional to the
+    *relative* speed-up demanded (halving any unit costs 1.0); relaxing a
+    latency is free.  This is the kind of per-latency cost factor the
+    paper says RpStacks "can incorporate without extra overhead".
+    """
+    cost = 0.0
+    for event in LATENCY_DOMAIN:
+        old = base[event]
+        new = point[event]
+        if new < old and old > 0:
+            cost += old / max(1, new) - 1.0
+    return cost
+
+
+@dataclass(frozen=True)
+class Candidate:
+    """One explored design point with its prediction and cost."""
+
+    latency: LatencyConfig
+    predicted_cpi: float
+    cost: float
+
+    def describe(self) -> str:
+        return (
+            f"CPI={self.predicted_cpi:.3f} cost={self.cost:.2f} "
+            f"({self.latency.describe()})"
+        )
+
+    def as_dict(self) -> dict:
+        """JSON-serialisable representation (event names -> cycles)."""
+        return {
+            "latency": {
+                event.name: self.latency[event]
+                for event in LATENCY_DOMAIN
+            },
+            "predicted_cpi": self.predicted_cpi,
+            "cost": self.cost,
+        }
+
+
+@dataclass
+class ExplorationResult:
+    """Outcome of one design-space sweep."""
+
+    candidates: List[Candidate]
+    num_points: int
+    target_cpi: Optional[float]
+
+    @property
+    def num_meeting_target(self) -> int:
+        return len(self.candidates)
+
+    def pareto_front(self) -> List[Candidate]:
+        """Cost/CPI Pareto-optimal candidates, sorted by cost."""
+        ordered = sorted(
+            self.candidates, key=lambda c: (c.cost, c.predicted_cpi)
+        )
+        front: List[Candidate] = []
+        best_cpi = float("inf")
+        for candidate in ordered:
+            if candidate.predicted_cpi < best_cpi - 1e-12:
+                front.append(candidate)
+                best_cpi = candidate.predicted_cpi
+        return front
+
+    def best(self) -> Candidate:
+        """Cheapest candidate (ties by CPI)."""
+        if not self.candidates:
+            raise ValueError("no candidate met the target")
+        return min(self.candidates, key=lambda c: (c.cost, c.predicted_cpi))
+
+    def as_dict(self) -> dict:
+        """JSON-serialisable summary: counts, target, Pareto front."""
+        return {
+            "num_points": self.num_points,
+            "target_cpi": self.target_cpi,
+            "num_meeting_target": self.num_meeting_target,
+            "pareto_front": [c.as_dict() for c in self.pareto_front()],
+        }
+
+
+class Explorer:
+    """Sweeps a design space with any predictor.
+
+    Args:
+        predictor: anything with ``predict_cpi(LatencyConfig)``; when it
+            also provides ``predict_many`` (the RpStacks model), the sweep
+            is vectorised.
+        cost_model: callable ``(point, base) -> cost``; defaults to
+            :func:`default_cost_model`.
+    """
+
+    def __init__(
+        self,
+        predictor,
+        cost_model: Callable[[LatencyConfig, LatencyConfig], float] = None,
+    ) -> None:
+        self.predictor = predictor
+        self.cost_model = cost_model or default_cost_model
+
+    def explore(
+        self,
+        space: DesignSpace,
+        target_cpi: Optional[float] = None,
+    ) -> ExplorationResult:
+        """Price every point of *space*; keep those meeting *target_cpi*."""
+        points = space.points()
+        cpis = self._predict_all(points)
+        candidates = []
+        for point, cpi in zip(points, cpis):
+            if target_cpi is not None and cpi > target_cpi:
+                continue
+            candidates.append(
+                Candidate(
+                    latency=point,
+                    predicted_cpi=float(cpi),
+                    cost=self.cost_model(point, space.base),
+                )
+            )
+        return ExplorationResult(
+            candidates=candidates,
+            num_points=len(points),
+            target_cpi=target_cpi,
+        )
+
+    def _predict_all(self, points: Sequence[LatencyConfig]) -> np.ndarray:
+        predict_many = getattr(self.predictor, "predict_many", None)
+        if predict_many is not None:
+            cycles = predict_many(points)
+            return np.asarray(cycles) / self.predictor.num_uops
+        return np.array([self.predictor.predict_cpi(p) for p in points])

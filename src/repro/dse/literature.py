@@ -1,0 +1,77 @@
+"""Literature simulation-speed constants for the Fig 2a comparison.
+
+Section II-B of the paper compares simulation speeds using "the
+best-reported numbers from the literatures" for each acceleration method.
+We do the same: these constants carry representative best-reported
+simulated-instruction rates, and the Fig 2a/2b benchmark combines them
+with *measured* rates of our own simulator and RpStacks pipeline.
+
+Values are orders of magnitude from the cited papers — native execution
+on a ~GHz multi-issue core, MARSSx86's ~0.1–0.3 MIPS full-system timing
+rate, Graphite's distributed one-IPC mode, Sniper's interval-model rate,
+and FAST's FPGA-accelerated rate.  Only *ratios between methods* matter
+for the reproduction (who diverges, who stays flat, where crossovers
+sit), not the absolute numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+#: Best-reported simulation speeds, in simulated MIPS.
+LITERATURE_MIPS: Dict[str, float] = {
+    # Native out-of-order execution, ~3 GHz, IPC ~ 1.
+    "native": 3000.0,
+    # MARSSx86 cycle-accurate full-system timing simulation [13].
+    "marssx86": 0.2,
+    # Graphite: parallelised, relaxed-synchronisation one-IPC model [6].
+    "graphite": 20.0,
+    # Sniper: parallel interval simulation [7].
+    "sniper": 2.0,
+    # FAST: FPGA-accelerated full-system, cycle-accurate [3].
+    "fast": 120.0,
+}
+
+
+@dataclass(frozen=True)
+class MethodSpeed:
+    """One method's exploration cost model.
+
+    ``setup_seconds`` is paid once per *design space*; ``per_point_seconds``
+    once per design point.  Simulation-acceleration methods have no setup
+    but pay a full (accelerated) simulation per point; RpStacks pays one
+    baseline simulation plus analysis up front and almost nothing per
+    point.
+    """
+
+    name: str
+    setup_seconds: float
+    per_point_seconds: float
+
+    def exploration_seconds(self, num_points: int) -> float:
+        """Total time to evaluate *num_points* design points."""
+        if num_points < 0:
+            raise ValueError("num_points cannot be negative")
+        return self.setup_seconds + num_points * self.per_point_seconds
+
+
+def acceleration_method_speeds(
+    instructions: int,
+    reference_mips: Dict[str, float] = None,
+) -> Tuple[MethodSpeed, ...]:
+    """Per-point costs of the literature methods for a given run length.
+
+    Args:
+        instructions: simulated instructions per design-point evaluation.
+        reference_mips: override table (defaults to LITERATURE_MIPS).
+    """
+    table = reference_mips or LITERATURE_MIPS
+    return tuple(
+        MethodSpeed(
+            name=name,
+            setup_seconds=0.0,
+            per_point_seconds=instructions / (mips * 1e6),
+        )
+        for name, mips in table.items()
+    )

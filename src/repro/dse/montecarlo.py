@@ -1,0 +1,117 @@
+"""Monte-Carlo characterisation of enormous design spaces.
+
+When the latency space is too large even to enumerate lazily (every
+event x thousands of candidate latencies), uniform sampling plus the
+model's microsecond evaluations still answer the questions architects
+ask first: what does the CPI distribution over the space look like, what
+fraction of designs meets the target, and which events correlate with
+being fast?  All of it from the single baseline simulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+import numpy as np
+
+from repro.common.config import LatencyConfig
+from repro.common.events import EventType
+
+
+@dataclass
+class SpaceStatistics:
+    """Sampled statistics of a design space under one model.
+
+    Attributes:
+        num_samples: design points drawn.
+        cpi_quantiles: quantile -> CPI over the sample.
+        fraction_meeting_target: share of samples at/below the target
+            (``nan`` if no target was given).
+        event_correlations: event -> Pearson correlation between its
+            latency and the predicted CPI over the sample; large positive
+            values mark the events that dominate the space.
+    """
+
+    num_samples: int
+    cpi_quantiles: Dict[float, float]
+    fraction_meeting_target: float
+    event_correlations: Dict[EventType, float]
+
+    def dominant_events(self, top: int = 3) -> List[EventType]:
+        """Events most positively correlated with CPI."""
+        ranked = sorted(
+            self.event_correlations.items(), key=lambda kv: -kv[1]
+        )
+        return [event for event, _value in ranked[:top]]
+
+
+def sample_space_statistics(
+    model,
+    axes: Mapping[EventType, Sequence[int]],
+    num_samples: int = 2000,
+    base: LatencyConfig = None,
+    target_cpi: float = None,
+    seed: int = 0,
+    quantiles: Tuple[float, ...] = (0.05, 0.25, 0.5, 0.75, 0.95),
+) -> SpaceStatistics:
+    """Uniformly sample *axes* and characterise the predicted CPIs.
+
+    Args:
+        model: predictor with ``predict_many`` and ``num_uops``.
+        axes: event -> candidate latencies (sampled uniformly per event).
+        num_samples: design points to draw.
+        base: unswept latencies (Table II default).
+        target_cpi: optional target for the meeting-fraction statistic.
+        seed: sampling seed (deterministic).
+        quantiles: CPI quantiles to report.
+    """
+    if num_samples < 2:
+        raise ValueError("need at least two samples")
+    if not axes:
+        raise ValueError("need at least one axis")
+    base = base or LatencyConfig()
+    rng = np.random.default_rng(seed)
+    events = [EventType(event) for event in axes]
+    candidates = {
+        EventType(event): list(values) for event, values in axes.items()
+    }
+    for event, values in candidates.items():
+        if not values:
+            raise ValueError(f"empty axis for {event.name}")
+
+    drawn: List[LatencyConfig] = []
+    latency_columns = {event: np.empty(num_samples) for event in events}
+    for index in range(num_samples):
+        overrides = {}
+        for event in events:
+            values = candidates[event]
+            choice = values[int(rng.integers(0, len(values)))]
+            overrides[event] = choice
+            latency_columns[event][index] = choice
+        drawn.append(base.with_overrides(overrides))
+
+    cpis = np.asarray(model.predict_many(drawn)) / model.num_uops
+
+    correlations = {}
+    for event in events:
+        column = latency_columns[event]
+        if column.std() == 0 or cpis.std() == 0:
+            correlations[event] = 0.0
+        else:
+            correlations[event] = float(
+                np.corrcoef(column, cpis)[0, 1]
+            )
+
+    return SpaceStatistics(
+        num_samples=num_samples,
+        cpi_quantiles={
+            q: float(np.quantile(cpis, q)) for q in quantiles
+        },
+        fraction_meeting_target=(
+            float((cpis <= target_cpi).mean())
+            if target_cpi is not None
+            else float("nan")
+        ),
+        event_correlations=correlations,
+    )

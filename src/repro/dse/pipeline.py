@@ -1,0 +1,119 @@
+"""High-level facade: one call from workload to a full analysis session.
+
+``analyze(workload)`` runs the entire RpStacks pipeline of Fig 8a —
+baseline timing simulation, dependence-graph construction, RpStacks
+generation — and also instantiates the comparison predictors, so
+examples, tests and benchmarks all start from the same object.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.baselines.cp1 import CP1Predictor
+from repro.baselines.fmt import FMTPredictor
+from repro.common.config import LatencyConfig, MicroarchConfig, baseline_config
+from repro.core.generator import generate_rpstacks
+from repro.core.model import RpStacksModel
+from repro.dse.designspace import DesignSpace
+from repro.dse.explorer import Explorer, ExplorationResult
+from repro.graphmodel.builder import build_graph
+from repro.graphmodel.graph import DependenceGraph
+from repro.graphmodel.reeval import GraphReevalPredictor
+from repro.isa.uop import Workload
+from repro.simulator.machine import Machine
+from repro.simulator.trace import SimResult
+
+
+@dataclass
+class AnalysisSession:
+    """Everything derived from one baseline simulation of one workload."""
+
+    workload: Workload
+    config: MicroarchConfig
+    machine: Machine
+    baseline_result: SimResult
+    graph: DependenceGraph
+    rpstacks: RpStacksModel
+    cp1: CP1Predictor
+    fmt: FMTPredictor
+    reeval: GraphReevalPredictor
+
+    @property
+    def baseline_cpi(self) -> float:
+        return self.baseline_result.cpi
+
+    def predictors(self) -> Dict[str, object]:
+        """The paper's comparison trio, keyed by report name."""
+        return {"rpstacks": self.rpstacks, "cp1": self.cp1, "fmt": self.fmt}
+
+    def all_predictors(self) -> Dict[str, object]:
+        """Every single-simulation predictor, including the related-work
+        mechanistic interval model and exact graph re-evaluation."""
+        from repro.baselines.interval import IntervalModelPredictor
+
+        predictors = self.predictors()
+        predictors["interval"] = IntervalModelPredictor(
+            self.baseline_result
+        )
+        predictors["graph-reeval"] = self.reeval
+        return predictors
+
+    def explore(
+        self,
+        space: DesignSpace,
+        target_cpi: Optional[float] = None,
+    ) -> ExplorationResult:
+        """Sweep *space* with the RpStacks predictor (Fig 6a, step 2)."""
+        return Explorer(self.rpstacks).explore(space, target_cpi=target_cpi)
+
+    def simulate(self, latency: LatencyConfig) -> SimResult:
+        """Ground-truth re-simulation (validation only — the slow path)."""
+        return self.machine.simulate(latency)
+
+
+def analyze(
+    workload: Workload,
+    config: Optional[MicroarchConfig] = None,
+    similarity_threshold: float = 0.7,
+    segment_length: int = 256,
+    max_paths: int = 32,
+    preserve_unique: bool = True,
+    warm_caches: bool = True,
+) -> AnalysisSession:
+    """Run the full single-simulation analysis pipeline on *workload*.
+
+    Args:
+        workload: the dynamic micro-op stream to analyse.
+        config: structure + baseline latencies (Table II default).
+        similarity_threshold / segment_length / max_paths /
+            preserve_unique: RpStacks generation parameters (§III-C).
+        warm_caches: warm caches/TLBs to steady state before measuring.
+
+    Returns:
+        An :class:`AnalysisSession` with the model and all baselines.
+    """
+    config = config or baseline_config()
+    machine = Machine(workload, config, warm_caches=warm_caches)
+    result = machine.simulate()
+    graph = build_graph(result)
+    rpstacks = generate_rpstacks(
+        graph,
+        config.latency,
+        similarity_threshold=similarity_threshold,
+        segment_length=segment_length,
+        max_paths=max_paths,
+        preserve_unique=preserve_unique,
+    )
+    return AnalysisSession(
+        workload=workload,
+        config=config,
+        machine=machine,
+        baseline_result=result,
+        graph=graph,
+        rpstacks=rpstacks,
+        cp1=CP1Predictor(graph, config.latency),
+        fmt=FMTPredictor(result),
+        reeval=GraphReevalPredictor(graph),
+    )

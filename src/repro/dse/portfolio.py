@@ -1,0 +1,154 @@
+"""Multi-workload portfolio exploration (§III-B's final step).
+
+"As different designs yield different optimization costs as well as
+performance characteristics, they can choose points which are optimal
+for multiple workloads while considering the optimization budget."
+This module does exactly that: it combines the RpStacks models of
+several workloads into one weighted objective, prices the shared design
+space once per workload (each from its own single simulation), and
+reports the designs that are best *jointly* — including the designs that
+are on no single workload's Pareto front but win on the mixture.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.common.config import LatencyConfig
+from repro.dse.designspace import DesignSpace
+from repro.dse.explorer import default_cost_model
+
+
+@dataclass(frozen=True)
+class PortfolioCandidate:
+    """One design point scored across the whole workload mix."""
+
+    latency: LatencyConfig
+    weighted_cpi: float
+    per_workload_cpi: Tuple[Tuple[str, float], ...]
+    cost: float
+
+    def describe(self) -> str:
+        per_workload = ", ".join(
+            f"{name}={cpi:.3f}" for name, cpi in self.per_workload_cpi
+        )
+        return (
+            f"weighted CPI={self.weighted_cpi:.3f} cost={self.cost:.2f} "
+            f"[{per_workload}] ({self.latency.describe()})"
+        )
+
+
+@dataclass
+class PortfolioResult:
+    """Outcome of a portfolio sweep."""
+
+    candidates: List[PortfolioCandidate]
+    num_points: int
+
+    def best(self) -> PortfolioCandidate:
+        if not self.candidates:
+            raise ValueError("no candidate met the constraints")
+        return min(
+            self.candidates, key=lambda c: (c.cost, c.weighted_cpi)
+        )
+
+    def pareto_front(self) -> List[PortfolioCandidate]:
+        """Cost / weighted-CPI Pareto-optimal candidates."""
+        ordered = sorted(
+            self.candidates, key=lambda c: (c.cost, c.weighted_cpi)
+        )
+        front: List[PortfolioCandidate] = []
+        best_cpi = float("inf")
+        for candidate in ordered:
+            if candidate.weighted_cpi < best_cpi - 1e-12:
+                front.append(candidate)
+                best_cpi = candidate.weighted_cpi
+        return front
+
+
+class PortfolioExplorer:
+    """Joint exploration over several workloads' RpStacks models.
+
+    Args:
+        models: workload name -> model with ``predict_many``/``num_uops``
+            (one per workload; each came from a single simulation).
+        weights: workload name -> importance weight (normalised
+            internally; uniform if omitted).
+        cost_model: as in :class:`~repro.dse.explorer.Explorer`.
+    """
+
+    def __init__(
+        self,
+        models: Mapping[str, object],
+        weights: Optional[Mapping[str, float]] = None,
+        cost_model: Callable[[LatencyConfig, LatencyConfig], float] = None,
+    ) -> None:
+        if not models:
+            raise ValueError("portfolio needs at least one workload model")
+        self.models: Dict[str, object] = dict(models)
+        raw = {
+            name: (1.0 if weights is None else float(weights[name]))
+            for name in self.models
+        }
+        total = sum(raw.values())
+        if total <= 0:
+            raise ValueError("weights must sum to a positive value")
+        self.weights = {name: value / total for name, value in raw.items()}
+        self.cost_model = cost_model or default_cost_model
+
+    def explore(
+        self,
+        space: DesignSpace,
+        target_weighted_cpi: Optional[float] = None,
+        per_workload_ceiling: Optional[Mapping[str, float]] = None,
+    ) -> PortfolioResult:
+        """Price the space jointly.
+
+        Args:
+            space: the shared latency design space.
+            target_weighted_cpi: keep designs at or below this mixture
+                CPI (all designs kept if omitted).
+            per_workload_ceiling: optional per-workload CPI caps — a
+                design must satisfy every cap (no workload sacrificed).
+        """
+        points = space.points()
+        per_model_cpi = {}
+        for name, model in self.models.items():
+            cycles = np.asarray(model.predict_many(points))
+            per_model_cpi[name] = cycles / model.num_uops
+
+        candidates: List[PortfolioCandidate] = []
+        for index, point in enumerate(points):
+            per_workload = tuple(
+                (name, float(per_model_cpi[name][index]))
+                for name in self.models
+            )
+            if per_workload_ceiling is not None:
+                ceilings_ok = all(
+                    cpi <= per_workload_ceiling.get(name, float("inf"))
+                    for name, cpi in per_workload
+                )
+                if not ceilings_ok:
+                    continue
+            weighted = sum(
+                self.weights[name] * cpi for name, cpi in per_workload
+            )
+            if (
+                target_weighted_cpi is not None
+                and weighted > target_weighted_cpi
+            ):
+                continue
+            candidates.append(
+                PortfolioCandidate(
+                    latency=point,
+                    weighted_cpi=weighted,
+                    per_workload_cpi=per_workload,
+                    cost=self.cost_model(point, space.base),
+                )
+            )
+        return PortfolioResult(
+            candidates=candidates, num_points=len(points)
+        )

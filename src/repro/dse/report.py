@@ -1,0 +1,89 @@
+"""Plain-text reporting helpers used by examples and benchmarks.
+
+The paper communicates through stacked-bar CPI charts and exploration
+curves; these helpers render the same data as terminal tables and ASCII
+bars so every benchmark can print the rows/series its figure reports.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Sequence, Tuple
+
+from repro.common.config import LatencyConfig
+from repro.common.events import EventType, event_label
+from repro.core.stack import StallEventStack
+
+
+def format_table(
+    headers: Sequence[str], rows: Iterable[Sequence[object]]
+) -> str:
+    """Simple fixed-width table (no external dependencies)."""
+    materialised = [[str(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in materialised:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = [
+        "  ".join(h.ljust(w) for h, w in zip(headers, widths)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in materialised:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def ascii_bar(value: float, scale: float, width: int = 40) -> str:
+    """A proportional bar; *scale* is the full-width value."""
+    if scale <= 0:
+        return ""
+    filled = int(round(min(1.0, value / scale) * width))
+    return "#" * filled
+
+
+def cpi_stack_rows(
+    stack: StallEventStack,
+    latency: LatencyConfig,
+    num_uops: int,
+) -> List[Tuple[str, float]]:
+    """(event label, CPI contribution) rows, largest first."""
+    penalties = stack.penalties(latency)
+    return [
+        (event_label(event), value / num_uops)
+        for event, value in sorted(penalties.items(), key=lambda kv: -kv[1])
+    ]
+
+
+def render_cpi_stack(
+    title: str,
+    stack: StallEventStack,
+    latency: LatencyConfig,
+    num_uops: int,
+    scale: float = None,
+    width: int = 40,
+) -> str:
+    """A labelled ASCII stacked-bar rendering of one CPI stack."""
+    rows = cpi_stack_rows(stack, latency, num_uops)
+    total = sum(value for _label, value in rows)
+    scale = scale or total or 1.0
+    lines = [f"{title}  (CPI {total:.3f})"]
+    for label, value in rows:
+        lines.append(
+            f"  {label:>7s} {value:7.3f} |{ascii_bar(value, scale, width)}"
+        )
+    return "\n".join(lines)
+
+
+def render_component_map(
+    components: Mapping[EventType, float], scale: float = None
+) -> str:
+    """Render an event->CPI mapping as aligned rows with bars."""
+    items = sorted(components.items(), key=lambda kv: -kv[1])
+    total = sum(v for _k, v in items)
+    scale = scale or total or 1.0
+    lines = []
+    for event, value in items:
+        lines.append(
+            f"  {event_label(event):>7s} {value:7.3f} "
+            f"|{ascii_bar(value, scale)}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,193 @@
+"""Greedy latency-domain search for non-enumerable design spaces.
+
+Enumerating a Cartesian latency space works to a few million points; a
+full sweep over every event's candidate list (Fig 1b suggests thousands
+per structure, but all-event products explode combinatorially) does not.
+Because RpStacks predictions are microseconds each, a greedy search can
+afford to probe *every* single-step move at *every* step: starting from
+the baseline, repeatedly take the move (one event, one notch faster)
+with the best predicted CPI-gain per unit optimisation cost, until the
+target CPI is met or no move helps.
+
+Greedy is not optimal — interacting penalties (negative interaction
+costs) can hide a move's value until another is taken — so the search
+also supports a small lookahead beam to escape exactly that trap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.common.config import LatencyConfig
+from repro.common.events import EventType
+from repro.dse.explorer import default_cost_model
+
+
+@dataclass(frozen=True)
+class SearchStep:
+    """One accepted move of the greedy search."""
+
+    event: EventType
+    from_cycles: int
+    to_cycles: int
+    predicted_cpi: float
+    total_cost: float
+
+
+@dataclass
+class SearchResult:
+    """Outcome of a search run."""
+
+    final: LatencyConfig
+    predicted_cpi: float
+    total_cost: float
+    steps: List[SearchStep]
+    target_met: bool
+
+    @property
+    def num_steps(self) -> int:
+        return len(self.steps)
+
+
+class GreedyLatencySearch:
+    """Cost-aware greedy descent over per-event candidate latencies.
+
+    Args:
+        model: predictor with ``predict_cpi(LatencyConfig)``.
+        candidates: event -> descending-usable candidate cycles (any
+            order; only values strictly below the current one count as
+            moves).
+        cost_model: ``(point, base) -> cost``; default as in the
+            explorer (relative speed-up demanded).
+        beam: lookahead beam width — at each step the best *beam* moves
+            are each expanded one extra level before committing, which
+            lets the search see through pairwise penalty overlap.
+    """
+
+    def __init__(
+        self,
+        model,
+        candidates: Mapping[EventType, Sequence[int]],
+        cost_model: Callable[[LatencyConfig, LatencyConfig], float] = None,
+        beam: int = 1,
+    ) -> None:
+        if beam < 1:
+            raise ValueError("beam must be at least 1")
+        self.model = model
+        self.candidates: Dict[EventType, Tuple[int, ...]] = {
+            EventType(event): tuple(sorted(set(int(v) for v in values)))
+            for event, values in candidates.items()
+        }
+        for event, values in self.candidates.items():
+            if not values:
+                raise ValueError(f"no candidates for {event.name}")
+        self.cost_model = cost_model or default_cost_model
+        self.beam = beam
+        #: predictions performed (the search's cost metric)
+        self.evaluations = 0
+
+    # ------------------------------------------------------------------
+
+    def _predict(self, latency: LatencyConfig) -> float:
+        self.evaluations += 1
+        return self.model.predict_cpi(latency)
+
+    def _moves(self, current: LatencyConfig) -> List[Tuple[EventType, int]]:
+        moves = []
+        for event, values in self.candidates.items():
+            now = current[event]
+            faster = [v for v in values if v < now]
+            if faster:
+                moves.append((event, max(faster)))  # one notch down
+        return moves
+
+    def _score(
+        self,
+        current: LatencyConfig,
+        base: LatencyConfig,
+        move: Tuple[EventType, int],
+        current_cpi: float,
+    ) -> Tuple[float, LatencyConfig, float]:
+        """(gain per unit cost, new config, new cpi) for one move."""
+        event, value = move
+        candidate = current.with_overrides({event: value})
+        cpi = self._predict(candidate)
+        gain = current_cpi - cpi
+        added_cost = self.cost_model(candidate, base) - self.cost_model(
+            current, base
+        )
+        if added_cost <= 0:
+            added_cost = 1e-9
+        return gain / added_cost, candidate, cpi
+
+    def run(
+        self,
+        base: LatencyConfig,
+        target_cpi: float,
+        max_steps: int = 64,
+    ) -> SearchResult:
+        """Descend from *base* until *target_cpi* is met or moves dry up."""
+        current = base
+        current_cpi = self._predict(base)
+        steps: List[SearchStep] = []
+
+        while current_cpi > target_cpi and len(steps) < max_steps:
+            moves = self._moves(current)
+            if not moves:
+                break
+            scored = sorted(
+                (
+                    self._score(current, base, move, current_cpi)
+                    + (move,)
+                    for move in moves
+                ),
+                key=lambda item: -item[0],
+            )
+            chosen = None
+            if self.beam > 1:
+                # Look one level deeper under the top-beam moves: a move
+                # whose gain is hidden behind an overlapping penalty can
+                # still win through its best follow-up.
+                best_depth_score = None
+                for score, candidate, cpi, move in scored[: self.beam]:
+                    followups = self._moves(candidate)
+                    follow_best = 0.0
+                    for follow in followups:
+                        follow_score, _cfg, _cpi = self._score(
+                            candidate, base, follow, cpi
+                        )
+                        follow_best = max(follow_best, follow_score)
+                    depth_score = score + follow_best
+                    if (
+                        best_depth_score is None
+                        or depth_score > best_depth_score
+                    ):
+                        best_depth_score = depth_score
+                        chosen = (score, candidate, cpi, move)
+            else:
+                chosen = scored[0]
+
+            score, candidate, cpi, move = chosen
+            if cpi >= current_cpi - 1e-12 and cpi > target_cpi:
+                break  # no move actually helps
+            event, value = move
+            steps.append(
+                SearchStep(
+                    event=event,
+                    from_cycles=current[event],
+                    to_cycles=value,
+                    predicted_cpi=cpi,
+                    total_cost=self.cost_model(candidate, base),
+                )
+            )
+            current = candidate
+            current_cpi = cpi
+
+        return SearchResult(
+            final=current,
+            predicted_cpi=current_cpi,
+            total_cost=self.cost_model(current, base),
+            steps=steps,
+            target_met=current_cpi <= target_cpi,
+        )

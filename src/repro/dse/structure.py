@@ -1,0 +1,164 @@
+"""Structure-domain exploration: one RpStacks model per structure.
+
+Figure 6c's workflow: architects pick structure points (sizes, widths,
+predictors) the way they always did — one simulation each — but each
+simulation now covers that structure's *entire latency domain* through
+its RpStacks model.  This module drives that outer loop: enumerate
+structure candidates, analyse each once, sweep the shared latency space,
+and tabulate the best (structure, latency) designs.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.common.config import CoreConfig, MicroarchConfig
+from repro.dse.designspace import DesignSpace
+from repro.dse.explorer import Candidate, Explorer
+from repro.dse.pipeline import AnalysisSession, analyze
+from repro.isa.uop import Workload
+
+
+@dataclass(frozen=True)
+class StructurePoint:
+    """One structure-domain candidate: a named set of core overrides.
+
+    ``overrides`` are :class:`~repro.common.config.CoreConfig` field
+    replacements (e.g. ``{"rob_size": 64, "branch_predictor": "bimodal"}``).
+    """
+
+    name: str
+    overrides: Tuple[Tuple[str, object], ...]
+
+    @classmethod
+    def of(cls, name: str, **overrides: object) -> "StructurePoint":
+        return cls(name=name, overrides=tuple(sorted(overrides.items())))
+
+    def apply(self, base: MicroarchConfig) -> MicroarchConfig:
+        """The full config this point denotes, on top of *base*.
+
+        Overrides name :class:`~repro.common.config.CoreConfig` fields;
+        the top-level ``prefetcher`` knob is also accepted.
+        """
+        overrides = dict(self.overrides)
+        top_level = {}
+        if "prefetcher" in overrides:
+            top_level["prefetcher"] = overrides.pop("prefetcher")
+        core = dataclasses.replace(base.core, **overrides)
+        return dataclasses.replace(base, core=core, **top_level)
+
+
+def structure_grid(
+    axes: Mapping[str, Iterable[object]]
+) -> List[StructurePoint]:
+    """Cartesian product of per-field structure candidates.
+
+    Example::
+
+        structure_grid({"rob_size": [64, 128], "iq_size": [18, 36]})
+    """
+    names = list(axes)
+    points = []
+    for combo in itertools.product(*(list(axes[k]) for k in names)):
+        overrides = dict(zip(names, combo))
+        label = ",".join(f"{k}={v}" for k, v in overrides.items())
+        points.append(StructurePoint.of(label, **overrides))
+    return points
+
+
+@dataclass
+class StructureResult:
+    """Exploration outcome for one structure point."""
+
+    point: StructurePoint
+    session: AnalysisSession
+    baseline_cpi: float
+    candidates: List[Candidate] = field(default_factory=list)
+
+    def best(self) -> Optional[Candidate]:
+        if not self.candidates:
+            return None
+        return min(
+            self.candidates, key=lambda c: (c.cost, c.predicted_cpi)
+        )
+
+
+class StructureExplorer:
+    """Outer-loop exploration over structure x latency.
+
+    Args:
+        workload: the stream to evaluate all structures on.
+        base: configuration providing unswept parameters.
+        analysis_kwargs: forwarded to :func:`repro.dse.pipeline.analyze`
+            (segment length, thresholds, ...).
+    """
+
+    def __init__(
+        self,
+        workload: Workload,
+        base: Optional[MicroarchConfig] = None,
+        **analysis_kwargs,
+    ) -> None:
+        self.workload = workload
+        self.base = base or MicroarchConfig()
+        self.analysis_kwargs = analysis_kwargs
+        #: sessions per structure name — one simulation each, reusable
+        self.sessions: Dict[str, AnalysisSession] = {}
+
+    def analyse(self, point: StructurePoint) -> AnalysisSession:
+        """Analyse one structure (cached per point name)."""
+        if point.name not in self.sessions:
+            config = point.apply(self.base)
+            self.sessions[point.name] = analyze(
+                self.workload, config=config, **self.analysis_kwargs
+            )
+        return self.sessions[point.name]
+
+    def explore(
+        self,
+        points: Sequence[StructurePoint],
+        space: DesignSpace,
+        target_cpi: Optional[float] = None,
+    ) -> List[StructureResult]:
+        """Sweep *space* under every structure in *points*.
+
+        Returns one :class:`StructureResult` per structure, in input
+        order; each carries the latency candidates meeting *target_cpi*.
+        """
+        results = []
+        for point in points:
+            session = self.analyse(point)
+            exploration = Explorer(session.rpstacks).explore(
+                space, target_cpi=target_cpi
+            )
+            results.append(
+                StructureResult(
+                    point=point,
+                    session=session,
+                    baseline_cpi=session.baseline_cpi,
+                    candidates=exploration.candidates,
+                )
+            )
+        return results
+
+    @staticmethod
+    def overall_best(
+        results: Sequence[StructureResult],
+    ) -> Tuple[StructureResult, Candidate]:
+        """The cheapest (structure, latency) pair meeting the target."""
+        best_pair = None
+        for result in results:
+            candidate = result.best()
+            if candidate is None:
+                continue
+            if best_pair is None or (
+                candidate.cost,
+                candidate.predicted_cpi,
+            ) < (best_pair[1].cost, best_pair[1].predicted_cpi):
+                best_pair = (result, candidate)
+        if best_pair is None:
+            raise ValueError("no structure produced a candidate")
+        return best_pair

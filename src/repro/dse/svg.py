@@ -1,0 +1,210 @@
+"""Standalone SVG renderers for the paper's two figure shapes.
+
+No plotting dependency is available offline, so these build SVG
+documents directly: stacked per-application CPI bars (Figs 5, 6, 12) and
+log-scale line charts (Figs 2b, 13).  The output is deliberately plain —
+the benches use it to drop viewable figures next to their text reports.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from xml.sax.saxutils import escape
+
+#: Fill palette cycled across stack components / series.
+PALETTE = (
+    "#4e79a7", "#f28e2b", "#e15759", "#76b7b2", "#59a14f",
+    "#edc948", "#b07aa1", "#ff9da7", "#9c755f", "#bab0ac",
+    "#86bcb6", "#d37295",
+)
+
+_FONT = 'font-family="Helvetica,Arial,sans-serif"'
+
+
+def _header(width: int, height: int, title: str) -> List[str]:
+    return [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" viewBox="0 0 {width} {height}">',
+        f'<rect width="{width}" height="{height}" fill="white"/>',
+        f'<text x="{width / 2}" y="18" text-anchor="middle" '
+        f'font-size="14" {_FONT}>{escape(title)}</text>',
+    ]
+
+
+def render_stacked_bars(
+    bars: Sequence[Tuple[str, Mapping[str, float]]],
+    title: str,
+    unit: str = "CPI",
+    width: int = 640,
+    height: int = 360,
+) -> str:
+    """Stacked bar chart: one bar per (label, component -> value).
+
+    Component colours are assigned by first appearance, so the same
+    event keeps the same colour across bars.
+    """
+    if not bars:
+        raise ValueError("need at least one bar")
+    margin_left, margin_bottom, margin_top = 48, 60, 32
+    plot_w = width - margin_left - 130  # room for the legend
+    plot_h = height - margin_bottom - margin_top
+    totals = [sum(components.values()) for _label, components in bars]
+    peak = max(totals) or 1.0
+
+    colours: Dict[str, str] = {}
+    for _label, components in bars:
+        for name in components:
+            if name not in colours:
+                colours[name] = PALETTE[len(colours) % len(PALETTE)]
+
+    parts = _header(width, height, title)
+    # y axis with 4 gridlines
+    for tick in range(5):
+        value = peak * tick / 4
+        y = margin_top + plot_h * (1 - tick / 4)
+        parts.append(
+            f'<line x1="{margin_left}" y1="{y:.1f}" '
+            f'x2="{margin_left + plot_w}" y2="{y:.1f}" '
+            'stroke="#dddddd"/>'
+        )
+        parts.append(
+            f'<text x="{margin_left - 6}" y="{y + 4:.1f}" '
+            f'text-anchor="end" font-size="10" {_FONT}>{value:.2f}</text>'
+        )
+    parts.append(
+        f'<text x="12" y="{margin_top + plot_h / 2}" font-size="11" '
+        f'{_FONT} transform="rotate(-90 12 {margin_top + plot_h / 2})" '
+        f'text-anchor="middle">{escape(unit)}</text>'
+    )
+
+    slot = plot_w / len(bars)
+    bar_w = max(6.0, slot * 0.6)
+    for index, (label, components) in enumerate(bars):
+        x = margin_left + slot * index + (slot - bar_w) / 2
+        y = margin_top + plot_h
+        for name, value in sorted(
+            components.items(), key=lambda kv: -kv[1]
+        ):
+            if value <= 0:
+                continue
+            h = plot_h * value / peak
+            y -= h
+            parts.append(
+                f'<rect x="{x:.1f}" y="{y:.1f}" width="{bar_w:.1f}" '
+                f'height="{h:.1f}" fill="{colours[name]}">'
+                f"<title>{escape(f'{label} {name}: {value:.3f}')}</title>"
+                "</rect>"
+            )
+        cx = x + bar_w / 2
+        base_y = margin_top + plot_h + 12
+        parts.append(
+            f'<text x="{cx:.1f}" y="{base_y}" font-size="9" {_FONT} '
+            f'text-anchor="end" transform="rotate(-35 {cx:.1f} {base_y})">'
+            f"{escape(label)}</text>"
+        )
+
+    legend_x = margin_left + plot_w + 12
+    for index, (name, colour) in enumerate(colours.items()):
+        y = margin_top + 14 * index
+        parts.append(
+            f'<rect x="{legend_x}" y="{y}" width="10" height="10" '
+            f'fill="{colour}"/>'
+        )
+        parts.append(
+            f'<text x="{legend_x + 14}" y="{y + 9}" font-size="10" '
+            f"{_FONT}>{escape(name)}</text>"
+        )
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+def render_line_chart(
+    x_values: Sequence[float],
+    series: Mapping[str, Sequence[float]],
+    title: str,
+    x_label: str = "",
+    y_label: str = "",
+    log_x: bool = False,
+    log_y: bool = False,
+    width: int = 640,
+    height: int = 360,
+) -> str:
+    """Multi-series line chart with optional log axes."""
+    if not series:
+        raise ValueError("need at least one series")
+    if any(len(values) != len(x_values) for values in series.values()):
+        raise ValueError("every series needs one value per x")
+    if len(x_values) < 2:
+        raise ValueError("need at least two x values")
+
+    def tx(value: float) -> float:
+        return math.log10(value) if log_x else value
+
+    def ty(value: float) -> float:
+        return math.log10(value) if log_y else value
+
+    margin_left, margin_bottom, margin_top = 60, 48, 32
+    plot_w = width - margin_left - 140
+    plot_h = height - margin_bottom - margin_top
+
+    xs = [tx(v) for v in x_values]
+    ys = [ty(v) for values in series.values() for v in values]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    if x_hi == x_lo:
+        x_hi = x_lo + 1
+    if y_hi == y_lo:
+        y_hi = y_lo + 1
+
+    def px(value: float) -> float:
+        return margin_left + plot_w * (tx(value) - x_lo) / (x_hi - x_lo)
+
+    def py(value: float) -> float:
+        return margin_top + plot_h * (
+            1 - (ty(value) - y_lo) / (y_hi - y_lo)
+        )
+
+    parts = _header(width, height, title)
+    parts.append(
+        f'<rect x="{margin_left}" y="{margin_top}" width="{plot_w}" '
+        f'height="{plot_h}" fill="none" stroke="#999999"/>'
+    )
+    for raw in x_values:
+        parts.append(
+            f'<text x="{px(raw):.1f}" y="{margin_top + plot_h + 16}" '
+            f'text-anchor="middle" font-size="10" {_FONT}>{raw:g}</text>'
+        )
+    parts.append(
+        f'<text x="{margin_left + plot_w / 2}" '
+        f'y="{height - 8}" text-anchor="middle" font-size="11" {_FONT}>'
+        f"{escape(x_label)}</text>"
+    )
+    parts.append(
+        f'<text x="14" y="{margin_top + plot_h / 2}" font-size="11" '
+        f'{_FONT} transform="rotate(-90 14 {margin_top + plot_h / 2})" '
+        f'text-anchor="middle">{escape(y_label)}</text>'
+    )
+
+    for index, (name, values) in enumerate(series.items()):
+        colour = PALETTE[index % len(PALETTE)]
+        points = " ".join(
+            f"{px(x):.1f},{py(y):.1f}" for x, y in zip(x_values, values)
+        )
+        parts.append(
+            f'<polyline points="{points}" fill="none" stroke="{colour}" '
+            'stroke-width="2"/>'
+        )
+        legend_y = margin_top + 16 * index
+        legend_x = margin_left + plot_w + 12
+        parts.append(
+            f'<line x1="{legend_x}" y1="{legend_y + 5}" '
+            f'x2="{legend_x + 16}" y2="{legend_y + 5}" '
+            f'stroke="{colour}" stroke-width="2"/>'
+        )
+        parts.append(
+            f'<text x="{legend_x + 20}" y="{legend_y + 9}" '
+            f'font-size="10" {_FONT}>{escape(name)}</text>'
+        )
+    parts.append("</svg>")
+    return "\n".join(parts)

@@ -1,0 +1,142 @@
+"""Prediction-accuracy validation harness (Figs 10 and 11).
+
+Compares any set of predictors against ground truth — a timing-simulator
+re-run per design point — over a set of optimisation scenarios, and
+aggregates the error statistics the paper reports (per-scenario errors,
+box statistics, per-application summaries).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+import numpy as np
+
+from repro.common.config import LatencyConfig
+from repro.common.events import EventType
+from repro.simulator.machine import Machine
+
+
+@dataclass
+class ScenarioError:
+    """One predictor's error on one optimisation scenario."""
+
+    latency: LatencyConfig
+    simulated_cycles: float
+    predicted_cycles: float
+
+    @property
+    def relative_error(self) -> float:
+        """Signed relative error (prediction vs simulation)."""
+        return (
+            (self.predicted_cycles - self.simulated_cycles)
+            / self.simulated_cycles
+        )
+
+    @property
+    def abs_error_percent(self) -> float:
+        return abs(self.relative_error) * 100.0
+
+
+@dataclass
+class ValidationReport:
+    """Per-predictor error collections over a scenario set."""
+
+    workload_name: str
+    errors: Dict[str, List[ScenarioError]] = field(default_factory=dict)
+
+    def add(self, predictor_name: str, error: ScenarioError) -> None:
+        self.errors.setdefault(predictor_name, []).append(error)
+
+    def mean_abs_error(self, predictor_name: str) -> float:
+        """Mean absolute error in percent."""
+        errs = self.errors[predictor_name]
+        return float(np.mean([e.abs_error_percent for e in errs]))
+
+    def max_abs_error(self, predictor_name: str) -> float:
+        errs = self.errors[predictor_name]
+        return float(np.max([e.abs_error_percent for e in errs]))
+
+    def box_stats(self, predictor_name: str) -> Dict[str, float]:
+        """Min / quartiles / max of the signed errors (Fig 10 whiskers)."""
+        values = np.array(
+            [e.relative_error * 100.0 for e in self.errors[predictor_name]]
+        )
+        return {
+            "min": float(values.min()),
+            "q1": float(np.percentile(values, 25)),
+            "median": float(np.percentile(values, 50)),
+            "q3": float(np.percentile(values, 75)),
+            "max": float(values.max()),
+        }
+
+    def summary_rows(self) -> List[Tuple[str, float, float]]:
+        """(predictor, mean-abs-%, max-abs-%) rows, stable predictor order."""
+        return [
+            (name, self.mean_abs_error(name), self.max_abs_error(name))
+            for name in self.errors
+        ]
+
+
+def validate_predictors(
+    machine: Machine,
+    predictors: Mapping[str, object],
+    scenarios: Sequence[LatencyConfig],
+) -> ValidationReport:
+    """Run every scenario through the simulator and every predictor.
+
+    Args:
+        machine: simulator bound to the workload/structure under test
+            (re-used so the functional pre-pass is shared).
+        predictors: name -> predictor with ``predict_cycles``.
+        scenarios: latency design points to validate on.
+
+    Returns:
+        A :class:`ValidationReport` with one error entry per
+        (predictor, scenario).
+    """
+    report = ValidationReport(workload_name=machine.workload.name)
+    for latency in scenarios:
+        simulated = machine.cycles(latency)
+        for name, predictor in predictors.items():
+            predicted = predictor.predict_cycles(latency)
+            report.add(
+                name,
+                ScenarioError(
+                    latency=latency,
+                    simulated_cycles=simulated,
+                    predicted_cycles=predicted,
+                ),
+            )
+    return report
+
+
+def bottleneck_reduction_scenarios(
+    base: LatencyConfig,
+    bottlenecks: Sequence[EventType],
+    fraction: float,
+    pairs: bool = True,
+) -> List[LatencyConfig]:
+    """The paper's Fig 11 scenario generator.
+
+    Scales each bottleneck event (and, when *pairs*, each pair of them)
+    to *fraction* of its baseline latency, clamped to whole cycles.
+
+    Args:
+        base: baseline latency configuration.
+        bottlenecks: the application's major bottleneck events.
+        fraction: e.g. 0.5 (Fig 11a) or 0.1–0.25 (Fig 11b).
+        pairs: include two-event combinations ("up to two events").
+    """
+    scenarios: List[LatencyConfig] = []
+    events = list(dict.fromkeys(EventType(e) for e in bottlenecks))
+    for event in events:
+        scenarios.append(base.scaled({event: fraction}))
+    if pairs:
+        for i, first in enumerate(events):
+            for second in events[i + 1 :]:
+                scenarios.append(
+                    base.scaled({first: fraction, second: fraction})
+                )
+    return scenarios

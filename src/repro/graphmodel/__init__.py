@@ -1,0 +1,47 @@
+"""Dependence-graph model of the out-of-order pipeline (Table I)."""
+
+from repro.graphmodel.builder import (
+    BuilderOptions,
+    DependenceGraphBuilder,
+    build_graph,
+)
+from repro.graphmodel.criticality import (
+    CriticalityAnalysis,
+    EdgeSlack,
+    interaction_cost,
+    interaction_matrix,
+)
+from repro.graphmodel.export import to_dot
+from repro.graphmodel.graph import (
+    DependenceGraph,
+    GraphBuildError,
+    MAX_EDGE_EVENTS,
+)
+from repro.graphmodel.nodes import (
+    NODES_PER_UOP,
+    Stage,
+    node_id,
+    node_seq,
+    node_stage,
+)
+from repro.graphmodel.reeval import GraphReevalPredictor
+
+__all__ = [
+    "BuilderOptions",
+    "CriticalityAnalysis",
+    "DependenceGraph",
+    "EdgeSlack",
+    "interaction_cost",
+    "interaction_matrix",
+    "DependenceGraphBuilder",
+    "GraphBuildError",
+    "GraphReevalPredictor",
+    "MAX_EDGE_EVENTS",
+    "NODES_PER_UOP",
+    "Stage",
+    "build_graph",
+    "node_id",
+    "to_dot",
+    "node_seq",
+    "node_stage",
+]

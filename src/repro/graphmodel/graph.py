@@ -1,0 +1,201 @@
+"""Dependence-graph container, longest-path evaluation, re-pricing.
+
+A :class:`DependenceGraph` is a DAG over pipeline-stage nodes whose edges
+carry sparse *event charges*: up to three ``(event, units)`` pairs.  An
+edge's weight under a latency configuration θ is ``Σ units · θ[event]``,
+so the whole graph re-prices for a new design point without rebuilding —
+the property both the Fields-style re-evaluation baseline and the
+RpStacks generator exploit.
+
+The longest path from the virtual start (all-zero sources) to the final
+commit node is the graph model's predicted execution time; backtracking
+its parent chain yields the critical path's stall-event stack (CP1).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.common.config import LatencyConfig
+from repro.common.events import NUM_EVENTS, EventType
+from repro.graphmodel.nodes import NODES_PER_UOP, Stage, node_id
+
+#: Sparse event charge type alias: ((event, units), ...), at most 3 pairs.
+EventCharge = Tuple[Tuple[EventType, int], ...]
+
+#: Maximum (event, units) pairs an edge can carry.
+MAX_EDGE_EVENTS = 3
+
+
+class GraphBuildError(ValueError):
+    """Raised when edge lists are malformed (e.g. cyclic)."""
+
+
+class DependenceGraph:
+    """Immutable dependence graph over ``13 * num_uops`` nodes.
+
+    Build via :class:`~repro.graphmodel.builder.DependenceGraphBuilder`;
+    construct directly only in tests.
+    """
+
+    def __init__(
+        self,
+        num_uops: int,
+        edge_src: Sequence[int],
+        edge_dst: Sequence[int],
+        edge_charges: Sequence[EventCharge],
+    ) -> None:
+        if not (len(edge_src) == len(edge_dst) == len(edge_charges)):
+            raise GraphBuildError("edge arrays must have equal length")
+        self.num_uops = num_uops
+        self.num_nodes = num_uops * NODES_PER_UOP
+        self.num_edges = len(edge_src)
+
+        order = np.argsort(np.asarray(edge_dst, dtype=np.int64), kind="stable")
+        self.edge_src = np.asarray(edge_src, dtype=np.int64)[order]
+        self.edge_dst = np.asarray(edge_dst, dtype=np.int64)[order]
+        charges = [edge_charges[i] for i in order]
+        self.edge_charges: Tuple[EventCharge, ...] = tuple(charges)
+
+        events = np.zeros((self.num_edges, MAX_EDGE_EVENTS), dtype=np.int16)
+        units = np.zeros((self.num_edges, MAX_EDGE_EVENTS), dtype=np.int32)
+        for i, charge in enumerate(charges):
+            if len(charge) > MAX_EDGE_EVENTS:
+                raise GraphBuildError(
+                    f"edge {i} carries {len(charge)} event pairs "
+                    f"(max {MAX_EDGE_EVENTS})"
+                )
+            for j, (event, count) in enumerate(charge):
+                events[i, j] = int(event)
+                units[i, j] = int(count)
+        self._events = events
+        self._units = units
+
+        # CSR over incoming edges (edges are already sorted by dst).
+        self.in_indptr = np.zeros(self.num_nodes + 1, dtype=np.int64)
+        np.add.at(self.in_indptr, self.edge_dst + 1, 1)
+        np.cumsum(self.in_indptr, out=self.in_indptr)
+
+        self._topo: Optional[List[int]] = None
+        # Hot-loop copies as plain Python lists (fast scalar indexing).
+        self._src_list = self.edge_src.tolist()
+        self._indptr_list = self.in_indptr.tolist()
+
+    # ------------------------------------------------------------------
+
+    @property
+    def sink(self) -> int:
+        """Commit node of the last µop — the end of every execution path."""
+        return node_id(self.num_uops - 1, Stage.C)
+
+    def edge_weights(self, latency: LatencyConfig) -> np.ndarray:
+        """Per-edge weights (cycles) under *latency*."""
+        theta = latency.as_vector()
+        return (self._units * theta[self._events]).sum(axis=1)
+
+    def charge_vector(self, charge: EventCharge) -> np.ndarray:
+        """Dense event-unit vector of a sparse charge."""
+        vec = np.zeros(NUM_EVENTS, dtype=np.float64)
+        for event, count in charge:
+            vec[int(event)] += count
+        return vec
+
+    def edge_charge_vectors(self) -> np.ndarray:
+        """Dense (num_edges x NUM_EVENTS) unit matrix (RpStacks traversal)."""
+        mat = np.zeros((self.num_edges, NUM_EVENTS), dtype=np.float64)
+        rows = np.repeat(
+            np.arange(self.num_edges), MAX_EDGE_EVENTS
+        ).reshape(self.num_edges, MAX_EDGE_EVENTS)
+        np.add.at(mat, (rows.ravel(), self._events.ravel()), self._units.ravel())
+        return mat
+
+    # ------------------------------------------------------------------
+
+    def topological_order(self) -> List[int]:
+        """Topological node order (computed once, cached).
+
+        Kahn's algorithm; raises :class:`GraphBuildError` on a cycle.
+        """
+        if self._topo is not None:
+            return self._topo
+        indegree = np.zeros(self.num_nodes, dtype=np.int64)
+        np.add.at(indegree, self.edge_dst, 1)
+        out_order = np.argsort(self.edge_src, kind="stable")
+        out_dst = self.edge_dst[out_order].tolist()
+        out_indptr = np.zeros(self.num_nodes + 1, dtype=np.int64)
+        np.add.at(out_indptr, self.edge_src + 1, 1)
+        np.cumsum(out_indptr, out=out_indptr)
+        out_indptr = out_indptr.tolist()
+
+        indegree = indegree.tolist()
+        queue = deque(v for v in range(self.num_nodes) if indegree[v] == 0)
+        topo: List[int] = []
+        while queue:
+            v = queue.popleft()
+            topo.append(v)
+            for k in range(out_indptr[v], out_indptr[v + 1]):
+                w = out_dst[k]
+                indegree[w] -= 1
+                if indegree[w] == 0:
+                    queue.append(w)
+        if len(topo) != self.num_nodes:
+            raise GraphBuildError("dependence graph contains a cycle")
+        self._topo = topo
+        return topo
+
+    def longest_path_length(self, latency: LatencyConfig) -> float:
+        """Predicted execution cycles: the longest path to the sink."""
+        dist, _parent = self._relax(latency, track_parents=False)
+        return dist[self.sink]
+
+    def critical_path(
+        self, latency: LatencyConfig
+    ) -> Tuple[float, np.ndarray]:
+        """Longest path to the sink plus its stall-event decomposition.
+
+        Returns:
+            ``(length, stack)`` where ``stack`` is the per-event unit
+            vector accumulated along the critical path — repricing it
+            under θ' gives ``stack @ θ'`` cycles (the CP1 predictor).
+        """
+        dist, parent = self._relax(latency, track_parents=True)
+        stack = np.zeros(NUM_EVENTS, dtype=np.float64)
+        node = self.sink
+        while parent[node] >= 0:
+            edge = parent[node]
+            for event, count in self.edge_charges[edge]:
+                stack[int(event)] += count
+            node = int(self.edge_src[edge])
+        return dist[self.sink], stack
+
+    def _relax(
+        self, latency: LatencyConfig, track_parents: bool
+    ) -> Tuple[List[float], List[int]]:
+        weights = self.edge_weights(latency).tolist()
+        src = self._src_list
+        indptr = self._indptr_list
+        dist: List[float] = [0.0] * self.num_nodes
+        parent: List[int] = [-1] * self.num_nodes if track_parents else []
+        for v in self.topological_order():
+            begin, end = indptr[v], indptr[v + 1]
+            if begin == end:
+                continue
+            best = 0.0
+            best_edge = -1
+            for e in range(begin, end):
+                cand = dist[src[e]] + weights[e]
+                if cand > best:
+                    best = cand
+                    best_edge = e
+            dist[v] = best
+            if track_parents:
+                parent[v] = best_edge
+        return dist, parent
+
+    def node_distances(self, latency: LatencyConfig) -> List[float]:
+        """Longest-path distance to every node (diagnostics, tests)."""
+        dist, _ = self._relax(latency, track_parents=False)
+        return dist

@@ -1,0 +1,65 @@
+"""Node naming for the dependence-graph model (Fig 8c).
+
+Each micro-op contributes up to 13 pipeline-stage nodes.  Non-memory
+micro-ops skip the three address-path stages (AR1, AR2, DTLB) — their
+nodes exist for addressing simplicity but have no incident edges.
+
+Node ids are ``seq * NODES_PER_UOP + stage``, so the graph layout is a
+dense grid and node ownership is recoverable by integer division.
+"""
+
+from __future__ import annotations
+
+from enum import IntEnum
+
+
+class Stage(IntEnum):
+    """Pipeline-stage nodes, in per-µop pipeline order.
+
+    F     start of instruction fetch
+    ITLB  ITLB access done
+    IC    I-cache access done
+    N     register renaming / ROB allocation
+    D     issue-queue entry allocation (dispatch)
+    AR1   address operands ready (memory ops)
+    AR2   address calculation done (memory ops)
+    DTLB  DTLB access done (memory ops)
+    R     all data operands ready
+    E     execution starts (issue)
+    P     execution complete
+    RC    ready to commit
+    C     commit
+    """
+
+    F = 0
+    ITLB = 1
+    IC = 2
+    N = 3
+    D = 4
+    AR1 = 5
+    AR2 = 6
+    DTLB = 7
+    R = 8
+    E = 9
+    P = 10
+    RC = 11
+    C = 12
+
+
+#: Nodes allocated per micro-op.
+NODES_PER_UOP = len(Stage)
+
+
+def node_id(seq: int, stage: Stage) -> int:
+    """Node id of µop *seq*'s *stage* node."""
+    return seq * NODES_PER_UOP + stage
+
+
+def node_seq(node: int) -> int:
+    """Owning µop of *node*."""
+    return node // NODES_PER_UOP
+
+
+def node_stage(node: int) -> Stage:
+    """Pipeline stage of *node*."""
+    return Stage(node % NODES_PER_UOP)

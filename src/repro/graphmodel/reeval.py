@@ -1,0 +1,38 @@
+"""Per-design graph re-evaluation (the Fields et al. baseline).
+
+Fields et al. track critical-path changes across hardware configurations
+by reconstructing/re-evaluating the dependence graph for every design
+point.  That is exact with respect to the graph model, but — as Section
+II-C of the paper argues — its cost grows linearly with the number of
+design points, so it eventually loses to RpStacks' one-off analysis.
+This module packages re-evaluation behind the common predictor interface
+so the overhead benchmarks (Fig 2b / Fig 13) can compare the two shapes.
+"""
+
+from __future__ import annotations
+
+from repro.common.config import LatencyConfig
+from repro.graphmodel.graph import DependenceGraph
+
+
+class GraphReevalPredictor:
+    """Exact graph-model prediction: one longest-path pass per design."""
+
+    name = "graph-reeval"
+
+    def __init__(self, graph: DependenceGraph) -> None:
+        self.graph = graph
+        #: number of longest-path evaluations performed (overhead reports)
+        self.evaluations = 0
+
+    @property
+    def num_uops(self) -> int:
+        return self.graph.num_uops
+
+    def predict_cycles(self, latency: LatencyConfig) -> float:
+        """Longest path of the re-priced graph under *latency*."""
+        self.evaluations += 1
+        return self.graph.longest_path_length(latency)
+
+    def predict_cpi(self, latency: LatencyConfig) -> float:
+        return self.predict_cycles(latency) / self.graph.num_uops

@@ -1,0 +1,241 @@
+"""Micro-op / macro-op instruction model.
+
+RpStacks targets an x86-like microarchitecture where each architectural
+instruction (*macro-op*) decodes into one or more *micro-ops* that flow
+through the out-of-order pipeline independently but must commit together,
+in macro-op granularity.  The simulator therefore records, per micro-op,
+whether it is the Start-of-Macro-op (SoM) or End-of-Macro-op (EoM); the
+dependence-graph builder turns that into the paper's "µop dependency"
+commit constraint (Table I).
+
+A workload is simply a sequence of :class:`MicroOp` records.  All
+non-deterministic aspects (branch directions, memory addresses) are fixed
+at generation time so that re-simulating the same workload under a
+different latency configuration replays the identical instruction stream —
+the property the single-simulation methodology relies on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import IntEnum
+from typing import Optional, Sequence, Tuple
+
+from repro.common.events import EventType
+
+
+class OpClass(IntEnum):
+    """Execution resource class of a micro-op."""
+
+    INT_ALU = 0
+    INT_MUL = 1
+    INT_DIV = 2
+    FP_ADD = 3
+    FP_MUL = 4
+    FP_DIV = 5
+    LOAD = 6
+    STORE = 7
+    BRANCH = 8
+    NOP = 9
+
+
+#: Execution event charged while the micro-op occupies its functional unit.
+#: Loads/stores additionally charge the cache/TLB chain discovered at run
+#: time; branches execute on the base ALU.
+EXEC_EVENT = {
+    OpClass.INT_ALU: EventType.INT_ALU,
+    OpClass.INT_MUL: EventType.INT_MUL,
+    OpClass.INT_DIV: EventType.INT_DIV,
+    OpClass.FP_ADD: EventType.FP_ADD,
+    OpClass.FP_MUL: EventType.FP_MUL,
+    OpClass.FP_DIV: EventType.FP_DIV,
+    OpClass.LOAD: EventType.LD,
+    OpClass.STORE: EventType.ST,
+    OpClass.BRANCH: EventType.INT_ALU,
+    OpClass.NOP: EventType.BASE,
+}
+
+#: Micro-op classes that access data memory.
+MEMORY_CLASSES = (OpClass.LOAD, OpClass.STORE)
+
+#: Micro-op classes executing on the long-latency integer pipe.
+LONG_ALU_CLASSES = (OpClass.INT_MUL, OpClass.INT_DIV)
+
+#: Micro-op classes executing on the FP pipe.
+FP_CLASSES = (OpClass.FP_ADD, OpClass.FP_MUL, OpClass.FP_DIV)
+
+
+@dataclass(frozen=True)
+class MicroOp:
+    """One dynamic micro-op instance.
+
+    Attributes:
+        seq: position in the dynamic stream (0-based, dense).
+        macro_id: id of the owning macro-op; micro-ops of one macro-op are
+            contiguous in the stream.
+        som / eom: Start/End-of-Macro-op markers.
+        opclass: execution resource class.
+        pc: byte address of the owning macro-op (drives I-cache/ITLB).
+        src_regs: architectural source register ids (0..63); at most two.
+        dst_reg: architectural destination register id, or ``None``.
+        mem_addr: byte address touched (loads/stores only).
+        addr_src_regs: registers consumed by address generation
+            (loads/stores only) — these feed the AR1 node of the graph.
+        is_branch: convenience flag, true iff ``opclass is BRANCH``.
+        taken: actual branch direction (branches only).
+        target_pc: actual successor pc (branches only).
+    """
+
+    seq: int
+    macro_id: int
+    som: bool
+    eom: bool
+    opclass: OpClass
+    pc: int
+    src_regs: Tuple[int, ...] = ()
+    dst_reg: Optional[int] = None
+    mem_addr: Optional[int] = None
+    addr_src_regs: Tuple[int, ...] = ()
+    taken: bool = False
+    target_pc: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.seq < 0 or self.macro_id < 0:
+            raise ValueError("seq and macro_id must be non-negative")
+        if len(self.src_regs) > 2:
+            raise ValueError("a micro-op reads at most two data operands")
+        if self.is_memory and self.mem_addr is None:
+            raise ValueError(f"{self.opclass.name} micro-op needs mem_addr")
+        if not self.is_memory and self.mem_addr is not None:
+            raise ValueError("non-memory micro-op must not carry mem_addr")
+        if self.addr_src_regs and not self.is_memory:
+            raise ValueError("addr_src_regs only apply to memory micro-ops")
+
+    @property
+    def is_memory(self) -> bool:
+        return self.opclass in MEMORY_CLASSES
+
+    @property
+    def is_load(self) -> bool:
+        return self.opclass is OpClass.LOAD
+
+    @property
+    def is_store(self) -> bool:
+        return self.opclass is OpClass.STORE
+
+    @property
+    def is_branch(self) -> bool:
+        return self.opclass is OpClass.BRANCH
+
+    @property
+    def exec_event(self) -> EventType:
+        """Event charged for occupancy of this op's functional unit."""
+        return EXEC_EVENT[self.opclass]
+
+
+@dataclass(frozen=True)
+class Workload:
+    """A named, deterministic dynamic micro-op stream.
+
+    ``uops`` is the complete stream in program (commit) order.  The class
+    validates the structural invariants the pipeline model and the graph
+    builder both rely on.
+    """
+
+    name: str
+    uops: Tuple[MicroOp, ...]
+    #: Free-form provenance (generator parameters), for reports.
+    params: Tuple[Tuple[str, object], ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        validate_stream(self.uops)
+
+    def __len__(self) -> int:
+        return len(self.uops)
+
+    def __iter__(self):
+        return iter(self.uops)
+
+    def __getitem__(self, index: int) -> MicroOp:
+        return self.uops[index]
+
+    @property
+    def num_macro_ops(self) -> int:
+        return self.uops[-1].macro_id + 1 if self.uops else 0
+
+    def slice(self, start: int, stop: int, name: Optional[str] = None) -> "Workload":
+        """Extract a macro-op-aligned interval ``[start, stop)`` of µops.
+
+        The bounds are snapped outward to macro-op boundaries so the
+        resulting stream still satisfies the SoM/EoM invariants; sequence
+        numbers and macro ids are re-based to zero.
+        """
+        if not self.uops:
+            raise ValueError("cannot slice an empty workload")
+        start = max(0, min(start, len(self.uops)))
+        stop = max(start, min(stop, len(self.uops)))
+        while start > 0 and not self.uops[start].som:
+            start -= 1
+        while stop < len(self.uops) and not self.uops[stop].som:
+            stop += 1
+        window = self.uops[start:stop]
+        if not window:
+            raise ValueError("empty interval after macro-op alignment")
+        base_macro = window[0].macro_id
+        rebased = tuple(
+            MicroOp(
+                seq=i,
+                macro_id=uop.macro_id - base_macro,
+                som=uop.som,
+                eom=uop.eom,
+                opclass=uop.opclass,
+                pc=uop.pc,
+                src_regs=uop.src_regs,
+                dst_reg=uop.dst_reg,
+                mem_addr=uop.mem_addr,
+                addr_src_regs=uop.addr_src_regs,
+                taken=uop.taken,
+                target_pc=uop.target_pc,
+            )
+            for i, uop in enumerate(window)
+        )
+        return Workload(
+            name=name or f"{self.name}[{start}:{stop}]",
+            uops=rebased,
+            params=self.params,
+        )
+
+
+def validate_stream(uops: Sequence[MicroOp]) -> None:
+    """Check the macro-op structural invariants of a dynamic stream.
+
+    Raises:
+        ValueError: on non-dense sequence numbers, macro-op id gaps, or
+            broken SoM/EoM bracketing.
+    """
+    expecting_som = True
+    previous_macro = -1
+    for position, uop in enumerate(uops):
+        if uop.seq != position:
+            raise ValueError(
+                f"non-dense seq at position {position}: got {uop.seq}"
+            )
+        if expecting_som:
+            if not uop.som:
+                raise ValueError(f"µop {position} should start a macro-op")
+            if uop.macro_id != previous_macro + 1:
+                raise ValueError(
+                    f"macro id gap at µop {position}: "
+                    f"{previous_macro} -> {uop.macro_id}"
+                )
+            previous_macro = uop.macro_id
+        else:
+            if uop.som:
+                raise ValueError(f"unexpected SoM inside macro-op at {position}")
+            if uop.macro_id != previous_macro:
+                raise ValueError(
+                    f"macro id changed mid-macro-op at µop {position}"
+                )
+        expecting_som = uop.eom
+    if uops and not uops[-1].eom:
+        raise ValueError("stream ends inside a macro-op")

@@ -1,0 +1,33 @@
+"""SimPoint-style sampling: BBV profiling, k-means, interval selection."""
+
+from repro.sampling.bbv import (
+    basic_block_ids,
+    interval_vectors,
+    random_projection,
+)
+from repro.sampling.kmeans import (
+    KMeansResult,
+    bic_score,
+    choose_k,
+    kmeans,
+)
+from repro.sampling.simpoint import (
+    SimPoint,
+    select_simpoints,
+    simpoint_machine,
+    weighted_cpi,
+)
+
+__all__ = [
+    "KMeansResult",
+    "SimPoint",
+    "basic_block_ids",
+    "bic_score",
+    "choose_k",
+    "interval_vectors",
+    "kmeans",
+    "random_projection",
+    "select_simpoints",
+    "simpoint_machine",
+    "weighted_cpi",
+]

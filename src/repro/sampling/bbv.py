@@ -1,0 +1,96 @@
+"""Basic-block-vector profiling (the SimPoint front half).
+
+SimPoint characterises fixed-length execution intervals by their
+basic-block execution frequencies.  Our synthetic workloads carry pc
+values, so basic blocks are recovered the same way a real profiler would:
+a block boundary at every branch (and at its target).  Each interval of
+``interval_macros`` macro-ops becomes a frequency vector over the block
+vocabulary; vectors are L1-normalised and randomly projected to a small
+dimension before clustering, exactly following the SimPoint recipe.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.isa.uop import Workload
+
+
+def basic_block_ids(workload: Workload) -> List[int]:
+    """Per-macro-op basic-block id, in program order.
+
+    A new block starts at the beginning of the stream, after every
+    branch, and at every branch target; blocks are identified by the pc
+    of their first macro-op.
+    """
+    block_of_pc: Dict[int, int] = {}
+    ids: List[int] = []
+    next_starts_block = True
+    current_block = 0
+    for uop in workload:
+        if not uop.som:
+            continue
+        if next_starts_block:
+            current_block = block_of_pc.setdefault(uop.pc, len(block_of_pc))
+            next_starts_block = False
+        ids.append(current_block)
+        if uop.is_branch:
+            next_starts_block = True
+    return ids
+
+
+def interval_vectors(
+    workload: Workload, interval_macros: int
+) -> Tuple[np.ndarray, List[Tuple[int, int]]]:
+    """Basic-block vectors per interval.
+
+    Args:
+        workload: the full dynamic stream.
+        interval_macros: interval length in macro-ops.
+
+    Returns:
+        ``(vectors, bounds)``: an (intervals x blocks) L1-normalised
+        frequency matrix, and per-interval ``(start_uop, stop_uop)``
+        bounds into the µop stream.
+    """
+    if interval_macros < 1:
+        raise ValueError("interval_macros must be positive")
+    ids = basic_block_ids(workload)
+    if not ids:
+        raise ValueError("workload has no macro-ops")
+    num_blocks = max(ids) + 1
+    num_intervals = (len(ids) + interval_macros - 1) // interval_macros
+    vectors = np.zeros((num_intervals, num_blocks))
+
+    macro_starts: List[int] = [
+        uop.seq for uop in workload if uop.som
+    ]
+    bounds: List[Tuple[int, int]] = []
+    for interval in range(num_intervals):
+        lo = interval * interval_macros
+        hi = min(len(ids), lo + interval_macros)
+        for macro in range(lo, hi):
+            vectors[interval, ids[macro]] += 1
+        start_uop = macro_starts[lo]
+        stop_uop = (
+            macro_starts[hi] if hi < len(macro_starts) else len(workload)
+        )
+        bounds.append((start_uop, stop_uop))
+    row_sums = vectors.sum(axis=1, keepdims=True)
+    vectors = vectors / np.where(row_sums > 0, row_sums, 1.0)
+    return vectors, bounds
+
+
+def random_projection(
+    vectors: np.ndarray, dimensions: int = 15, seed: int = 0
+) -> np.ndarray:
+    """SimPoint's dimensionality reduction: a seeded Gaussian projection."""
+    if dimensions < 1:
+        raise ValueError("dimensions must be positive")
+    rng = np.random.default_rng(seed)
+    if vectors.shape[1] <= dimensions:
+        return vectors.copy()
+    matrix = rng.standard_normal((vectors.shape[1], dimensions))
+    return vectors @ matrix

@@ -1,0 +1,146 @@
+"""K-means clustering, implemented from scratch for SimPoint selection.
+
+Lloyd's algorithm with k-means++ seeding and a BIC-style score for
+choosing k, mirroring the original SimPoint tool's pipeline.  NumPy-only;
+deterministic given the seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+
+@dataclass
+class KMeansResult:
+    """Outcome of one clustering run.
+
+    Attributes:
+        centroids: (k, d) cluster centres.
+        labels: per-point cluster assignment.
+        inertia: total squared distance to assigned centroids.
+        k: number of clusters.
+    """
+
+    centroids: np.ndarray
+    labels: np.ndarray
+    inertia: float
+    k: int
+
+
+def _plusplus_seeds(
+    points: np.ndarray, k: int, rng: np.random.Generator
+) -> np.ndarray:
+    """k-means++ initial centroids."""
+    n = points.shape[0]
+    centroids = np.empty((k, points.shape[1]))
+    first = int(rng.integers(0, n))
+    centroids[0] = points[first]
+    closest = ((points - centroids[0]) ** 2).sum(axis=1)
+    for i in range(1, k):
+        total = closest.sum()
+        if total <= 0:
+            centroids[i:] = points[int(rng.integers(0, n))]
+            break
+        probabilities = closest / total
+        choice = int(rng.choice(n, p=probabilities))
+        centroids[i] = points[choice]
+        distance = ((points - centroids[i]) ** 2).sum(axis=1)
+        np.minimum(closest, distance, out=closest)
+    return centroids
+
+
+def kmeans(
+    points: np.ndarray,
+    k: int,
+    seed: int = 0,
+    max_iterations: int = 100,
+) -> KMeansResult:
+    """Cluster *points* into *k* groups (Lloyd + k-means++).
+
+    Raises:
+        ValueError: if k exceeds the number of points or is < 1.
+    """
+    points = np.asarray(points, dtype=np.float64)
+    if points.ndim != 2:
+        raise ValueError("points must be a 2-D array")
+    n = points.shape[0]
+    if not 1 <= k <= n:
+        raise ValueError(f"k must be in [1, {n}], got {k}")
+
+    rng = np.random.default_rng(seed)
+    centroids = _plusplus_seeds(points, k, rng)
+    labels = np.zeros(n, dtype=np.int64)
+    for _ in range(max_iterations):
+        distances = ((points[:, None, :] - centroids[None, :, :]) ** 2).sum(
+            axis=2
+        )
+        new_labels = distances.argmin(axis=1)
+        if (new_labels == labels).all() and _ > 0:
+            break
+        labels = new_labels
+        for cluster in range(k):
+            members = points[labels == cluster]
+            if members.shape[0]:
+                centroids[cluster] = members.mean(axis=0)
+            else:
+                # Re-seed an empty cluster at the farthest point.
+                farthest = distances.min(axis=1).argmax()
+                centroids[cluster] = points[farthest]
+    distances = ((points[:, None, :] - centroids[None, :, :]) ** 2).sum(axis=2)
+    labels = distances.argmin(axis=1)
+    inertia = float(distances[np.arange(n), labels].sum())
+    return KMeansResult(centroids=centroids, labels=labels, inertia=inertia, k=k)
+
+
+def bic_score(points: np.ndarray, result: KMeansResult) -> float:
+    """Schwarz BIC of a clustering (higher is better), as SimPoint uses.
+
+    A spherical-Gaussian likelihood with a per-parameter penalty; used to
+    pick the smallest k that explains the interval population well.
+    """
+    n, d = points.shape
+    k = result.k
+    if n <= k:
+        return float("-inf")
+    variance = result.inertia / max(1e-12, (n - k))
+    if variance <= 0:
+        variance = 1e-12
+    log_likelihood = 0.0
+    for cluster in range(k):
+        size = int((result.labels == cluster).sum())
+        if size == 0:
+            continue
+        log_likelihood += (
+            size * np.log(size / n)
+            - size * d / 2.0 * np.log(2 * np.pi * variance)
+            - (size - 1) * d / 2.0
+        )
+    num_parameters = k * (d + 1)
+    return float(log_likelihood - num_parameters / 2.0 * np.log(n))
+
+
+def choose_k(
+    points: np.ndarray,
+    max_k: int,
+    seed: int = 0,
+    threshold: float = 0.9,
+) -> KMeansResult:
+    """SimPoint's k selection: smallest k whose BIC is within *threshold*
+    of the best BIC over ``1..max_k``."""
+    points = np.asarray(points, dtype=np.float64)
+    max_k = min(max_k, points.shape[0])
+    results = [kmeans(points, k, seed=seed) for k in range(1, max_k + 1)]
+    scores = np.array([bic_score(points, r) for r in results])
+    finite = np.isfinite(scores)
+    if not finite.any():
+        return results[0]
+    best = scores[finite].max()
+    worst = scores[finite].min()
+    span = best - worst if best > worst else 1.0
+    for result, score, ok in zip(results, scores, finite):
+        if ok and (score - worst) / span >= threshold:
+            return result
+    return results[int(np.nanargmax(np.where(finite, scores, np.nan)))]

@@ -1,0 +1,128 @@
+"""SimPoint-style representative-interval selection (§III-C, Fig 7a).
+
+Pipeline: interval BBVs -> random projection -> k-means (BIC-chosen k) ->
+the interval closest to each centroid becomes a *simpoint*, weighted by
+its cluster's population share.  The paper generates RpStacks per
+1M-instruction SimPoint and combines them by weight; we do the same at
+our scaled interval size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.isa.uop import Workload
+from repro.sampling.bbv import interval_vectors, random_projection
+from repro.sampling.kmeans import KMeansResult, choose_k, kmeans
+
+
+@dataclass(frozen=True)
+class SimPoint:
+    """One representative interval.
+
+    Attributes:
+        workload: the macro-op-aligned interval slice, re-based to seq 0.
+        weight: fraction of all intervals its cluster covers (sums to 1).
+        interval_index: which interval of the original stream this is.
+        start_uop: the interval's first µop in the original stream —
+            warming state should be built from the prefix ``[0,
+            start_uop)`` (checkpoint warming).
+    """
+
+    workload: Workload
+    weight: float
+    interval_index: int
+    start_uop: int = 0
+
+
+def select_simpoints(
+    workload: Workload,
+    interval_macros: int = 250,
+    max_k: int = 6,
+    k: Optional[int] = None,
+    projection_dims: int = 15,
+    seed: int = 0,
+) -> List[SimPoint]:
+    """Choose weighted representative intervals of *workload*.
+
+    Args:
+        workload: the full dynamic stream.
+        interval_macros: interval size in macro-ops (the paper's 1M,
+            scaled to our stream lengths).
+        max_k: upper bound for BIC-driven cluster-count selection.
+        k: force an exact cluster count (skips BIC).
+        projection_dims: BBV random-projection dimensionality.
+        seed: clustering / projection seed.
+
+    Returns:
+        Simpoints with weights summing to 1, ordered by interval index.
+    """
+    vectors, bounds = interval_vectors(workload, interval_macros)
+    projected = random_projection(vectors, projection_dims, seed=seed)
+    if k is not None:
+        result: KMeansResult = kmeans(projected, k, seed=seed)
+    else:
+        result = choose_k(projected, max_k=max_k, seed=seed)
+
+    num_intervals = projected.shape[0]
+    simpoints: List[SimPoint] = []
+    for cluster in range(result.k):
+        members = np.flatnonzero(result.labels == cluster)
+        if members.size == 0:
+            continue
+        centroid = result.centroids[cluster]
+        distances = ((projected[members] - centroid) ** 2).sum(axis=1)
+        representative = int(members[distances.argmin()])
+        start, stop = bounds[representative]
+        piece = workload.slice(
+            start, stop, name=f"{workload.name}@sp{representative}"
+        )
+        simpoints.append(
+            SimPoint(
+                workload=piece,
+                weight=members.size / num_intervals,
+                interval_index=representative,
+                start_uop=start,
+            )
+        )
+    simpoints.sort(key=lambda sp: sp.interval_index)
+    return simpoints
+
+
+def simpoint_machine(full_workload: Workload, simpoint: SimPoint, config=None):
+    """A :class:`~repro.simulator.machine.Machine` for one simpoint with
+    checkpoint warming.
+
+    Caches and TLBs are warmed with the *full* stream (the steady-state
+    residency convention every full-stream measurement uses), and the
+    branch predictor is additionally trained on the measured prefix
+    preceding the interval — together reproducing the microarchitectural
+    state the interval would see in situ.
+    """
+    from repro.simulator.machine import Machine
+
+    prefix = None
+    if simpoint.start_uop > 0:
+        prefix = full_workload.slice(0, simpoint.start_uop)
+    return Machine(
+        simpoint.workload,
+        config=config,
+        warm_stream=full_workload,
+        predictor_extra_stream=prefix,
+    )
+
+
+def weighted_cpi(cpis: Sequence[float], simpoints: Sequence[SimPoint]) -> float:
+    """Combine per-simpoint CPIs into the whole-workload estimate."""
+    if len(cpis) != len(simpoints):
+        raise ValueError("one CPI per simpoint required")
+    total_weight = sum(sp.weight for sp in simpoints)
+    if total_weight <= 0:
+        raise ValueError("simpoint weights must sum to a positive value")
+    return (
+        sum(cpi * sp.weight for cpi, sp in zip(cpis, simpoints))
+        / total_weight
+    )

@@ -1,0 +1,89 @@
+"""Branch predictors (structure domain).
+
+Per Section IV-D of the paper, the branch predictor belongs to the
+*structure* domain: a misprediction inserts an ordering dependency that a
+zero edge weight cannot remove, so each predictor design requires its own
+simulation, dependence graph and RpStacks.  Three designs are provided;
+``CoreConfig.branch_predictor`` selects one.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.common.config import CoreConfig
+
+
+class BranchPredictor:
+    """Interface: predict a conditional branch's direction, then train."""
+
+    def predict_and_train(self, pc: int, taken: bool) -> bool:
+        """Return the prediction for (pc), then update with the outcome."""
+        raise NotImplementedError
+
+    @property
+    def name(self) -> str:
+        return type(self).__name__
+
+
+class AlwaysTakenPredictor(BranchPredictor):
+    """Static predict-taken baseline."""
+
+    def predict_and_train(self, pc: int, taken: bool) -> bool:
+        return True
+
+
+class BimodalPredictor(BranchPredictor):
+    """Per-pc-indexed table of 2-bit saturating counters."""
+
+    def __init__(self, entries: int) -> None:
+        if entries <= 0:
+            raise ValueError("entries must be positive")
+        self._mask = entries - 1
+        self._counters: Dict[int, int] = {}
+
+    def predict_and_train(self, pc: int, taken: bool) -> bool:
+        index = (pc >> 2) & self._mask
+        counter = self._counters.get(index, 2)
+        prediction = counter >= 2
+        if taken:
+            counter = min(3, counter + 1)
+        else:
+            counter = max(0, counter - 1)
+        self._counters[index] = counter
+        return prediction
+
+
+class GsharePredictor(BranchPredictor):
+    """Global-history-xor-pc indexed 2-bit counters (McFarling gshare)."""
+
+    def __init__(self, entries: int, history_bits: int = 12) -> None:
+        if entries <= 0:
+            raise ValueError("entries must be positive")
+        self._mask = entries - 1
+        self._history_mask = (1 << history_bits) - 1
+        self._history = 0
+        self._counters: Dict[int, int] = {}
+
+    def predict_and_train(self, pc: int, taken: bool) -> bool:
+        index = ((pc >> 2) ^ self._history) & self._mask
+        counter = self._counters.get(index, 2)
+        prediction = counter >= 2
+        if taken:
+            counter = min(3, counter + 1)
+        else:
+            counter = max(0, counter - 1)
+        self._counters[index] = counter
+        self._history = ((self._history << 1) | int(taken)) & self._history_mask
+        return prediction
+
+
+def make_predictor(config: CoreConfig) -> BranchPredictor:
+    """Instantiate the predictor selected by *config*."""
+    if config.branch_predictor == "taken":
+        return AlwaysTakenPredictor()
+    if config.branch_predictor == "bimodal":
+        return BimodalPredictor(config.branch_predictor_entries)
+    if config.branch_predictor == "gshare":
+        return GsharePredictor(config.branch_predictor_entries)
+    raise ValueError(f"unknown predictor {config.branch_predictor!r}")

@@ -1,0 +1,144 @@
+"""Set-associative caches and the two-level memory hierarchy.
+
+Latency is *not* stored here: cache objects only decide hit/miss and track
+replacement state.  The timing simulator converts the hierarchy level that
+served an access into stall events (``L1D``/``L2D``/``MEM_D`` etc.) priced
+by the active :class:`~repro.common.config.LatencyConfig` — that split is
+what lets a single simulation cover every latency design point.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from enum import IntEnum
+from typing import List, Tuple
+
+from repro.common.config import CacheConfig
+
+
+class AccessLevel(IntEnum):
+    """Hierarchy level that serviced an access (data or instruction)."""
+
+    L1 = 1
+    L2 = 2
+    MEMORY = 3
+
+
+class SetAssocCache:
+    """A set-associative cache with true-LRU replacement.
+
+    Stores tags only (this is a timing/locality model, not a data store).
+    Each set is an :class:`~collections.OrderedDict` used as an LRU list:
+    most recently used tags sit at the end.
+    """
+
+    def __init__(self, config: CacheConfig) -> None:
+        self.config = config
+        self._line_shift = config.line_bytes.bit_length() - 1
+        self._num_sets = config.num_sets
+        self._sets: List[OrderedDict] = [OrderedDict() for _ in range(self._num_sets)]
+        self.hits = 0
+        self.misses = 0
+
+    def _locate(self, addr: int) -> Tuple[int, int]:
+        line = addr >> self._line_shift
+        return line % self._num_sets, line // self._num_sets
+
+    def access(self, addr: int) -> bool:
+        """Look up *addr*; allocate on miss.  Returns True on hit."""
+        index, tag = self._locate(addr)
+        cache_set = self._sets[index]
+        if tag in cache_set:
+            cache_set.move_to_end(tag)
+            self.hits += 1
+            return True
+        self.misses += 1
+        if len(cache_set) >= self.config.associativity:
+            cache_set.popitem(last=False)
+        cache_set[tag] = True
+        return False
+
+    def probe(self, addr: int) -> bool:
+        """Check residency without touching replacement state or stats."""
+        index, tag = self._locate(addr)
+        return tag in self._sets[index]
+
+    def install(self, addr: int) -> None:
+        """Insert/refresh *addr* without counting statistics.
+
+        Used by prefetchers and warm-up: the line becomes resident (and
+        most recently used) but the access is not a demand access.
+        """
+        index, tag = self._locate(addr)
+        cache_set = self._sets[index]
+        if tag in cache_set:
+            cache_set.move_to_end(tag)
+            return
+        if len(cache_set) >= self.config.associativity:
+            cache_set.popitem(last=False)
+        cache_set[tag] = True
+
+    def reset_stats(self) -> None:
+        self.hits = 0
+        self.misses = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    def line_of(self, addr: int) -> int:
+        """Line number of *addr* (used for fill-merge bookkeeping)."""
+        return addr >> self._line_shift
+
+
+class MemoryHierarchy:
+    """Split L1 caches over a shared L2 over main memory.
+
+    The hierarchy is non-inclusive: L1 and L2 are looked up independently
+    and both allocate on miss (a simple, common academic model).
+    """
+
+    def __init__(
+        self, l1i: CacheConfig, l1d: CacheConfig, l2: CacheConfig
+    ) -> None:
+        self.l1i = SetAssocCache(l1i)
+        self.l1d = SetAssocCache(l1d)
+        self.l2 = SetAssocCache(l2)
+
+    def access_instruction(self, addr: int) -> AccessLevel:
+        """Fetch-side access; returns the level that serviced it."""
+        if self.l1i.access(addr):
+            return AccessLevel.L1
+        if self.l2.access(addr):
+            return AccessLevel.L2
+        return AccessLevel.MEMORY
+
+    def access_data(self, addr: int) -> AccessLevel:
+        """Load/store access; returns the level that serviced it."""
+        if self.l1d.access(addr):
+            return AccessLevel.L1
+        if self.l2.access(addr):
+            return AccessLevel.L2
+        return AccessLevel.MEMORY
+
+    def warm_data(self, addr: int) -> None:
+        """Install *addr* in L1D and L2 without counting statistics."""
+        self.l1d.access(addr)
+        self.l2.access(addr)
+        self.reset_stats_level(self.l1d)
+        self.reset_stats_level(self.l2)
+
+    def warm_instruction(self, addr: int) -> None:
+        """Install *addr* in L1I and L2 without counting statistics."""
+        self.l1i.access(addr)
+        self.l2.access(addr)
+        self.reset_stats_level(self.l1i)
+        self.reset_stats_level(self.l2)
+
+    @staticmethod
+    def reset_stats_level(cache: SetAssocCache) -> None:
+        cache.reset_stats()
+
+    def reset_stats(self) -> None:
+        for cache in (self.l1i, self.l1d, self.l2):
+            cache.reset_stats()

@@ -1,0 +1,78 @@
+"""Top-level simulation entry point (the ``Machine`` facade).
+
+A :class:`Machine` binds one workload to one *structure-domain*
+configuration and answers timing queries for any number of latency design
+points, sharing the functional pre-pass (caches, TLBs, branch predictor,
+dependencies) across them.  This mirrors the paper's exploration shape:
+one structure, many latency configurations.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Dict, Optional
+
+from repro.common.config import LatencyConfig, MicroarchConfig, baseline_config
+from repro.isa.uop import Workload
+from repro.simulator.core import TimingSimulator
+from repro.simulator.prepass import PrepassResult, run_prepass
+from repro.simulator.trace import SimResult
+
+
+class Machine:
+    """Simulate one workload on one structure at many latency points.
+
+    The functional pre-pass runs once (it depends only on the structure
+    domain); each :meth:`simulate` call prices it under a different
+    latency configuration.  Results are memoised per latency point.
+    """
+
+    def __init__(
+        self,
+        workload: Workload,
+        config: Optional[MicroarchConfig] = None,
+        warm_caches: bool = True,
+        warm_stream: Optional[Workload] = None,
+        predictor_extra_stream: Optional[Workload] = None,
+    ) -> None:
+        self.workload = workload
+        self.config = config or baseline_config()
+        self._prepass = run_prepass(
+            workload,
+            self.config,
+            warm_caches=warm_caches,
+            warm_stream=warm_stream,
+            predictor_extra_stream=predictor_extra_stream,
+        )
+        self._cache: Dict[LatencyConfig, SimResult] = {}
+        #: count of timing runs actually executed (for overhead reports)
+        self.timing_runs = 0
+
+    @property
+    def prepass(self) -> PrepassResult:
+        return self._prepass
+
+    def simulate(
+        self, latency: Optional[LatencyConfig] = None
+    ) -> SimResult:
+        """Timing-simulate under *latency* (baseline latency if omitted)."""
+        latency = latency or self.config.latency
+        cached = self._cache.get(latency)
+        if cached is not None:
+            return cached
+        design = self.config.with_latency(latency)
+        # Each run stamps timestamps into the trace records; deep-copy the
+        # pre-pass records so cached results stay immutable.
+        prepass = copy.deepcopy(self._prepass)
+        result = TimingSimulator(self.workload, design, prepass).run()
+        self.timing_runs += 1
+        self._cache[latency] = result
+        return result
+
+    def cycles(self, latency: Optional[LatencyConfig] = None) -> int:
+        """Total cycles under *latency*."""
+        return self.simulate(latency).cycles
+
+    def cpi(self, latency: Optional[LatencyConfig] = None) -> float:
+        """Cycles per µop under *latency*."""
+        return self.simulate(latency).cpi

@@ -1,0 +1,93 @@
+"""Textbook-style ASCII pipeline diagrams from a simulation trace.
+
+Renders per-µop stage occupancy over cycles — the diagram every
+architecture textbook draws — directly from a
+:class:`~repro.simulator.trace.SimResult`.  Useful for debugging the
+timing model, for teaching, and for eyeballing why a particular chain
+serialises::
+
+    seq opclass  0        10        20
+    000 LOAD     F-NDr+IiiiC
+    001 FP_ADD   F-ND....rIiiiiiC
+    ...
+
+Stage letters: ``F`` fetch, ``-`` decode, ``N`` rename, ``D`` dispatch,
+``.`` waiting in the issue queue, ``r`` ready, ``I`` issue, ``i``
+executing, ``+`` complete/waiting to commit, ``C`` commit.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.simulator.trace import SimResult
+
+
+def render_pipeline(
+    result: SimResult,
+    first: int = 0,
+    count: int = 16,
+    max_width: int = 120,
+) -> str:
+    """Render µops ``[first, first+count)`` as an ASCII pipeline diagram.
+
+    Args:
+        result: a completed simulation.
+        first: first µop to draw.
+        count: number of µops.
+        max_width: clip the cycle axis to this many columns.
+
+    Returns:
+        The diagram as a multi-line string (header + one row per µop).
+    """
+    if count < 1:
+        raise ValueError("count must be positive")
+    first = max(0, first)
+    last = min(len(result.uops), first + count)
+    if first >= last:
+        raise ValueError("window is outside the trace")
+
+    window = result.uops[first:last]
+    origin = min(record.t_fetch for record in window)
+    end = max(record.t_commit for record in window)
+    width = min(max_width, end - origin + 1)
+
+    lines: List[str] = []
+    axis = [" "] * width
+    for tick in range(0, width, 10):
+        label = str(origin + tick)
+        for offset, char in enumerate(label):
+            if tick + offset < width:
+                axis[tick + offset] = char
+    lines.append("seq  opclass   " + "".join(axis))
+
+    for record in window:
+        uop = result.workload[record.seq]
+        row = [" "] * width
+
+        def put(cycle: int, char: str, force: bool = False) -> None:
+            column = cycle - origin
+            if 0 <= column < width and (force or row[column] == " "):
+                row[column] = char
+
+        def fill(start: int, stop: int, char: str) -> None:
+            for cycle in range(start, stop):
+                put(cycle, char)
+
+        put(record.t_fetch, "F", force=True)
+        fill(record.t_fetch + 1, record.t_rename, "-")
+        put(record.t_rename, "N", force=True)
+        put(record.t_dispatch, "D", force=True)
+        fill(record.t_dispatch + 1, record.t_ready, ".")
+        if record.t_ready < record.t_issue:
+            put(record.t_ready, "r", force=True)
+            fill(record.t_ready + 1, record.t_issue, ".")
+        put(record.t_issue, "I", force=True)
+        fill(record.t_issue + 1, record.t_complete, "i")
+        fill(record.t_complete, record.t_commit, "+")
+        put(record.t_commit, "C", force=True)
+
+        lines.append(
+            f"{record.seq:03d}  {uop.opclass.name:<8s} " + "".join(row)
+        )
+    return "\n".join(lines)

@@ -1,0 +1,102 @@
+"""Hardware data prefetchers (structure domain).
+
+Like the branch predictor (Section IV-D), a prefetcher changes *which*
+events occur, so each prefetcher design needs its own simulation and
+RpStacks model; within one design, the latency domain remains fully
+explorable from that single run.
+
+Two classic designs are provided, both modelled as ideal/timely (a
+prefetched line is resident by the time the demand access arrives —
+bandwidth contention and late prefetches are not modelled):
+
+* **next-line** — on a demand L1D miss, install the sequentially next
+  line into L1D and L2;
+* **stride** — a per-pc reference-prediction table; once a pc repeats
+  the same address stride, the next strided line is installed.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.simulator.caches import MemoryHierarchy
+
+LINE_BYTES = 64
+
+PREFETCHER_KINDS = ("none", "next-line", "stride")
+
+
+class Prefetcher:
+    """Interface: observe one demand data access, install prefetches."""
+
+    def access(
+        self,
+        hierarchy: MemoryHierarchy,
+        pc: int,
+        addr: int,
+        was_miss: bool,
+    ) -> None:
+        raise NotImplementedError
+
+
+class NoPrefetcher(Prefetcher):
+    """The baseline: no prefetching."""
+
+    def access(self, hierarchy, pc, addr, was_miss) -> None:
+        return None
+
+
+class NextLinePrefetcher(Prefetcher):
+    """Install line N+1 on a demand miss to line N."""
+
+    def access(self, hierarchy, pc, addr, was_miss) -> None:
+        if not was_miss:
+            return
+        next_line_addr = (addr // LINE_BYTES + 1) * LINE_BYTES
+        hierarchy.l1d.install(next_line_addr)
+        hierarchy.l2.install(next_line_addr)
+
+
+class StridePrefetcher(Prefetcher):
+    """Per-pc reference prediction table with 2-hit stride confirmation.
+
+    Strides are tracked at cache-line granularity (offsets within a line
+    are access noise, not pattern).
+    """
+
+    def __init__(self, table_entries: int = 256) -> None:
+        if table_entries <= 0:
+            raise ValueError("table_entries must be positive")
+        self._entries = table_entries
+        #: pc-indexed: (last line, last line-stride)
+        self._table: Dict[int, Tuple[int, int]] = {}
+
+    def access(self, hierarchy, pc, addr, was_miss) -> None:
+        key = pc % (self._entries * 4)
+        line = addr // LINE_BYTES
+        entry = self._table.get(key)
+        if entry is None:
+            self._table[key] = (line, 0)
+            if len(self._table) > self._entries:
+                self._table.pop(next(iter(self._table)))
+            return
+        last_line, last_stride = entry
+        stride = line - last_line
+        self._table[key] = (line, stride)
+        if stride != 0 and stride == last_stride:
+            target = (line + stride) * LINE_BYTES
+            hierarchy.l1d.install(target)
+            hierarchy.l2.install(target)
+
+
+def make_prefetcher(kind: str) -> Prefetcher:
+    """Instantiate the named prefetcher design."""
+    if kind == "none":
+        return NoPrefetcher()
+    if kind == "next-line":
+        return NextLinePrefetcher()
+    if kind == "stride":
+        return StridePrefetcher()
+    raise ValueError(
+        f"unknown prefetcher {kind!r}; choose from {PREFETCHER_KINDS}"
+    )

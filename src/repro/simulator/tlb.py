@@ -1,0 +1,53 @@
+"""Fully-associative translation lookaside buffers with LRU replacement.
+
+A TLB miss charges the ``ITLB``/``DTLB`` stall event (a fixed page-walk
+penalty in the latency domain); the walk itself is not modelled further.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from repro.common.config import TLBConfig
+
+
+class TLB:
+    """Fully-associative TLB; tracks page residency and hit/miss counts."""
+
+    def __init__(self, config: TLBConfig) -> None:
+        self.config = config
+        self._page_shift = config.page_bytes.bit_length() - 1
+        self._entries: OrderedDict = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def access(self, addr: int) -> bool:
+        """Translate *addr*; allocate on miss.  Returns True on hit."""
+        page = addr >> self._page_shift
+        if page in self._entries:
+            self._entries.move_to_end(page)
+            self.hits += 1
+            return True
+        self.misses += 1
+        if len(self._entries) >= self.config.entries:
+            self._entries.popitem(last=False)
+        self._entries[page] = True
+        return False
+
+    def warm(self, addr: int) -> None:
+        """Install *addr*'s page without counting statistics."""
+        page = addr >> self._page_shift
+        if page not in self._entries:
+            if len(self._entries) >= self.config.entries:
+                self._entries.popitem(last=False)
+            self._entries[page] = True
+        else:
+            self._entries.move_to_end(page)
+
+    def reset_stats(self) -> None:
+        self.hits = 0
+        self.misses = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses

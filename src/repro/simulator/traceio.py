@@ -1,0 +1,240 @@
+"""Simulation-result serialisation (the Fig 8b dynamic trace on disk).
+
+A timing run is the expensive step of the whole pipeline; archiving its
+result lets the graph/RpStacks stages (and any later re-analysis) run
+without re-simulating.  The format is a compressed ``.npz`` holding the
+µop stream, the per-µop trace records and the run metadata — everything
+:func:`repro.graphmodel.builder.build_graph` consumes.
+
+Only the *baseline* configuration's structure/latency identity is
+stored, not Python objects, so archives are portable across sessions.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Union
+
+import numpy as np
+
+from repro.common.config import (
+    CacheConfig,
+    CoreConfig,
+    LatencyConfig,
+    MicroarchConfig,
+    TLBConfig,
+)
+from repro.common.events import EventType
+from repro.isa.uop import MicroOp, OpClass, Workload
+from repro.simulator.trace import SimResult, UopTrace
+
+FORMAT_VERSION = 1
+
+_TIMESTAMP_FIELDS = (
+    "t_fetch",
+    "t_rename",
+    "t_dispatch",
+    "t_ready",
+    "t_issue",
+    "t_complete",
+    "t_commit",
+)
+
+_WITNESS_FIELDS = (
+    "store_barrier",
+    "line_sharer",
+    "phys_reg_freer",
+    "iq_freer",
+)
+
+
+class TraceFormatError(ValueError):
+    """Raised when a file is not a compatible trace archive."""
+
+
+def _encode_charge(charge) -> list:
+    return [[int(event), int(units)] for event, units in charge]
+
+
+def _decode_charge(data) -> tuple:
+    return tuple((EventType(event), units) for event, units in data)
+
+
+def save_result(
+    result: SimResult, path: Union[str, pathlib.Path]
+) -> pathlib.Path:
+    """Archive one simulation result; returns the path written."""
+    path = pathlib.Path(path)
+    if path.suffix != ".npz":
+        path = path.with_suffix(path.suffix + ".npz")
+
+    n = result.num_uops
+    workload = result.workload
+    uop_table = {
+        "macro_id": np.array([u.macro_id for u in workload], np.int64),
+        "som": np.array([u.som for u in workload], np.bool_),
+        "eom": np.array([u.eom for u in workload], np.bool_),
+        "opclass": np.array([int(u.opclass) for u in workload], np.int16),
+        "pc": np.array([u.pc for u in workload], np.int64),
+        "dst_reg": np.array(
+            [-1 if u.dst_reg is None else u.dst_reg for u in workload],
+            np.int16,
+        ),
+        "mem_addr": np.array(
+            [-1 if u.mem_addr is None else u.mem_addr for u in workload],
+            np.int64,
+        ),
+        "taken": np.array([u.taken for u in workload], np.bool_),
+        "target_pc": np.array(
+            [-1 if u.target_pc is None else u.target_pc for u in workload],
+            np.int64,
+        ),
+    }
+    ragged = {
+        "src_regs": [list(u.src_regs) for u in workload],
+        "addr_src_regs": [list(u.addr_src_regs) for u in workload],
+        "data_producers": [list(r.data_producers) for r in result.uops],
+        "addr_producers": [list(r.addr_producers) for r in result.uops],
+        "exec_charge": [_encode_charge(r.exec_charge) for r in result.uops],
+        "fetch_charge": [
+            _encode_charge(r.fetch_charge) for r in result.uops
+        ],
+    }
+    record_table = {
+        "dtlb_miss": np.array([r.dtlb_miss for r in result.uops], np.bool_),
+        "mispredicted": np.array(
+            [r.mispredicted for r in result.uops], np.bool_
+        ),
+    }
+    for field in _WITNESS_FIELDS + _TIMESTAMP_FIELDS:
+        record_table[field] = np.array(
+            [getattr(r, field) for r in result.uops], np.int64
+        )
+
+    meta = {
+        "format_version": FORMAT_VERSION,
+        "workload_name": workload.name,
+        "workload_params": [[k, v] for k, v in workload.params],
+        "cycles": result.cycles,
+        "stats": result.stats,
+        "config": _config_to_dict(result.config),
+        "ragged": ragged,
+    }
+    arrays = {}
+    arrays.update({f"uop_{k}": v for k, v in uop_table.items()})
+    arrays.update({f"rec_{k}": v for k, v in record_table.items()})
+    arrays["meta_json"] = np.frombuffer(
+        json.dumps(meta).encode("utf-8"), dtype=np.uint8
+    )
+    path.parent.mkdir(parents=True, exist_ok=True)
+    np.savez_compressed(path, **arrays)
+    return path
+
+
+def load_result(path: Union[str, pathlib.Path]) -> SimResult:
+    """Load an archive written by :func:`save_result`."""
+    path = pathlib.Path(path)
+    with np.load(path, allow_pickle=False) as archive:
+        if "meta_json" not in archive:
+            raise TraceFormatError(f"{path} is not a trace archive")
+        meta = json.loads(bytes(archive["meta_json"]).decode("utf-8"))
+        if meta.get("format_version") != FORMAT_VERSION:
+            raise TraceFormatError(
+                f"unsupported format version {meta.get('format_version')}"
+            )
+        uop = {
+            key[4:]: archive[key]
+            for key in archive.files
+            if key.startswith("uop_")
+        }
+        rec = {
+            key[4:]: archive[key]
+            for key in archive.files
+            if key.startswith("rec_")
+        }
+
+    ragged = meta["ragged"]
+    n = len(uop["macro_id"])
+    uops = []
+    for i in range(n):
+        mem_addr = int(uop["mem_addr"][i])
+        dst = int(uop["dst_reg"][i])
+        uops.append(
+            MicroOp(
+                seq=i,
+                macro_id=int(uop["macro_id"][i]),
+                som=bool(uop["som"][i]),
+                eom=bool(uop["eom"][i]),
+                opclass=OpClass(int(uop["opclass"][i])),
+                pc=int(uop["pc"][i]),
+                src_regs=tuple(ragged["src_regs"][i]),
+                dst_reg=None if dst < 0 else dst,
+                mem_addr=None if mem_addr < 0 else mem_addr,
+                addr_src_regs=tuple(ragged["addr_src_regs"][i]),
+                taken=bool(uop["taken"][i]),
+                target_pc=(
+                    None
+                    if int(uop["target_pc"][i]) < 0
+                    else int(uop["target_pc"][i])
+                ),
+            )
+        )
+    workload = Workload(
+        name=meta["workload_name"],
+        uops=tuple(uops),
+        params=tuple((k, v) for k, v in meta["workload_params"]),
+    )
+
+    records = []
+    for i in range(n):
+        record = UopTrace(
+            seq=i,
+            exec_charge=_decode_charge(ragged["exec_charge"][i]),
+            fetch_charge=_decode_charge(ragged["fetch_charge"][i]),
+            dtlb_miss=bool(rec["dtlb_miss"][i]),
+            mispredicted=bool(rec["mispredicted"][i]),
+            data_producers=tuple(ragged["data_producers"][i]),
+            addr_producers=tuple(ragged["addr_producers"][i]),
+        )
+        for field in _WITNESS_FIELDS + _TIMESTAMP_FIELDS:
+            setattr(record, field, int(rec[field][i]))
+        records.append(record)
+
+    return SimResult(
+        workload=workload,
+        config=_config_from_dict(meta["config"]),
+        cycles=int(meta["cycles"]),
+        uops=tuple(records),
+        stats=dict(meta["stats"]),
+    )
+
+
+def _config_to_dict(config: MicroarchConfig) -> dict:
+    return {
+        "core": {
+            field: getattr(config.core, field)
+            for field in CoreConfig.__dataclass_fields__
+        },
+        "l1i": [config.l1i.size_bytes, config.l1i.associativity,
+                config.l1i.line_bytes],
+        "l1d": [config.l1d.size_bytes, config.l1d.associativity,
+                config.l1d.line_bytes],
+        "l2": [config.l2.size_bytes, config.l2.associativity,
+               config.l2.line_bytes],
+        "itlb": [config.itlb.entries, config.itlb.page_bytes],
+        "dtlb": [config.dtlb.entries, config.dtlb.page_bytes],
+        "latency": list(config.latency.cycles),
+    }
+
+
+def _config_from_dict(data: dict) -> MicroarchConfig:
+    return MicroarchConfig(
+        core=CoreConfig(**data["core"]),
+        l1i=CacheConfig(*data["l1i"]),
+        l1d=CacheConfig(*data["l1d"]),
+        l2=CacheConfig(*data["l2"]),
+        itlb=TLBConfig(*data["itlb"]),
+        dtlb=TLBConfig(*data["dtlb"]),
+        latency=LatencyConfig(tuple(data["latency"])),
+    )

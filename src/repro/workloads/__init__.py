@@ -1,0 +1,61 @@
+"""Synthetic workload generation: kernels and the SPEC-2006-analogue suite."""
+
+from repro.workloads.generator import (
+    DATA_BASE,
+    MACRO_OP_BYTES,
+    NUM_ARCH_REGS,
+    WorkloadSpec,
+    generate,
+)
+from repro.workloads.suite import (
+    DEFAULT_MACRO_OPS,
+    SPEC_LABELS,
+    make_suite,
+    make_workload,
+    suite_names,
+    suite_spec,
+)
+
+__all__ = [
+    "DATA_BASE",
+    "DEFAULT_MACRO_OPS",
+    "MACRO_OP_BYTES",
+    "NUM_ARCH_REGS",
+    "SPEC_LABELS",
+    "WorkloadSpec",
+    "generate",
+    "make_suite",
+    "make_workload",
+    "suite_names",
+    "suite_spec",
+]
+
+from repro.workloads.phased import make_phased_workload  # noqa: E402
+
+__all__.append("make_phased_workload")
+
+from repro.workloads.kernels import (  # noqa: E402
+    blocked_gemm,
+    daxpy,
+    independent_stream,
+    pointer_ring,
+    reduction_tree,
+    serial_chain,
+    stream_triad,
+)
+
+__all__.extend(
+    [
+        "blocked_gemm",
+        "daxpy",
+        "independent_stream",
+        "pointer_ring",
+        "reduction_tree",
+        "serial_chain",
+        "stream_triad",
+    ]
+)
+
+from repro.workloads.stats import WorkloadStats, characterize  # noqa: E402
+
+__all__.extend(["WorkloadStats", "characterize"])

@@ -1,0 +1,298 @@
+"""Hand-written micro-kernels with analytically known behaviour.
+
+Unlike the statistical generator, these kernels are explicit µop
+programs whose critical paths can be derived on paper — ideal for
+calibrating the simulator and graph model (a serial FP chain must run at
+one result per FP latency; a pointer ring at one load per load-to-use
+latency; stream triad at the frontend/FU throughput bound).  They are
+also realistic exploration subjects: triad and daxpy are the classic
+bandwidth/latency kernels the paper's intro-class workloads exercise.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.isa.uop import MicroOp, OpClass, Workload
+from repro.workloads.generator import DATA_BASE, MACRO_OP_BYTES
+
+
+class _KernelBuilder:
+    """Tiny helper for writing explicit µop programs."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.uops: List[MicroOp] = []
+        self._macro = -1
+
+    def op(
+        self,
+        opclass: OpClass,
+        pc: int,
+        srcs: Tuple[int, ...] = (),
+        dst: Optional[int] = None,
+        addr: Optional[int] = None,
+        addr_srcs: Tuple[int, ...] = (),
+        taken: bool = False,
+        fuse_with_next: bool = False,
+    ) -> int:
+        """Append a single-µop macro-op (or open a fused pair)."""
+        if not self.uops or self.uops[-1].eom:
+            self._macro += 1
+            som = True
+        else:
+            som = False
+        self.uops.append(
+            MicroOp(
+                seq=len(self.uops),
+                macro_id=self._macro,
+                som=som,
+                eom=not fuse_with_next,
+                opclass=opclass,
+                pc=pc,
+                src_regs=srcs,
+                dst_reg=dst,
+                mem_addr=addr,
+                addr_src_regs=addr_srcs,
+                taken=taken,
+            )
+        )
+        return len(self.uops) - 1
+
+    def build(self, **params) -> Workload:
+        return Workload(
+            name=self.name,
+            uops=tuple(self.uops),
+            params=tuple(params.items()),
+        )
+
+
+def serial_chain(
+    opclass: OpClass = OpClass.FP_ADD, length: int = 256
+) -> Workload:
+    """A fully serial dependence chain of one op class.
+
+    Steady-state CPI equals the op's latency: each result feeds the next
+    operation.
+    """
+    if length < 1:
+        raise ValueError("length must be positive")
+    builder = _KernelBuilder(f"serial-{opclass.name.lower()}")
+    for i in range(length):
+        builder.op(
+            opclass,
+            pc=(i % 16) * MACRO_OP_BYTES,
+            srcs=(1,) if i else (),
+            dst=1,
+        )
+    return builder.build(kernel="serial_chain", opclass=opclass.name,
+                         length=length, working_set_bytes=64,
+                         code_footprint_bytes=64)
+
+
+def independent_stream(
+    opclass: OpClass = OpClass.INT_ALU, length: int = 256
+) -> Workload:
+    """Fully independent operations — bounded only by machine width."""
+    if length < 1:
+        raise ValueError("length must be positive")
+    builder = _KernelBuilder(f"independent-{opclass.name.lower()}")
+    for i in range(length):
+        builder.op(
+            opclass, pc=(i % 16) * MACRO_OP_BYTES, dst=(i % 48) + 8
+        )
+    return builder.build(kernel="independent_stream",
+                         opclass=opclass.name, length=length,
+                         working_set_bytes=64, code_footprint_bytes=64)
+
+
+def pointer_ring(
+    length: int = 256, ring_bytes: int = 8 * 1024
+) -> Workload:
+    """Serial pointer chasing around a resident ring.
+
+    Each load's address depends on the previous load's result, so the
+    steady-state CPI is the full load-to-use latency (AGU + DTLB path +
+    cache level).
+    """
+    if length < 1:
+        raise ValueError("length must be positive")
+    lines = max(1, ring_bytes // 64)
+    builder = _KernelBuilder("pointer-ring")
+    # Stride the ring so consecutive hops touch different lines.
+    stride = 7 if lines % 7 else 5
+    position = 0
+    for i in range(length):
+        builder.op(
+            OpClass.LOAD,
+            pc=(i % 16) * MACRO_OP_BYTES,
+            dst=1,
+            addr=DATA_BASE + position * 64,
+            addr_srcs=(1,) if i else (),
+        )
+        position = (position + stride) % lines
+    return builder.build(kernel="pointer_ring", length=length,
+                         working_set_bytes=ring_bytes,
+                         code_footprint_bytes=64)
+
+
+def stream_triad(
+    iterations: int = 64, array_bytes: int = 8 * 1024
+) -> Workload:
+    """STREAM triad: ``a[i] = b[i] + scalar * c[i]``.
+
+    Five macro-ops per iteration (two loads, multiply, add, store) plus
+    a loop branch; iterations are independent, so the kernel is bounded
+    by throughput (width and FP pipes), not by latency.
+    """
+    if iterations < 1:
+        raise ValueError("iterations must be positive")
+    lines = max(1, array_bytes // 64)
+    base_b = DATA_BASE
+    base_c = DATA_BASE + array_bytes
+    base_a = DATA_BASE + 2 * array_bytes
+    builder = _KernelBuilder("stream-triad")
+    for i in range(iterations):
+        offset = (i % lines) * 64
+        rb = 8 + (i % 8) * 3
+        rc = rb + 1
+        rt = rb + 2
+        builder.op(OpClass.LOAD, pc=0, dst=rb, addr=base_b + offset,
+                   addr_srcs=(2,))
+        builder.op(OpClass.LOAD, pc=4, dst=rc, addr=base_c + offset,
+                   addr_srcs=(2,))
+        builder.op(OpClass.FP_MUL, pc=8, srcs=(rc, 3), dst=rt)
+        builder.op(OpClass.FP_ADD, pc=12, srcs=(rb, rt), dst=rt)
+        builder.op(OpClass.STORE, pc=16, srcs=(rt,),
+                   addr=base_a + offset, addr_srcs=(2,))
+        builder.op(OpClass.BRANCH, pc=20, srcs=(4,), taken=True)
+    return builder.build(kernel="stream_triad", iterations=iterations,
+                         working_set_bytes=3 * array_bytes,
+                         code_footprint_bytes=64)
+
+
+def daxpy(
+    iterations: int = 64, array_bytes: int = 8 * 1024
+) -> Workload:
+    """DAXPY: ``y[i] = a * x[i] + y[i]`` with a fused multiply chain."""
+    if iterations < 1:
+        raise ValueError("iterations must be positive")
+    lines = max(1, array_bytes // 64)
+    base_x = DATA_BASE
+    base_y = DATA_BASE + array_bytes
+    builder = _KernelBuilder("daxpy")
+    for i in range(iterations):
+        offset = (i % lines) * 64
+        rx = 8 + (i % 8) * 3
+        ry = rx + 1
+        rt = rx + 2
+        builder.op(OpClass.LOAD, pc=0, dst=rx, addr=base_x + offset,
+                   addr_srcs=(2,))
+        builder.op(OpClass.LOAD, pc=4, dst=ry, addr=base_y + offset,
+                   addr_srcs=(2,))
+        # x86-style fused macro-op: multiply feeding an add.
+        builder.op(OpClass.FP_MUL, pc=8, srcs=(rx, 3), dst=rt,
+                   fuse_with_next=True)
+        builder.op(OpClass.FP_ADD, pc=8, srcs=(rt, ry), dst=rt)
+        builder.op(OpClass.STORE, pc=12, srcs=(rt,),
+                   addr=base_y + offset, addr_srcs=(2,))
+    return builder.build(kernel="daxpy", iterations=iterations,
+                         working_set_bytes=2 * array_bytes,
+                         code_footprint_bytes=64)
+
+
+def blocked_gemm(n: int = 8) -> Workload:
+    """Naive register-accumulator matrix multiply, ``C = A @ B``.
+
+    For each output element: load the accumulator, then per k-step two
+    loads feeding a multiply and a dependent add, finally a store.  The
+    k-loop's adds chain through the accumulator (latency-bound within an
+    element) while distinct output elements are independent (ILP across
+    elements) — the classic shape cache-blocking and FP-latency studies
+    reason about.
+    """
+    if n < 2:
+        raise ValueError("n must be at least 2")
+    element = 8
+    base_a = DATA_BASE
+    base_b = DATA_BASE + n * n * element
+    base_c = DATA_BASE + 2 * n * n * element
+    builder = _KernelBuilder(f"gemm-{n}")
+    pc_counter = [0]
+
+    def next_pc() -> int:
+        pc_counter[0] += 1
+        return (pc_counter[0] % 32) * MACRO_OP_BYTES
+
+    for i in range(n):
+        for j in range(n):
+            acc = 8 + ((i * n + j) % 24)
+            c_addr = base_c + (i * n + j) * element
+            builder.op(OpClass.LOAD, pc=next_pc(), dst=acc,
+                       addr=c_addr, addr_srcs=(2,))
+            for k in range(n):
+                ra = 40 + (k % 8)
+                rb = 48 + (k % 8)
+                rt = 56 + (k % 4)
+                builder.op(
+                    OpClass.LOAD, pc=next_pc(), dst=ra,
+                    addr=base_a + (i * n + k) * element, addr_srcs=(2,),
+                )
+                builder.op(
+                    OpClass.LOAD, pc=next_pc(), dst=rb,
+                    addr=base_b + (k * n + j) * element, addr_srcs=(2,),
+                )
+                builder.op(
+                    OpClass.FP_MUL, pc=next_pc(), srcs=(ra, rb), dst=rt
+                )
+                builder.op(
+                    OpClass.FP_ADD, pc=next_pc(), srcs=(acc, rt), dst=acc
+                )
+            builder.op(
+                OpClass.STORE, pc=next_pc(), srcs=(acc,),
+                addr=c_addr, addr_srcs=(2,),
+            )
+    return builder.build(kernel="blocked_gemm", n=n,
+                         working_set_bytes=3 * n * n * element,
+                         code_footprint_bytes=128)
+
+
+def reduction_tree(leaves: int = 128) -> Workload:
+    """A log-depth FP reduction: pairwise sums until one value remains.
+
+    The critical path is ``ceil(log2(leaves))`` FP additions, while the
+    total work is ``leaves - 1`` — a high-ILP kernel whose speed is
+    bounded by FP pipe throughput early and by the chain depth late.
+    """
+    if leaves < 2:
+        raise ValueError("need at least two leaves")
+    builder = _KernelBuilder("reduction-tree")
+    # Registers are a free list and each value's register is released
+    # only when consumed; DFS emission keeps liveness at O(log leaves),
+    # so the last-writer dependence structure really is the tree.
+    free_regs = list(range(8, 56))
+    pc_counter = [0]
+
+    def next_pc() -> int:
+        pc_counter[0] += 1
+        return (pc_counter[0] % 16) * MACRO_OP_BYTES
+
+    def emit(count: int) -> int:
+        """Emit the reduction of *count* values; returns its register."""
+        if count == 1:
+            reg = free_regs.pop()
+            builder.op(OpClass.FP_ADD, pc=next_pc(), dst=reg)
+            return reg
+        left = emit(count // 2)
+        right = emit(count - count // 2)
+        free_regs.append(left)
+        free_regs.append(right)
+        reg = free_regs.pop()
+        builder.op(
+            OpClass.FP_ADD, pc=next_pc(), srcs=(left, right), dst=reg
+        )
+        return reg
+
+    emit(leaves)
+    return builder.build(kernel="reduction_tree", leaves=leaves,
+                         working_set_bytes=64, code_footprint_bytes=64)

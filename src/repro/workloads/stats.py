@@ -1,0 +1,107 @@
+"""Workload characterisation: the numbers behind the suite table.
+
+Summarises a dynamic stream the way workload-characterisation papers do:
+instruction mix, footprints, dependence distances, branch behaviour.
+Used by the suite example and handy when tuning new analogues against a
+target bottleneck composition.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.isa.uop import OpClass, Workload
+
+
+@dataclass(frozen=True)
+class WorkloadStats:
+    """Characterisation summary of one workload.
+
+    Attributes:
+        num_uops / num_macro_ops: dynamic lengths.
+        mix: fraction of µops per op class (sums to 1).
+        data_footprint_bytes: distinct 64-byte data lines x 64.
+        code_footprint_bytes: distinct 64-byte code lines x 64.
+        mean_dep_distance: mean µop distance from a consumer to its
+            in-stream producer (data and address operands).
+        branch_fraction: branches / µops.
+        taken_fraction: taken branches / branches (0 if no branches).
+        load_fraction / store_fraction: memory-op shares of µops.
+        fused_macro_fraction: macro-ops with more than one µop.
+    """
+
+    num_uops: int
+    num_macro_ops: int
+    mix: Tuple[Tuple[str, float], ...]
+    data_footprint_bytes: int
+    code_footprint_bytes: int
+    mean_dep_distance: float
+    branch_fraction: float
+    taken_fraction: float
+    load_fraction: float
+    store_fraction: float
+    fused_macro_fraction: float
+
+    def mix_of(self, opclass: OpClass) -> float:
+        return dict(self.mix).get(opclass.name, 0.0)
+
+
+def characterize(workload: Workload) -> WorkloadStats:
+    """Compute the :class:`WorkloadStats` of *workload*."""
+    if len(workload) == 0:
+        raise ValueError("cannot characterise an empty workload")
+    counts: Counter = Counter()
+    data_lines = set()
+    code_lines = set()
+    distances = []
+    last_writer: Dict[int, int] = {}
+    branches = 0
+    taken = 0
+    loads = 0
+    stores = 0
+    macro_sizes: Counter = Counter()
+
+    for uop in workload:
+        counts[uop.opclass.name] += 1
+        macro_sizes[uop.macro_id] += 1
+        code_lines.add(uop.pc >> 6)
+        if uop.mem_addr is not None:
+            data_lines.add(uop.mem_addr >> 6)
+        if uop.is_branch:
+            branches += 1
+            taken += int(uop.taken)
+        if uop.is_load:
+            loads += 1
+        if uop.is_store:
+            stores += 1
+        for reg in uop.src_regs + uop.addr_src_regs:
+            producer = last_writer.get(reg)
+            if producer is not None:
+                distances.append(uop.seq - producer)
+        if uop.dst_reg is not None:
+            last_writer[uop.dst_reg] = uop.seq
+
+    n = len(workload)
+    mix = tuple(
+        (name, count / n) for name, count in sorted(counts.items())
+    )
+    fused = sum(1 for size in macro_sizes.values() if size > 1)
+    return WorkloadStats(
+        num_uops=n,
+        num_macro_ops=workload.num_macro_ops,
+        mix=mix,
+        data_footprint_bytes=64 * len(data_lines),
+        code_footprint_bytes=64 * len(code_lines),
+        mean_dep_distance=(
+            float(np.mean(distances)) if distances else 0.0
+        ),
+        branch_fraction=branches / n,
+        taken_fraction=taken / branches if branches else 0.0,
+        load_fraction=loads / n,
+        store_fraction=stores / n,
+        fused_macro_fraction=fused / max(1, workload.num_macro_ops),
+    )

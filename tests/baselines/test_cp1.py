@@ -1,0 +1,58 @@
+"""CP1 baseline tests."""
+
+import pytest
+
+from repro.common.events import EventType
+
+
+def test_baseline_prediction_is_exact(gamess_session):
+    cp1 = gamess_session.cp1
+    base = gamess_session.config.latency
+    assert cp1.predict_cycles(base) == pytest.approx(
+        gamess_session.graph.longest_path_length(base)
+    )
+
+
+def test_cpi_stack_sums_to_predicted_cpi(gamess_session):
+    cp1 = gamess_session.cp1
+    base = gamess_session.config.latency
+    stack_total = sum(cp1.cpi_stack().values())
+    assert stack_total == pytest.approx(cp1.predict_cpi(base))
+
+
+def test_prediction_scales_with_single_stack(gamess_session):
+    cp1 = gamess_session.cp1
+    base = gamess_session.config.latency
+    fast = base.with_overrides({EventType.FP_ADD: 3})
+    delta = cp1.predict_cycles(base) - cp1.predict_cycles(fast)
+    # Linear in the stack's FP_ADD units: (6-3) cycles per unit.
+    assert delta == pytest.approx(3 * cp1.stack[EventType.FP_ADD])
+
+
+def test_cp1_misses_hidden_paths(gamess_session):
+    """The documented CP1 failure mode: it can only ever under-predict
+    relative to the exact graph once latency changes switch the critical
+    path, because it re-prices a single fixed path."""
+    base = gamess_session.config.latency
+    optimised = base.with_overrides(
+        {EventType.FP_ADD: 1, EventType.FP_MUL: 1, EventType.L1D: 1}
+    )
+    exact = gamess_session.graph.longest_path_length(optimised)
+    assert gamess_session.cp1.predict_cycles(optimised) <= exact + 1e-9
+
+
+def test_rpstacks_at_least_matches_cp1(gamess_session):
+    """RpStacks keeps the critical path among its stacks, so its
+    prediction is always >= CP1's single-stack prediction (unsegmented);
+    segmented models additionally add boundary penalties."""
+    base = gamess_session.config.latency
+    for overrides in (
+        {},
+        {EventType.FP_ADD: 1},
+        {EventType.L1D: 1, EventType.FP_MUL: 1},
+    ):
+        latency = base.with_overrides(overrides)
+        assert (
+            gamess_session.rpstacks.predict_cycles(latency)
+            >= gamess_session.cp1.predict_cycles(latency) - 1e-9
+        )

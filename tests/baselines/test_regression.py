@@ -1,0 +1,90 @@
+"""Empirical regression baseline tests."""
+
+import pytest
+
+from repro.baselines.regression import (
+    RegressionPredictor,
+    latency_features,
+    train_regression,
+)
+from repro.common.config import LatencyConfig
+from repro.common.events import LATENCY_DOMAIN, EventType
+from repro.dse.designspace import DesignSpace
+from repro.simulator.machine import Machine
+
+
+@pytest.fixture(scope="module")
+def space():
+    return DesignSpace.from_mapping(
+        {
+            EventType.L1D: [1, 2, 4],
+            EventType.FP_ADD: [1, 3, 6],
+            EventType.FP_MUL: [1, 3, 6],
+        }
+    )
+
+
+def test_feature_vector_layout():
+    features = latency_features(LatencyConfig())
+    assert features.shape == (len(LATENCY_DOMAIN) + 1,)
+    assert features[0] == 1.0
+
+
+def test_untrained_model_refuses_to_predict():
+    predictor = RegressionPredictor(num_uops=100)
+    with pytest.raises(RuntimeError, match="fit"):
+        predictor.predict_cycles(LatencyConfig())
+
+
+def test_empty_training_set_rejected(tiny_machine):
+    with pytest.raises(ValueError):
+        RegressionPredictor(num_uops=1).fit(tiny_machine, [])
+
+
+def test_training_runs_are_counted(tiny_machine, space):
+    predictor = train_regression(tiny_machine, space, num_samples=6)
+    assert predictor.training_runs == 6
+    assert predictor.is_trained
+
+
+def test_interpolates_on_seen_points(tiny_workload, space):
+    machine = Machine(tiny_workload)
+    points = space.points()[:12]
+    predictor = RegressionPredictor(len(tiny_workload)).fit(machine, points)
+    for point in points[:4]:
+        simulated = machine.cycles(point)
+        assert predictor.predict_cycles(point) == pytest.approx(
+            simulated, rel=0.10
+        )
+
+
+def test_accuracy_improves_with_training_budget(tiny_workload, space):
+    machine = Machine(tiny_workload)
+    held_out = space.points()[::5]
+
+    def mean_error(samples):
+        predictor = train_regression(machine, space, samples, seed=3)
+        errors = []
+        for point in held_out:
+            simulated = machine.cycles(point)
+            errors.append(
+                abs(predictor.predict_cycles(point) - simulated) / simulated
+            )
+        return sum(errors) / len(errors)
+
+    assert mean_error(20) <= mean_error(3) + 0.01
+
+
+def test_single_simulation_regression_is_poor(tiny_workload, space):
+    """The cost story: with one training run (RpStacks' budget) the
+    regression cannot rank designs at all — it predicts a constant."""
+    machine = Machine(tiny_workload)
+    predictor = train_regression(machine, space, num_samples=1)
+    a = predictor.predict_cycles(space.points()[0])
+    b = predictor.predict_cycles(space.points()[-1])
+    simulated_a = machine.cycles(space.points()[0])
+    simulated_b = machine.cycles(space.points()[-1])
+    # Ground truth separates the extreme points clearly ...
+    assert abs(simulated_a - simulated_b) / simulated_b > 0.10
+    # ... but the one-sample regression barely does.
+    assert abs(a - b) < abs(simulated_a - simulated_b)

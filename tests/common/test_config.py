@@ -1,0 +1,202 @@
+"""Configuration model tests, including the Table II baseline."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.common.config import (
+    DEFAULT_LATENCIES,
+    CacheConfig,
+    ConfigError,
+    CoreConfig,
+    LatencyConfig,
+    MicroarchConfig,
+    TLBConfig,
+    baseline_config,
+    sweep_latencies,
+)
+from repro.common.events import NUM_EVENTS, EventType
+
+
+class TestTableII:
+    """The defaults must reproduce the paper's Table II."""
+
+    def test_queue_sizes(self):
+        core = baseline_config().core
+        assert (core.rob_size, core.iq_size, core.lsq_size) == (128, 36, 64)
+
+    def test_pipeline_widths(self):
+        core = baseline_config().core
+        assert core.fetch_width == 4
+        assert core.rename_width == 4
+        assert core.dispatch_width == 4
+        assert core.issue_width == 4
+        assert core.commit_width == 4
+
+    def test_functional_unit_counts(self):
+        core = baseline_config().core
+        assert (core.fu_load, core.fu_store) == (2, 2)
+        assert (core.fu_fp, core.fu_base_alu, core.fu_long_alu) == (2, 4, 2)
+
+    def test_functional_unit_latencies(self):
+        lat = baseline_config().latency
+        assert lat[EventType.LD] == 2
+        assert lat[EventType.INT_MUL] == 4
+        assert lat[EventType.INT_DIV] == 32
+        assert lat[EventType.FP_ADD] == 6
+        assert lat[EventType.FP_MUL] == 6
+        assert lat[EventType.FP_DIV] == 24
+
+    def test_cache_geometry_and_latencies(self):
+        config = baseline_config()
+        assert config.l1i.size_bytes == 48 * 1024
+        assert config.l1i.associativity == 4
+        assert config.l1d.size_bytes == 48 * 1024
+        assert config.l1d.associativity == 4
+        assert config.l2.size_bytes == 4 * 1024 * 1024
+        assert config.l2.associativity == 8
+        assert config.latency[EventType.L1I] == 2
+        assert config.latency[EventType.L1D] == 4
+        assert config.latency[EventType.L2D] == 12
+        assert config.latency[EventType.MEM_D] == 133
+
+
+class TestLatencyConfig:
+    def test_default_matches_table(self):
+        lat = LatencyConfig()
+        for event in EventType:
+            assert lat[event] == DEFAULT_LATENCIES[event]
+
+    def test_is_hashable_and_equal_by_value(self):
+        assert LatencyConfig() == LatencyConfig()
+        assert hash(LatencyConfig()) == hash(LatencyConfig())
+        changed = LatencyConfig().with_overrides({EventType.L1D: 1})
+        assert changed != LatencyConfig()
+
+    def test_with_overrides_only_touches_named_events(self):
+        changed = LatencyConfig().with_overrides({EventType.FP_DIV: 12})
+        assert changed[EventType.FP_DIV] == 12
+        for event in EventType:
+            if event is not EventType.FP_DIV:
+                assert changed[event] == LatencyConfig()[event]
+
+    def test_from_mapping_fills_defaults(self):
+        lat = LatencyConfig.from_mapping({EventType.MEM_D: 200})
+        assert lat[EventType.MEM_D] == 200
+        assert lat[EventType.L1D] == 4
+
+    def test_scaled_clamps_to_one_cycle(self):
+        lat = LatencyConfig().scaled({EventType.LD: 0.1})
+        assert lat[EventType.LD] == 1
+
+    def test_scaled_rounds_to_integer_cycles(self):
+        lat = LatencyConfig().scaled({EventType.FP_ADD: 0.25})
+        assert lat[EventType.FP_ADD] == 2  # round(6 * 0.25)
+
+    def test_rejects_wrong_length(self):
+        with pytest.raises(ConfigError):
+            LatencyConfig(cycles=(1, 2, 3))
+
+    def test_rejects_negative_latency(self):
+        cycles = list(LatencyConfig().cycles)
+        cycles[EventType.L2D] = -1
+        with pytest.raises(ConfigError):
+            LatencyConfig(tuple(cycles))
+
+    def test_base_latency_is_pinned_to_one(self):
+        with pytest.raises(ConfigError):
+            LatencyConfig().with_overrides({EventType.BASE: 2})
+
+    def test_as_vector_prices_events_by_id(self):
+        vec = LatencyConfig().as_vector()
+        assert vec.shape == (NUM_EVENTS,)
+        assert vec[EventType.MEM_D] == 133
+
+    def test_describe_reports_deltas(self):
+        assert LatencyConfig().describe() == "baseline"
+        changed = LatencyConfig().with_overrides({EventType.L1D: 2})
+        assert "L1D=2" in changed.describe()
+
+
+class TestStructureConfigs:
+    def test_cache_set_count(self):
+        cache = CacheConfig(48 * 1024, 4, 64)
+        assert cache.num_sets == 192
+
+    def test_cache_rejects_non_divisible_geometry(self):
+        with pytest.raises(ConfigError):
+            CacheConfig(1000, 3, 64)
+
+    def test_cache_rejects_non_positive(self):
+        with pytest.raises(ConfigError):
+            CacheConfig(0, 1, 64)
+
+    def test_tlb_rejects_non_positive(self):
+        with pytest.raises(ConfigError):
+            TLBConfig(entries=0)
+
+    def test_core_rejects_bad_predictor(self):
+        with pytest.raises(ConfigError):
+            CoreConfig(branch_predictor="oracle")
+
+    def test_core_rejects_zero_width(self):
+        with pytest.raises(ConfigError):
+            CoreConfig(fetch_width=0)
+
+    def test_core_rejects_starved_register_file(self):
+        with pytest.raises(ConfigError):
+            CoreConfig(phys_regs=40, rob_size=128)
+
+    def test_with_latency_preserves_structure(self):
+        config = baseline_config()
+        new_latency = LatencyConfig().with_overrides({EventType.L1D: 2})
+        changed = config.with_latency(new_latency)
+        assert changed.core == config.core
+        assert changed.l1d == config.l1d
+        assert changed.latency[EventType.L1D] == 2
+
+    def test_microarch_is_frozen(self):
+        config = baseline_config()
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            config.latency = LatencyConfig()
+
+
+class TestSweep:
+    def test_cartesian_size(self):
+        configs = sweep_latencies(
+            LatencyConfig(),
+            {EventType.L1D: [1, 2, 4], EventType.FP_ADD: [3, 6]},
+        )
+        assert len(configs) == 6
+
+    def test_values_cover_product(self):
+        configs = sweep_latencies(
+            LatencyConfig(), {EventType.L1D: [1, 2], EventType.LD: [1, 2]}
+        )
+        pairs = {(c[EventType.L1D], c[EventType.LD]) for c in configs}
+        assert pairs == {(1, 1), (1, 2), (2, 1), (2, 2)}
+
+    def test_empty_axis_rejected(self):
+        with pytest.raises(ConfigError):
+            sweep_latencies(LatencyConfig(), {EventType.L1D: []})
+
+
+class TestDiff:
+    def test_identical_configs_have_empty_diff(self):
+        assert LatencyConfig().diff(LatencyConfig()) == {}
+
+    def test_diff_reports_both_values(self):
+        a = LatencyConfig()
+        b = a.with_overrides({EventType.L1D: 2, EventType.MEM_D: 66})
+        diff = a.diff(b)
+        assert diff == {
+            EventType.L1D: (4, 2),
+            EventType.MEM_D: (133, 66),
+        }
+
+    def test_diff_is_directional(self):
+        a = LatencyConfig()
+        b = a.with_overrides({EventType.LD: 1})
+        assert a.diff(b)[EventType.LD] == (2, 1)
+        assert b.diff(a)[EventType.LD] == (1, 2)

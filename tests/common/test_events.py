@@ -1,0 +1,66 @@
+"""Event taxonomy invariants."""
+
+import pytest
+
+from repro.common.events import (
+    EVENT_LABELS,
+    LATENCY_DOMAIN,
+    NUM_EVENTS,
+    STRUCTURE_DOMAIN,
+    EventType,
+    event_label,
+    parse_event,
+)
+
+
+def test_event_ids_are_dense():
+    assert sorted(int(e) for e in EventType) == list(range(NUM_EVENTS))
+
+
+def test_base_is_event_zero():
+    # Reduction code relies on BASE occupying index 0 so it can slice the
+    # stall-event dimensions as [1:].
+    assert EventType.BASE == 0
+
+
+def test_domains_partition_the_taxonomy():
+    union = set(LATENCY_DOMAIN) | set(STRUCTURE_DOMAIN)
+    assert union == set(EventType)
+    assert not set(LATENCY_DOMAIN) & set(STRUCTURE_DOMAIN)
+
+
+def test_structure_domain_contents():
+    assert EventType.BASE in STRUCTURE_DOMAIN
+    assert EventType.BR_MISP in STRUCTURE_DOMAIN
+    assert len(STRUCTURE_DOMAIN) == 2
+
+
+def test_every_event_has_a_label():
+    for event in EventType:
+        assert EVENT_LABELS[event]
+        assert event_label(event) == EVENT_LABELS[event]
+
+
+def test_labels_are_unique():
+    labels = [EVENT_LABELS[e] for e in EventType]
+    assert len(set(labels)) == len(labels)
+
+
+@pytest.mark.parametrize(
+    "name, expected",
+    [
+        ("FP_ADD", EventType.FP_ADD),
+        ("Fadd", EventType.FP_ADD),
+        ("fadd", EventType.FP_ADD),
+        ("mem_d", EventType.MEM_D),
+        ("BrMisp", EventType.BR_MISP),
+        (" Base ", EventType.BASE),
+    ],
+)
+def test_parse_event_accepts_names_and_labels(name, expected):
+    assert parse_event(name) is expected
+
+
+def test_parse_event_rejects_unknown():
+    with pytest.raises(KeyError):
+        parse_event("warp-drive")

@@ -1,0 +1,68 @@
+"""Microarchitecture preset tests."""
+
+import pytest
+
+from repro.common.presets import (
+    big_core,
+    little_core,
+    paper_baseline,
+    preset,
+    preset_names,
+)
+from repro.simulator.core import simulate
+from repro.workloads.suite import make_workload
+
+
+def test_lookup_by_name():
+    assert preset("baseline") == paper_baseline()
+    assert preset("little") == little_core()
+    assert preset("big") == big_core()
+
+
+def test_unknown_preset_rejected():
+    with pytest.raises(KeyError, match="unknown preset"):
+        preset("huge")
+
+
+def test_names_cover_factories():
+    for name in preset_names():
+        preset(name)
+
+
+def test_presets_share_the_memory_hierarchy():
+    base = paper_baseline()
+    for config in (little_core(), big_core()):
+        assert config.l1d == base.l1d
+        assert config.l2 == base.l2
+        assert config.latency == base.latency
+
+
+def test_width_ordering():
+    assert (
+        little_core().core.fetch_width
+        < paper_baseline().core.fetch_width
+        < big_core().core.fetch_width
+    )
+
+
+def test_performance_ordering():
+    """The cores must actually rank on a workload that exercises their
+    structural differences: ILP for the widths and windows, alternating
+    branches for the predictor classes."""
+    from repro.workloads.generator import WorkloadSpec, generate
+
+    workload = generate(
+        WorkloadSpec(
+            name="ranker", num_macro_ops=400, p_load=0.2, p_store=0.08,
+            p_fp_add=0.15, p_branch=0.18, dep_distance_mean=20.0,
+            alternating_branch_fraction=0.3, hard_branch_fraction=0.0,
+            working_set_bytes=16 * 1024, code_footprint_bytes=512,
+        ),
+        seed=5,
+    )
+    cycles = {
+        name: simulate(workload, preset(name)).cycles
+        for name in ("little", "baseline", "big")
+    }
+    assert cycles["big"] <= cycles["baseline"] < cycles["little"]
+    assert cycles["little"] > 1.2 * cycles["big"]

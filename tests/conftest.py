@@ -1,0 +1,69 @@
+"""Shared fixtures: small deterministic workloads and analysis sessions.
+
+Session-scoped where construction is expensive; tests must treat these
+as read-only (build your own object if you need to mutate).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.config import baseline_config
+from repro.dse.pipeline import analyze
+from repro.simulator.machine import Machine
+from repro.workloads.generator import WorkloadSpec, generate
+from repro.workloads.suite import make_workload
+
+#: Macro-op count that keeps full-pipeline tests fast but non-trivial.
+SMALL = 200
+
+
+@pytest.fixture(scope="session")
+def tiny_workload():
+    """A small mixed workload exercising every op class."""
+    spec = WorkloadSpec(
+        name="tiny-mixed",
+        num_macro_ops=120,
+        p_load=0.25,
+        p_store=0.10,
+        p_fp_add=0.10,
+        p_fp_mul=0.08,
+        p_fp_div=0.02,
+        p_int_mul=0.04,
+        p_int_div=0.01,
+        p_branch=0.12,
+        working_set_bytes=8 * 1024,
+        code_footprint_bytes=4 * 1024,
+    )
+    return generate(spec, seed=7)
+
+
+@pytest.fixture(scope="session")
+def gamess_workload():
+    return make_workload("gamess", SMALL)
+
+
+@pytest.fixture(scope="session")
+def mcf_workload():
+    return make_workload("mcf", SMALL)
+
+
+@pytest.fixture(scope="session")
+def tiny_machine(tiny_workload):
+    return Machine(tiny_workload, baseline_config())
+
+
+@pytest.fixture(scope="session")
+def tiny_result(tiny_machine):
+    return tiny_machine.simulate()
+
+
+@pytest.fixture(scope="session")
+def gamess_session(gamess_workload):
+    """Full analysis session (simulation + graph + RpStacks + baselines)."""
+    return analyze(gamess_workload)
+
+
+@pytest.fixture(scope="session")
+def tiny_session(tiny_workload):
+    return analyze(tiny_workload)

@@ -1,0 +1,127 @@
+"""Modified-cosine-similarity tests, including hypothesis properties."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.common.events import NUM_EVENTS
+from repro.core.similarity import (
+    modified_cosine,
+    pairwise_modified_cosine,
+    similarity_to_set,
+)
+
+vectors = hnp.arrays(
+    dtype=np.float64,
+    shape=NUM_EVENTS,
+    elements=st.floats(min_value=0.0, max_value=1e6, allow_nan=False),
+)
+
+
+def test_identical_vectors_have_unit_similarity():
+    v = np.arange(NUM_EVENTS, dtype=float)
+    assert modified_cosine(v, v) == pytest.approx(1.0)
+
+
+def test_disjoint_support_is_orthogonal():
+    a = np.zeros(NUM_EVENTS)
+    b = np.zeros(NUM_EVENTS)
+    a[1] = 5.0
+    b[2] = 7.0
+    assert modified_cosine(a, b) == pytest.approx(0.0)
+
+
+def test_zero_vectors_are_identical_by_convention():
+    z = np.zeros(NUM_EVENTS)
+    assert modified_cosine(z, z) == 1.0
+
+
+def test_zero_against_nonzero_is_orthogonal():
+    z = np.zeros(NUM_EVENTS)
+    v = np.ones(NUM_EVENTS)
+    assert modified_cosine(z, v) == 0.0
+
+
+def test_max_normalisation_balances_magnitudes():
+    # Plain cosine would call these nearly parallel (dim 0 dominates);
+    # the per-dimension normalisation exposes the disagreement on dim 1.
+    a = np.zeros(NUM_EVENTS)
+    b = np.zeros(NUM_EVENTS)
+    a[0], a[1] = 1000.0, 10.0
+    b[0], b[1] = 1000.0, 0.0
+    plain = (a @ b) / (np.linalg.norm(a) * np.linalg.norm(b))
+    modified = modified_cosine(a, b)
+    assert modified < plain
+    assert modified == pytest.approx(1 / np.sqrt(2), rel=1e-6)
+
+
+def test_scale_invariance_of_parallel_vectors():
+    a = np.zeros(NUM_EVENTS)
+    a[3], a[4] = 2.0, 6.0
+    assert modified_cosine(a, 5 * a) == pytest.approx(
+        modified_cosine(a, a), rel=1e-9
+    )
+
+
+def test_shape_mismatch_rejected():
+    with pytest.raises(ValueError):
+        modified_cosine(np.zeros(3), np.zeros(4))
+
+
+@given(a=vectors, b=vectors)
+@settings(max_examples=100, deadline=None)
+def test_property_symmetry(a, b):
+    assert modified_cosine(a, b) == pytest.approx(
+        modified_cosine(b, a), abs=1e-9
+    )
+
+
+@given(a=vectors, b=vectors)
+@settings(max_examples=100, deadline=None)
+def test_property_range(a, b):
+    value = modified_cosine(a, b)
+    assert 0.0 <= value <= 1.0
+
+
+@given(a=vectors)
+@settings(max_examples=100, deadline=None)
+def test_property_self_similarity(a)	:
+    assert modified_cosine(a, a) == pytest.approx(1.0)
+
+
+@given(
+    stacks=hnp.arrays(
+        dtype=np.float64,
+        shape=st.tuples(
+            st.integers(min_value=1, max_value=8),
+            st.just(NUM_EVENTS),
+        ),
+        elements=st.floats(min_value=0.0, max_value=1e4, allow_nan=False),
+    )
+)
+@settings(max_examples=60, deadline=None)
+def test_property_pairwise_matches_scalar(stacks):
+    matrix = pairwise_modified_cosine(stacks)
+    k = stacks.shape[0]
+    for i in range(k):
+        for j in range(k):
+            assert matrix[i, j] == pytest.approx(
+                modified_cosine(stacks[i], stacks[j]), abs=1e-9
+            )
+
+
+def test_similarity_to_set_matches_scalar():
+    rng = np.random.default_rng(0)
+    kept = rng.random((5, NUM_EVENTS)) * 10
+    candidate = rng.random(NUM_EVENTS) * 10
+    sims = similarity_to_set(candidate, kept)
+    for i in range(5):
+        assert sims[i] == pytest.approx(
+            modified_cosine(candidate, kept[i]), abs=1e-9
+        )
+
+
+def test_similarity_to_set_empty_kept():
+    assert similarity_to_set(np.zeros(NUM_EVENTS), np.zeros((0, NUM_EVENTS))).size == 0

@@ -1,0 +1,89 @@
+"""StallEventStack value-object tests."""
+
+import numpy as np
+import pytest
+
+from repro.common.config import LatencyConfig
+from repro.common.events import NUM_EVENTS, EventType
+from repro.core.stack import StallEventStack
+
+
+def test_zeros_prices_to_zero():
+    assert StallEventStack.zeros().cycles(LatencyConfig()) == 0.0
+
+
+def test_from_mapping_and_pricing():
+    stack = StallEventStack.from_mapping(
+        {EventType.FP_ADD: 2, EventType.L1D: 3}
+    )
+    # 2*6 + 3*4 at Table II latencies.
+    assert stack.cycles(LatencyConfig()) == 24.0
+
+
+def test_pricing_respects_overrides():
+    stack = StallEventStack.from_mapping({EventType.MEM_D: 1})
+    fast = LatencyConfig().with_overrides({EventType.MEM_D: 10})
+    assert stack.cycles(fast) == 10.0
+
+
+def test_penalties_reports_nonzero_components_only():
+    stack = StallEventStack.from_mapping({EventType.L2D: 2})
+    penalties = stack.penalties(LatencyConfig())
+    assert penalties == {EventType.L2D: 24.0}
+
+
+def test_addition_accumulates():
+    a = StallEventStack.from_mapping({EventType.L1D: 1})
+    b = StallEventStack.from_mapping({EventType.L1D: 2, EventType.LD: 1})
+    c = a + b
+    assert c[EventType.L1D] == 3
+    assert c[EventType.LD] == 1
+
+
+def test_equality_and_hash_by_value():
+    a = StallEventStack.from_mapping({EventType.ITLB: 1})
+    b = StallEventStack.from_mapping({EventType.ITLB: 1})
+    assert a == b
+    assert hash(a) == hash(b)
+    assert a != StallEventStack.zeros()
+
+
+def test_units_are_read_only():
+    stack = StallEventStack.zeros()
+    with pytest.raises(ValueError):
+        stack.units[0] = 1.0
+
+
+def test_rejects_wrong_shape():
+    with pytest.raises(ValueError):
+        StallEventStack([1.0, 2.0])
+
+
+def test_rejects_negative_units():
+    units = np.zeros(NUM_EVENTS)
+    units[3] = -1
+    with pytest.raises(ValueError):
+        StallEventStack(units)
+
+
+def test_nonzero_events():
+    stack = StallEventStack.from_mapping(
+        {EventType.FP_DIV: 1, EventType.BASE: 5}
+    )
+    assert set(stack.nonzero_events()) == {EventType.FP_DIV, EventType.BASE}
+
+
+def test_describe_mentions_dominant_event():
+    stack = StallEventStack.from_mapping(
+        {EventType.MEM_D: 2, EventType.L1D: 1}
+    )
+    text = stack.describe(LatencyConfig())
+    assert "MemD" in text
+    assert text.index("MemD") < text.index("L1D")  # largest first
+
+
+def test_describe_normalises_to_cpi():
+    stack = StallEventStack.from_mapping({EventType.L1D: 10})
+    text = stack.describe(LatencyConfig(), num_uops=10)
+    assert "CPI" in text
+    assert "total=4.000" in text

@@ -1,0 +1,80 @@
+"""Design-space enumeration tests."""
+
+import pytest
+
+from repro.common.config import LatencyConfig
+from repro.common.events import EventType
+from repro.dse.designspace import DesignSpace, reduction_space
+
+
+def space(**axes):
+    return DesignSpace.from_mapping(
+        {EventType[name]: values for name, values in axes.items()}
+    )
+
+
+def test_point_count_is_cartesian_product():
+    s = space(L1D=[1, 2, 4], FP_ADD=[1, 3, 6], MEM_D=[66, 133])
+    assert s.num_points == 18
+    assert len(s.points()) == 18
+
+
+def test_points_cover_all_combinations():
+    s = space(L1D=[1, 2], LD=[1, 2])
+    combos = {(p[EventType.L1D], p[EventType.LD]) for p in s}
+    assert combos == {(1, 1), (1, 2), (2, 1), (2, 2)}
+
+
+def test_unswept_events_keep_base_values():
+    base = LatencyConfig().with_overrides({EventType.FP_DIV: 12})
+    s = DesignSpace.from_mapping({EventType.L1D: [1]}, base=base)
+    point = s.points()[0]
+    assert point[EventType.FP_DIV] == 12
+
+
+def test_axis_values_are_deduplicated_and_sorted():
+    s = space(L1D=[4, 1, 4, 2])
+    assert dict(s.axes)[EventType.L1D] == (1, 2, 4)
+
+
+def test_structure_domain_axes_rejected():
+    with pytest.raises(ValueError, match="structure-domain"):
+        DesignSpace.from_mapping({EventType.BR_MISP: [1, 2]})
+
+
+def test_empty_axis_rejected():
+    with pytest.raises(ValueError, match="empty axis"):
+        space(L1D=[])
+
+
+def test_negative_latency_rejected():
+    with pytest.raises(ValueError, match="negative"):
+        space(L1D=[-1, 2])
+
+
+def test_sample_is_deterministic_and_in_space():
+    s = space(L1D=[1, 2, 4], FP_MUL=[1, 6])
+    a = s.sample(10, seed=3)
+    b = s.sample(10, seed=3)
+    assert a == b
+    valid_l1d = {1, 2, 4}
+    for point in a:
+        assert point[EventType.L1D] in valid_l1d
+
+
+def test_reduction_space_scales_baseline():
+    s = reduction_space(
+        [EventType.FP_ADD], fractions=(1.0, 0.5, 0.25)
+    )
+    values = dict(s.axes)[EventType.FP_ADD]
+    assert values == (2, 3, 6)  # 6*0.25 -> 2 (rounded), 6*0.5 -> 3
+
+
+def test_reduction_space_clamps_to_one_cycle():
+    s = reduction_space([EventType.LD], fractions=(0.1,))
+    assert dict(s.axes)[EventType.LD] == (1,)
+
+
+def test_len_matches_num_points():
+    s = space(L1D=[1, 2])
+    assert len(s) == 2

@@ -1,0 +1,49 @@
+"""Markdown report generator tests."""
+
+import pytest
+
+from repro.common.events import EventType
+from repro.dse.markdown import workload_report
+
+
+@pytest.fixture(scope="module")
+def report(gamess_session):
+    return workload_report(gamess_session)
+
+
+def test_report_has_all_sections(report):
+    for heading in (
+        "# Analysis report:",
+        "## Penalty decomposition",
+        "## Sensitivity",
+        "## Bottleneck timeline",
+        "## Probe validation",
+    ):
+        assert heading in report
+
+
+def test_tables_are_valid_markdown(report):
+    for line in report.splitlines():
+        if line.startswith("|"):
+            assert line.endswith("|")
+            assert line.count("|") >= 3
+
+
+def test_baseline_cpi_quoted(report, gamess_session):
+    assert f"{gamess_session.baseline_cpi:.3f}" in report
+
+
+def test_all_methods_in_validation(report):
+    for method in ("rpstacks", "cp1", "fmt"):
+        assert method in report
+
+
+def test_custom_probe(gamess_session):
+    text = workload_report(
+        gamess_session, probe_overrides={EventType.MEM_D: 40}
+    )
+    assert "MEM_D=40" in text
+
+
+def test_report_ends_with_newline(report):
+    assert report.endswith("\n")

@@ -1,0 +1,95 @@
+"""Monte-Carlo space-statistics tests."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.common.config import LatencyConfig
+from repro.common.events import NUM_EVENTS, EventType
+from repro.core.model import RpStacksModel
+from repro.dse.montecarlo import sample_space_statistics
+
+
+@pytest.fixture
+def linear_model():
+    """CPI driven by L1D (strongly) and FP_ADD (weakly)."""
+    stack = np.zeros((1, NUM_EVENTS))
+    stack[0, EventType.L1D] = 20
+    stack[0, EventType.FP_ADD] = 2
+    stack[0, EventType.BASE] = 10
+    return RpStacksModel(
+        [stack], baseline=LatencyConfig(), num_uops=100
+    )
+
+
+AXES = {
+    EventType.L1D: [1, 2, 3, 4],
+    EventType.FP_ADD: [1, 2, 3, 4, 5, 6],
+}
+
+
+class TestSampling:
+    def test_deterministic_per_seed(self, linear_model):
+        a = sample_space_statistics(linear_model, AXES, 500, seed=4)
+        b = sample_space_statistics(linear_model, AXES, 500, seed=4)
+        assert a.cpi_quantiles == b.cpi_quantiles
+
+    def test_quantiles_are_monotone_and_in_range(self, linear_model):
+        stats = sample_space_statistics(linear_model, AXES, 1000)
+        values = [stats.cpi_quantiles[q] for q in sorted(stats.cpi_quantiles)]
+        assert values == sorted(values)
+        # Analytic extremes: min = (20*1 + 2*1 + 10)/100, max with 4/6.
+        assert values[0] >= (20 * 1 + 2 * 1 + 10) / 100 - 1e-9
+        assert values[-1] <= (20 * 4 + 2 * 6 + 10) / 100 + 1e-9
+
+    def test_dominant_event_identified(self, linear_model):
+        stats = sample_space_statistics(linear_model, AXES, 2000)
+        assert stats.dominant_events(top=1) == [EventType.L1D]
+        assert (
+            stats.event_correlations[EventType.L1D]
+            > stats.event_correlations[EventType.FP_ADD]
+            > 0
+        )
+
+    def test_target_fraction(self, linear_model):
+        floor_cpi = (20 * 1 + 2 * 1 + 10) / 100
+        stats = sample_space_statistics(
+            linear_model, AXES, 2000, target_cpi=floor_cpi + 1e-9
+        )
+        # Exactly the L1D=1, FP_ADD=1 cell: probability 1/4 * 1/6.
+        assert stats.fraction_meeting_target == pytest.approx(
+            1 / 24, abs=0.02
+        )
+
+    def test_no_target_gives_nan(self, linear_model):
+        stats = sample_space_statistics(linear_model, AXES, 100)
+        assert math.isnan(stats.fraction_meeting_target)
+
+    def test_validation(self, linear_model):
+        with pytest.raises(ValueError):
+            sample_space_statistics(linear_model, AXES, 1)
+        with pytest.raises(ValueError):
+            sample_space_statistics(linear_model, {}, 100)
+        with pytest.raises(ValueError):
+            sample_space_statistics(
+                linear_model, {EventType.L1D: []}, 100
+            )
+
+
+def test_on_real_model(gamess_session):
+    axes = {
+        EventType.L1D: list(range(1, 5)),
+        EventType.FP_ADD: list(range(1, 7)),
+        EventType.FP_MUL: list(range(1, 7)),
+        EventType.MEM_D: [33, 66, 133],
+        EventType.L2D: [3, 6, 12],
+    }
+    stats = sample_space_statistics(
+        gamess_session.rpstacks, axes, 3000,
+        target_cpi=gamess_session.baseline_cpi * 0.8,
+    )
+    assert 0.0 < stats.fraction_meeting_target < 1.0
+    # gamess is L1D/FP-bound, not DRAM-bound: memory correlation small.
+    dominant = stats.dominant_events(top=2)
+    assert EventType.MEM_D not in dominant

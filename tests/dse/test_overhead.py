@@ -1,0 +1,104 @@
+"""Overhead-accounting tests (Fig 2b / Fig 13 machinery)."""
+
+import pytest
+
+from repro.dse.literature import (
+    LITERATURE_MIPS,
+    MethodSpeed,
+    acceleration_method_speeds,
+)
+from repro.dse.overhead import (
+    OverheadProfile,
+    exploration_curves,
+    measure_overhead,
+)
+
+
+def profile(sim=1.0, build=0.2, gen=0.5, eval_=0.0001, reeval=0.05):
+    return OverheadProfile(
+        workload_name="w",
+        num_uops=1000,
+        simulate_seconds=sim,
+        graph_build_seconds=build,
+        rpstacks_generate_seconds=gen,
+        rpstacks_eval_seconds=eval_,
+        graph_reeval_seconds=reeval,
+    )
+
+
+class TestMethodSpeed:
+    def test_exploration_time_is_affine(self):
+        method = MethodSpeed("m", setup_seconds=2.0, per_point_seconds=0.5)
+        assert method.exploration_seconds(0) == 2.0
+        assert method.exploration_seconds(10) == 7.0
+
+    def test_negative_points_rejected(self):
+        with pytest.raises(ValueError):
+            MethodSpeed("m", 0, 1).exploration_seconds(-1)
+
+    def test_literature_table_has_expected_methods(self):
+        assert set(LITERATURE_MIPS) == {
+            "native", "marssx86", "graphite", "sniper", "fast",
+        }
+        # Ordering sanity: native > fast > graphite > sniper > marss.
+        assert (
+            LITERATURE_MIPS["native"]
+            > LITERATURE_MIPS["fast"]
+            > LITERATURE_MIPS["graphite"]
+            > LITERATURE_MIPS["sniper"]
+            > LITERATURE_MIPS["marssx86"]
+        )
+
+    def test_acceleration_speeds_scale_with_instructions(self):
+        short = acceleration_method_speeds(1_000_000)
+        long = acceleration_method_speeds(2_000_000)
+        for a, b in zip(short, long):
+            assert b.per_point_seconds == pytest.approx(
+                2 * a.per_point_seconds
+            )
+
+
+class TestOverheadProfile:
+    def test_rpstacks_flat_simulator_linear(self):
+        p = profile()
+        curves = exploration_curves(p, design_points=(1, 10, 100))
+        sim = curves["simulator"]
+        rp = curves["rpstacks"]
+        assert sim[2] == pytest.approx(100 * sim[0])
+        # RpStacks total barely moves with the point count.
+        assert rp[2] - rp[0] < 0.1
+
+    def test_crossover_formula(self):
+        p = profile(sim=1.0, build=0.2, gen=0.5, eval_=0.0)
+        # setup = 1.7; gain per point = 1.0 -> crossover at 1.7 points.
+        assert p.crossover_points() == pytest.approx(1.7)
+
+    def test_crossover_infinite_when_eval_not_cheaper(self):
+        p = profile(sim=0.001, eval_=0.01)
+        assert p.crossover_points() == float("inf")
+
+    def test_speedup_grows_with_points(self):
+        p = profile()
+        assert p.speedup(1000) > p.speedup(100) > p.speedup(10)
+
+    def test_graph_reeval_sits_between(self):
+        p = profile()
+        points = 1000
+        sim_time = p.simulator_method().exploration_seconds(points)
+        reeval_time = p.graph_reeval_method().exploration_seconds(points)
+        rp_time = p.rpstacks_method().exploration_seconds(points)
+        assert rp_time < reeval_time < sim_time
+
+
+class TestMeasurement:
+    def test_measure_on_real_workload(self, tiny_workload):
+        p = measure_overhead(tiny_workload, eval_points=8, reeval_points=1)
+        assert p.num_uops == len(tiny_workload)
+        assert p.simulate_seconds > 0
+        assert p.graph_build_seconds > 0
+        assert p.rpstacks_generate_seconds > 0
+        # The core speed claim: per-point evaluation is much cheaper
+        # than re-simulation and than graph re-evaluation.
+        assert p.rpstacks_eval_seconds < p.simulate_seconds / 50
+        assert p.rpstacks_eval_seconds < p.graph_reeval_seconds
+        assert p.crossover_points() < 100

@@ -1,0 +1,152 @@
+"""Portfolio (multi-workload) exploration tests."""
+
+import numpy as np
+import pytest
+
+from repro.common.config import LatencyConfig
+from repro.common.events import NUM_EVENTS, EventType
+from repro.core.model import RpStacksModel
+from repro.dse.designspace import DesignSpace
+from repro.dse.portfolio import PortfolioExplorer
+
+
+def model_for(event: EventType, units: float = 10.0, num_uops: int = 100):
+    """A one-stack model whose CPI depends only on one event."""
+    stack = np.zeros((1, NUM_EVENTS))
+    stack[0, EventType.BASE] = 50
+    stack[0, event] = units
+    return RpStacksModel(
+        [stack], baseline=LatencyConfig(), num_uops=num_uops
+    )
+
+
+@pytest.fixture
+def models():
+    return {
+        "fp-app": model_for(EventType.FP_ADD),
+        "mem-app": model_for(EventType.L1D),
+    }
+
+
+@pytest.fixture
+def space():
+    return DesignSpace.from_mapping(
+        {EventType.FP_ADD: [1, 3, 6], EventType.L1D: [1, 2, 4]}
+    )
+
+
+class TestWeights:
+    def test_empty_models_rejected(self):
+        with pytest.raises(ValueError):
+            PortfolioExplorer({})
+
+    def test_weights_normalised(self, models):
+        explorer = PortfolioExplorer(
+            models, weights={"fp-app": 3.0, "mem-app": 1.0}
+        )
+        assert explorer.weights["fp-app"] == pytest.approx(0.75)
+        assert sum(explorer.weights.values()) == pytest.approx(1.0)
+
+    def test_non_positive_weights_rejected(self, models):
+        with pytest.raises(ValueError):
+            PortfolioExplorer(
+                models, weights={"fp-app": 0.0, "mem-app": 0.0}
+            )
+
+
+class TestExploration:
+    def test_weighted_cpi_is_the_mixture(self, models, space):
+        explorer = PortfolioExplorer(models)
+        result = explorer.explore(space)
+        assert result.num_points == 9
+        for candidate in result.candidates:
+            per = dict(candidate.per_workload_cpi)
+            assert candidate.weighted_cpi == pytest.approx(
+                0.5 * per["fp-app"] + 0.5 * per["mem-app"]
+            )
+
+    def test_weight_shifts_the_winner(self, models, space):
+        fp_heavy = PortfolioExplorer(
+            models, weights={"fp-app": 10.0, "mem-app": 1.0}
+        ).explore(space)
+        mem_heavy = PortfolioExplorer(
+            models, weights={"fp-app": 1.0, "mem-app": 10.0}
+        ).explore(space)
+        # At equal cost budgets, the fp-heavy mix prefers spending on
+        # FP_ADD, the mem-heavy mix on L1D: compare the best candidate
+        # among single-optimisation designs.
+        def best_single(result, event, other):
+            return min(
+                (
+                    c
+                    for c in result.candidates
+                    if c.latency[other] == LatencyConfig()[other]
+                ),
+                key=lambda c: c.weighted_cpi,
+            )
+
+        fp_choice = min(
+            fp_heavy.candidates, key=lambda c: c.weighted_cpi + c.cost / 100
+        )
+        mem_choice = min(
+            mem_heavy.candidates, key=lambda c: c.weighted_cpi + c.cost / 100
+        )
+        assert fp_choice.latency[EventType.FP_ADD] == 1
+        assert mem_choice.latency[EventType.L1D] == 1
+
+    def test_target_filters(self, models, space):
+        explorer = PortfolioExplorer(models)
+        everything = explorer.explore(space)
+        floor = min(c.weighted_cpi for c in everything.candidates)
+        filtered = explorer.explore(
+            space, target_weighted_cpi=floor + 1e-9
+        )
+        assert 1 <= len(filtered.candidates) < len(everything.candidates)
+
+    def test_per_workload_ceiling(self, models, space):
+        explorer = PortfolioExplorer(models)
+        result = explorer.explore(
+            space, per_workload_ceiling={"mem-app": 0.6}
+        )
+        for candidate in result.candidates:
+            assert dict(candidate.per_workload_cpi)["mem-app"] <= 0.6
+
+    def test_best_and_pareto(self, models, space):
+        result = PortfolioExplorer(models).explore(space)
+        best = result.best()
+        assert best.cost == min(c.cost for c in result.candidates)
+        front = result.pareto_front()
+        cpis = [c.weighted_cpi for c in front]
+        assert cpis == sorted(cpis, reverse=True)
+
+    def test_empty_result_best_raises(self, models, space):
+        result = PortfolioExplorer(models).explore(
+            space, target_weighted_cpi=0.0
+        )
+        with pytest.raises(ValueError):
+            result.best()
+
+
+class TestWithRealModels(object):
+    def test_joint_design_validates_on_both_workloads(
+        self, gamess_session, tiny_session
+    ):
+        models = {
+            "gamess": gamess_session.rpstacks,
+            "tiny": tiny_session.rpstacks,
+        }
+        space = DesignSpace.from_mapping(
+            {
+                EventType.L1D: [1, 2, 4],
+                EventType.FP_ADD: [1, 3, 6],
+            }
+        )
+        result = PortfolioExplorer(models).explore(space)
+        best = min(result.candidates, key=lambda c: c.weighted_cpi)
+        for session, name in (
+            (gamess_session, "gamess"),
+            (tiny_session, "tiny"),
+        ):
+            predicted = dict(best.per_workload_cpi)[name]
+            simulated = session.simulate(best.latency).cpi
+            assert predicted == pytest.approx(simulated, rel=0.12)

@@ -1,0 +1,50 @@
+"""Report-rendering helper tests."""
+
+from repro.common.config import LatencyConfig
+from repro.common.events import EventType
+from repro.core.stack import StallEventStack
+from repro.dse.report import (
+    ascii_bar,
+    cpi_stack_rows,
+    format_table,
+    render_component_map,
+    render_cpi_stack,
+)
+
+
+def test_format_table_aligns_columns():
+    text = format_table(
+        ["name", "value"], [["a", 1], ["long-name", 22]]
+    )
+    lines = text.splitlines()
+    assert len(lines) == 4
+    assert lines[0].index("value") == lines[2].index("1")
+
+
+def test_ascii_bar_scales():
+    assert ascii_bar(5, 10, width=10) == "#####"
+    assert ascii_bar(20, 10, width=10) == "##########"  # clamped
+    assert ascii_bar(0, 10, width=10) == ""
+    assert ascii_bar(1, 0) == ""
+
+
+def test_cpi_stack_rows_ordered_by_contribution():
+    stack = StallEventStack.from_mapping(
+        {EventType.MEM_D: 1, EventType.L1D: 2}
+    )
+    rows = cpi_stack_rows(stack, LatencyConfig(), num_uops=10)
+    assert rows[0][0] == "MemD"
+    assert rows[0][1] == 13.3
+
+
+def test_render_cpi_stack_includes_total_and_bars():
+    stack = StallEventStack.from_mapping({EventType.FP_ADD: 5})
+    text = render_cpi_stack("demo", stack, LatencyConfig(), num_uops=10)
+    assert "demo" in text
+    assert "Fadd" in text
+    assert "#" in text
+
+
+def test_render_component_map():
+    text = render_component_map({EventType.L1D: 0.5, EventType.BASE: 0.3})
+    assert text.splitlines()[0].strip().startswith("L1D")

@@ -1,0 +1,124 @@
+"""Greedy latency-search tests."""
+
+import pytest
+
+from repro.common.config import LatencyConfig
+from repro.common.events import EventType
+from repro.dse.search import GreedyLatencySearch
+
+
+class LinearModel:
+    """CPI = 0.1 * L1D + 0.05 * FP_ADD (separable — greedy-friendly)."""
+
+    def predict_cpi(self, latency):
+        return (
+            0.1 * latency[EventType.L1D]
+            + 0.05 * latency[EventType.FP_ADD]
+        )
+
+
+CANDIDATES = {
+    EventType.L1D: [1, 2, 3, 4],
+    EventType.FP_ADD: [1, 2, 3, 4, 5, 6],
+}
+
+
+class TestGreedy:
+    def test_reaches_reachable_target(self):
+        search = GreedyLatencySearch(LinearModel(), CANDIDATES)
+        base = LatencyConfig()
+        result = search.run(base, target_cpi=0.5)
+        assert result.target_met
+        assert result.predicted_cpi <= 0.5
+
+    def test_stops_when_target_unreachable(self):
+        search = GreedyLatencySearch(LinearModel(), CANDIDATES)
+        result = search.run(LatencyConfig(), target_cpi=0.01)
+        # Floor: L1D=1, FP_ADD=1 -> 0.15.
+        assert not result.target_met
+        assert result.predicted_cpi == pytest.approx(0.15)
+        assert result.final[EventType.L1D] == 1
+        assert result.final[EventType.FP_ADD] == 1
+
+    def test_steps_descend_monotonically(self):
+        search = GreedyLatencySearch(LinearModel(), CANDIDATES)
+        result = search.run(LatencyConfig(), target_cpi=0.2)
+        cpis = [step.predicted_cpi for step in result.steps]
+        assert all(b < a for a, b in zip(cpis, cpis[1:]))
+
+    def test_moves_are_single_notch(self):
+        search = GreedyLatencySearch(LinearModel(), CANDIDATES)
+        result = search.run(LatencyConfig(), target_cpi=0.2)
+        for step in result.steps:
+            faster = [
+                v
+                for v in CANDIDATES[step.event]
+                if v < step.from_cycles
+            ]
+            assert step.to_cycles == max(faster)
+
+    def test_respects_max_steps(self):
+        search = GreedyLatencySearch(LinearModel(), CANDIDATES)
+        result = search.run(LatencyConfig(), target_cpi=0.0, max_steps=2)
+        assert result.num_steps == 2
+
+    def test_empty_candidate_list_rejected(self):
+        with pytest.raises(ValueError):
+            GreedyLatencySearch(LinearModel(), {EventType.L1D: []})
+
+    def test_bad_beam_rejected(self):
+        with pytest.raises(ValueError):
+            GreedyLatencySearch(LinearModel(), CANDIDATES, beam=0)
+
+
+class TestOnRealModel:
+    def test_search_agrees_with_exhaustive_sweep(self, gamess_session):
+        """On an enumerable space, greedy must land within a few percent
+        of the exhaustive optimum's cost."""
+        from repro.dse.designspace import DesignSpace
+        from repro.dse.explorer import Explorer
+
+        model = gamess_session.rpstacks
+        base = gamess_session.config.latency
+        candidates = {
+            EventType.L1D: [1, 2, 3, 4],
+            EventType.FP_ADD: [1, 2, 3, 4, 5, 6],
+            EventType.FP_MUL: [1, 2, 3, 4, 5, 6],
+        }
+        target = gamess_session.baseline_cpi * 0.8
+
+        exhaustive = Explorer(model).explore(
+            DesignSpace.from_mapping(candidates, base=base),
+            target_cpi=target,
+        )
+        best = exhaustive.best()
+
+        search = GreedyLatencySearch(model, candidates, beam=2)
+        result = search.run(base, target_cpi=target)
+        assert result.target_met
+        assert result.total_cost <= best.cost * 1.5 + 0.5
+
+    def test_search_uses_far_fewer_evaluations_than_enumeration(
+        self, gamess_session
+    ):
+        model = gamess_session.rpstacks
+        base = gamess_session.config.latency
+        candidates = {
+            event: list(range(1, base[event] + 1))
+            for event in (
+                EventType.L1D,
+                EventType.FP_ADD,
+                EventType.FP_MUL,
+                EventType.L2D,
+                EventType.LD,
+            )
+        }
+        space_size = 1
+        for values in candidates.values():
+            space_size *= len(values)
+        search = GreedyLatencySearch(model, candidates)
+        result = search.run(
+            base, target_cpi=gamess_session.baseline_cpi * 0.7
+        )
+        assert result.target_met
+        assert search.evaluations < space_size / 10

@@ -1,0 +1,95 @@
+"""Structure-domain exploration tests."""
+
+import pytest
+
+from repro.common.config import MicroarchConfig
+from repro.common.events import EventType
+from repro.dse.designspace import DesignSpace
+from repro.dse.structure import (
+    StructureExplorer,
+    StructurePoint,
+    structure_grid,
+)
+
+
+class TestStructurePoint:
+    def test_apply_overrides_core_fields(self):
+        point = StructurePoint.of("small", rob_size=64, iq_size=18)
+        config = point.apply(MicroarchConfig())
+        assert config.core.rob_size == 64
+        assert config.core.iq_size == 18
+        assert config.core.fetch_width == 4  # untouched
+
+    def test_points_are_hashable_value_objects(self):
+        a = StructurePoint.of("x", rob_size=64)
+        b = StructurePoint.of("x", rob_size=64)
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_grid_is_cartesian(self):
+        points = structure_grid(
+            {"rob_size": [64, 128], "branch_predictor": ["bimodal", "gshare"]}
+        )
+        assert len(points) == 4
+        names = {p.name for p in points}
+        assert "rob_size=64,branch_predictor=bimodal" in names
+
+
+class TestStructureExplorer:
+    @pytest.fixture(scope="class")
+    def explorer(self, tiny_workload):
+        return StructureExplorer(tiny_workload)
+
+    @pytest.fixture(scope="class")
+    def points(self):
+        return [
+            StructurePoint.of("baseline"),
+            StructurePoint.of("small-rob", rob_size=32),
+        ]
+
+    @pytest.fixture(scope="class")
+    def results(self, explorer, points):
+        space = DesignSpace.from_mapping(
+            {EventType.L1D: [1, 2, 4], EventType.FP_ADD: [3, 6]}
+        )
+        return explorer.explore(points, space)
+
+    def test_one_result_per_structure(self, results, points):
+        assert [r.point for r in results] == points
+
+    def test_sessions_are_cached(self, explorer, points):
+        before = dict(explorer.sessions)
+        explorer.analyse(points[0])
+        assert explorer.sessions == before
+
+    def test_smaller_rob_is_no_faster(self, results):
+        baseline, small = results
+        assert small.baseline_cpi >= baseline.baseline_cpi
+
+    def test_candidates_priced_per_structure(self, results):
+        for result in results:
+            assert result.candidates
+            for candidate in result.candidates:
+                assert candidate.predicted_cpi > 0
+
+    def test_overall_best_meets_ordering(self, results):
+        winner, candidate = StructureExplorer.overall_best(results)
+        for result in results:
+            other = result.best()
+            if other is None:
+                continue
+            assert (candidate.cost, candidate.predicted_cpi) <= (
+                other.cost,
+                other.predicted_cpi,
+            )
+
+    def test_overall_best_requires_candidates(self):
+        with pytest.raises(ValueError):
+            StructureExplorer.overall_best([])
+
+
+def test_prefetcher_routes_to_top_level_config():
+    point = StructurePoint.of("pf", prefetcher="stride", rob_size=64)
+    config = point.apply(MicroarchConfig())
+    assert config.prefetcher == "stride"
+    assert config.core.rob_size == 64

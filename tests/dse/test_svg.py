@@ -1,0 +1,120 @@
+"""SVG renderer tests (structure of the emitted documents)."""
+
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.dse.svg import render_line_chart, render_stacked_bars
+
+
+def parse(svg_text):
+    return ET.fromstring(svg_text)
+
+
+NS = "{http://www.w3.org/2000/svg}"
+
+
+class TestStackedBars:
+    BARS = [
+        ("gamess", {"Fadd": 0.6, "L1D": 0.5, "Base": 0.2}),
+        ("mcf", {"MemD": 5.0, "DTLB": 1.0}),
+    ]
+
+    def test_valid_xml(self):
+        root = parse(render_stacked_bars(self.BARS, "Fig 12"))
+        assert root.tag == f"{NS}svg"
+
+    def test_one_rect_per_positive_component(self):
+        root = parse(render_stacked_bars(self.BARS, "t"))
+        # Component rects carry a <title> tooltip; background and legend
+        # swatches do not.
+        component_rects = [
+            r
+            for r in root.findall(f"{NS}rect")
+            if r.find(f"{NS}title") is not None
+        ]
+        assert len(component_rects) == 5
+
+    def test_heights_proportional_to_values(self):
+        root = parse(render_stacked_bars(self.BARS, "t"))
+        rects = [
+            r for r in root.findall(f"{NS}rect")
+            if r.find(f"{NS}title") is not None
+        ]
+        by_title = {
+            r.find(f"{NS}title").text: float(r.get("height"))
+            for r in rects
+        }
+        memd = by_title["mcf MemD: 5.000"]
+        dtlb = by_title["mcf DTLB: 1.000"]
+        assert memd == pytest.approx(5 * dtlb, rel=0.01)
+
+    def test_component_colours_consistent_across_bars(self):
+        bars = [
+            ("a", {"L1D": 1.0, "Fadd": 0.5}),
+            ("b", {"Fadd": 0.7, "L1D": 0.2}),
+        ]
+        root = parse(render_stacked_bars(bars, "t"))
+        fills = {}
+        for rect in root.findall(f"{NS}rect"):
+            title = rect.find(f"{NS}title")
+            if title is None:
+                continue
+            component = title.text.split()[1].rstrip(":")
+            fills.setdefault(component, set()).add(rect.get("fill"))
+        assert all(len(colours) == 1 for colours in fills.values())
+
+    def test_labels_and_legend_present(self):
+        text = render_stacked_bars(self.BARS, "My Title", unit="CPI")
+        assert "My Title" in text
+        assert "gamess" in text
+        assert "MemD" in text
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            render_stacked_bars([], "t")
+
+
+class TestLineChart:
+    X = [1, 10, 100, 1000]
+    SERIES = {
+        "simulator": [1.0, 10.0, 100.0, 1000.0],
+        "rpstacks": [50.0, 50.0, 50.1, 51.0],
+    }
+
+    def test_valid_xml_with_one_polyline_per_series(self):
+        root = parse(
+            render_line_chart(self.X, self.SERIES, "Fig 13", log_x=True)
+        )
+        polylines = root.findall(f"{NS}polyline")
+        assert len(polylines) == 2
+
+    def test_log_x_spacing(self):
+        root = parse(
+            render_line_chart(self.X, self.SERIES, "t", log_x=True)
+        )
+        line = root.findall(f"{NS}polyline")[0]
+        xs = [
+            float(pair.split(",")[0])
+            for pair in line.get("points").split()
+        ]
+        gaps = [b - a for a, b in zip(xs, xs[1:])]
+        # Decades are equally spaced on a log axis.
+        assert gaps[0] == pytest.approx(gaps[1], rel=0.01)
+        assert gaps[1] == pytest.approx(gaps[2], rel=0.01)
+
+    def test_series_length_validated(self):
+        with pytest.raises(ValueError):
+            render_line_chart([1, 2], {"a": [1.0]}, "t")
+
+    def test_needs_two_points(self):
+        with pytest.raises(ValueError):
+            render_line_chart([1], {"a": [1.0]}, "t")
+
+    def test_axis_labels_present(self):
+        text = render_line_chart(
+            self.X, self.SERIES, "t",
+            x_label="design points", y_label="seconds",
+        )
+        assert "design points" in text
+        assert "seconds" in text

@@ -1,0 +1,100 @@
+"""Validation-harness tests."""
+
+import pytest
+
+from repro.common.config import LatencyConfig
+from repro.common.events import EventType
+from repro.dse.validate import (
+    ScenarioError,
+    ValidationReport,
+    bottleneck_reduction_scenarios,
+    validate_predictors,
+)
+
+
+class TestScenarioGeneration:
+    def test_single_event_scenarios(self):
+        scenarios = bottleneck_reduction_scenarios(
+            LatencyConfig(), [EventType.FP_ADD], fraction=0.5, pairs=False
+        )
+        assert len(scenarios) == 1
+        assert scenarios[0][EventType.FP_ADD] == 3
+
+    def test_pairs_included(self):
+        scenarios = bottleneck_reduction_scenarios(
+            LatencyConfig(),
+            [EventType.FP_ADD, EventType.L1D, EventType.MEM_D],
+            fraction=0.5,
+        )
+        # 3 singles + 3 pairs.
+        assert len(scenarios) == 6
+
+    def test_fraction_clamps_to_whole_cycles(self):
+        scenarios = bottleneck_reduction_scenarios(
+            LatencyConfig(), [EventType.LD], fraction=0.1, pairs=False
+        )
+        assert scenarios[0][EventType.LD] == 1
+
+    def test_duplicate_bottlenecks_deduplicated(self):
+        scenarios = bottleneck_reduction_scenarios(
+            LatencyConfig(),
+            [EventType.L1D, EventType.L1D],
+            fraction=0.5,
+        )
+        assert len(scenarios) == 1
+
+
+class TestScenarioError:
+    def test_signed_relative_error(self):
+        error = ScenarioError(
+            latency=LatencyConfig(),
+            simulated_cycles=100.0,
+            predicted_cycles=90.0,
+        )
+        assert error.relative_error == pytest.approx(-0.10)
+        assert error.abs_error_percent == pytest.approx(10.0)
+
+
+class TestReport:
+    def make_report(self):
+        report = ValidationReport(workload_name="w")
+        for predicted in (95.0, 105.0, 120.0):
+            report.add(
+                "m",
+                ScenarioError(
+                    latency=LatencyConfig(),
+                    simulated_cycles=100.0,
+                    predicted_cycles=predicted,
+                ),
+            )
+        return report
+
+    def test_mean_and_max(self):
+        report = self.make_report()
+        assert report.mean_abs_error("m") == pytest.approx((5 + 5 + 20) / 3)
+        assert report.max_abs_error("m") == pytest.approx(20.0)
+
+    def test_box_stats(self):
+        stats = self.make_report().box_stats("m")
+        assert stats["min"] == pytest.approx(-5.0)
+        assert stats["max"] == pytest.approx(20.0)
+        assert stats["median"] == pytest.approx(5.0)
+
+    def test_summary_rows(self):
+        rows = self.make_report().summary_rows()
+        assert rows[0][0] == "m"
+
+
+def test_validate_predictors_end_to_end(gamess_session):
+    base = gamess_session.config.latency
+    scenarios = bottleneck_reduction_scenarios(
+        base, [EventType.FP_ADD, EventType.L1D], fraction=0.5
+    )
+    report = validate_predictors(
+        gamess_session.machine, gamess_session.predictors(), scenarios
+    )
+    assert set(report.errors) == {"rpstacks", "cp1", "fmt"}
+    for name in report.errors:
+        assert len(report.errors[name]) == len(scenarios)
+    # The half-latency scenario set is gentle: RpStacks must stay tight.
+    assert report.mean_abs_error("rpstacks") < 12.0

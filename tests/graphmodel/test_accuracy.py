@@ -1,0 +1,55 @@
+"""Graph-model accuracy vs the simulator (the Fig 10 relationship)."""
+
+import pytest
+
+from repro.common.config import baseline_config
+from repro.common.events import EventType
+from repro.graphmodel.builder import build_graph
+from repro.graphmodel.reeval import GraphReevalPredictor
+from repro.simulator.machine import Machine
+from repro.workloads.suite import make_workload
+
+WORKLOADS = ("gamess", "mcf", "perlbench", "milc")
+
+#: One-cycle optimisation scenarios, as in Fig 10 ("we impose one-cycle
+#: latency to the combinations of up to two events").
+SCENARIOS = (
+    {},
+    {EventType.L1D: 1},
+    {EventType.FP_ADD: 1},
+    {EventType.L1D: 1, EventType.FP_MUL: 1},
+    {EventType.LD: 1, EventType.L1D: 1},
+)
+
+
+@pytest.mark.parametrize("name", WORKLOADS)
+def test_graph_tracks_simulator_across_scenarios(name):
+    workload = make_workload(name, 150)
+    machine = Machine(workload)
+    result = machine.simulate()
+    graph = build_graph(result)
+    base = result.config.latency
+    for overrides in SCENARIOS:
+        latency = base.with_overrides(overrides)
+        simulated = machine.cycles(latency)
+        predicted = graph.longest_path_length(latency)
+        error = abs(predicted - simulated) / simulated
+        assert error < 0.08, (name, overrides, predicted, simulated)
+
+
+def test_reeval_predictor_wraps_longest_path(tiny_result):
+    graph = build_graph(tiny_result)
+    predictor = GraphReevalPredictor(graph)
+    base = tiny_result.config.latency
+    assert predictor.predict_cycles(base) == graph.longest_path_length(base)
+    assert predictor.predict_cpi(base) == pytest.approx(
+        graph.longest_path_length(base) / graph.num_uops
+    )
+    assert predictor.evaluations == 2
+
+
+def test_graph_monotone_in_latency(tiny_result):
+    graph = build_graph(tiny_result)
+    base = tiny_result.config.latency
+    slower = base.with_overrides({EventType.MEM_D: 266, EventType.L1D: 8})
+    assert graph.longest_path_length(slower) >= graph.longest_path_length(base)

@@ -1,0 +1,151 @@
+"""BuilderOptions ablation tests: constraint families really toggle."""
+
+import pytest
+
+from repro.common.config import baseline_config
+from repro.common.events import EventType
+from repro.graphmodel.builder import BuilderOptions, build_graph
+from repro.graphmodel.nodes import Stage, node_id
+from repro.simulator.core import simulate
+from repro.workloads.kernels import pointer_ring, stream_triad
+from repro.workloads.suite import make_workload
+
+
+def edge_pairs(graph):
+    return {
+        (int(s), int(d))
+        for s, d in zip(graph.edge_src, graph.edge_dst)
+    }
+
+
+@pytest.fixture(scope="module")
+def mixed_result(tiny_workload):
+    return simulate(tiny_workload, baseline_config())
+
+
+def test_default_options_build_full_model(mixed_result):
+    full = build_graph(mixed_result)
+    explicit = build_graph(mixed_result, BuilderOptions())
+    assert full.num_edges == explicit.num_edges
+
+
+def test_disabling_address_path_removes_ar_nodes(mixed_result):
+    graph = build_graph(
+        mixed_result, BuilderOptions(address_path=False)
+    )
+    pairs = edge_pairs(graph)
+    for uop in mixed_result.workload:
+        if uop.is_memory:
+            ar1 = node_id(uop.seq, Stage.AR1)
+            assert not any(dst == ar1 for _src, dst in pairs)
+
+
+def test_disabling_address_path_keeps_address_dependencies(mixed_result):
+    graph = build_graph(
+        mixed_result, BuilderOptions(address_path=False)
+    )
+    pairs = edge_pairs(graph)
+    for record, uop in zip(mixed_result.uops, mixed_result.workload):
+        if uop.is_memory:
+            for producer in record.addr_producers:
+                if producer >= 0:
+                    assert (
+                        node_id(producer, Stage.P),
+                        node_id(record.seq, Stage.R),
+                    ) in pairs
+
+
+def test_each_flag_removes_edges(mixed_result):
+    full_edges = build_graph(mixed_result).num_edges
+    for flag in (
+        "address_path",
+        "load_store_ordering",
+        "fetch_buffer_edge",
+    ):
+        options = BuilderOptions(**{flag: False})
+        reduced = build_graph(mixed_result, options).num_edges
+        assert reduced < full_edges, flag
+    # The issue-dependency edge only exists when the IQ actually filled
+    # up during the run — absent here, toggling it is a no-op.
+    assert not any(r.iq_freer >= 0 for r in mixed_result.uops)
+    no_issue = build_graph(
+        mixed_result, BuilderOptions(issue_dependency=False)
+    )
+    assert no_issue.num_edges == full_edges
+
+
+def test_issue_dependency_witness_appears_under_iq_pressure():
+    # A memory-bound stream with many in-flight long loads fills the
+    # 36-entry issue queue, producing iq_freer witnesses and edges.
+    result = simulate(
+        make_workload("libquantum", 250), baseline_config()
+    )
+    assert any(r.iq_freer >= 0 for r in result.uops)
+    full = build_graph(result).num_edges
+    ablated = build_graph(
+        result, BuilderOptions(issue_dependency=False)
+    ).num_edges
+    assert ablated < full
+
+
+def test_disabled_address_path_loses_load_accuracy():
+    """The pointer ring's time is dominated by the AGU+DTLB address
+    path; removing those constraints makes the graph under-predict."""
+    config = baseline_config()
+    result = simulate(pointer_ring(length=120), config)
+    full = build_graph(result)
+    ablated = build_graph(result, BuilderOptions(address_path=False))
+    base = config.latency
+    full_error = abs(
+        full.longest_path_length(base) - result.cycles
+    ) / result.cycles
+    ablated_prediction = ablated.longest_path_length(base)
+    assert full_error < 0.05
+    assert ablated_prediction < full.longest_path_length(base)
+
+
+def test_disabled_store_ordering_loses_triad_accuracy():
+    """Triad is serialised by conservative load/store ordering; without
+    those edges the graph thinks iterations overlap freely."""
+    config = baseline_config()
+    result = simulate(stream_triad(iterations=40), config)
+    full = build_graph(result)
+    ablated = build_graph(
+        result, BuilderOptions(load_store_ordering=False)
+    )
+    base = config.latency
+    assert full.longest_path_length(base) == pytest.approx(
+        result.cycles, rel=0.06
+    )
+    assert (
+        ablated.longest_path_length(base)
+        < 0.7 * full.longest_path_length(base)
+    )
+
+
+def test_disabled_macro_commit_still_orders_completion(mixed_result):
+    graph = build_graph(
+        mixed_result, BuilderOptions(uop_commit_dependency=False)
+    )
+    pairs = edge_pairs(graph)
+    # Every µop still gates its own RC on its own P.
+    for uop in mixed_result.workload:
+        assert (
+            node_id(uop.seq, Stage.P),
+            node_id(uop.seq, Stage.RC),
+        ) in pairs
+
+
+def test_ablated_graphs_stay_acyclic(mixed_result):
+    options = BuilderOptions(
+        issue_dependency=False,
+        address_path=False,
+        load_store_ordering=False,
+        cache_line_sharing=False,
+        uop_commit_dependency=False,
+        phys_reg_edges=False,
+        fetch_buffer_edge=False,
+    )
+    graph = build_graph(mixed_result, options)
+    topo = graph.topological_order()
+    assert len(topo) == graph.num_nodes

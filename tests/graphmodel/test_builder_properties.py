@@ -1,0 +1,106 @@
+"""Property-based dependence-graph builder invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.config import baseline_config
+from repro.graphmodel.builder import build_graph
+from repro.graphmodel.nodes import NODES_PER_UOP, Stage, node_id, node_seq
+from repro.simulator.core import simulate
+from repro.workloads.generator import WorkloadSpec, generate
+
+specs = st.builds(
+    WorkloadSpec,
+    name=st.just("prop"),
+    num_macro_ops=st.integers(min_value=10, max_value=60),
+    p_load=st.floats(min_value=0.0, max_value=0.4),
+    p_store=st.floats(min_value=0.0, max_value=0.2),
+    p_fp_add=st.floats(min_value=0.0, max_value=0.2),
+    p_branch=st.floats(min_value=0.0, max_value=0.2),
+    p_fused_load_op=st.floats(min_value=0.0, max_value=1.0),
+    working_set_bytes=st.sampled_from([4096, 8 << 20]),
+    code_footprint_bytes=st.sampled_from([256, 65536]),
+)
+
+
+@st.composite
+def graphs(draw):
+    spec = draw(specs)
+    seed = draw(st.integers(min_value=0, max_value=500))
+    workload = generate(spec, seed=seed)
+    result = simulate(workload, baseline_config())
+    return workload, result, build_graph(result)
+
+
+@given(case=graphs())
+@settings(max_examples=20, deadline=None)
+def test_property_edges_reference_valid_nodes(case):
+    _workload, _result, graph = case
+    assert (graph.edge_src >= 0).all()
+    assert (graph.edge_dst >= 0).all()
+    assert (graph.edge_src < graph.num_nodes).all()
+    assert (graph.edge_dst < graph.num_nodes).all()
+
+
+@given(case=graphs())
+@settings(max_examples=20, deadline=None)
+def test_property_every_uop_has_its_pipeline_chain(case):
+    workload, _result, graph = case
+    pairs = {
+        (int(s), int(d)) for s, d in zip(graph.edge_src, graph.edge_dst)
+    }
+    for uop in workload:
+        i = uop.seq
+        chain = [
+            (Stage.F, Stage.ITLB),
+            (Stage.ITLB, Stage.IC),
+            (Stage.IC, Stage.N),
+            (Stage.N, Stage.D),
+            (Stage.D, Stage.R),
+            (Stage.R, Stage.E),
+            (Stage.E, Stage.P),
+            (Stage.RC, Stage.C),
+        ]
+        for src_stage, dst_stage in chain:
+            assert (node_id(i, src_stage), node_id(i, dst_stage)) in pairs
+
+
+@given(case=graphs())
+@settings(max_examples=20, deadline=None)
+def test_property_graph_is_acyclic_and_complete(case):
+    _workload, _result, graph = case
+    topo = graph.topological_order()
+    assert len(topo) == graph.num_nodes
+    assert len(set(topo)) == graph.num_nodes
+
+
+@given(case=graphs())
+@settings(max_examples=15, deadline=None)
+def test_property_no_self_edges_and_bounded_lookback(case):
+    workload, result, graph = case
+    core = result.config.core
+    window = max(
+        core.rob_size, core.fetch_buffer, core.fetch_width,
+        core.rename_width, core.dispatch_width, core.commit_width,
+    )
+    for s, d in zip(graph.edge_src.tolist(), graph.edge_dst.tolist()):
+        assert s != d
+        # Forward edges may only come from data/structural history;
+        # backward (higher-seq source) edges exist only for the µop
+        # commit dependency within one macro-op.
+        if node_seq(s) > node_seq(d):
+            assert (
+                workload[node_seq(d)].macro_id
+                == workload[node_seq(s)].macro_id
+            )
+
+
+@given(case=graphs())
+@settings(max_examples=15, deadline=None)
+def test_property_baseline_longest_path_tracks_simulator(case):
+    _workload, result, graph = case
+    predicted = graph.longest_path_length(result.config.latency)
+    assert predicted == pytest.approx(result.cycles, rel=0.15)
+    assert predicted <= result.cycles * 1.02

@@ -1,0 +1,64 @@
+"""Per-µop agreement between graph node distances and simulator times.
+
+Stronger than comparing total cycles: for every µop, the graph's
+longest-path distance to its commit node should track the simulator's
+commit timestamp.  Exact equality is not expected (the graph omits FU
+contention, LSQ and MSHR effects), but per-µop drift must stay small and
+must never make the graph *later* than the machine it lower-bounds.
+"""
+
+import pytest
+
+from repro.common.config import baseline_config
+from repro.graphmodel.builder import build_graph
+from repro.graphmodel.nodes import Stage, node_id
+from repro.simulator.core import simulate
+from repro.workloads.kernels import daxpy, pointer_ring, serial_chain
+from repro.workloads.suite import make_workload
+
+
+def commit_distances(result):
+    graph = build_graph(result)
+    dist = graph.node_distances(result.config.latency)
+    return [
+        dist[node_id(i, Stage.C)] for i in range(len(result.workload))
+    ]
+
+
+@pytest.mark.parametrize(
+    "factory",
+    [
+        lambda: serial_chain(length=80),
+        lambda: pointer_ring(length=80),
+        lambda: daxpy(iterations=20),
+    ],
+    ids=["serial-chain", "pointer-ring", "daxpy"],
+)
+def test_kernel_commit_times_match_per_uop(factory):
+    result = simulate(factory(), baseline_config())
+    distances = commit_distances(result)
+    for i, record in enumerate(result.uops):
+        assert distances[i] == pytest.approx(record.t_commit, abs=8), i
+
+
+@pytest.mark.parametrize("name", ["gamess", "bzip2"])
+def test_suite_commit_times_track_per_uop(name):
+    result = simulate(make_workload(name, 150), baseline_config())
+    distances = commit_distances(result)
+    worst = max(
+        abs(d - r.t_commit)
+        for d, r in zip(distances, result.uops)
+    )
+    # Per-µop drift bounded by a small constant fraction of the run.
+    assert worst <= max(10, 0.05 * result.cycles)
+
+
+def test_graph_commit_distance_never_exceeds_simulator(tiny_result):
+    distances = commit_distances(tiny_result)
+    for d, record in zip(distances, tiny_result.uops):
+        assert d <= record.t_commit + 1
+
+
+def test_commit_distances_are_monotone(tiny_result):
+    distances = commit_distances(tiny_result)
+    assert all(b >= a for a, b in zip(distances, distances[1:]))

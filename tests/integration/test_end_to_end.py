@@ -1,0 +1,135 @@
+"""Cross-module integration tests: the full paper pipeline."""
+
+import pytest
+
+from repro.common.events import EventType
+from repro.dse.designspace import DesignSpace
+from repro.dse.pipeline import analyze
+from repro.dse.validate import (
+    bottleneck_reduction_scenarios,
+    validate_predictors,
+)
+from repro.workloads.suite import make_workload
+
+
+@pytest.fixture(scope="module")
+def sessions():
+    return {
+        name: analyze(make_workload(name, 250))
+        for name in ("gamess", "mcf", "bzip2")
+    }
+
+
+class TestAccuracyOrdering:
+    def test_rpstacks_accurate_on_gentle_scenarios(self, sessions):
+        for name, session in sessions.items():
+            base = session.config.latency
+            bottlenecks = [
+                event
+                for event, _cpi in sorted(
+                    session.cp1.cpi_stack().items(), key=lambda kv: -kv[1]
+                )
+                if event not in (EventType.BASE, EventType.BR_MISP)
+            ][:2]
+            scenarios = bottleneck_reduction_scenarios(
+                base, bottlenecks, fraction=0.5
+            )
+            report = validate_predictors(
+                session.machine, session.predictors(), scenarios
+            )
+            assert report.mean_abs_error("rpstacks") < 10.0, name
+
+    def test_rpstacks_never_worse_than_cp1_overall(self, sessions):
+        """Aggregate Fig 11 relationship: mean RpStacks error <= mean CP1
+        error plus a small tolerance (they coincide when no path switch
+        occurs; RpStacks wins when one does)."""
+        total_rp, total_cp1 = 0.0, 0.0
+        for session in sessions.values():
+            base = session.config.latency
+            bottlenecks = [
+                event
+                for event, _cpi in sorted(
+                    session.cp1.cpi_stack().items(), key=lambda kv: -kv[1]
+                )
+                if event not in (EventType.BASE, EventType.BR_MISP)
+            ][:2]
+            scenarios = bottleneck_reduction_scenarios(
+                base, bottlenecks, fraction=0.25
+            )
+            report = validate_predictors(
+                session.machine, session.predictors(), scenarios
+            )
+            total_rp += report.mean_abs_error("rpstacks")
+            total_cp1 += report.mean_abs_error("cp1")
+        assert total_rp <= total_cp1 + 3.0
+
+
+class TestMemoryBoundWorkload:
+    def test_mcf_bottleneck_is_memory(self, sessions):
+        session = sessions["mcf"]
+        top_event, _share = session.rpstacks.bottlenecks(
+            session.config.latency, top=1
+        )[0]
+        assert top_event in ("MemD", "DTLB", "L2D")
+
+    def test_memory_optimisation_prediction(self, sessions):
+        session = sessions["mcf"]
+        base = session.config.latency
+        faster = base.with_overrides({EventType.MEM_D: 66})
+        predicted = session.rpstacks.predict_cycles(faster)
+        simulated = session.simulate(faster).cycles
+        assert predicted == pytest.approx(simulated, rel=0.05)
+
+
+class TestExplorationLoop:
+    def test_target_designs_validate_in_simulator(self, sessions):
+        session = sessions["gamess"]
+        space = DesignSpace.from_mapping(
+            {
+                EventType.L1D: [1, 2, 4],
+                EventType.FP_ADD: [2, 4, 6],
+                EventType.FP_MUL: [2, 4, 6],
+            }
+        )
+        target = session.baseline_cpi * 0.9
+        result = session.explore(space, target_cpi=target)
+        assert result.num_meeting_target > 0
+        # Validate the three cheapest candidates against the simulator.
+        for candidate in result.pareto_front()[:3]:
+            simulated = session.simulate(candidate.latency).cpi
+            assert simulated <= target * 1.12, candidate.describe()
+
+    def test_exploration_is_cheap_after_analysis(self, sessions):
+        import time
+
+        session = sessions["gamess"]
+        space = DesignSpace.from_mapping(
+            {
+                EventType.L1D: [1, 2, 3, 4],
+                EventType.FP_ADD: [1, 2, 3, 4, 5, 6],
+                EventType.FP_MUL: [1, 2, 3, 4, 5, 6],
+                EventType.LD: [1, 2],
+            }
+        )
+        assert space.num_points == 288
+        start = time.perf_counter()
+        result = session.explore(space)
+        elapsed = time.perf_counter() - start
+        assert result.num_points == 288
+        assert elapsed < 1.0  # hundreds of points in well under a second
+
+
+class TestStackConsistency:
+    def test_representative_stack_prices_to_prediction(self, sessions):
+        for name, session in sessions.items():
+            base = session.config.latency
+            stack = session.rpstacks.representative_stack(base)
+            assert stack.cycles(base) == pytest.approx(
+                session.rpstacks.predict_cycles(base)
+            ), name
+
+    def test_bottleneck_shares_are_cpi_fractions(self, sessions):
+        session = sessions["gamess"]
+        shares = session.rpstacks.bottlenecks(session.config.latency, top=5)
+        total_cpi = session.rpstacks.predict_cpi(session.config.latency)
+        assert sum(value for _name, value in shares) <= total_cpi + 1e-9

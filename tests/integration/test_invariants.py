@@ -1,0 +1,86 @@
+"""Property-based whole-pipeline invariants over random workloads."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.config import baseline_config
+from repro.common.events import LATENCY_DOMAIN
+from repro.core.generator import generate_rpstacks
+from repro.graphmodel.builder import build_graph
+from repro.simulator.core import simulate
+from repro.workloads.generator import WorkloadSpec, generate
+
+workload_specs = st.builds(
+    WorkloadSpec,
+    name=st.just("prop"),
+    num_macro_ops=st.integers(min_value=30, max_value=90),
+    p_load=st.floats(min_value=0.0, max_value=0.3),
+    p_store=st.floats(min_value=0.0, max_value=0.15),
+    p_fp_add=st.floats(min_value=0.0, max_value=0.2),
+    p_fp_mul=st.floats(min_value=0.0, max_value=0.2),
+    p_branch=st.floats(min_value=0.0, max_value=0.15),
+    pointer_chase_fraction=st.floats(min_value=0.0, max_value=0.5),
+    dep_distance_mean=st.floats(min_value=1.0, max_value=20.0),
+    working_set_bytes=st.sampled_from([4096, 65536, 8 << 20]),
+    code_footprint_bytes=st.sampled_from([1024, 65536]),
+)
+
+
+@st.composite
+def cases(draw):
+    spec = draw(workload_specs)
+    seed = draw(st.integers(min_value=0, max_value=1000))
+    return spec, seed
+
+
+@given(case=cases())
+@settings(max_examples=15, deadline=None)
+def test_property_pipeline_chain_invariants(case):
+    """For any generated workload:
+
+    1. simulation terminates with in-order commits;
+    2. the graph is acyclic and its baseline longest path tracks the
+       simulator within 15%;
+    3. unsegmented RpStacks reproduce the critical path exactly at the
+       baseline configuration.
+    """
+    spec, seed = case
+    workload = generate(spec, seed=seed)
+    config = baseline_config()
+    result = simulate(workload, config)
+
+    commits = [u.t_commit for u in result.uops]
+    assert all(b >= a for a, b in zip(commits, commits[1:]))
+
+    graph = build_graph(result)
+    predicted = graph.longest_path_length(config.latency)
+    assert predicted == pytest.approx(result.cycles, rel=0.15)
+
+    model = generate_rpstacks(
+        graph, config.latency, segment_length=10 ** 9
+    )
+    assert model.predict_cycles(config.latency) == pytest.approx(predicted)
+
+
+@given(
+    case=cases(),
+    event=st.sampled_from(list(LATENCY_DOMAIN)),
+    cycles=st.integers(min_value=1, max_value=200),
+)
+@settings(max_examples=15, deadline=None)
+def test_property_rpstacks_lower_bounds_graph(case, event, cycles):
+    """Unsegmented RpStacks predictions never exceed the exact graph
+    longest path, at any latency point (reduction only discards paths)."""
+    spec, seed = case
+    workload = generate(spec, seed=seed)
+    config = baseline_config()
+    result = simulate(workload, config)
+    graph = build_graph(result)
+    model = generate_rpstacks(graph, config.latency, segment_length=10 ** 9)
+    latency = config.latency.with_overrides({event: cycles})
+    assert (
+        model.predict_cycles(latency)
+        <= graph.longest_path_length(latency) + 1e-6
+    )

@@ -1,0 +1,105 @@
+"""Cookbook workflows: realistic multi-step usage, chained end to end."""
+
+import pytest
+
+from repro.common.config import baseline_config
+from repro.common.events import EventType
+from repro.core.generator import generate_rpstacks
+from repro.core.io import load_model, save_model
+from repro.dse.designspace import DesignSpace
+from repro.dse.explorer import Explorer
+from repro.dse.portfolio import PortfolioExplorer
+from repro.dse.search import GreedyLatencySearch
+from repro.graphmodel.builder import build_graph
+from repro.simulator.machine import Machine
+from repro.simulator.traceio import load_result, save_result
+from repro.workloads.suite import make_workload
+
+
+def test_archive_everything_then_explore_offline(tmp_path, gamess_session):
+    """simulate -> archive trace -> archive model -> reload both in a
+    'fresh process' and explore without touching the simulator."""
+    trace_path = save_result(
+        gamess_session.baseline_result, tmp_path / "run.npz"
+    )
+    model_path = save_model(
+        gamess_session.rpstacks, tmp_path / "model.npz"
+    )
+
+    # "New process": only the archives are used.
+    result = load_result(trace_path)
+    model_from_trace = generate_rpstacks(
+        build_graph(result), result.config.latency
+    )
+    model_from_archive = load_model(model_path)
+
+    space = DesignSpace.from_mapping(
+        {EventType.L1D: [1, 2, 4], EventType.FP_ADD: [1, 3, 6]}
+    )
+    sweep_a = Explorer(model_from_trace).explore(space)
+    sweep_b = Explorer(model_from_archive).explore(space)
+    cpis_a = [c.predicted_cpi for c in sweep_a.candidates]
+    cpis_b = [c.predicted_cpi for c in sweep_b.candidates]
+    assert cpis_a == pytest.approx(cpis_b)
+
+
+def test_search_then_validate_workflow(gamess_session):
+    """greedy search on the model -> validate the endpoint by
+    re-simulation -> error within the method's band."""
+    base = gamess_session.config.latency
+    search = GreedyLatencySearch(
+        gamess_session.rpstacks,
+        {
+            EventType.L1D: [1, 2, 3, 4],
+            EventType.FP_ADD: [1, 2, 3, 4, 5, 6],
+            EventType.FP_MUL: [1, 2, 3, 4, 5, 6],
+        },
+        beam=2,
+    )
+    target = gamess_session.baseline_cpi * 0.75
+    result = search.run(base, target_cpi=target)
+    assert result.target_met
+    simulated = gamess_session.simulate(result.final).cpi
+    assert result.predicted_cpi == pytest.approx(simulated, rel=0.12)
+
+
+def test_portfolio_from_archived_models(tmp_path):
+    """Two workloads analysed separately (e.g. on different machines),
+    models archived, portfolio assembled purely from the archives."""
+    paths = {}
+    expected = {}
+    space = DesignSpace.from_mapping(
+        {EventType.L1D: [1, 2, 4], EventType.MEM_D: [66, 133]}
+    )
+    for name in ("gamess", "mcf"):
+        workload = make_workload(name, 150)
+        machine = Machine(workload)
+        result = machine.simulate()
+        model = generate_rpstacks(
+            build_graph(result), result.config.latency
+        )
+        paths[name] = save_model(model, tmp_path / f"{name}.npz")
+        expected[name] = model.predict_many(space.points())
+
+    models = {name: load_model(path) for name, path in paths.items()}
+    portfolio = PortfolioExplorer(models).explore(space)
+    assert portfolio.num_points == 6
+    best = portfolio.best()
+    for name in models:
+        assert dict(best.per_workload_cpi)[name] > 0
+
+
+def test_structure_latency_model_consistency():
+    """The same workload analysed under two structures gives different
+    models, and each predicts its own structure's re-simulation."""
+    from repro.common.presets import big_core, little_core
+    from repro.dse.pipeline import analyze
+
+    workload = make_workload("bzip2", 150)
+    probe_overrides = {EventType.L2D: 6, EventType.DTLB: 10}
+    for config in (little_core(), big_core()):
+        session = analyze(workload, config=config)
+        probe = session.config.latency.with_overrides(probe_overrides)
+        predicted = session.rpstacks.predict_cpi(probe)
+        simulated = session.simulate(probe).cpi
+        assert predicted == pytest.approx(simulated, rel=0.12)

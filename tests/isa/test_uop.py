@@ -1,0 +1,135 @@
+"""Micro-op / workload structural-invariant tests."""
+
+import pytest
+
+from repro.common.events import EventType
+from repro.isa.uop import MicroOp, OpClass, Workload, validate_stream
+
+
+def uop(seq, macro, som=True, eom=True, opclass=OpClass.INT_ALU, **kwargs):
+    kwargs.setdefault("pc", seq * 4)
+    return MicroOp(
+        seq=seq, macro_id=macro, som=som, eom=eom, opclass=opclass, **kwargs
+    )
+
+
+class TestMicroOp:
+    def test_memory_requires_address(self):
+        with pytest.raises(ValueError):
+            uop(0, 0, opclass=OpClass.LOAD)
+
+    def test_non_memory_rejects_address(self):
+        with pytest.raises(ValueError):
+            uop(0, 0, opclass=OpClass.INT_ALU, mem_addr=64)
+
+    def test_addr_sources_only_for_memory(self):
+        with pytest.raises(ValueError):
+            uop(0, 0, addr_src_regs=(1,))
+
+    def test_at_most_two_data_sources(self):
+        with pytest.raises(ValueError):
+            uop(0, 0, src_regs=(1, 2, 3))
+
+    def test_negative_seq_rejected(self):
+        with pytest.raises(ValueError):
+            uop(-1, 0)
+
+    def test_exec_event_mapping(self):
+        assert uop(0, 0, opclass=OpClass.FP_MUL).exec_event is EventType.FP_MUL
+        load = uop(0, 0, opclass=OpClass.LOAD, mem_addr=64)
+        assert load.exec_event is EventType.LD
+        assert load.is_load and load.is_memory and not load.is_store
+
+    def test_branch_flags(self):
+        branch = uop(0, 0, opclass=OpClass.BRANCH, taken=True)
+        assert branch.is_branch and not branch.is_memory
+
+
+class TestStreamValidation:
+    def test_accepts_well_formed_stream(self):
+        validate_stream(
+            [
+                uop(0, 0, som=True, eom=False),
+                uop(1, 0, som=False, eom=True),
+                uop(2, 1),
+            ]
+        )
+
+    def test_rejects_seq_gap(self):
+        with pytest.raises(ValueError, match="non-dense"):
+            validate_stream([uop(0, 0), uop(2, 1)])
+
+    def test_rejects_macro_gap(self):
+        with pytest.raises(ValueError, match="macro id gap"):
+            validate_stream([uop(0, 0), uop(1, 2)])
+
+    def test_rejects_missing_som(self):
+        with pytest.raises(ValueError, match="start a macro-op"):
+            validate_stream([uop(0, 0, som=False, eom=True)])
+
+    def test_rejects_som_inside_macro(self):
+        with pytest.raises(ValueError, match="unexpected SoM"):
+            validate_stream(
+                [uop(0, 0, som=True, eom=False), uop(1, 0, som=True, eom=True)]
+            )
+
+    def test_rejects_truncated_macro(self):
+        with pytest.raises(ValueError, match="ends inside"):
+            validate_stream([uop(0, 0, som=True, eom=False)])
+
+    def test_rejects_macro_id_change_mid_macro(self):
+        with pytest.raises(ValueError, match="changed mid-macro"):
+            validate_stream(
+                [
+                    uop(0, 0, som=True, eom=False),
+                    uop(1, 1, som=False, eom=True),
+                ]
+            )
+
+
+class TestWorkloadSlice:
+    def make(self, macros=10, uops_per_macro=2):
+        stream = []
+        seq = 0
+        for macro in range(macros):
+            for j in range(uops_per_macro):
+                stream.append(
+                    uop(
+                        seq,
+                        macro,
+                        som=(j == 0),
+                        eom=(j == uops_per_macro - 1),
+                    )
+                )
+                seq += 1
+        return Workload(name="w", uops=tuple(stream))
+
+    def test_slice_realigns_to_macro_boundaries(self):
+        workload = self.make()
+        piece = workload.slice(3, 7)  # cuts through macro 1 and macro 3
+        assert piece[0].som
+        assert piece[len(piece) - 1].eom
+        # start snapped back to macro 1's SoM (seq 2), stop forward to 8.
+        assert len(piece) == 6
+
+    def test_slice_rebases_ids(self):
+        piece = self.make().slice(4, 8)
+        assert piece[0].seq == 0
+        assert piece[0].macro_id == 0
+        assert piece.num_macro_ops == 2
+
+    def test_slice_is_a_valid_workload(self):
+        piece = self.make().slice(5, 15)
+        validate_stream(piece.uops)
+
+    def test_slice_whole_stream(self):
+        workload = self.make()
+        piece = workload.slice(0, len(workload))
+        assert len(piece) == len(workload)
+
+    def test_empty_interval_rejected(self):
+        with pytest.raises(ValueError):
+            self.make().slice(4, 4)
+
+    def test_num_macro_ops(self):
+        assert self.make(macros=7).num_macro_ops == 7

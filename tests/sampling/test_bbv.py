@@ -1,0 +1,108 @@
+"""BBV profiling tests."""
+
+import numpy as np
+import pytest
+
+from repro.sampling.bbv import (
+    basic_block_ids,
+    interval_vectors,
+    random_projection,
+)
+from repro.workloads.generator import WorkloadSpec, generate
+from repro.workloads.suite import make_workload
+
+
+@pytest.fixture(scope="module")
+def branchy():
+    return generate(
+        WorkloadSpec(
+            name="branchy", num_macro_ops=400, p_branch=0.2,
+            code_footprint_bytes=2 * 1024,
+        ),
+        seed=0,
+    )
+
+
+def test_one_id_per_macro_op(branchy):
+    assert len(basic_block_ids(branchy)) == branchy.num_macro_ops
+
+
+def test_ids_are_dense_from_zero(branchy):
+    ids = basic_block_ids(branchy)
+    assert min(ids) == 0
+    assert set(ids) == set(range(max(ids) + 1))
+
+
+def test_block_changes_only_after_branches(branchy):
+    ids = basic_block_ids(branchy)
+    macro_uops = [u for u in branchy if u.som]
+    branch_positions = set()
+    macro_index = 0
+    is_branch_macro = {}
+    for u in branchy:
+        if u.som:
+            is_branch_macro[macro_index] = False
+            macro_index += 1
+        if u.is_branch:
+            is_branch_macro[macro_index - 1] = True
+    for i in range(1, len(ids)):
+        if ids[i] != ids[i - 1]:
+            assert is_branch_macro[i - 1], f"block changed at {i} w/o branch"
+
+
+def test_interval_vectors_are_l1_normalised(branchy):
+    vectors, _bounds = interval_vectors(branchy, 100)
+    assert np.allclose(vectors.sum(axis=1), 1.0)
+
+
+def test_interval_bounds_tile_the_stream(branchy):
+    _vectors, bounds = interval_vectors(branchy, 100)
+    assert bounds[0][0] == 0
+    assert bounds[-1][1] == len(branchy)
+    for (lo_a, hi_a), (lo_b, hi_b) in zip(bounds, bounds[1:]):
+        assert hi_a == lo_b
+
+
+def test_interval_count(branchy):
+    vectors, bounds = interval_vectors(branchy, 150)
+    expected = (branchy.num_macro_ops + 149) // 150
+    assert vectors.shape[0] == expected == len(bounds)
+
+
+def test_invalid_interval_rejected(branchy):
+    with pytest.raises(ValueError):
+        interval_vectors(branchy, 0)
+
+
+def test_projection_reduces_dimension(branchy):
+    vectors, _ = interval_vectors(branchy, 50)
+    projected = random_projection(vectors, dimensions=5, seed=1)
+    assert projected.shape == (vectors.shape[0], 5)
+
+
+def test_projection_is_deterministic(branchy):
+    vectors, _ = interval_vectors(branchy, 50)
+    a = random_projection(vectors, dimensions=5, seed=1)
+    b = random_projection(vectors, dimensions=5, seed=1)
+    assert np.array_equal(a, b)
+
+
+def test_projection_skipped_when_already_small():
+    vectors = np.ones((3, 4)) / 4
+    assert random_projection(vectors, dimensions=10).shape == (3, 4)
+
+
+def test_similar_phases_have_similar_vectors():
+    # A looping kernel (code footprint much smaller than the stream):
+    # every interval re-executes the same blocks, so BBVs are close.
+    workload = generate(
+        WorkloadSpec(
+            name="loop", num_macro_ops=800, p_branch=0.1,
+            code_footprint_bytes=256, hard_branch_fraction=0.0,
+        ),
+        seed=0,
+    )
+    vectors, _ = interval_vectors(workload, 200)
+    centroid = vectors.mean(axis=0)
+    distances = np.linalg.norm(vectors - centroid, axis=1)
+    assert distances.max() < 0.2

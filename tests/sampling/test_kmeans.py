@@ -1,0 +1,91 @@
+"""K-means and BIC model-selection tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sampling.kmeans import bic_score, choose_k, kmeans
+
+
+def blobs(centres, per_blob=30, spread=0.05, seed=0):
+    rng = np.random.default_rng(seed)
+    points = []
+    for centre in centres:
+        points.append(
+            np.asarray(centre) + rng.normal(0, spread, (per_blob, len(centre)))
+        )
+    return np.vstack(points)
+
+
+class TestKMeans:
+    def test_recovers_separated_blobs(self):
+        points = blobs([(0, 0), (10, 10), (0, 10)])
+        result = kmeans(points, 3, seed=1)
+        # Each blob's 30 points share one label.
+        for blob in range(3):
+            labels = result.labels[blob * 30 : (blob + 1) * 30]
+            assert len(set(labels.tolist())) == 1
+
+    def test_k_one_gives_global_mean(self):
+        points = blobs([(0, 0), (4, 4)])
+        result = kmeans(points, 1, seed=0)
+        assert np.allclose(result.centroids[0], points.mean(axis=0), atol=0.1)
+
+    def test_deterministic_for_seed(self):
+        points = blobs([(0, 0), (5, 5)])
+        a = kmeans(points, 2, seed=3)
+        b = kmeans(points, 2, seed=3)
+        assert np.array_equal(a.labels, b.labels)
+
+    def test_invalid_k_rejected(self):
+        points = blobs([(0, 0)])
+        with pytest.raises(ValueError):
+            kmeans(points, 0)
+        with pytest.raises(ValueError):
+            kmeans(points, len(points) + 1)
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(ValueError):
+            kmeans(np.zeros(5), 1)
+
+    @given(
+        seed=st.integers(min_value=0, max_value=50),
+        k=st.integers(min_value=1, max_value=4),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_property_inertia_and_labels_consistent(self, seed, k):
+        points = blobs([(0, 0), (6, 6)], per_blob=10, seed=seed)
+        result = kmeans(points, k, seed=seed)
+        assert result.labels.shape == (points.shape[0],)
+        assert result.labels.max() < k
+        recomputed = sum(
+            ((points[i] - result.centroids[result.labels[i]]) ** 2).sum()
+            for i in range(points.shape[0])
+        )
+        assert result.inertia == pytest.approx(recomputed, rel=1e-9)
+
+    def test_more_clusters_never_increase_inertia(self):
+        points = blobs([(0, 0), (5, 5), (9, 0)], per_blob=20)
+        inertias = [kmeans(points, k, seed=0).inertia for k in (1, 2, 3)]
+        assert inertias[0] >= inertias[1] >= inertias[2]
+
+
+class TestModelSelection:
+    def test_bic_prefers_true_cluster_count(self):
+        points = blobs([(0, 0), (10, 10), (0, 10)], per_blob=40)
+        scores = {
+            k: bic_score(points, kmeans(points, k, seed=0))
+            for k in (1, 2, 3, 4, 5)
+        }
+        assert max(scores, key=scores.get) == 3
+
+    def test_choose_k_finds_the_blobs(self):
+        points = blobs([(0, 0), (10, 10)], per_blob=40)
+        result = choose_k(points, max_k=5, seed=0)
+        assert result.k == 2
+
+    def test_choose_k_single_phase(self):
+        points = blobs([(1, 1)], per_blob=60, spread=0.01)
+        result = choose_k(points, max_k=4, seed=0)
+        assert result.k <= 2

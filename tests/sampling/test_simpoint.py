@@ -1,0 +1,99 @@
+"""SimPoint selection tests."""
+
+import pytest
+
+from repro.isa.uop import validate_stream
+from repro.sampling.simpoint import (
+    select_simpoints,
+    simpoint_machine,
+    weighted_cpi,
+)
+from repro.workloads.suite import make_workload
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return make_workload("perlbench", 600)
+
+
+def test_weights_sum_to_one(workload):
+    simpoints = select_simpoints(workload, interval_macros=100)
+    assert sum(sp.weight for sp in simpoints) == pytest.approx(1.0)
+
+
+def test_slices_are_valid_workloads(workload):
+    for sp in select_simpoints(workload, interval_macros=100):
+        validate_stream(sp.workload.uops)
+        assert len(sp.workload) > 0
+
+
+def test_forced_k(workload):
+    simpoints = select_simpoints(workload, interval_macros=100, k=3)
+    assert len(simpoints) <= 3
+    assert len(simpoints) >= 1
+
+
+def test_indices_are_ordered_and_in_range(workload):
+    simpoints = select_simpoints(workload, interval_macros=100)
+    indices = [sp.interval_index for sp in simpoints]
+    assert indices == sorted(indices)
+    assert all(0 <= i < 6 for i in indices)
+
+
+def test_deterministic(workload):
+    a = select_simpoints(workload, interval_macros=100, seed=5)
+    b = select_simpoints(workload, interval_macros=100, seed=5)
+    assert [sp.interval_index for sp in a] == [sp.interval_index for sp in b]
+    assert [sp.weight for sp in a] == [sp.weight for sp in b]
+
+
+def test_weighted_cpi_combination():
+    class FakeSimPoint:
+        def __init__(self, weight):
+            self.weight = weight
+
+    simpoints = [FakeSimPoint(0.25), FakeSimPoint(0.75)]
+    assert weighted_cpi([2.0, 4.0], simpoints) == pytest.approx(3.5)
+
+
+def test_weighted_cpi_validates_lengths():
+    class FakeSimPoint:
+        weight = 1.0
+
+    with pytest.raises(ValueError):
+        weighted_cpi([1.0, 2.0], [FakeSimPoint()])
+
+
+def test_homogeneous_workload_collapses_to_few_simpoints(workload):
+    simpoints = select_simpoints(workload, interval_macros=100)
+    # Statistically uniform stream: BIC should find very few phases.
+    assert len(simpoints) <= 3
+
+
+def test_simpoint_cpi_estimate_close_to_full_run():
+    """Weighted simpoint CPI approximates the whole-stream CPI.
+
+    SimPoint's premise is repeating program behaviour, so this uses a
+    looping kernel (code footprint much smaller than the stream).  Short
+    intervals also carry a pipeline-fill transient, so the interval
+    length must amortise it (the paper's 1M-instruction intervals do the
+    same at scale).
+    """
+    from repro.simulator.machine import Machine
+    from repro.workloads.generator import WorkloadSpec, generate
+
+    full = generate(
+        WorkloadSpec(
+            name="loopy", num_macro_ops=1200, p_load=0.25, p_store=0.1,
+            p_fp_add=0.1, p_branch=0.12, working_set_bytes=16 * 1024,
+            code_footprint_bytes=1024,
+        ),
+        seed=4,
+    )
+    full_cpi = Machine(full).simulate().cpi
+    simpoints = select_simpoints(full, interval_macros=300)
+    cpis = [
+        simpoint_machine(full, sp).simulate().cpi for sp in simpoints
+    ]
+    estimate = weighted_cpi(cpis, simpoints)
+    assert estimate == pytest.approx(full_cpi, rel=0.10)

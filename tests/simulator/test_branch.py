@@ -1,0 +1,83 @@
+"""Branch predictor tests."""
+
+import numpy as np
+import pytest
+
+from repro.common.config import CoreConfig
+from repro.simulator.branch import (
+    AlwaysTakenPredictor,
+    BimodalPredictor,
+    GsharePredictor,
+    make_predictor,
+)
+
+
+def accuracy(predictor, pcs, outcomes):
+    correct = 0
+    for pc, taken in zip(pcs, outcomes):
+        if predictor.predict_and_train(pc, taken) == taken:
+            correct += 1
+    return correct / len(outcomes)
+
+
+def test_always_taken():
+    predictor = AlwaysTakenPredictor()
+    assert predictor.predict_and_train(0, True) is True
+    assert predictor.predict_and_train(0, False) is True
+
+
+def test_bimodal_learns_a_bias():
+    predictor = BimodalPredictor(64)
+    outcomes = [True] * 50
+    assert accuracy(predictor, [4] * 50, outcomes) > 0.9
+
+
+def test_bimodal_hysteresis_survives_single_flip():
+    predictor = BimodalPredictor(64)
+    for _ in range(4):
+        predictor.predict_and_train(4, True)
+    predictor.predict_and_train(4, False)  # one not-taken
+    assert predictor.predict_and_train(4, True) is True
+
+
+def test_gshare_learns_alternating_pattern():
+    # A strict alternation is history-predictable but bias-unpredictable.
+    predictor = GsharePredictor(1024, history_bits=8)
+    outcomes = [bool(i % 2) for i in range(400)]
+    warm = accuracy(predictor, [8] * 400, outcomes)
+    assert warm > 0.8
+
+
+def test_bimodal_cannot_learn_alternating_pattern():
+    predictor = BimodalPredictor(64)
+    outcomes = [bool(i % 2) for i in range(400)]
+    assert accuracy(predictor, [8] * 400, outcomes) < 0.7
+
+
+def test_random_branches_defeat_both():
+    rng = np.random.default_rng(0)
+    outcomes = list(rng.random(500) < 0.5)
+    for predictor in (BimodalPredictor(1024), GsharePredictor(1024)):
+        assert 0.3 < accuracy(predictor, [12] * 500, outcomes) < 0.7
+
+
+def test_factory_selects_configured_kind():
+    assert isinstance(
+        make_predictor(CoreConfig(branch_predictor="taken")),
+        AlwaysTakenPredictor,
+    )
+    assert isinstance(
+        make_predictor(CoreConfig(branch_predictor="bimodal")),
+        BimodalPredictor,
+    )
+    assert isinstance(
+        make_predictor(CoreConfig(branch_predictor="gshare")),
+        GsharePredictor,
+    )
+
+
+def test_predictors_reject_bad_sizes():
+    with pytest.raises(ValueError):
+        BimodalPredictor(0)
+    with pytest.raises(ValueError):
+        GsharePredictor(-1)

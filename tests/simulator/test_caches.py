@@ -1,0 +1,129 @@
+"""Cache model tests: geometry, LRU, hierarchy, plus property tests."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.config import CacheConfig
+from repro.simulator.caches import AccessLevel, MemoryHierarchy, SetAssocCache
+
+
+def small_cache(sets=2, ways=2, line=64):
+    return SetAssocCache(CacheConfig(sets * ways * line, ways, line))
+
+
+class TestSetAssocCache:
+    def test_first_access_misses_then_hits(self):
+        cache = small_cache()
+        assert cache.access(0) is False
+        assert cache.access(0) is True
+        assert (cache.hits, cache.misses) == (1, 1)
+
+    def test_same_line_offsets_hit(self):
+        cache = small_cache()
+        cache.access(0)
+        assert cache.access(63) is True
+        assert cache.access(64) is False  # next line
+
+    def test_lru_eviction_order(self):
+        cache = small_cache(sets=1, ways=2)
+        a, b, c = 0, 64, 128  # all map to the single set
+        cache.access(a)
+        cache.access(b)
+        cache.access(a)  # a is now most recent
+        cache.access(c)  # evicts b
+        assert cache.probe(a)
+        assert not cache.probe(b)
+        assert cache.probe(c)
+
+    def test_sets_are_independent(self):
+        cache = small_cache(sets=2, ways=1)
+        cache.access(0)      # set 0
+        cache.access(64)     # set 1
+        assert cache.probe(0) and cache.probe(64)
+
+    def test_probe_does_not_disturb_lru(self):
+        cache = small_cache(sets=1, ways=2)
+        cache.access(0)
+        cache.access(64)
+        cache.probe(0)       # must NOT refresh line 0
+        cache.access(128)    # evicts line 0 (oldest by access)
+        assert not cache.probe(0)
+
+    def test_reset_stats_keeps_contents(self):
+        cache = small_cache()
+        cache.access(0)
+        cache.reset_stats()
+        assert (cache.hits, cache.misses) == (0, 0)
+        assert cache.probe(0)
+
+    def test_occupancy_bounded_by_associativity(self):
+        cache = small_cache(sets=1, ways=4)
+        for i in range(20):
+            cache.access(i * 64)
+        resident = sum(cache.probe(i * 64) for i in range(20))
+        assert resident == 4
+
+    @given(
+        addresses=st.lists(
+            st.integers(min_value=0, max_value=1 << 20), min_size=1, max_size=300
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_property_stats_account_every_access(self, addresses):
+        cache = small_cache(sets=4, ways=2)
+        for addr in addresses:
+            cache.access(addr)
+        assert cache.hits + cache.misses == len(addresses)
+
+    @given(
+        addresses=st.lists(
+            st.integers(min_value=0, max_value=1 << 14), min_size=1, max_size=200
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_property_immediate_reaccess_always_hits(self, addresses):
+        cache = small_cache(sets=4, ways=2)
+        for addr in addresses:
+            cache.access(addr)
+            assert cache.access(addr) is True
+
+
+class TestMemoryHierarchy:
+    def make(self):
+        return MemoryHierarchy(
+            CacheConfig(2 * 64, 1, 64),      # tiny L1I: 2 sets, direct
+            CacheConfig(2 * 64, 1, 64),      # tiny L1D
+            CacheConfig(8 * 64, 2, 64),      # small L2
+        )
+
+    def test_cold_access_goes_to_memory(self):
+        assert self.make().access_data(0) is AccessLevel.MEMORY
+
+    def test_l1_hit_after_fill(self):
+        hierarchy = self.make()
+        hierarchy.access_data(0)
+        assert hierarchy.access_data(0) is AccessLevel.L1
+
+    def test_l2_catches_l1_eviction(self):
+        hierarchy = self.make()
+        hierarchy.access_data(0)
+        hierarchy.access_data(128)  # evicts line 0 from direct-mapped L1 set 0
+        assert hierarchy.access_data(0) is AccessLevel.L2
+
+    def test_instruction_and_data_l1_are_split(self):
+        hierarchy = self.make()
+        hierarchy.access_instruction(0)
+        # The data side never saw address 0; L1D misses but L2 has it.
+        assert hierarchy.access_data(0) is AccessLevel.L2
+
+    def test_warm_does_not_count_stats(self):
+        hierarchy = self.make()
+        hierarchy.warm_data(0)
+        hierarchy.warm_instruction(64)
+        assert hierarchy.l1d.accesses == 0
+        assert hierarchy.l1i.accesses == 0
+        assert hierarchy.access_data(0) is AccessLevel.L1
+
+    def test_levels_order(self):
+        assert AccessLevel.L1 < AccessLevel.L2 < AccessLevel.MEMORY

@@ -1,0 +1,201 @@
+"""Timing-simulator invariant tests."""
+
+import pytest
+
+from repro.common.config import CoreConfig, MicroarchConfig, baseline_config
+from repro.common.events import EventType
+from repro.isa.uop import MicroOp, OpClass, Workload
+from repro.simulator.core import simulate
+from repro.workloads.generator import WorkloadSpec, generate
+
+
+def alu_chain(n, dependent=True):
+    """n single-µop INT_ALU macro-ops, optionally a serial chain."""
+    uops = []
+    for i in range(n):
+        srcs = (1,) if dependent and i > 0 else ()
+        uops.append(
+            MicroOp(
+                seq=i, macro_id=i, som=True, eom=True,
+                opclass=OpClass.INT_ALU, pc=(i % 8) * 4,
+                src_regs=srcs, dst_reg=1 if dependent else (i % 32),
+            )
+        )
+    return Workload(name="chain", uops=tuple(uops))
+
+
+class TestPipelineOrdering:
+    def test_commit_is_in_program_order(self, tiny_result):
+        commits = [u.t_commit for u in tiny_result.uops]
+        assert all(b >= a for a, b in zip(commits, commits[1:]))
+
+    def test_stage_timestamps_are_monotone_per_uop(self, tiny_result):
+        for record in tiny_result.uops:
+            assert record.t_fetch <= record.t_rename
+            assert record.t_rename < record.t_dispatch
+            assert record.t_dispatch < record.t_ready
+            assert record.t_ready <= record.t_issue
+            assert record.t_issue < record.t_complete
+            assert record.t_complete < record.t_commit
+
+    def test_rename_is_in_program_order(self, tiny_result):
+        renames = [u.t_rename for u in tiny_result.uops]
+        assert all(b >= a for a, b in zip(renames, renames[1:]))
+
+    def test_total_cycles_is_last_commit(self, tiny_result):
+        assert tiny_result.cycles == tiny_result.uops[-1].t_commit
+
+
+class TestWidthLimits:
+    def test_commit_width_respected(self, tiny_result):
+        width = tiny_result.config.core.commit_width
+        per_cycle = {}
+        for record in tiny_result.uops:
+            per_cycle[record.t_commit] = per_cycle.get(record.t_commit, 0) + 1
+        assert max(per_cycle.values()) <= width
+
+    def test_issue_width_respected(self, tiny_result):
+        width = tiny_result.config.core.issue_width
+        per_cycle = {}
+        for record in tiny_result.uops:
+            per_cycle[record.t_issue] = per_cycle.get(record.t_issue, 0) + 1
+        assert max(per_cycle.values()) <= width
+
+    def test_rename_width_respected(self, tiny_result):
+        width = tiny_result.config.core.rename_width
+        per_cycle = {}
+        for record in tiny_result.uops:
+            per_cycle[record.t_rename] = per_cycle.get(record.t_rename, 0) + 1
+        assert max(per_cycle.values()) <= width
+
+
+class TestDataDependencies:
+    def test_serial_chain_runs_at_one_ipc_ceiling(self):
+        result = simulate(alu_chain(100, dependent=True), baseline_config())
+        # Each ALU op takes 1 cycle and depends on the previous: issue
+        # times must be strictly increasing.
+        issues = [u.t_issue for u in result.uops]
+        assert all(b > a for a, b in zip(issues, issues[1:]))
+
+    def test_independent_stream_is_faster_than_chain(self):
+        serial = simulate(alu_chain(200, dependent=True), baseline_config())
+        parallel = simulate(alu_chain(200, dependent=False), baseline_config())
+        assert parallel.cycles < serial.cycles
+
+    def test_consumer_never_issues_before_producer_completes(self, tiny_result):
+        for record in tiny_result.uops:
+            for producer in record.data_producers:
+                if producer >= 0:
+                    assert (
+                        record.t_issue
+                        >= tiny_result.uops[producer].t_complete
+                    )
+
+    def test_load_waits_for_address_producers(self, tiny_result):
+        for record, uop in zip(tiny_result.uops, tiny_result.workload):
+            if uop.is_memory:
+                for producer in record.addr_producers:
+                    if producer >= 0:
+                        assert (
+                            record.t_issue
+                            > tiny_result.uops[producer].t_complete
+                        ) or (
+                            record.t_issue
+                            >= tiny_result.uops[producer].t_complete
+                        )
+
+
+class TestMemoryOrdering:
+    def test_stores_issue_in_program_order(self, tiny_result):
+        store_issues = [
+            r.t_issue
+            for r, u in zip(tiny_result.uops, tiny_result.workload)
+            if u.is_store
+        ]
+        assert all(b >= a for a, b in zip(store_issues, store_issues[1:]))
+
+    def test_loads_wait_for_earlier_stores(self, tiny_result):
+        for record, uop in zip(tiny_result.uops, tiny_result.workload):
+            if uop.is_load and record.store_barrier >= 0:
+                barrier = tiny_result.uops[record.store_barrier]
+                assert record.t_issue >= barrier.t_issue
+
+
+class TestMacroOpCommit:
+    def test_som_commits_after_whole_macro_completes(self, tiny_result):
+        workload = tiny_result.workload
+        for record, uop in zip(tiny_result.uops, workload):
+            if not uop.som:
+                continue
+            member = uop.seq
+            while member < len(workload) and workload[member].macro_id == uop.macro_id:
+                assert record.t_commit > tiny_result.uops[member].t_complete
+                member += 1
+
+
+class TestLatencyResponse:
+    def test_longer_memory_slows_memory_bound_run(self):
+        spec = WorkloadSpec(
+            name="membound", num_macro_ops=150, p_load=0.4,
+            working_set_bytes=16 * 1024 * 1024, streaming_fraction=0.0,
+            pointer_chase_fraction=0.8, dep_distance_mean=3.0,
+        )
+        workload = generate(spec, seed=3)
+        base = baseline_config()
+        slow = base.with_latency_overrides({EventType.MEM_D: 266})
+        assert (
+            simulate(workload, slow).cycles
+            > simulate(workload, base).cycles
+        )
+
+    def test_fp_latency_drives_fp_chain(self):
+        uops = []
+        for i in range(80):
+            uops.append(
+                MicroOp(
+                    seq=i, macro_id=i, som=True, eom=True,
+                    opclass=OpClass.FP_ADD, pc=(i % 8) * 4,
+                    src_regs=(1,) if i else (), dst_reg=1,
+                )
+            )
+        workload = Workload(name="fpchain", uops=tuple(uops))
+        base = baseline_config()
+        fast = base.with_latency_overrides({EventType.FP_ADD: 1})
+        slow_cycles = simulate(workload, base).cycles
+        fast_cycles = simulate(workload, fast).cycles
+        # An 80-op serial FP chain scales almost exactly with FP latency.
+        assert slow_cycles - fast_cycles == pytest.approx(80 * 5, abs=20)
+
+    def test_zero_uop_stream_rejected(self):
+        with pytest.raises(ValueError):
+            simulate(Workload(name="empty", uops=()), baseline_config())
+
+
+class TestStructuralHazards:
+    def test_small_rob_hurts(self):
+        spec = WorkloadSpec(
+            name="wide", num_macro_ops=200, p_load=0.3,
+            working_set_bytes=8 * 1024 * 1024, dep_distance_mean=30.0,
+            streaming_fraction=1.0,
+        )
+        workload = generate(spec, seed=1)
+        big = baseline_config()
+        small = MicroarchConfig(core=CoreConfig(rob_size=16, phys_regs=192))
+        assert simulate(workload, small).cycles > simulate(workload, big).cycles
+
+    def test_narrow_pipeline_hurts(self):
+        workload = generate(
+            WorkloadSpec(name="ilp", num_macro_ops=300, dep_distance_mean=40.0),
+            seed=2,
+        )
+        wide = baseline_config()
+        narrow = MicroarchConfig(
+            core=CoreConfig(
+                fetch_width=1, rename_width=1, dispatch_width=1,
+                issue_width=1, commit_width=1,
+            )
+        )
+        assert (
+            simulate(workload, narrow).cycles
+            >= 2 * simulate(workload, wide).cycles
+        )

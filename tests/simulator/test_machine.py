@@ -1,0 +1,45 @@
+"""Machine facade tests: pre-pass sharing, memoisation, consistency."""
+
+from repro.common.config import baseline_config
+from repro.common.events import EventType
+from repro.simulator.core import simulate
+from repro.simulator.machine import Machine
+
+
+def test_results_match_direct_simulation(tiny_workload):
+    machine = Machine(tiny_workload)
+    direct = simulate(tiny_workload, baseline_config())
+    assert machine.cycles() == direct.cycles
+
+
+def test_latency_points_are_memoised(tiny_workload):
+    machine = Machine(tiny_workload)
+    latency = baseline_config().latency.with_overrides({EventType.L1D: 2})
+    first = machine.simulate(latency)
+    second = machine.simulate(latency)
+    assert first is second
+    assert machine.timing_runs == 1
+
+
+def test_distinct_points_simulated_separately(tiny_workload):
+    machine = Machine(tiny_workload)
+    base = baseline_config().latency
+    machine.simulate(base)
+    machine.simulate(base.with_overrides({EventType.FP_ADD: 3}))
+    assert machine.timing_runs == 2
+
+
+def test_cached_results_not_corrupted_by_later_runs(tiny_workload):
+    machine = Machine(tiny_workload)
+    base_result = machine.simulate()
+    base_commit_times = [u.t_commit for u in base_result.uops]
+    machine.simulate(
+        baseline_config().latency.with_overrides({EventType.L1D: 1})
+    )
+    assert [u.t_commit for u in base_result.uops] == base_commit_times
+
+
+def test_cpi_is_cycles_over_uops(tiny_workload):
+    machine = Machine(tiny_workload)
+    result = machine.simulate()
+    assert machine.cpi() == result.cycles / len(tiny_workload)

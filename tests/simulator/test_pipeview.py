@@ -1,0 +1,56 @@
+"""ASCII pipeline diagram tests."""
+
+import pytest
+
+from repro.common.config import baseline_config
+from repro.isa.uop import OpClass
+from repro.simulator.core import simulate
+from repro.simulator.pipeview import render_pipeline
+from repro.workloads.kernels import serial_chain
+
+
+@pytest.fixture(scope="module")
+def chain_result():
+    return simulate(serial_chain(OpClass.FP_ADD, 12), baseline_config())
+
+
+def test_one_row_per_uop(chain_result):
+    text = render_pipeline(chain_result, first=0, count=8)
+    lines = text.splitlines()
+    assert len(lines) == 9  # header + 8 rows
+    assert lines[1].startswith("000")
+
+
+def test_stage_letters_present_and_ordered(chain_result):
+    text = render_pipeline(chain_result, first=0, count=4)
+    for row in text.splitlines()[1:]:
+        body = row[14:]
+        for letter in ("F", "N", "D", "I", "C"):
+            assert letter in body, row
+        assert body.index("F") < body.index("N") < body.index("I")
+        assert body.index("I") < body.rindex("C")
+
+
+def test_serial_chain_issues_staircase(chain_result):
+    """Each dependent FP add issues after the previous completes — the
+    diagram's I markers must move strictly right."""
+    text = render_pipeline(chain_result, first=0, count=6)
+    issue_columns = [row.index("I") for row in text.splitlines()[1:]]
+    assert all(b > a for a, b in zip(issue_columns, issue_columns[1:]))
+
+
+def test_window_clipping(chain_result):
+    text = render_pipeline(chain_result, first=0, count=4, max_width=30)
+    assert all(len(line) <= 15 + 30 for line in text.splitlines())
+
+
+def test_out_of_range_window_rejected(chain_result):
+    with pytest.raises(ValueError):
+        render_pipeline(chain_result, first=10 ** 6, count=4)
+    with pytest.raises(ValueError):
+        render_pipeline(chain_result, count=0)
+
+
+def test_opclass_names_shown(chain_result):
+    text = render_pipeline(chain_result, first=0, count=2)
+    assert "FP_ADD" in text

@@ -1,0 +1,111 @@
+"""Data-prefetcher tests (structure domain)."""
+
+import pytest
+
+from repro.common.config import ConfigError, MicroarchConfig
+from repro.common.events import EventType
+from repro.simulator.machine import Machine
+from repro.simulator.prefetch import (
+    PREFETCHER_KINDS,
+    NextLinePrefetcher,
+    NoPrefetcher,
+    StridePrefetcher,
+    make_prefetcher,
+)
+from repro.workloads.generator import WorkloadSpec, generate
+from repro.workloads.kernels import pointer_ring
+
+
+@pytest.fixture(scope="module")
+def streaming():
+    """A looping unit-stride streaming kernel (per-pc strides constant)."""
+    return generate(
+        WorkloadSpec(
+            name="loopstream", num_macro_ops=400, p_load=0.4,
+            working_set_bytes=8 << 20, streaming_fraction=1.0,
+            code_footprint_bytes=128, p_branch=0.0, p_store=0.0,
+            p_fused_load_op=0.0,
+        ),
+        seed=0,
+    )
+
+
+def misses(workload, kind):
+    result = Machine(workload, MicroarchConfig(prefetcher=kind)).simulate()
+    return result.stats["l1d_misses"], result.cpi
+
+
+class TestFactory:
+    def test_kinds(self):
+        assert isinstance(make_prefetcher("none"), NoPrefetcher)
+        assert isinstance(make_prefetcher("next-line"), NextLinePrefetcher)
+        assert isinstance(make_prefetcher("stride"), StridePrefetcher)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown prefetcher"):
+            make_prefetcher("oracle")
+
+    def test_config_validates_prefetcher(self):
+        with pytest.raises(ConfigError):
+            MicroarchConfig(prefetcher="oracle")
+
+    def test_all_kinds_listed(self):
+        assert set(PREFETCHER_KINDS) == {"none", "next-line", "stride"}
+
+    def test_bad_table_size_rejected(self):
+        with pytest.raises(ValueError):
+            StridePrefetcher(table_entries=0)
+
+
+class TestEffects:
+    def test_next_line_helps_streaming(self, streaming):
+        base_misses, base_cpi = misses(streaming, "none")
+        pf_misses, pf_cpi = misses(streaming, "next-line")
+        assert pf_misses < 0.7 * base_misses
+        assert pf_cpi < base_cpi
+
+    def test_stride_beats_next_line_on_strided_stream(self, streaming):
+        nl_misses, _ = misses(streaming, "next-line")
+        st_misses, _ = misses(streaming, "stride")
+        assert st_misses < nl_misses
+
+    def test_next_line_useless_on_large_stride(self):
+        # The pointer ring hops 7 lines per access: the next line is
+        # never the one needed.
+        ring = pointer_ring(length=150, ring_bytes=16 << 20)
+        base_misses, _ = misses(ring, "none")
+        nl_misses, _ = misses(ring, "next-line")
+        assert nl_misses == base_misses
+
+    def test_stride_catches_constant_stride_chase(self):
+        ring = pointer_ring(length=150, ring_bytes=16 << 20)
+        base_misses, base_cpi = misses(ring, "none")
+        st_misses, st_cpi = misses(ring, "stride")
+        assert st_misses < 0.5 * base_misses
+        assert st_cpi < 0.5 * base_cpi
+
+    def test_random_access_defeats_both(self):
+        random_loads = generate(
+            WorkloadSpec(
+                name="rand", num_macro_ops=300, p_load=0.4,
+                working_set_bytes=8 << 20, streaming_fraction=0.0,
+                code_footprint_bytes=128, p_branch=0.0,
+            ),
+            seed=1,
+        )
+        base_misses, _ = misses(random_loads, "none")
+        for kind in ("next-line", "stride"):
+            pf_misses, _ = misses(random_loads, kind)
+            assert pf_misses > 0.8 * base_misses, kind
+
+    def test_prefetcher_is_structure_domain(self, streaming):
+        """Latency invariance holds within one prefetcher design."""
+        from repro.common.config import LatencyConfig
+
+        machine = Machine(streaming, MicroarchConfig(prefetcher="stride"))
+        base = machine.simulate()
+        probe = LatencyConfig().with_overrides({EventType.MEM_D: 40})
+        faster = machine.simulate(probe)
+        for a, b in zip(base.uops, faster.uops):
+            assert a.exec_charge == b.exec_charge  # events unchanged
+        assert faster.cycles < base.cycles

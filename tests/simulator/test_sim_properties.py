@@ -1,0 +1,111 @@
+"""Property-based timing-simulator invariants over random workloads."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.config import CoreConfig, MicroarchConfig, baseline_config
+from repro.simulator.core import simulate
+from repro.workloads.generator import WorkloadSpec, generate
+
+specs = st.builds(
+    WorkloadSpec,
+    name=st.just("prop"),
+    num_macro_ops=st.integers(min_value=20, max_value=80),
+    # Ranges sum to at most 0.9 so any draw is a valid mix.
+    p_load=st.floats(min_value=0.0, max_value=0.3),
+    p_store=st.floats(min_value=0.0, max_value=0.1),
+    p_fp_add=st.floats(min_value=0.0, max_value=0.2),
+    p_fp_div=st.floats(min_value=0.0, max_value=0.05),
+    p_int_div=st.floats(min_value=0.0, max_value=0.05),
+    p_branch=st.floats(min_value=0.0, max_value=0.2),
+    p_fused_load_op=st.floats(min_value=0.0, max_value=1.0),
+    pointer_chase_fraction=st.floats(min_value=0.0, max_value=0.8),
+    dep_distance_mean=st.floats(min_value=1.0, max_value=30.0),
+    working_set_bytes=st.sampled_from([4096, 262144, 16 << 20]),
+    code_footprint_bytes=st.sampled_from([256, 8192, 262144]),
+    hard_branch_fraction=st.floats(min_value=0.0, max_value=1.0),
+    alternating_branch_fraction=st.floats(min_value=0.0, max_value=0.5),
+)
+
+
+@st.composite
+def runs(draw):
+    spec = draw(specs)
+    seed = draw(st.integers(min_value=0, max_value=10 ** 6))
+    workload = generate(spec, seed=seed)
+    return workload, simulate(workload, baseline_config())
+
+
+@given(case=runs())
+@settings(max_examples=25, deadline=None)
+def test_property_every_uop_flows_through_the_pipeline(case):
+    _workload, result = case
+    for record in result.uops:
+        assert 0 <= record.t_fetch <= record.t_rename
+        assert record.t_rename < record.t_dispatch
+        assert record.t_dispatch < record.t_issue
+        assert record.t_issue < record.t_complete < record.t_commit
+
+
+@given(case=runs())
+@settings(max_examples=25, deadline=None)
+def test_property_program_order_respected(case):
+    _workload, result = case
+    commits = [record.t_commit for record in result.uops]
+    renames = [record.t_rename for record in result.uops]
+    fetches = [record.t_fetch for record in result.uops]
+    for earlier, later in zip(commits, commits[1:]):
+        assert later >= earlier
+    for earlier, later in zip(renames, renames[1:]):
+        assert later >= earlier
+    for earlier, later in zip(fetches, fetches[1:]):
+        assert later >= earlier
+
+
+@given(case=runs())
+@settings(max_examples=25, deadline=None)
+def test_property_widths_respected_everywhere(case):
+    _workload, result = case
+    core = result.config.core
+    for field, width in (
+        ("t_rename", core.rename_width),
+        ("t_dispatch", core.dispatch_width),
+        ("t_issue", core.issue_width),
+        ("t_commit", core.commit_width),
+    ):
+        per_cycle = {}
+        for record in result.uops:
+            cycle = getattr(record, field)
+            per_cycle[cycle] = per_cycle.get(cycle, 0) + 1
+        assert max(per_cycle.values()) <= width, field
+
+
+@given(case=runs())
+@settings(max_examples=25, deadline=None)
+def test_property_rob_occupancy_bounded(case):
+    _workload, result = case
+    rob_size = result.config.core.rob_size
+    events = []
+    for record in result.uops:
+        events.append((record.t_rename, 1))
+        events.append((record.t_commit, -1))
+    events.sort()
+    occupancy = 0
+    for _cycle, delta in events:
+        occupancy += delta
+        assert occupancy <= rob_size
+
+
+@given(case=runs())
+@settings(max_examples=15, deadline=None)
+def test_property_narrower_machine_never_faster(case):
+    workload, result = case
+    narrow = MicroarchConfig(
+        core=CoreConfig(
+            fetch_width=2, rename_width=2, dispatch_width=2,
+            issue_width=2, commit_width=2,
+        )
+    )
+    narrow_cycles = simulate(workload, narrow).cycles
+    assert narrow_cycles >= result.cycles

@@ -1,0 +1,73 @@
+"""TLB model tests."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.config import TLBConfig
+from repro.simulator.tlb import TLB
+
+
+def make(entries=2, page=4096):
+    return TLB(TLBConfig(entries=entries, page_bytes=page))
+
+
+def test_miss_then_hit():
+    tlb = make()
+    assert tlb.access(0) is False
+    assert tlb.access(100) is True  # same page
+    assert (tlb.hits, tlb.misses) == (1, 1)
+
+
+def test_distinct_pages_miss():
+    tlb = make()
+    tlb.access(0)
+    assert tlb.access(4096) is False
+
+
+def test_lru_replacement():
+    tlb = make(entries=2)
+    tlb.access(0)
+    tlb.access(4096)
+    tlb.access(0)          # page 0 most recent
+    tlb.access(8192)       # evicts page 1
+    assert tlb.access(0) is True
+    assert tlb.access(4096) is False
+
+
+def test_warm_installs_without_stats():
+    tlb = make()
+    tlb.warm(0)
+    assert tlb.accesses == 0
+    assert tlb.access(0) is True
+
+
+def test_warm_refreshes_lru():
+    tlb = make(entries=2)
+    tlb.access(0)
+    tlb.access(4096)
+    tlb.warm(0)            # page 0 becomes most recent
+    tlb.access(8192)       # must evict page 1, not page 0
+    assert tlb.access(0) is True
+
+
+def test_reset_stats():
+    tlb = make()
+    tlb.access(0)
+    tlb.reset_stats()
+    assert (tlb.hits, tlb.misses) == (0, 0)
+
+
+@given(
+    addresses=st.lists(
+        st.integers(min_value=0, max_value=1 << 24), min_size=1, max_size=200
+    )
+)
+@settings(max_examples=50, deadline=None)
+def test_property_capacity_never_exceeded(addresses):
+    tlb = make(entries=4)
+    for addr in addresses:
+        tlb.access(addr)
+    resident = len({a >> 12 for a in addresses})
+    hits_possible = sum(1 for a in addresses)
+    assert tlb.hits + tlb.misses == hits_possible
+    assert tlb.misses >= min(4, resident) or resident == 0

@@ -1,0 +1,59 @@
+"""Examples stay runnable: import every script, run the fast ones."""
+
+import importlib.util
+import pathlib
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).parent.parent / "examples"
+ALL_EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def load_example(path: pathlib.Path):
+    spec = importlib.util.spec_from_file_location(path.stem, path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_examples_exist():
+    names = {path.stem for path in ALL_EXAMPLES}
+    assert "quickstart" in names
+    assert len(names) >= 5
+
+
+@pytest.mark.parametrize(
+    "path", ALL_EXAMPLES, ids=[p.stem for p in ALL_EXAMPLES]
+)
+def test_example_imports_and_has_main(path):
+    module = load_example(path)
+    assert callable(getattr(module, "main", None)), path.stem
+    assert module.__doc__, "examples must document themselves"
+
+
+def test_quickstart_runs(capsys, monkeypatch):
+    module = load_example(EXAMPLES_DIR / "quickstart.py")
+    # Shrink the workload for test speed; the script's flow is unchanged.
+    import repro.workloads as workloads
+
+    original = workloads.make_workload
+    monkeypatch.setattr(
+        module,
+        "make_workload",
+        lambda name, num_macro_ops=800: original(name, 200),
+    )
+    module.main()
+    out = capsys.readouterr().out
+    assert "baseline CPI" in out
+    assert "Pareto front" in out
+    assert "chosen design" in out
+
+
+def test_branch_predictor_study_runs(capsys):
+    module = load_example(EXAMPLES_DIR / "branch_predictor_study.py")
+    module.BRANCHY = module.BRANCHY.resized(300)
+    module.main()
+    out = capsys.readouterr().out
+    assert "gshare" in out
+    assert "bimodal" in out

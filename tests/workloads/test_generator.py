@@ -1,0 +1,178 @@
+"""Synthetic workload generator tests."""
+
+import numpy as np
+import pytest
+
+from repro.isa.uop import OpClass, validate_stream
+from repro.workloads.generator import (
+    DATA_BASE,
+    NUM_ARCH_REGS,
+    WorkloadSpec,
+    generate,
+)
+
+
+def spec(**kwargs):
+    kwargs.setdefault("name", "test")
+    kwargs.setdefault("num_macro_ops", 300)
+    return WorkloadSpec(**kwargs)
+
+
+class TestSpecValidation:
+    def test_rejects_overfull_mix(self):
+        with pytest.raises(ValueError, match="sum to"):
+            spec(p_load=0.6, p_store=0.5)
+
+    def test_rejects_out_of_range_probability(self):
+        with pytest.raises(ValueError):
+            spec(p_branch=1.5)
+
+    def test_rejects_zero_macro_ops(self):
+        with pytest.raises(ValueError):
+            spec(num_macro_ops=0)
+
+    def test_rejects_tiny_footprint(self):
+        with pytest.raises(ValueError):
+            spec(working_set_bytes=16)
+
+    def test_rejects_serial_dep_distance(self):
+        with pytest.raises(ValueError):
+            spec(dep_distance_mean=0.5)
+
+    def test_resized_keeps_character(self):
+        base = spec(p_fp_add=0.2)
+        bigger = base.resized(1000)
+        assert bigger.num_macro_ops == 1000
+        assert bigger.p_fp_add == base.p_fp_add
+
+
+class TestDeterminism:
+    def test_same_seed_same_stream(self):
+        a = generate(spec(), seed=42)
+        b = generate(spec(), seed=42)
+        assert len(a) == len(b)
+        for ua, ub in zip(a, b):
+            assert ua == ub
+
+    def test_different_seed_different_stream(self):
+        a = generate(spec(p_branch=0.2), seed=1)
+        b = generate(spec(p_branch=0.2), seed=2)
+        assert any(ua != ub for ua, ub in zip(a, b))
+
+
+class TestStreamShape:
+    def test_stream_is_valid(self):
+        workload = generate(spec(p_fp_div=0.05, p_int_div=0.05), seed=3)
+        validate_stream(workload.uops)
+
+    def test_macro_count_matches_spec(self):
+        workload = generate(spec(num_macro_ops=123), seed=0)
+        assert workload.num_macro_ops == 123
+
+    def test_mix_roughly_matches_probabilities(self):
+        workload = generate(
+            spec(num_macro_ops=4000, p_load=0.3, p_branch=0.1), seed=5
+        )
+        loads = sum(1 for u in workload if u.is_load)
+        branches = sum(1 for u in workload if u.is_branch)
+        macro_ops = workload.num_macro_ops
+        assert loads / macro_ops == pytest.approx(0.3, abs=0.05)
+        assert branches / macro_ops == pytest.approx(0.1, abs=0.04)
+
+    def test_fused_load_op_creates_multi_uop_macros(self):
+        workload = generate(
+            spec(p_load=0.5, p_fused_load_op=1.0, num_macro_ops=200), seed=0
+        )
+        fused = [
+            u for u in workload if not u.som
+        ]  # second µop of a macro-op
+        assert fused, "expected fused load-op macro-ops"
+        for follower in fused:
+            assert follower.opclass is OpClass.INT_ALU
+
+    def test_fused_op_depends_on_its_load(self):
+        workload = generate(
+            spec(p_load=0.5, p_fused_load_op=1.0, num_macro_ops=200), seed=0
+        )
+        for i, u in enumerate(workload):
+            if not u.som:
+                load = workload[i - 1]
+                assert load.is_load
+                assert load.dst_reg in u.src_regs
+
+    def test_addresses_stay_inside_working_set(self):
+        ws = 4 * 1024
+        workload = generate(
+            spec(working_set_bytes=ws, p_load=0.4), seed=1
+        )
+        for u in workload:
+            if u.mem_addr is not None:
+                assert DATA_BASE <= u.mem_addr < DATA_BASE + ws
+
+    def test_code_stays_inside_footprint(self):
+        fp = 2 * 1024
+        workload = generate(spec(code_footprint_bytes=fp), seed=1)
+        assert all(0 <= u.pc < fp for u in workload)
+
+    def test_registers_in_range(self):
+        workload = generate(spec(p_load=0.3, p_store=0.2), seed=2)
+        for u in workload:
+            for reg in u.src_regs + u.addr_src_regs:
+                assert 0 <= reg < NUM_ARCH_REGS
+            if u.dst_reg is not None:
+                assert 0 <= u.dst_reg < NUM_ARCH_REGS
+
+
+class TestPointerChase:
+    def test_chased_loads_depend_on_previous_chase(self):
+        workload = generate(
+            spec(
+                p_load=0.6,
+                pointer_chase_fraction=1.0,
+                p_fused_load_op=0.0,
+                num_macro_ops=100,
+            ),
+            seed=4,
+        )
+        loads = [u for u in workload if u.is_load]
+        # After the first chased load, each load's address register is the
+        # previous chased load's destination.
+        for prev, cur in zip(loads, loads[1:]):
+            assert cur.addr_src_regs == (prev.dst_reg,)
+
+    def test_fully_biased_sites_are_consistent(self):
+        workload = generate(
+            spec(p_branch=0.5, branch_bias=1.0, hard_branch_fraction=0.0),
+            seed=0,
+        )
+        directions = {}
+        for u in workload:
+            if u.is_branch:
+                directions.setdefault(u.pc, set()).add(u.taken)
+        assert directions
+        # bias=1.0: every site always goes its dominant direction.
+        assert all(len(seen) == 1 for seen in directions.values())
+
+    def test_alternating_sites_alternate(self):
+        workload = generate(
+            spec(
+                p_branch=0.5,
+                hard_branch_fraction=0.0,
+                alternating_branch_fraction=1.0,
+                code_footprint_bytes=64,  # few sites, re-executed often
+            ),
+            seed=0,
+        )
+        histories = {}
+        for u in workload:
+            if u.is_branch:
+                histories.setdefault(u.pc, []).append(u.taken)
+        assert histories
+        for history in histories.values():
+            assert all(a != b for a, b in zip(history, history[1:]))
+
+    def test_params_capture_provenance(self):
+        workload = generate(spec(), seed=9)
+        params = dict(workload.params)
+        assert params["seed"] == 9
+        assert params["working_set_bytes"] == spec().working_set_bytes

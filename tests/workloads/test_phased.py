@@ -1,0 +1,77 @@
+"""Phased-workload composition tests."""
+
+import pytest
+
+from repro.isa.uop import validate_stream
+from repro.sampling.simpoint import select_simpoints
+from repro.workloads.generator import WorkloadSpec
+from repro.workloads.phased import (
+    CODE_REGION_BYTES,
+    DATA_REGION_BYTES,
+    make_phased_workload,
+)
+
+FP_PHASE = WorkloadSpec(
+    name="fp", p_fp_add=0.3, p_fp_mul=0.2, p_load=0.2,
+    working_set_bytes=8 * 1024, code_footprint_bytes=256,
+)
+MEM_PHASE = WorkloadSpec(
+    name="mem", p_load=0.4, pointer_chase_fraction=0.5,
+    working_set_bytes=8 << 20, code_footprint_bytes=256,
+)
+
+
+@pytest.fixture(scope="module")
+def two_phase():
+    return make_phased_workload(
+        [(FP_PHASE, 200), (MEM_PHASE, 200)], seed=1
+    )
+
+
+def test_stream_is_valid(two_phase):
+    validate_stream(two_phase.uops)
+
+
+def test_macro_count_is_sum(two_phase):
+    assert two_phase.num_macro_ops == 400
+
+
+def test_phases_use_disjoint_code_regions(two_phase):
+    first_half_pcs = {u.pc for u in two_phase if u.macro_id < 200}
+    second_half_pcs = {u.pc for u in two_phase if u.macro_id >= 200}
+    assert max(first_half_pcs) < CODE_REGION_BYTES
+    assert min(second_half_pcs) >= CODE_REGION_BYTES
+
+
+def test_phases_use_disjoint_data_regions(two_phase):
+    first = [
+        u.mem_addr
+        for u in two_phase
+        if u.mem_addr is not None and u.macro_id < 200
+    ]
+    second = [
+        u.mem_addr
+        for u in two_phase
+        if u.mem_addr is not None and u.macro_id >= 200
+    ]
+    assert max(first) < min(second)
+    assert min(second) - max(first) >= DATA_REGION_BYTES / 2
+
+
+def test_params_declare_max_footprints(two_phase):
+    params = dict(two_phase.params)
+    assert params["working_set_bytes"] == 8 << 20
+    assert params["num_phases"] == 2
+
+
+def test_empty_phase_list_rejected():
+    with pytest.raises(ValueError):
+        make_phased_workload([])
+
+
+def test_simpoint_distinguishes_the_phases(two_phase):
+    simpoints = select_simpoints(two_phase, interval_macros=50, max_k=4)
+    # Representatives from both halves of the stream (8 intervals: the
+    # first 4 are the FP phase, the last 4 the memory phase).
+    halves = {sp.interval_index < 4 for sp in simpoints}
+    assert halves == {True, False}

@@ -1,0 +1,82 @@
+"""Workload characterisation tests."""
+
+import pytest
+
+from repro.isa.uop import OpClass
+from repro.workloads.generator import WorkloadSpec, generate
+from repro.workloads.kernels import pointer_ring, serial_chain
+from repro.workloads.stats import characterize
+from repro.workloads.suite import make_workload
+
+
+def test_mix_sums_to_one(tiny_workload):
+    stats = characterize(tiny_workload)
+    assert sum(value for _name, value in stats.mix) == pytest.approx(1.0)
+
+
+def test_serial_chain_stats():
+    stats = characterize(serial_chain(OpClass.FP_ADD, 100))
+    assert stats.num_uops == 100
+    assert stats.mix_of(OpClass.FP_ADD) == 1.0
+    # Every op (after the first) reads the previous op's result.
+    assert stats.mean_dep_distance == pytest.approx(1.0)
+    assert stats.branch_fraction == 0.0
+
+
+def test_pointer_ring_footprint():
+    ring_bytes = 4 * 1024
+    stats = characterize(pointer_ring(length=200, ring_bytes=ring_bytes))
+    assert stats.load_fraction == 1.0
+    assert stats.data_footprint_bytes <= ring_bytes
+    assert stats.data_footprint_bytes >= ring_bytes // 2
+
+
+def test_generator_mix_matches_spec():
+    spec = WorkloadSpec(
+        name="m", num_macro_ops=3000, p_load=0.3, p_store=0.1,
+        p_branch=0.1, p_fused_load_op=0.0,
+    )
+    stats = characterize(generate(spec, seed=0))
+    assert stats.load_fraction == pytest.approx(0.3, abs=0.05)
+    assert stats.store_fraction == pytest.approx(0.1, abs=0.03)
+    assert stats.branch_fraction == pytest.approx(0.1, abs=0.03)
+
+
+def test_fused_fraction_counts_multi_uop_macros():
+    spec = WorkloadSpec(
+        name="f", num_macro_ops=500, p_load=0.5, p_fused_load_op=1.0
+    )
+    stats = characterize(generate(spec, seed=1))
+    assert stats.fused_macro_fraction == pytest.approx(
+        stats.load_fraction * stats.num_uops / stats.num_macro_ops,
+        abs=0.1,
+    )
+
+
+def test_dep_distance_tracks_spec_knob():
+    near = characterize(
+        generate(
+            WorkloadSpec(name="n", num_macro_ops=1500, dep_distance_mean=2.0),
+            seed=2,
+        )
+    )
+    far = characterize(
+        generate(
+            WorkloadSpec(name="f", num_macro_ops=1500, dep_distance_mean=30.0),
+            seed=2,
+        )
+    )
+    assert far.mean_dep_distance > 2 * near.mean_dep_distance
+
+
+def test_memory_bound_suite_footprint_exceeds_l2():
+    stats = characterize(make_workload("mcf", 2000))
+    # A 2000-macro sample of a 16MB set touches far more than L1.
+    assert stats.data_footprint_bytes > 48 * 1024
+
+
+def test_empty_workload_rejected():
+    from repro.isa.uop import Workload
+
+    with pytest.raises(ValueError):
+        characterize(Workload(name="empty", uops=()))

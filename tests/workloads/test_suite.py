@@ -1,0 +1,84 @@
+"""SPEC-analogue suite tests: coverage and per-workload character."""
+
+import pytest
+
+from repro.workloads.suite import (
+    SPEC_LABELS,
+    make_suite,
+    make_workload,
+    suite_names,
+    suite_spec,
+)
+
+
+def test_suite_has_twelve_analogues():
+    assert len(suite_names()) == 12
+
+
+def test_every_analogue_has_a_spec_label():
+    for name in suite_names():
+        assert name in SPEC_LABELS
+        assert SPEC_LABELS[name].split(".")[1] == name
+
+
+def test_unknown_name_rejected():
+    with pytest.raises(KeyError, match="unknown workload"):
+        suite_spec("doom3")
+
+
+def test_make_workload_respects_length():
+    workload = make_workload("gamess", 150)
+    assert workload.num_macro_ops == 150
+
+
+def test_make_suite_default_builds_all(monkeypatch):
+    workloads = make_suite(num_macro_ops=50)
+    assert [w.name for w in workloads] == list(suite_names())
+
+
+def test_make_suite_subset():
+    workloads = make_suite(["mcf", "lbm"], num_macro_ops=50)
+    assert [w.name for w in workloads] == ["mcf", "lbm"]
+
+
+def test_fp_analogues_emit_fp_ops():
+    for name in ("gamess", "milc", "leslie3d", "namd", "lbm"):
+        workload = make_workload(name, 200)
+        fp_ops = sum(
+            1 for u in workload if u.opclass.name.startswith("FP_")
+        )
+        assert fp_ops > 0.15 * len(workload), name
+
+
+def test_integer_analogues_emit_no_fp():
+    for name in ("perlbench", "bzip2", "gcc", "mcf", "libquantum"):
+        workload = make_workload(name, 200)
+        assert not any(
+            u.opclass.name.startswith("FP_") for u in workload
+        ), name
+
+
+def test_memory_bound_analogues_have_large_footprints():
+    for name in ("mcf", "milc", "libquantum", "lbm"):
+        assert suite_spec(name).working_set_bytes > 4 * 1024 * 1024
+
+
+def test_cache_resident_analogues_fit_l1():
+    for name in ("gamess", "leslie3d", "namd"):
+        assert suite_spec(name).working_set_bytes <= 48 * 1024
+
+
+def test_pointer_chasers():
+    assert suite_spec("mcf").pointer_chase_fraction > 0
+    assert suite_spec("omnetpp").pointer_chase_fraction > 0
+    assert suite_spec("lbm").pointer_chase_fraction == 0
+
+
+def test_gcc_has_large_code_footprint():
+    assert suite_spec("gcc").code_footprint_bytes > 48 * 1024
+
+
+def test_workloads_are_deterministic_per_seed():
+    a = make_workload("soplex", 100, seed=3)
+    b = make_workload("soplex", 100, seed=3)
+    assert all(ua == ub for ua, ub in zip(a, b))
