@@ -24,6 +24,8 @@ Package map (see DESIGN.md for the full inventory):
 * ``repro.workloads`` — SPEC CPU 2006 analogue suite.
 * ``repro.sampling`` — SimPoint-style interval selection.
 * ``repro.dse`` — design spaces, exploration, validation, overheads.
+* ``repro.runtime`` — content-addressed artifact cache + parallel
+  suite runner.
 """
 
 from repro.common.config import (
@@ -42,6 +44,7 @@ from repro.dse import (
 )
 from repro.graphmodel import build_graph
 from repro.isa import MicroOp, OpClass, Workload
+from repro.runtime import ArtifactCache, SuiteReport, run_suite
 from repro.simulator import Machine, simulate
 from repro.workloads import WorkloadSpec, generate, make_workload, suite_names
 
@@ -49,6 +52,7 @@ __version__ = "1.0.0"
 
 __all__ = [
     "AnalysisSession",
+    "ArtifactCache",
     "DesignSpace",
     "EventType",
     "Explorer",
@@ -59,6 +63,7 @@ __all__ = [
     "OpClass",
     "RpStacksModel",
     "StallEventStack",
+    "SuiteReport",
     "Workload",
     "WorkloadSpec",
     "analyze",
@@ -68,6 +73,7 @@ __all__ = [
     "generate_rpstacks",
     "make_workload",
     "reduction_space",
+    "run_suite",
     "simulate",
     "suite_names",
     "__version__",

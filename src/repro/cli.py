@@ -96,7 +96,11 @@ def cmd_analyze(args) -> int:
         baseline_cpi = result.cpi
     else:
         workload = _workload(args)
-        session = analyze(workload, segment_length=args.segment_length)
+        session = analyze(
+            workload,
+            segment_length=args.segment_length,
+            cache=args.cache_dir,
+        )
         base = session.config.latency
         model = session.rpstacks
         baseline_cpi = session.baseline_cpi
@@ -211,19 +215,68 @@ def cmd_pipeline(args) -> int:
 
 
 def cmd_suite(args) -> int:
+    from repro.runtime.runner import run_suite
+    from repro.workloads.suite import resolve_names
+
+    try:
+        resolve_names(tuple(args.only or ()))
+    except KeyError as exc:
+        raise SystemExit(exc.args[0]) from exc
+    if args.jobs < 1:
+        raise SystemExit("--jobs must be at least 1")
+    report = run_suite(
+        names=tuple(args.only or ()),
+        macros=args.macros,
+        seed=args.seed,
+        jobs=args.jobs,
+        cache=args.cache_dir,
+        timeout=args.timeout,
+    )
     rows = []
-    for name in suite_names():
-        session = analyze(make_workload(name, args.macros, seed=args.seed))
+    for outcome in report:
+        if not outcome.ok:
+            reason = (outcome.error or "").strip().splitlines()
+            rows.append(
+                [
+                    SPEC_LABELS.get(outcome.name, outcome.name),
+                    "FAILED",
+                    reason[-1] if reason else "unknown error",
+                ]
+            )
+            continue
+        session = outcome.session
         top = session.rpstacks.bottlenecks(session.config.latency, top=3)
         rows.append(
             [
-                SPEC_LABELS[name],
+                SPEC_LABELS.get(outcome.name, outcome.name),
                 f"{session.baseline_cpi:.3f}",
                 ", ".join(label for label, _v in top),
             ]
         )
     print(format_table(["application", "baseline CPI", "bottlenecks"], rows))
-    return 0
+    hits = sum(1 for outcome in report if outcome.cache_hit)
+    summary = (
+        f"{len(report.succeeded)}/{len(report)} workloads in "
+        f"{report.wall_seconds:.2f}s ({report.jobs} job(s))"
+    )
+    if hits:
+        summary += f", {hits} cache hit(s)"
+    print(summary)
+    return 1 if report.failed else 0
+
+
+def cmd_cache(args) -> int:
+    from repro.runtime.cache import ArtifactCache
+
+    cache = ArtifactCache(args.cache_dir)
+    if args.cache_command == "stats":
+        print(cache.stats().describe())
+        return 0
+    if args.cache_command == "clear":
+        removed = cache.clear()
+        print(f"removed {removed} cache entries from {cache.root}")
+        return 0
+    raise SystemExit(f"unknown cache command {args.cache_command!r}")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -253,6 +306,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--save", help="archive the RpStacks model (.npz)")
     p.add_argument("--from-trace",
                    help="analyse a saved trace instead of simulating")
+    p.add_argument("--cache-dir",
+                   help="artifact cache directory (reuse prior analyses)")
     p.set_defaults(func=cmd_analyze)
 
     p = sub.add_parser("explore", help="sweep a latency design space")
@@ -298,7 +353,21 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("suite", help="Fig 12 table over all analogues")
     p.add_argument("--macros", type=int, default=300)
     p.add_argument("--seed", type=int, default=1)
+    p.add_argument("--only", action="append", metavar="NAME",
+                   help="restrict to the named workloads (repeatable)")
+    p.add_argument("--jobs", type=int, default=1,
+                   help="worker processes for the suite fan-out")
+    p.add_argument("--cache-dir",
+                   help="artifact cache directory (reuse prior analyses)")
+    p.add_argument("--timeout", type=float,
+                   help="per-workload wall-clock budget in seconds")
     p.set_defaults(func=cmd_suite)
+
+    p = sub.add_parser("cache", help="inspect or clear the artifact cache")
+    p.add_argument("cache_command", choices=["stats", "clear"])
+    p.add_argument("--cache-dir", required=True,
+                   help="artifact cache directory")
+    p.set_defaults(func=cmd_cache)
 
     return parser
 

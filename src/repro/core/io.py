@@ -21,7 +21,11 @@ from repro.common.events import NUM_EVENTS
 from repro.core.model import GenerationStats, RpStacksModel
 
 #: Bumped whenever the on-disk layout changes.
-FORMAT_VERSION = 1
+FORMAT_VERSION = 2
+
+#: Versions :func:`load_model` still understands (v1 lacked the full
+#: generation-statistics record; those fields load as zero).
+COMPATIBLE_VERSIONS = (1, 2)
 
 
 class ModelFormatError(ValueError):
@@ -44,6 +48,12 @@ def save_model(
         "num_uops": model.num_uops,
         "num_segments": model.num_segments,
         "analysis_seconds": model.stats.analysis_seconds,
+        "stats": {
+            "nodes_visited": model.stats.nodes_visited,
+            "candidate_stacks": model.stats.candidate_stacks,
+            "reductions": model.stats.reductions,
+            "extra": dict(model.stats.extra),
+        },
     }
     arrays = {
         f"segment_{index:06d}": stacks
@@ -73,7 +83,7 @@ def load_model(path: Union[str, pathlib.Path]) -> RpStacksModel:
         if "meta_json" not in archive or "baseline_cycles" not in archive:
             raise ModelFormatError(f"{path} is not an RpStacks model file")
         meta = json.loads(bytes(archive["meta_json"]).decode("utf-8"))
-        if meta.get("format_version") != FORMAT_VERSION:
+        if meta.get("format_version") not in COMPATIBLE_VERSIONS:
             raise ModelFormatError(
                 f"unsupported format version {meta.get('format_version')}"
             )
@@ -91,8 +101,16 @@ def load_model(path: Union[str, pathlib.Path]) -> RpStacksModel:
         baseline = LatencyConfig(
             tuple(int(v) for v in archive["baseline_cycles"])
         )
+    saved_stats = meta.get("stats", {})
     stats = GenerationStats(
-        analysis_seconds=float(meta.get("analysis_seconds", 0.0))
+        nodes_visited=int(saved_stats.get("nodes_visited", 0)),
+        candidate_stacks=int(saved_stats.get("candidate_stacks", 0)),
+        reductions=int(saved_stats.get("reductions", 0)),
+        analysis_seconds=float(meta.get("analysis_seconds", 0.0)),
+        extra={
+            key: float(value)
+            for key, value in saved_stats.get("extra", {}).items()
+        },
     )
     return RpStacksModel(
         segments,

@@ -81,6 +81,7 @@ def analyze(
     max_paths: int = 32,
     preserve_unique: bool = True,
     warm_caches: bool = True,
+    cache=None,
 ) -> AnalysisSession:
     """Run the full single-simulation analysis pipeline on *workload*.
 
@@ -90,11 +91,34 @@ def analyze(
         similarity_threshold / segment_length / max_paths /
             preserve_unique: RpStacks generation parameters (§III-C).
         warm_caches: warm caches/TLBs to steady state before measuring.
+        cache: an :class:`~repro.runtime.cache.ArtifactCache` (or a
+            cache directory path) for content-addressed reuse: when the
+            exact same analysis has run before, its archived trace,
+            graph and model are reloaded instead of re-simulated.
 
     Returns:
         An :class:`AnalysisSession` with the model and all baselines.
     """
     config = config or baseline_config()
+    if cache is not None:
+        from repro.core.reduction import ReductionPolicy
+        from repro.runtime.cache import open_cache
+
+        cache = open_cache(cache)
+        key = cache.key_for(
+            workload,
+            config,
+            policy=ReductionPolicy(
+                similarity_threshold=similarity_threshold,
+                max_paths=max_paths,
+                preserve_unique=preserve_unique,
+            ),
+            segment_length=segment_length,
+            warm_caches=warm_caches,
+        )
+        session = cache.load(key)
+        if session is not None:
+            return session
     machine = Machine(workload, config, warm_caches=warm_caches)
     result = machine.simulate()
     graph = build_graph(result)
@@ -106,7 +130,7 @@ def analyze(
         max_paths=max_paths,
         preserve_unique=preserve_unique,
     )
-    return AnalysisSession(
+    session = AnalysisSession(
         workload=workload,
         config=config,
         machine=machine,
@@ -117,3 +141,6 @@ def analyze(
         fmt=FMTPredictor(result),
         reeval=GraphReevalPredictor(graph),
     )
+    if cache is not None:
+        cache.store(key, session)
+    return session

@@ -1,0 +1,38 @@
+"""Execution runtime: artifact caching and parallel suite analysis.
+
+The subsystem that turns the repository from a run-everything-from-
+scratch library into an amortising toolchain (ROADMAP: "fast as the
+hardware allows"):
+
+* :mod:`repro.runtime.fingerprint` — content-addressed keys over every
+  input that determines an analysis result;
+* :mod:`repro.runtime.cache` — a checksummed on-disk store of traces,
+  dependence graphs and RpStacks models keyed by those fingerprints;
+* :mod:`repro.runtime.graphio` — lossless dependence-graph archives;
+* :mod:`repro.runtime.runner` — process-pool fan-out of ``analyze()``
+  over the workload suite with error isolation and timeouts.
+"""
+
+from repro.runtime.cache import ArtifactCache, CacheStats, open_cache
+from repro.runtime.fingerprint import (
+    analysis_fingerprint,
+    code_version,
+    workload_fingerprint,
+)
+from repro.runtime.graphio import GraphFormatError, load_graph, save_graph
+from repro.runtime.runner import SuiteReport, WorkloadOutcome, run_suite
+
+__all__ = [
+    "ArtifactCache",
+    "CacheStats",
+    "GraphFormatError",
+    "SuiteReport",
+    "WorkloadOutcome",
+    "analysis_fingerprint",
+    "code_version",
+    "load_graph",
+    "open_cache",
+    "run_suite",
+    "save_graph",
+    "workload_fingerprint",
+]

@@ -1,0 +1,278 @@
+"""Content-addressed artifact cache for analysis sessions.
+
+RpStacks' pitch is amortising one expensive baseline simulation into
+microsecond design-point evaluations; this cache amortises it across
+*processes and sessions*.  Every ``analyze()`` invocation fingerprints
+its inputs (see :mod:`repro.runtime.fingerprint`) and the resulting
+artifacts — the timing trace, the dependence graph and the RpStacks
+model — are persisted under that key.  A later call with identical
+inputs reloads the artifacts and cheaply reconstructs the comparison
+predictors instead of re-simulating, turning a multi-second analysis
+into a few tens of milliseconds.
+
+Layout (one directory per entry, sharded by key prefix)::
+
+    <root>/
+      v1/
+        ab/
+          ab03f1.../
+            meta.json     # key, workload name, per-file sha256 checksums
+            trace.npz     # repro.simulator.traceio archive
+            graph.npz     # repro.runtime.graphio archive
+            model.npz     # repro.core.io archive
+
+Integrity and parallel-safety:
+
+* every artifact's SHA-256 is recorded in ``meta.json`` and verified on
+  load; a corrupted or truncated entry is treated as a miss (and
+  removed) rather than crashing or silently serving bad data;
+* writers stage the whole entry in a temporary sibling directory and
+  ``os.replace`` it into place, so concurrent writers of the same key
+  race benignly (last rename wins, both contents are identical by
+  construction) and readers never observe half-written entries.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import shutil
+import tempfile
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Union
+
+from repro.runtime.fingerprint import analysis_fingerprint, file_checksum
+
+#: Bumped when the entry layout changes; lives in the directory tree so
+#: old layouts are simply ignored rather than misparsed.
+LAYOUT_VERSION = "v1"
+
+_ARTIFACTS = ("trace.npz", "graph.npz", "model.npz")
+
+
+class CacheError(RuntimeError):
+    """Raised for unusable cache roots (not for corrupt entries)."""
+
+
+@dataclass
+class CacheStats:
+    """Aggregate cache state plus this process's hit/miss counters."""
+
+    root: str
+    entries: int = 0
+    total_bytes: int = 0
+    hits: int = 0
+    misses: int = 0
+    corruptions: int = 0
+    workloads: Dict[str, int] = field(default_factory=dict)
+
+    def describe(self) -> str:
+        lines = [
+            f"cache root      {self.root}",
+            f"entries         {self.entries}",
+            f"total size      {self.total_bytes / 1024:.1f} KiB",
+            f"session hits    {self.hits}",
+            f"session misses  {self.misses}",
+            f"corrupt entries {self.corruptions}",
+        ]
+        for name in sorted(self.workloads):
+            lines.append(f"  {name:<14} {self.workloads[name]} entries")
+        return "\n".join(lines)
+
+
+class ArtifactCache:
+    """Persistent, content-addressed store of analysis artifacts.
+
+    Args:
+        root: cache directory (created on first write).  Safe to share
+            between concurrent processes; see the module docstring.
+    """
+
+    def __init__(self, root: Union[str, pathlib.Path]) -> None:
+        self.root = pathlib.Path(root)
+        if self.root.exists() and not self.root.is_dir():
+            raise CacheError(f"cache root {self.root} is not a directory")
+        self.hits = 0
+        self.misses = 0
+        self.corruptions = 0
+
+    # ---- key handling -------------------------------------------------
+
+    @staticmethod
+    def key_for(workload, config, **kwargs) -> str:
+        """Fingerprint of one analysis; see :func:`analysis_fingerprint`."""
+        return analysis_fingerprint(workload, config, **kwargs)
+
+    def _entry_dir(self, key: str) -> pathlib.Path:
+        return self.root / LAYOUT_VERSION / key[:2] / key
+
+    # ---- read path ----------------------------------------------------
+
+    def load(self, key: str):
+        """Return the cached :class:`~repro.dse.pipeline.AnalysisSession`
+        for *key*, or ``None`` on miss or corruption.
+
+        A failed checksum, a truncated archive or any deserialisation
+        error counts as a miss: the entry is evicted and ``None`` is
+        returned so the caller recomputes (and re-stores) it.
+        """
+        entry = self._entry_dir(key)
+        meta_path = entry / "meta.json"
+        if not meta_path.is_file():
+            self.misses += 1
+            return None
+        try:
+            meta = json.loads(meta_path.read_text())
+            checksums = meta["checksums"]
+            for name in _ARTIFACTS:
+                artifact = entry / name
+                if file_checksum(artifact) != checksums[name]:
+                    raise CacheCorruption(f"checksum mismatch on {name}")
+            session = self._load_session(entry)
+        except Exception:
+            # Corrupt, truncated, unreadable or written by an
+            # incompatible library version: evict and recompute.
+            self.corruptions += 1
+            self.misses += 1
+            shutil.rmtree(entry, ignore_errors=True)
+            return None
+        self.hits += 1
+        return session
+
+    @staticmethod
+    def _load_session(entry: pathlib.Path):
+        from repro.baselines.cp1 import CP1Predictor
+        from repro.baselines.fmt import FMTPredictor
+        from repro.core.io import load_model
+        from repro.dse.pipeline import AnalysisSession
+        from repro.graphmodel.reeval import GraphReevalPredictor
+        from repro.runtime.graphio import load_graph
+        from repro.simulator.machine import Machine
+        from repro.simulator.traceio import load_result
+
+        result = load_result(entry / "trace.npz")
+        graph = load_graph(entry / "graph.npz")
+        model = load_model(entry / "model.npz")
+        config = result.config
+        machine = Machine(result.workload, config)
+        # Pre-seed the machine's memo so ``session.simulate(baseline)``
+        # (and overhead accounting) match a freshly analysed session.
+        machine._cache[config.latency] = result
+        return AnalysisSession(
+            workload=result.workload,
+            config=config,
+            machine=machine,
+            baseline_result=result,
+            graph=graph,
+            rpstacks=model,
+            cp1=CP1Predictor(graph, config.latency),
+            fmt=FMTPredictor(result),
+            reeval=GraphReevalPredictor(graph),
+        )
+
+    # ---- write path ---------------------------------------------------
+
+    def store(self, key: str, session) -> pathlib.Path:
+        """Persist *session*'s artifacts under *key*; returns the entry dir.
+
+        The entry is staged in a temporary directory and atomically
+        renamed into place, so concurrent writers and readers are safe.
+        """
+        from repro.core.io import save_model
+        from repro.runtime.graphio import save_graph
+        from repro.simulator.traceio import save_result
+
+        entry = self._entry_dir(key)
+        entry.parent.mkdir(parents=True, exist_ok=True)
+        staging = pathlib.Path(
+            tempfile.mkdtemp(prefix=f".{key[:8]}-", dir=entry.parent)
+        )
+        try:
+            save_result(session.baseline_result, staging / "trace.npz")
+            save_graph(session.graph, staging / "graph.npz")
+            save_model(session.rpstacks, staging / "model.npz")
+            meta = {
+                "key": key,
+                "workload": session.workload.name,
+                "num_uops": len(session.workload),
+                "baseline_cycles": session.baseline_result.cycles,
+                "created": time.time(),
+                "checksums": {
+                    name: file_checksum(staging / name)
+                    for name in _ARTIFACTS
+                },
+            }
+            meta_tmp = staging / "meta.json.tmp"
+            meta_tmp.write_text(json.dumps(meta, indent=2, sort_keys=True))
+            os.replace(meta_tmp, staging / "meta.json")
+            if entry.exists():
+                shutil.rmtree(entry, ignore_errors=True)
+            try:
+                os.replace(staging, entry)
+            except OSError:
+                # A concurrent writer won the rename race; its entry has
+                # identical content, so ours is redundant.
+                shutil.rmtree(staging, ignore_errors=True)
+        except Exception:
+            shutil.rmtree(staging, ignore_errors=True)
+            raise
+        return entry
+
+    # ---- maintenance --------------------------------------------------
+
+    def _entries(self) -> Iterator[pathlib.Path]:
+        layout = self.root / LAYOUT_VERSION
+        if not layout.is_dir():
+            return
+        for shard in sorted(layout.iterdir()):
+            if not shard.is_dir():
+                continue
+            for entry in sorted(shard.iterdir()):
+                if (entry / "meta.json").is_file():
+                    yield entry
+
+    def stats(self) -> CacheStats:
+        """Entry counts and sizes plus this process's hit/miss counters."""
+        stats = CacheStats(
+            root=str(self.root),
+            hits=self.hits,
+            misses=self.misses,
+            corruptions=self.corruptions,
+        )
+        for entry in self._entries():
+            stats.entries += 1
+            try:
+                meta = json.loads((entry / "meta.json").read_text())
+                name = meta.get("workload", "?")
+            except (OSError, ValueError):
+                name = "?"
+            stats.workloads[name] = stats.workloads.get(name, 0) + 1
+            for artifact in entry.iterdir():
+                try:
+                    stats.total_bytes += artifact.stat().st_size
+                except OSError:
+                    pass
+        return stats
+
+    def clear(self) -> int:
+        """Delete every entry; returns how many were removed."""
+        removed = 0
+        for entry in list(self._entries()):
+            shutil.rmtree(entry, ignore_errors=True)
+            removed += 1
+        return removed
+
+
+class CacheCorruption(RuntimeError):
+    """Internal marker for a failed integrity check (caught in load)."""
+
+
+def open_cache(
+    cache: Union[None, str, pathlib.Path, ArtifactCache]
+) -> Optional[ArtifactCache]:
+    """Coerce a user-facing ``cache=`` argument into an ArtifactCache."""
+    if cache is None or isinstance(cache, ArtifactCache):
+        return cache
+    return ArtifactCache(cache)

@@ -1,0 +1,245 @@
+"""Parallel suite runner: fan ``analyze()`` across the workload suite.
+
+The paper evaluates twelve SPEC analogues; analysing them serially is
+pure fan-out waiting to happen (every workload is independent).  The
+runner distributes the per-workload pipeline over a
+``concurrent.futures.ProcessPoolExecutor`` with:
+
+* **deterministic results** — outcomes are returned in request order
+  and each worker's computation is bit-identical to the serial path
+  (asserted by ``tests/runtime/test_differential.py``);
+* **error isolation** — a workload whose generator or simulation raises
+  is reported as a failed outcome (with its traceback) without sinking
+  the rest of the suite;
+* **per-task timeouts** — a wall-clock budget per workload, after which
+  the task is reported failed;
+* **cache integration** — workers share one on-disk
+  :class:`~repro.runtime.cache.ArtifactCache`, whose atomic-rename
+  writes make concurrent population safe.
+
+Workloads are regenerated inside each worker from their (name, macros,
+seed) coordinates instead of being pickled over, which keeps task
+payloads tiny and exercises the same deterministic-generation guarantee
+the single-simulation methodology rests on.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import pathlib
+import time
+import traceback
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.common.config import MicroarchConfig
+from repro.dse.pipeline import AnalysisSession, analyze
+from repro.runtime.cache import ArtifactCache, open_cache
+from repro.workloads.suite import make_workload, resolve_names, suite_names
+
+
+@dataclass
+class WorkloadOutcome:
+    """Result of analysing (or failing to analyse) one suite workload."""
+
+    name: str
+    ok: bool
+    session: Optional[AnalysisSession] = None
+    error: Optional[str] = None
+    elapsed_seconds: float = 0.0
+    cache_hit: bool = False
+
+    @property
+    def baseline_cycles(self) -> Optional[int]:
+        return self.session.baseline_result.cycles if self.ok else None
+
+    @property
+    def baseline_cpi(self) -> Optional[float]:
+        return self.session.baseline_cpi if self.ok else None
+
+
+@dataclass
+class SuiteReport:
+    """Ordered outcomes of one suite run plus aggregate bookkeeping."""
+
+    outcomes: List[WorkloadOutcome] = field(default_factory=list)
+    wall_seconds: float = 0.0
+    jobs: int = 1
+
+    def __iter__(self):
+        return iter(self.outcomes)
+
+    def __len__(self) -> int:
+        return len(self.outcomes)
+
+    @property
+    def succeeded(self) -> List[WorkloadOutcome]:
+        return [o for o in self.outcomes if o.ok]
+
+    @property
+    def failed(self) -> List[WorkloadOutcome]:
+        return [o for o in self.outcomes if not o.ok]
+
+    def session(self, name: str) -> AnalysisSession:
+        """The named workload's session; raises if it failed or is absent."""
+        for outcome in self.outcomes:
+            if outcome.name == name:
+                if not outcome.ok:
+                    raise RuntimeError(
+                        f"workload {name!r} failed: {outcome.error}"
+                    )
+                return outcome.session
+        raise KeyError(f"no outcome for workload {name!r}")
+
+    def describe(self) -> str:
+        lines = [
+            f"{len(self.succeeded)}/{len(self.outcomes)} workloads analysed "
+            f"in {self.wall_seconds:.2f}s with {self.jobs} job(s)"
+        ]
+        for outcome in self.outcomes:
+            if outcome.ok:
+                source = "cache" if outcome.cache_hit else "fresh"
+                lines.append(
+                    f"  {outcome.name:<12} CPI {outcome.baseline_cpi:.3f} "
+                    f"({outcome.elapsed_seconds:.2f}s, {source})"
+                )
+            else:
+                first_line = (outcome.error or "").strip().splitlines()
+                reason = first_line[-1] if first_line else "unknown error"
+                lines.append(f"  {outcome.name:<12} FAILED: {reason}")
+        return "\n".join(lines)
+
+
+def _analyze_one(
+    name: str,
+    macros: int,
+    seed: int,
+    config: Optional[MicroarchConfig],
+    analyze_kwargs: Dict,
+    cache_dir: Optional[str],
+    factory: Optional[Callable] = None,
+) -> WorkloadOutcome:
+    """Worker body: generate, analyse (through the cache) and report.
+
+    Module-level so it pickles for the process pool; the cache is
+    re-opened per worker from its path rather than shipped as an object.
+    """
+    start = time.perf_counter()
+    try:
+        build = factory or make_workload
+        workload = build(name, macros, seed=seed)
+        cache = ArtifactCache(cache_dir) if cache_dir else None
+        session = analyze(workload, config=config, cache=cache,
+                          **analyze_kwargs)
+        return WorkloadOutcome(
+            name=name,
+            ok=True,
+            session=session,
+            elapsed_seconds=time.perf_counter() - start,
+            cache_hit=bool(cache and cache.hits),
+        )
+    except Exception:
+        return WorkloadOutcome(
+            name=name,
+            ok=False,
+            error=traceback.format_exc(),
+            elapsed_seconds=time.perf_counter() - start,
+        )
+
+
+def run_suite(
+    names: Sequence[str] = (),
+    macros: int = 500,
+    seed: int = 1,
+    config: Optional[MicroarchConfig] = None,
+    jobs: int = 1,
+    cache: Union[None, str, pathlib.Path, ArtifactCache] = None,
+    timeout: Optional[float] = None,
+    workload_factory: Optional[Callable] = None,
+    **analyze_kwargs,
+) -> SuiteReport:
+    """Analyse a set of suite workloads, optionally in parallel.
+
+    Args:
+        names: workload names (the full canonical suite if empty).
+        macros / seed: workload generation coordinates.
+        config: structure + latency design point (Table II default).
+        jobs: worker processes; ``1`` runs serially in-process.
+        cache: an :class:`ArtifactCache`, a cache directory path, or
+            ``None`` to disable artifact reuse.
+        timeout: per-workload wall-clock budget in seconds (parallel
+            mode only); an overrunning task is reported as failed.
+        workload_factory: replaces :func:`make_workload` — must be a
+            picklable callable ``(name, macros, seed=...) -> Workload``
+            (used by robustness tests and custom suites).
+        **analyze_kwargs: forwarded to :func:`repro.dse.pipeline.analyze`
+            (reduction knobs, ``warm_caches``, ...).
+
+    Returns:
+        A :class:`SuiteReport` whose outcomes follow the order of
+        *names* regardless of completion order.
+    """
+    # A custom factory may implement workloads outside the canonical
+    # suite, so name validation only applies to the default generator.
+    if workload_factory is None:
+        selected = resolve_names(names)
+    else:
+        selected = tuple(names) or suite_names()
+    if jobs < 1:
+        raise ValueError("jobs must be at least 1")
+    cache = open_cache(cache)
+    cache_dir = str(cache.root) if cache is not None else None
+    start = time.perf_counter()
+
+    if jobs == 1:
+        outcomes = [
+            _analyze_one(name, macros, seed, config, analyze_kwargs,
+                         cache_dir, workload_factory)
+            for name in selected
+        ]
+        return SuiteReport(
+            outcomes=outcomes,
+            wall_seconds=time.perf_counter() - start,
+            jobs=1,
+        )
+
+    outcomes: List[Optional[WorkloadOutcome]] = [None] * len(selected)
+    pool = concurrent.futures.ProcessPoolExecutor(max_workers=jobs)
+    futures = {
+        pool.submit(
+            _analyze_one, name, macros, seed, config, analyze_kwargs,
+            cache_dir, workload_factory,
+        ): index
+        for index, name in enumerate(selected)
+    }
+    # The per-task budget cannot portably interrupt a running worker, so
+    # it is enforced as an overall deadline scaled by the number of
+    # sequential "waves" the pool needs for the task count.
+    waves = -(-len(selected) // jobs)
+    overall = None if timeout is None else timeout * waves
+    done, not_done = concurrent.futures.wait(set(futures), timeout=overall)
+    for future in done:
+        index = futures[future]
+        try:
+            outcomes[index] = future.result()
+        except Exception:
+            outcomes[index] = WorkloadOutcome(
+                name=selected[index],
+                ok=False,
+                error=traceback.format_exc(),
+            )
+    for future in not_done:
+        index = futures[future]
+        outcomes[index] = WorkloadOutcome(
+            name=selected[index],
+            ok=False,
+            error=f"timed out ({timeout:.1f}s per-task budget exhausted)",
+        )
+    # Don't block on overrunning workers: they are orphaned tasks whose
+    # results nobody will read.
+    pool.shutdown(wait=not not_done, cancel_futures=True)
+    return SuiteReport(
+        outcomes=outcomes,
+        wall_seconds=time.perf_counter() - start,
+        jobs=jobs,
+    )

@@ -61,6 +61,13 @@ def _decode_charge(data) -> tuple:
     return tuple((EventType(event), units) for event, units in data)
 
 
+def _decode_param_value(value):
+    """Undo JSON's tuple->list coercion in workload provenance params."""
+    if isinstance(value, list):
+        return tuple(_decode_param_value(item) for item in value)
+    return value
+
+
 def save_result(
     result: SimResult, path: Union[str, pathlib.Path]
 ) -> pathlib.Path:
@@ -118,7 +125,7 @@ def save_result(
         "workload_params": [[k, v] for k, v in workload.params],
         "cycles": result.cycles,
         "stats": result.stats,
-        "config": _config_to_dict(result.config),
+        "config": config_to_dict(result.config),
         "ragged": ragged,
     }
     arrays = {}
@@ -183,7 +190,9 @@ def load_result(path: Union[str, pathlib.Path]) -> SimResult:
     workload = Workload(
         name=meta["workload_name"],
         uops=tuple(uops),
-        params=tuple((k, v) for k, v in meta["workload_params"]),
+        params=tuple(
+            (k, _decode_param_value(v)) for k, v in meta["workload_params"]
+        ),
     )
 
     records = []
@@ -203,14 +212,20 @@ def load_result(path: Union[str, pathlib.Path]) -> SimResult:
 
     return SimResult(
         workload=workload,
-        config=_config_from_dict(meta["config"]),
+        config=config_from_dict(meta["config"]),
         cycles=int(meta["cycles"]),
         uops=tuple(records),
         stats=dict(meta["stats"]),
     )
 
 
-def _config_to_dict(config: MicroarchConfig) -> dict:
+def config_to_dict(config: MicroarchConfig) -> dict:
+    """Canonical JSON-ready encoding of a full design point.
+
+    Used both by the trace archive metadata and by the runtime cache's
+    fingerprinting, so any configuration field that can change simulated
+    behaviour must appear here.
+    """
     return {
         "core": {
             field: getattr(config.core, field)
@@ -225,10 +240,16 @@ def _config_to_dict(config: MicroarchConfig) -> dict:
         "itlb": [config.itlb.entries, config.itlb.page_bytes],
         "dtlb": [config.dtlb.entries, config.dtlb.page_bytes],
         "latency": list(config.latency.cycles),
+        "prefetcher": config.prefetcher,
     }
 
 
-def _config_from_dict(data: dict) -> MicroarchConfig:
+def config_from_dict(data: dict) -> MicroarchConfig:
+    """Inverse of :func:`config_to_dict`.
+
+    Archives written before the prefetcher field existed default it to
+    ``"none"``, which is what they were simulated with.
+    """
     return MicroarchConfig(
         core=CoreConfig(**data["core"]),
         l1i=CacheConfig(*data["l1i"]),
@@ -237,4 +258,10 @@ def _config_from_dict(data: dict) -> MicroarchConfig:
         itlb=TLBConfig(*data["itlb"]),
         dtlb=TLBConfig(*data["dtlb"]),
         latency=LatencyConfig(tuple(data["latency"])),
+        prefetcher=data.get("prefetcher", "none"),
     )
+
+
+#: Backwards-compatible aliases for the pre-public names.
+_config_to_dict = config_to_dict
+_config_from_dict = config_from_dict

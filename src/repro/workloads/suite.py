@@ -297,6 +297,22 @@ def suite_spec(name: str) -> WorkloadSpec:
         ) from None
 
 
+def resolve_names(names: Iterable[str] = ()) -> Tuple[str, ...]:
+    """Validate a workload selection, defaulting to the whole suite.
+
+    Raises:
+        KeyError: naming every unknown workload at once, so a suite run
+            fails fast instead of mid-flight.
+    """
+    selected = tuple(names) or suite_names()
+    unknown = [name for name in selected if name not in _SUITE_SPECS]
+    if unknown:
+        raise KeyError(
+            f"unknown workloads {unknown}; choose from {sorted(_SUITE_SPECS)}"
+        )
+    return selected
+
+
 def make_workload(
     name: str, num_macro_ops: int = DEFAULT_MACRO_OPS, seed: int = 1
 ) -> Workload:

@@ -1,0 +1,106 @@
+"""Golden end-to-end regression test.
+
+One checked-in fixture pins the complete pipeline — workload generation,
+timing simulation, graph construction, RpStacks generation, bottleneck
+ranking — to exact expected numbers.  Any change to the simulator, the
+builder or the reducer that shifts results *at all* fails this test
+loudly instead of drifting silently; an intentional behaviour change
+must regenerate the fixture and say so in review (see the regeneration
+snippet below).
+
+Regenerate after an intentional change with::
+
+    PYTHONPATH=src python - <<'PY'
+    import json, pathlib
+    from repro.dse.pipeline import analyze
+    from repro.workloads.suite import make_workload
+    g = json.loads(pathlib.Path(
+        "tests/integration/golden/gamess_300.json").read_text())
+    w = make_workload(g["workload"], g["macros"], seed=g["seed"])
+    s = analyze(w)
+    top = s.rpstacks.bottlenecks(s.config.latency, top=3)
+    g.update(
+        num_uops=len(w),
+        baseline_cycles=s.baseline_result.cycles,
+        num_segments=s.rpstacks.num_segments,
+        num_paths=s.rpstacks.num_paths,
+        top3_bottlenecks=[l for l, _ in top],
+        top3_cpi_shares=[round(v, 12) for _, v in top],
+        predicted_baseline_cycles=s.rpstacks.predict_cycles(s.config.latency),
+        cp1_baseline_cycles=s.cp1.baseline_cycles,
+    )
+    pathlib.Path("tests/integration/golden/gamess_300.json").write_text(
+        json.dumps(g, indent=2) + "\n")
+    PY
+"""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.dse.pipeline import analyze
+from repro.workloads.suite import make_workload
+
+GOLDEN_PATH = (
+    pathlib.Path(__file__).parent / "golden" / "gamess_300.json"
+)
+
+
+@pytest.fixture(scope="module")
+def golden():
+    return json.loads(GOLDEN_PATH.read_text())
+
+
+@pytest.fixture(scope="module")
+def session(golden):
+    workload = make_workload(
+        golden["workload"], golden["macros"], seed=golden["seed"]
+    )
+    return analyze(workload)
+
+
+def test_workload_generation_is_pinned(golden, session):
+    assert len(session.workload) == golden["num_uops"]
+
+
+def test_baseline_simulation_is_pinned(golden, session):
+    assert session.baseline_result.cycles == golden["baseline_cycles"]
+
+
+def test_rpstacks_shape_is_pinned(golden, session):
+    assert session.rpstacks.num_segments == golden["num_segments"]
+    assert session.rpstacks.num_paths == golden["num_paths"]
+
+
+def test_predictions_are_pinned(golden, session):
+    base = session.config.latency
+    assert session.rpstacks.predict_cycles(base) == golden[
+        "predicted_baseline_cycles"
+    ]
+    assert session.cp1.baseline_cycles == golden["cp1_baseline_cycles"]
+
+
+def test_top3_bottlenecks_are_pinned(golden, session):
+    top = session.rpstacks.bottlenecks(session.config.latency, top=3)
+    assert [label for label, _ in top] == golden["top3_bottlenecks"]
+    assert [round(value, 12) for _, value in top] == golden[
+        "top3_cpi_shares"
+    ]
+
+
+def test_golden_survives_a_cache_round_trip(golden, tmp_path):
+    """The cache serves the same pinned numbers it was fed."""
+    from repro.runtime.cache import ArtifactCache
+
+    workload = make_workload(
+        golden["workload"], golden["macros"], seed=golden["seed"]
+    )
+    cache = ArtifactCache(tmp_path / "cache")
+    analyze(workload, cache=cache)
+    warm = analyze(workload, cache=cache)
+    assert cache.hits == 1
+    assert warm.baseline_result.cycles == golden["baseline_cycles"]
+    assert warm.rpstacks.num_paths == golden["num_paths"]
+    top = warm.rpstacks.bottlenecks(warm.config.latency, top=3)
+    assert [label for label, _ in top] == golden["top3_bottlenecks"]

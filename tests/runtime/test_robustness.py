@@ -1,0 +1,143 @@
+"""Failure-injection tests for the runner and the artifact cache.
+
+A production sweep cannot afford one bad workload or one corrupt cache
+file taking down the whole run: failures must be *reported*, corruption
+must be *detected and recomputed*, never crashed on and never silently
+served.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.dse.pipeline import analyze
+from repro.runtime.cache import ArtifactCache
+from repro.runtime.runner import run_suite
+from repro.workloads.suite import make_workload
+
+MACROS = 50
+
+
+def _exploding_factory(name, macros, seed=1):
+    """Picklable workload factory that detonates for one workload."""
+    if name == "mcf":
+        raise RuntimeError("synthetic generator failure for mcf")
+    return make_workload(name, macros, seed=seed)
+
+
+NAMES = ("gamess", "mcf", "bzip2")
+
+
+@pytest.mark.parametrize("jobs", [1, 2])
+def test_failed_workload_does_not_sink_the_suite(jobs):
+    report = run_suite(
+        names=NAMES,
+        macros=MACROS,
+        jobs=jobs,
+        workload_factory=_exploding_factory,
+    )
+    assert [o.name for o in report] == list(NAMES)
+    assert [o.ok for o in report] == [True, False, True]
+    failed = report.failed[0]
+    assert failed.name == "mcf"
+    assert "synthetic generator failure" in failed.error
+    assert report.session("gamess").baseline_result.cycles > 0
+    with pytest.raises(RuntimeError, match="failed"):
+        report.session("mcf")
+    # The failure is also visible (not fatal) in the human summary.
+    assert "FAILED" in report.describe()
+
+
+def _entry_dirs(cache):
+    return list(cache._entries())
+
+
+def _fresh_entry(tmp_path, workload):
+    cache = ArtifactCache(tmp_path / "cache")
+    session = analyze(workload, cache=cache)
+    (entry,) = _entry_dirs(cache)
+    return cache, session, entry
+
+
+@pytest.mark.parametrize("artifact", ["trace.npz", "graph.npz", "model.npz"])
+def test_corrupted_artifact_is_recomputed(tmp_path, artifact):
+    workload = make_workload("gamess", MACROS)
+    cache, cold, entry = _fresh_entry(tmp_path, workload)
+    target = entry / artifact
+    data = bytearray(target.read_bytes())
+    data[len(data) // 2] ^= 0xFF
+    target.write_bytes(bytes(data))
+
+    recomputed = analyze(workload, cache=cache)
+    assert cache.corruptions == 1
+    assert cache.hits == 0
+    assert recomputed.baseline_result.cycles == cold.baseline_result.cycles
+    # The rewritten entry is healthy again: next call is a clean hit.
+    warm = analyze(workload, cache=cache)
+    assert cache.hits == 1
+    assert warm.baseline_result.cycles == cold.baseline_result.cycles
+
+
+def test_truncated_artifact_is_recomputed(tmp_path):
+    workload = make_workload("bzip2", MACROS)
+    cache, cold, entry = _fresh_entry(tmp_path, workload)
+    target = entry / "model.npz"
+    target.write_bytes(target.read_bytes()[: 100])
+
+    recomputed = analyze(workload, cache=cache)
+    assert cache.corruptions == 1
+    assert recomputed.baseline_result.cycles == cold.baseline_result.cycles
+
+
+def test_mangled_meta_is_recomputed(tmp_path):
+    workload = make_workload("gamess", MACROS)
+    cache, cold, entry = _fresh_entry(tmp_path, workload)
+    (entry / "meta.json").write_text("{not json")
+
+    recomputed = analyze(workload, cache=cache)
+    assert cache.corruptions == 1
+    assert recomputed.baseline_result.cycles == cold.baseline_result.cycles
+
+
+def test_missing_artifact_is_recomputed(tmp_path):
+    workload = make_workload("gamess", MACROS)
+    cache, cold, entry = _fresh_entry(tmp_path, workload)
+    os.remove(entry / "graph.npz")
+
+    recomputed = analyze(workload, cache=cache)
+    assert cache.corruptions == 1
+    assert recomputed.baseline_result.cycles == cold.baseline_result.cycles
+
+
+def test_clear_and_stats(tmp_path):
+    cache = ArtifactCache(tmp_path / "cache")
+    analyze(make_workload("gamess", MACROS), cache=cache)
+    analyze(make_workload("bzip2", MACROS), cache=cache)
+    stats = cache.stats()
+    assert stats.entries == 2
+    assert stats.total_bytes > 0
+    assert stats.workloads == {"gamess": 1, "bzip2": 1}
+    assert cache.clear() == 2
+    assert cache.stats().entries == 0
+    # Clearing twice is a harmless no-op.
+    assert cache.clear() == 0
+
+
+def test_checksums_recorded_in_meta(tmp_path):
+    workload = make_workload("gamess", MACROS)
+    _cache, _session, entry = _fresh_entry(tmp_path, workload)
+    meta = json.loads((entry / "meta.json").read_text())
+    assert set(meta["checksums"]) == {"trace.npz", "graph.npz", "model.npz"}
+    assert meta["workload"] == "gamess"
+    assert all(len(digest) == 64 for digest in meta["checksums"].values())
+
+
+def test_unknown_suite_name_fails_fast():
+    with pytest.raises(KeyError, match="no-such-workload"):
+        run_suite(names=("gamess", "no-such-workload"), macros=MACROS)
+
+
+def test_jobs_must_be_positive():
+    with pytest.raises(ValueError, match="jobs"):
+        run_suite(names=("gamess",), macros=MACROS, jobs=0)

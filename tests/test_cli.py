@@ -167,6 +167,56 @@ class TestPipelineCommand:
                   "--count", "0"])
 
 
+class TestSuiteCommand:
+    def test_runs_selected_workloads(self, capsys):
+        code, out = run(
+            capsys, "suite", "--only", "gamess", "--only", "bzip2",
+            "--macros", "60",
+        )
+        assert code == 0
+        assert "gamess" in out and "bzip2" in out
+        assert "2/2 workloads" in out
+
+    def test_cache_dir_turns_second_run_into_hits(self, capsys, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        run(capsys, "suite", "--only", "gamess", "--macros", "60",
+            "--cache-dir", cache_dir)
+        code, out = run(
+            capsys, "suite", "--only", "gamess", "--macros", "60",
+            "--cache-dir", cache_dir,
+        )
+        assert code == 0
+        assert "hit" in out
+
+    def test_unknown_workload_rejected(self, capsys):
+        with pytest.raises(SystemExit, match="doom"):
+            main(["suite", "--only", "doom"])
+
+
+class TestCacheCommand:
+    def test_stats_and_clear(self, capsys, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        run(capsys, "analyze", "gamess", "--macros", "60",
+            "--cache-dir", cache_dir)
+        code, out = run(capsys, "cache", "stats", "--cache-dir", cache_dir)
+        assert code == 0
+        assert "entries" in out and "gamess" in out
+        code, out = run(capsys, "cache", "clear", "--cache-dir", cache_dir)
+        assert code == 0
+        assert "removed 1" in out
+        code, out = run(capsys, "cache", "stats", "--cache-dir", cache_dir)
+        assert code == 0
+
+    def test_analyze_cache_dir_is_reused(self, capsys, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        _code, first = run(capsys, "analyze", "gamess", "--macros", "60",
+                           "--cache-dir", cache_dir)
+        _code, second = run(capsys, "analyze", "gamess", "--macros", "60",
+                            "--cache-dir", cache_dir)
+        # Identical decomposition whether computed or served from cache.
+        assert first == second
+
+
 class TestReportCommand:
     def test_prints_markdown(self, capsys):
         code = main(["report", "gamess", "--macros", "100"])

@@ -24,6 +24,7 @@ def test_top_level_all_resolves():
         "repro.baselines",
         "repro.sampling",
         "repro.dse",
+        "repro.runtime",
     ],
 )
 def test_subpackage_all_resolves(module):
