@@ -7,6 +7,8 @@ Commands mirror the workflow of the paper's Figure 6a:
   optionally archive the RpStacks model to ``.npz``;
 * ``explore``    — sweep a latency design space (from a live analysis or
   a previously saved model) and print the Pareto front;
+* ``dse sweep``  — the streaming million-point version of ``explore``:
+  chunked, optionally sharded across processes, bounded memory;
 * ``compare``    — score RpStacks / CP1 / FMT against a ground-truth
   re-simulation on given latency overrides;
 * ``pipeline``   — textbook-style ASCII pipeline diagram of a run;
@@ -147,6 +149,55 @@ def cmd_explore(args) -> int:
         f"{result.num_meeting_target} meet the target"
         + (f" CPI {target:.3f}" if target is not None else "")
     )
+    rows = [
+        [c.latency.describe(), f"{c.predicted_cpi:.3f}", f"{c.cost:.2f}"]
+        for c in result.pareto_front()[: args.top]
+    ]
+    print(format_table(["design point", "predicted CPI", "cost"], rows))
+    return 0
+
+
+def cmd_dse_sweep(args) -> int:
+    axes = dict(_parse_axis(spec) for spec in args.axis)
+    if not axes:
+        raise SystemExit("sweep needs at least one --axis")
+    try:
+        space = DesignSpace.from_mapping(axes)
+    except ValueError as error:
+        raise SystemExit(str(error))
+    if args.chunk_size < 1:
+        raise SystemExit("--chunk-size must be at least 1")
+    if args.jobs < 1:
+        raise SystemExit("--jobs must be at least 1")
+
+    if args.model:
+        model = load_model(args.model)
+        print(f"loaded model: {model.num_paths} paths, "
+              f"{model.num_uops} uops")
+    else:
+        workload = _workload(args)
+        model = analyze(workload, cache=args.cache_dir).rpstacks
+    target = args.target_cpi
+    if target is None and args.target_fraction is not None:
+        target = model.predict_cpi(model.baseline) * args.target_fraction
+    result = Explorer(model).sweep(
+        space,
+        target_cpi=target,
+        chunk_size=args.chunk_size,
+        jobs=args.jobs,
+        top_k=args.top_k,
+    )
+    if args.json:
+        import json
+
+        print(json.dumps(result.as_dict(), indent=2))
+        return 0
+    print(
+        f"{result.num_points} design points, "
+        f"{result.num_meeting_target} meet the target"
+        + (f" CPI {target:.3f}" if target is not None else "")
+    )
+    print(result.metrics.describe())
     rows = [
         [c.latency.describe(), f"{c.predicted_cpi:.3f}", f"{c.cost:.2f}"]
         for c in result.pareto_front()[: args.top]
@@ -323,6 +374,37 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--json", action="store_true",
                    help="emit the result as JSON")
     p.set_defaults(func=cmd_explore)
+
+    p = sub.add_parser(
+        "dse",
+        help="array-native design-space exploration (streaming sweep)",
+    )
+    dse_sub = p.add_subparsers(dest="dse_command", required=True)
+    p = dse_sub.add_parser(
+        "sweep",
+        help="stream a latency space through the bounded-memory "
+        "chunked/sharded sweep engine",
+    )
+    add_workload_args(p)
+    p.add_argument("--axis", action="append", default=[],
+                   metavar="EVENT=V1,V2,...")
+    p.add_argument("--model", help="load a saved model instead of analysing")
+    p.add_argument("--cache-dir",
+                   help="artifact cache directory (reuse prior analyses)")
+    p.add_argument("--target-cpi", type=float)
+    p.add_argument("--target-fraction", type=float,
+                   help="target = baseline CPI x fraction")
+    p.add_argument("--chunk-size", type=int, default=65536,
+                   help="design points priced per matrix product")
+    p.add_argument("--jobs", type=int, default=1,
+                   help="worker processes the chunk ranges shard across")
+    p.add_argument("--top-k", type=int,
+                   help="hard cap on the held candidate set (memory bound)")
+    p.add_argument("--top", type=int, default=10,
+                   help="Pareto entries to print")
+    p.add_argument("--json", action="store_true",
+                   help="emit the result (with sweep metrics) as JSON")
+    p.set_defaults(func=cmd_dse_sweep)
 
     p = sub.add_parser("compare", help="RpStacks vs CP1 vs FMT vs simulator")
     add_workload_args(p)

@@ -115,7 +115,36 @@ class RpStacksModel:
         This is the design-space-exploration fast path: one matrix
         product prices every stack under every configuration.
         """
+        if not len(latencies):
+            return np.empty(0, dtype=np.float64)
         thetas = np.stack([lat.as_vector() for lat in latencies], axis=1)
+        return self.predict_cycles_matrix(thetas)
+
+    def predict_cycles_matrix(self, thetas: np.ndarray) -> np.ndarray:
+        """Price a whole ``(NUM_EVENTS, n)`` pricing-vector chunk at once.
+
+        This is the streaming sweep engine's kernel: one matrix product
+        prices every representative path under every configuration, and
+        one grouped-max reduction (``maximum.reduceat``) plus a column
+        sum folds paths into per-configuration cycle predictions.  All
+        intermediates are integer-valued and well inside float64's exact
+        range, so the result is bit-identical to per-point
+        :meth:`predict_cycles` regardless of chunking.
+
+        Args:
+            thetas: ``(NUM_EVENTS, n)`` array, one pricing vector
+                (:meth:`LatencyConfig.as_vector`) per column.
+
+        Returns:
+            ``(n,)`` predicted execution cycles.
+        """
+        thetas = np.asarray(thetas, dtype=np.float64)
+        if thetas.ndim != 2 or thetas.shape[0] != NUM_EVENTS:
+            raise ValueError(
+                f"thetas must be (NUM_EVENTS, n); got {thetas.shape}"
+            )
+        if thetas.shape[1] == 0:
+            return np.empty(0, dtype=np.float64)
         values = self._matrix @ thetas  # (paths, configs)
         maxima = np.maximum.reduceat(values, self._segment_starts, axis=0)
         return maxima.sum(axis=0)

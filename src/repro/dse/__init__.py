@@ -5,8 +5,11 @@ from repro.dse.explorer import (
     Candidate,
     ExplorationResult,
     Explorer,
+    SweepMetrics,
     default_cost_model,
+    default_cost_model_matrix,
 )
+from repro.dse.sweep import sweep_space
 from repro.dse.literature import (
     LITERATURE_MIPS,
     MethodSpeed,
@@ -65,12 +68,15 @@ __all__ = [
     "StructureExplorer",
     "StructurePoint",
     "StructureResult",
+    "SweepMetrics",
     "structure_grid",
+    "sweep_space",
     "ValidationReport",
     "acceleration_method_speeds",
     "analyze",
     "bottleneck_reduction_scenarios",
     "default_cost_model",
+    "default_cost_model_matrix",
     "exploration_curves",
     "measure_overhead",
     "reduction_space",

@@ -72,19 +72,95 @@ class DesignSpace:
         """Materialise every design point (row-major over the axes)."""
         return list(self)
 
+    # ---- array-native enumeration (the sweep-engine hot path) --------
+
+    def _strides(self) -> Tuple[int, ...]:
+        """Row-major mixed-radix strides: flat index -> per-axis digit.
+
+        The flat enumeration order matches :meth:`__iter__` (the last
+        axis varies fastest), so ``point_at(i)`` is the ``i``-th point
+        of ``points()``.
+        """
+        strides = []
+        stride = 1
+        for _event, values in reversed(self.axes):
+            strides.append(stride)
+            stride *= len(values)
+        return tuple(reversed(strides))
+
+    def point_at(self, index: int) -> LatencyConfig:
+        """Decode one flat enumeration index into a design point."""
+        if not 0 <= index < self.num_points:
+            raise IndexError(
+                f"index {index} outside space of {self.num_points} points"
+            )
+        overrides = {}
+        for (event, values), stride in zip(self.axes, self._strides()):
+            overrides[event] = values[(index // stride) % len(values)]
+        return self.base.with_overrides(overrides)
+
+    def theta_matrix(self, start: int = 0, stop: int = None) -> np.ndarray:
+        """Pricing vectors of points ``[start, stop)`` as one array.
+
+        Returns a ``(NUM_EVENTS, stop - start)`` float64 matrix whose
+        column ``j`` is ``point_at(start + j).as_vector()`` — composed
+        directly onto the base vector with mixed-radix index arithmetic,
+        no per-point :class:`LatencyConfig` objects.  This is what the
+        streaming sweep engine feeds to
+        :meth:`~repro.core.model.RpStacksModel.predict_cycles_matrix`.
+        """
+        total = self.num_points
+        stop = total if stop is None else stop
+        if not 0 <= start <= stop <= total:
+            raise IndexError(
+                f"chunk [{start}, {stop}) outside space of {total} points"
+            )
+        count = stop - start
+        thetas = np.tile(
+            self.base.as_vector()[:, np.newaxis], (1, count)
+        )
+        if count == 0:
+            return thetas
+        flat = np.arange(start, stop, dtype=np.int64)
+        for (event, values), stride in zip(self.axes, self._strides()):
+            digits = (flat // stride) % len(values)
+            thetas[int(event)] = np.asarray(values, dtype=np.float64)[digits]
+        return thetas
+
+    def iter_chunks(self, chunk_size: int) -> Iterator[Tuple[int, int]]:
+        """Contiguous ``(start, stop)`` index ranges covering the space."""
+        if chunk_size < 1:
+            raise ValueError("chunk_size must be at least 1")
+        total = self.num_points
+        for start in range(0, total, chunk_size):
+            yield start, min(start + chunk_size, total)
+
     def sample(self, count: int, seed: int = 0) -> List[LatencyConfig]:
-        """A deterministic uniform sample of *count* design points."""
+        """A deterministic uniform sample of *count* design points.
+
+        When ``count <= num_points`` the sample is drawn from the flat
+        index space *without replacement*, so no design point appears
+        twice; asking for more points than the space holds falls back to
+        sampling with replacement (duplicates are then unavoidable).
+        """
         rng = np.random.default_rng(seed)
-        events = [event for event, _values in self.axes]
-        values = [vals for _event, vals in self.axes]
-        picks = []
-        for _ in range(count):
-            combo = {
-                event: vals[int(rng.integers(0, len(vals)))]
-                for event, vals in zip(events, values)
-            }
-            picks.append(self.base.with_overrides(combo))
-        return picks
+        total = self.num_points
+        if count <= total:
+            if total <= 1 << 20:
+                indices = rng.choice(total, size=count, replace=False)
+            else:
+                # Rejection sampling keeps memory bounded on huge spaces
+                # (count <= 2**20 < total, so collisions stay rare).
+                chosen: set = set()
+                indices = []
+                while len(indices) < count:
+                    draw = int(rng.integers(0, total))
+                    if draw not in chosen:
+                        chosen.add(draw)
+                        indices.append(draw)
+        else:
+            indices = rng.integers(0, total, size=count)
+        return [self.point_at(int(index)) for index in indices]
 
 
 def reduction_space(

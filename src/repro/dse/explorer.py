@@ -29,14 +29,46 @@ def default_cost_model(
     *relative* speed-up demanded (halving any unit costs 1.0); relaxing a
     latency is free.  This is the kind of per-latency cost factor the
     paper says RpStacks "can incorporate without extra overhead".
+
+    A zero-cycle target is priced as a further halving beyond one cycle
+    (effective latency 0.5), keeping the cost strictly monotone as
+    ``new`` shrinks toward zero instead of flattening at the 1-cycle
+    price.
     """
     cost = 0.0
     for event in LATENCY_DOMAIN:
         old = base[event]
         new = point[event]
         if new < old and old > 0:
-            cost += old / max(1, new) - 1.0
+            cost += old / (new if new > 0 else 0.5) - 1.0
     return cost
+
+
+def default_cost_model_matrix(
+    thetas: np.ndarray, base: LatencyConfig
+) -> np.ndarray:
+    """Vectorised :func:`default_cost_model` over a pricing-vector chunk.
+
+    Args:
+        thetas: ``(NUM_EVENTS, n)`` array, one pricing vector per column
+            (as produced by :meth:`DesignSpace.theta_matrix`).
+        base: the design point costs are measured from.
+
+    Returns:
+        ``(n,)`` costs, bit-identical to calling the scalar model per
+        column: terms accumulate in the same per-event order, with the
+        same zero-cycle halving rule.
+    """
+    thetas = np.asarray(thetas, dtype=np.float64)
+    costs = np.zeros(thetas.shape[1], dtype=np.float64)
+    for event in LATENCY_DOMAIN:
+        old = float(base[event])
+        if old <= 0:
+            continue
+        new = thetas[int(event)]
+        effective = np.where(new > 0, new, 0.5)
+        costs += np.where(new < old, old / effective - 1.0, 0.0)
+    return costs
 
 
 @dataclass(frozen=True)
@@ -66,15 +98,54 @@ class Candidate:
 
 
 @dataclass
+class SweepMetrics:
+    """Instrumentation of one streaming sweep run."""
+
+    #: design points priced end to end
+    num_points: int = 0
+    #: wall-clock seconds for the whole sweep
+    total_seconds: float = 0.0
+    #: points priced per wall-clock second
+    points_per_second: float = 0.0
+    #: chunks evaluated (across all shards)
+    num_chunks: int = 0
+    #: slowest single-chunk evaluation, seconds
+    max_chunk_seconds: float = 0.0
+    #: mean single-chunk evaluation, seconds
+    mean_chunk_seconds: float = 0.0
+    #: largest candidate set held at any point (the memory bound)
+    peak_candidates: int = 0
+    #: worker processes used (1 = in-process)
+    jobs: int = 1
+    #: points per evaluation chunk
+    chunk_size: int = 0
+
+    def describe(self) -> str:
+        return (
+            f"{self.num_points} points in {self.total_seconds:.3f}s "
+            f"({self.points_per_second:,.0f} points/s, "
+            f"{self.num_chunks} chunk(s) of {self.chunk_size}, "
+            f"{self.jobs} job(s), peak {self.peak_candidates} candidates)"
+        )
+
+
+@dataclass
 class ExplorationResult:
     """Outcome of one design-space sweep."""
 
     candidates: List[Candidate]
     num_points: int
     target_cpi: Optional[float]
+    #: candidate count override for streaming sweeps, which count points
+    #: meeting the target without materialising them all
+    meeting_target: Optional[int] = None
+    #: streaming-sweep instrumentation (None for materialised sweeps)
+    metrics: Optional[SweepMetrics] = None
 
     @property
     def num_meeting_target(self) -> int:
+        if self.meeting_target is not None:
+            return self.meeting_target
         return len(self.candidates)
 
     def pareto_front(self) -> List[Candidate]:
@@ -98,12 +169,17 @@ class ExplorationResult:
 
     def as_dict(self) -> dict:
         """JSON-serialisable summary: counts, target, Pareto front."""
-        return {
+        summary = {
             "num_points": self.num_points,
             "target_cpi": self.target_cpi,
             "num_meeting_target": self.num_meeting_target,
             "pareto_front": [c.as_dict() for c in self.pareto_front()],
         }
+        if self.metrics is not None:
+            import dataclasses
+
+            summary["metrics"] = dataclasses.asdict(self.metrics)
+        return summary
 
 
 class Explorer:
@@ -150,9 +226,41 @@ class Explorer:
             target_cpi=target_cpi,
         )
 
+    def sweep(
+        self,
+        space: DesignSpace,
+        target_cpi: Optional[float] = None,
+        *,
+        chunk_size: int = 65536,
+        jobs: int = 1,
+        top_k: Optional[int] = None,
+    ) -> ExplorationResult:
+        """Stream *space* through the bounded-memory sweep engine.
+
+        Unlike :meth:`explore`, the space is never materialised: chunks
+        of pricing vectors are priced in bulk
+        (:meth:`~repro.core.model.RpStacksModel.predict_cycles_matrix`)
+        and reduced on the fly to the candidates that can still reach
+        the cost/CPI Pareto front, so million-point spaces sweep in
+        bounded memory.  The returned front is bit-identical to the
+        materialised path's.  See :func:`repro.dse.sweep.sweep_space`.
+        """
+        from repro.dse.sweep import sweep_space
+
+        return sweep_space(
+            self.predictor,
+            space,
+            target_cpi=target_cpi,
+            chunk_size=chunk_size,
+            jobs=jobs,
+            top_k=top_k,
+            cost_model=self.cost_model,
+        )
+
     def _predict_all(self, points: Sequence[LatencyConfig]) -> np.ndarray:
         predict_many = getattr(self.predictor, "predict_many", None)
-        if predict_many is not None:
+        num_uops = getattr(self.predictor, "num_uops", None)
+        if predict_many is not None and num_uops:
             cycles = predict_many(points)
-            return np.asarray(cycles) / self.predictor.num_uops
+            return np.asarray(cycles) / num_uops
         return np.array([self.predictor.predict_cpi(p) for p in points])

@@ -68,6 +68,29 @@ class AnalysisSession:
         """Sweep *space* with the RpStacks predictor (Fig 6a, step 2)."""
         return Explorer(self.rpstacks).explore(space, target_cpi=target_cpi)
 
+    def sweep(
+        self,
+        space: DesignSpace,
+        target_cpi: Optional[float] = None,
+        *,
+        chunk_size: int = 65536,
+        jobs: int = 1,
+        top_k: Optional[int] = None,
+    ) -> ExplorationResult:
+        """Stream *space* through the bounded-memory sweep engine.
+
+        The million-point version of :meth:`explore`: same Pareto front
+        (bit-identical), but chunked, optionally sharded across worker
+        processes, and never materialising the space.
+        """
+        return Explorer(self.rpstacks).sweep(
+            space,
+            target_cpi=target_cpi,
+            chunk_size=chunk_size,
+            jobs=jobs,
+            top_k=top_k,
+        )
+
     def simulate(self, latency: LatencyConfig) -> SimResult:
         """Ground-truth re-simulation (validation only — the slow path)."""
         return self.machine.simulate(latency)

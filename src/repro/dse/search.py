@@ -145,6 +145,7 @@ class GreedyLatencySearch:
                 key=lambda item: -item[0],
             )
             chosen = None
+            chosen_depth_score = None
             if self.beam > 1:
                 # Look one level deeper under the top-beam moves: a move
                 # whose gain is hidden behind an overlapping penalty can
@@ -165,12 +166,22 @@ class GreedyLatencySearch:
                     ):
                         best_depth_score = depth_score
                         chosen = (score, candidate, cpi, move)
+                chosen_depth_score = best_depth_score
             else:
                 chosen = scored[0]
 
             score, candidate, cpi, move = chosen
-            if cpi >= current_cpi - 1e-12 and cpi > target_cpi:
-                break  # no move actually helps
+            helps_now = cpi < current_cpi - 1e-12
+            # The beam exists to see value hidden behind an overlapping
+            # penalty: a non-worsening move whose follow-up gains must be
+            # taken, not rejected for being CPI-neutral on its own.
+            helps_later = (
+                chosen_depth_score is not None
+                and chosen_depth_score > 0
+                and cpi <= current_cpi + 1e-12
+            )
+            if not helps_now and not helps_later and cpi > target_cpi:
+                break  # no move helps now or through its follow-up
             event, value = move
             steps.append(
                 SearchStep(

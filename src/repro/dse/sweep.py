@@ -1,0 +1,292 @@
+"""Streaming, sharded design-space sweep engine.
+
+The paper's headline claim is that an RpStacks model prices design
+points in microseconds, so the exploration bottleneck should be the
+hardware, not the Python object layer.  :class:`~repro.dse.explorer.Explorer.explore`
+materialises every point as a :class:`~repro.common.config.LatencyConfig`
+— fine for thousands of points, memory- and CPU-bound for millions.
+
+This module is the array-native replacement:
+
+* points are enumerated as pricing-vector *chunks*
+  (:meth:`DesignSpace.theta_matrix` — mixed-radix index arithmetic, no
+  per-point objects);
+* each chunk is priced in one matrix product
+  (:meth:`RpStacksModel.predict_cycles_matrix`) and costed in one
+  vectorised pass (:func:`default_cost_model_matrix`);
+* a bounded-memory reduction keeps only the candidates that can still
+  reach the cost/CPI Pareto front, so a multi-million-point space never
+  resides in RAM at once;
+* chunk ranges shard across worker processes through
+  :func:`repro.runtime.runner.parallel_map`.
+
+**Exactness.** The reduction keeps every point whose CPI is strictly
+below the minimum CPI of all points preceding it in ``(cost, cpi,
+index)`` order.  A point dropped by that rule can never appear in
+:meth:`ExplorationResult.pareto_front` (the front's scan requires each
+kept point to beat *some* preceding survivor, and the dropped point has
+a preceding dominator), and the rule is confluent under any merge order
+— pruning per chunk, per shard, or all at once yields the same surviving
+set.  Stack unit counts and latencies are integers, so every matmul
+intermediate is exact in float64 and chunking cannot change a single
+bit: the streamed front is **bit-identical** to the materialised
+explorer's, which ``tests/dse/test_sweep.py`` asserts differentially.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, List, Optional, Tuple
+
+import numpy as np
+
+from repro.common.config import LatencyConfig
+from repro.dse.designspace import DesignSpace
+from repro.dse.explorer import (
+    Candidate,
+    ExplorationResult,
+    SweepMetrics,
+    default_cost_model,
+    default_cost_model_matrix,
+)
+
+#: Default points per evaluation chunk: big enough to amortise the BLAS
+#: call, small enough that a chunk's intermediates stay cache-friendly.
+DEFAULT_CHUNK_SIZE = 65536
+
+
+def _prune(
+    indices: np.ndarray, cpis: np.ndarray, costs: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Drop every candidate that cannot reach the Pareto front.
+
+    Keeps point ``p`` iff its CPI is strictly below the CPI of every
+    point sorted before it by ``(cost, cpi, index)`` — a conservative
+    superset of the front (near-ties within the front's 1e-12 epsilon
+    are retained for the final exact scan).  Output is sorted by that
+    same key, which makes merges order-insensitive.
+    """
+    if indices.size == 0:
+        return indices, cpis, costs
+    order = np.lexsort((indices, cpis, costs))
+    sorted_cpis = cpis[order]
+    keep = np.empty(order.size, dtype=bool)
+    keep[0] = True
+    keep[1:] = sorted_cpis[1:] < np.minimum.accumulate(sorted_cpis)[:-1]
+    chosen = order[keep]
+    return indices[chosen], cpis[chosen], costs[chosen]
+
+
+def _chunk_cpis(
+    predictor,
+    space: DesignSpace,
+    start: int,
+    stop: int,
+) -> Tuple[np.ndarray, Optional[np.ndarray]]:
+    """CPIs of points ``[start, stop)`` plus their theta matrix (fast
+    path only; ``None`` when the predictor forced per-point decoding)."""
+    num_uops = getattr(predictor, "num_uops", None)
+    if hasattr(predictor, "predict_cycles_matrix") and num_uops:
+        thetas = space.theta_matrix(start, stop)
+        return predictor.predict_cycles_matrix(thetas) / num_uops, thetas
+    points = [space.point_at(i) for i in range(start, stop)]
+    predict_many = getattr(predictor, "predict_many", None)
+    if predict_many is not None and num_uops:
+        return np.asarray(predict_many(points)) / num_uops, None
+    return (
+        np.array([predictor.predict_cpi(p) for p in points]),
+        None,
+    )
+
+
+def _sweep_shard(
+    predictor,
+    space: DesignSpace,
+    start: int,
+    stop: int,
+    chunk_size: int,
+    target_cpi: Optional[float],
+    cost_model: Optional[Callable],
+    top_k: Optional[int],
+) -> dict:
+    """Evaluate points ``[start, stop)`` chunk by chunk, merging each
+    chunk's survivors into a running pruned candidate set.
+
+    Module-level so it pickles into :func:`parallel_map` workers; the
+    returned payload is a handful of small arrays, not design points.
+    """
+    vector_costs = cost_model is None or cost_model is default_cost_model
+    held_idx = np.empty(0, dtype=np.int64)
+    held_cpi = np.empty(0, dtype=np.float64)
+    held_cost = np.empty(0, dtype=np.float64)
+    meeting = 0
+    peak = 0
+    chunk_seconds: List[float] = []
+    for lo in range(start, stop, chunk_size):
+        hi = min(lo + chunk_size, stop)
+        tick = time.perf_counter()
+        cpis, thetas = _chunk_cpis(predictor, space, lo, hi)
+        if target_cpi is not None:
+            kept = np.flatnonzero(cpis <= target_cpi)
+        else:
+            kept = np.arange(cpis.size)
+        meeting += int(kept.size)
+        indices = kept.astype(np.int64) + lo
+        cpis = cpis[kept]
+        if vector_costs:
+            if thetas is None:
+                thetas = space.theta_matrix(lo, hi)
+            costs = default_cost_model_matrix(thetas[:, kept], space.base)
+        else:
+            costs = np.array(
+                [
+                    cost_model(space.point_at(int(i)), space.base)
+                    for i in indices
+                ]
+            )
+        indices, cpis, costs = _prune(indices, cpis, costs)
+        peak = max(peak, int(held_idx.size + indices.size))
+        held_idx = np.concatenate((held_idx, indices))
+        held_cpi = np.concatenate((held_cpi, cpis))
+        held_cost = np.concatenate((held_cost, costs))
+        held_idx, held_cpi, held_cost = _prune(held_idx, held_cpi, held_cost)
+        if top_k is not None and held_idx.size > top_k:
+            held_idx = held_idx[:top_k]
+            held_cpi = held_cpi[:top_k]
+            held_cost = held_cost[:top_k]
+        chunk_seconds.append(time.perf_counter() - tick)
+    return {
+        "indices": held_idx,
+        "cpis": held_cpi,
+        "costs": held_cost,
+        "meeting": meeting,
+        "peak": peak,
+        "chunk_seconds": chunk_seconds,
+    }
+
+
+def _shard_ranges(
+    total: int, chunk_size: int, jobs: int
+) -> List[Tuple[int, int]]:
+    """Split ``[0, total)`` into up to *jobs* contiguous ranges aligned
+    to chunk boundaries (so sharding never changes chunk contents)."""
+    num_chunks = -(-total // chunk_size)
+    shards = min(jobs, num_chunks)
+    ranges = []
+    for shard in range(shards):
+        first = shard * num_chunks // shards
+        last = (shard + 1) * num_chunks // shards
+        ranges.append(
+            (first * chunk_size, min(last * chunk_size, total))
+        )
+    return ranges
+
+
+def sweep_space(
+    predictor,
+    space: DesignSpace,
+    target_cpi: Optional[float] = None,
+    *,
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
+    jobs: int = 1,
+    top_k: Optional[int] = None,
+    cost_model: Callable[[LatencyConfig, LatencyConfig], float] = None,
+) -> ExplorationResult:
+    """Sweep *space* in bounded memory, streaming chunks of pricing
+    vectors through the predictor and a Pareto reduction.
+
+    Args:
+        predictor: an :class:`~repro.core.model.RpStacksModel` (or any
+            object with ``predict_cycles_matrix`` + ``num_uops``) rides
+            the array-native fast path; predictors offering only
+            ``predict_many`` or ``predict_cpi`` still stream chunk by
+            chunk, just slower.
+        space: the design space; never materialised.
+        target_cpi: drop points whose predicted CPI exceeds this.
+        chunk_size: design points priced per matrix product.
+        jobs: worker processes; chunk ranges shard across them via
+            :func:`repro.runtime.runner.parallel_map`.
+        top_k: optional hard cap on the held candidate set, keeping the
+            best *k* by ``(cost, cpi)``.  A cap smaller than the true
+            front trades exactness for memory; with ``None`` the front
+            is bit-identical to :meth:`Explorer.explore`'s.
+        cost_model: scalar cost callable.  The default model is costed
+            vectorised; a custom one is applied per surviving point.
+
+    Returns:
+        An :class:`ExplorationResult` whose candidates are the pruned
+        front-reachable set, with ``meeting_target`` counting every
+        point that met the target and ``metrics`` recording throughput,
+        chunk timings and the peak candidate-set size.
+    """
+    if chunk_size < 1:
+        raise ValueError("chunk_size must be at least 1")
+    if jobs < 1:
+        raise ValueError("jobs must be at least 1")
+    if top_k is not None and top_k < 1:
+        raise ValueError("top_k must be at least 1 (or None)")
+    total = space.num_points
+    start = time.perf_counter()
+    if jobs == 1:
+        shards = [
+            _sweep_shard(
+                predictor, space, 0, total, chunk_size, target_cpi,
+                cost_model, top_k,
+            )
+        ]
+    else:
+        from repro.runtime.runner import parallel_map
+
+        tasks = [
+            (predictor, space, lo, hi, chunk_size, target_cpi,
+             cost_model, top_k)
+            for lo, hi in _shard_ranges(total, chunk_size, jobs)
+        ]
+        outcomes = parallel_map(_sweep_shard, tasks, jobs=jobs)
+        failed = [o for o in outcomes if not o.ok]
+        if failed:
+            raise RuntimeError(
+                f"{len(failed)} sweep shard(s) failed; first error:\n"
+                f"{failed[0].error}"
+            )
+        shards = [o.value for o in outcomes]
+
+    indices = np.concatenate([s["indices"] for s in shards])
+    cpis = np.concatenate([s["cpis"] for s in shards])
+    costs = np.concatenate([s["costs"] for s in shards])
+    indices, cpis, costs = _prune(indices, cpis, costs)
+    if top_k is not None and indices.size > top_k:
+        indices = indices[:top_k]
+        cpis = cpis[:top_k]
+        costs = costs[:top_k]
+    elapsed = time.perf_counter() - start
+
+    candidates = [
+        Candidate(
+            latency=space.point_at(int(index)),
+            predicted_cpi=float(cpi),
+            cost=float(cost),
+        )
+        for index, cpi, cost in zip(indices, cpis, costs)
+    ]
+    chunk_seconds = [t for s in shards for t in s["chunk_seconds"]]
+    metrics = SweepMetrics(
+        num_points=total,
+        total_seconds=elapsed,
+        points_per_second=total / elapsed if elapsed > 0 else float("inf"),
+        num_chunks=len(chunk_seconds),
+        max_chunk_seconds=max(chunk_seconds, default=0.0),
+        mean_chunk_seconds=(
+            sum(chunk_seconds) / len(chunk_seconds) if chunk_seconds else 0.0
+        ),
+        peak_candidates=max((s["peak"] for s in shards), default=0),
+        jobs=jobs,
+        chunk_size=chunk_size,
+    )
+    return ExplorationResult(
+        candidates=candidates,
+        num_points=total,
+        target_cpi=target_cpi,
+        meeting_target=sum(s["meeting"] for s in shards),
+        metrics=metrics,
+    )

@@ -20,14 +20,22 @@ from repro.runtime.fingerprint import (
     workload_fingerprint,
 )
 from repro.runtime.graphio import GraphFormatError, load_graph, save_graph
-from repro.runtime.runner import SuiteReport, WorkloadOutcome, run_suite
+from repro.runtime.runner import (
+    SuiteReport,
+    TaskOutcome,
+    WorkloadOutcome,
+    parallel_map,
+    run_suite,
+)
 
 __all__ = [
     "ArtifactCache",
     "CacheStats",
     "GraphFormatError",
     "SuiteReport",
+    "TaskOutcome",
     "WorkloadOutcome",
+    "parallel_map",
     "analysis_fingerprint",
     "code_version",
     "load_graph",

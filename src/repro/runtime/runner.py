@@ -30,12 +30,102 @@ import pathlib
 import time
 import traceback
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 from repro.common.config import MicroarchConfig
 from repro.dse.pipeline import AnalysisSession, analyze
 from repro.runtime.cache import ArtifactCache, open_cache
 from repro.workloads.suite import make_workload, resolve_names, suite_names
+
+
+@dataclass
+class TaskOutcome:
+    """Result of one :func:`parallel_map` task (value or traceback)."""
+
+    ok: bool
+    value: Any = None
+    error: Optional[str] = None
+
+
+def parallel_map(
+    fn: Callable,
+    tasks: Sequence[Tuple],
+    jobs: int = 1,
+    timeout: Optional[float] = None,
+) -> List["TaskOutcome"]:
+    """Apply ``fn(*args)`` to every argument tuple, optionally across
+    worker processes.
+
+    This is the pool machinery shared by the suite runner and the
+    design-space sweep engine, with the conventions both rely on:
+
+    * **deterministic ordering** — outcomes follow *tasks* order, not
+      completion order;
+    * **error isolation** — a task that raises (or cannot be shipped to
+      a worker) yields a failed :class:`TaskOutcome` carrying its
+      traceback instead of sinking the whole batch;
+    * **per-task timeouts** — enforced (parallel mode only) as an
+      overall deadline scaled by the number of sequential "waves" the
+      pool needs, since a busy worker cannot portably be interrupted.
+
+    Args:
+        fn: a picklable module-level callable.
+        tasks: one positional-argument tuple per task.
+        jobs: worker processes; ``1`` runs serially in-process.
+        timeout: per-task wall-clock budget in seconds.
+
+    Returns:
+        One :class:`TaskOutcome` per task, in *tasks* order.
+    """
+    if jobs < 1:
+        raise ValueError("jobs must be at least 1")
+    tasks = list(tasks)
+    if jobs == 1:
+        outcomes = []
+        for args in tasks:
+            try:
+                outcomes.append(TaskOutcome(ok=True, value=fn(*args)))
+            except Exception:
+                outcomes.append(
+                    TaskOutcome(ok=False, error=traceback.format_exc())
+                )
+        return outcomes
+
+    outcomes: List[Optional[TaskOutcome]] = [None] * len(tasks)
+    pool = concurrent.futures.ProcessPoolExecutor(max_workers=jobs)
+    futures = {
+        pool.submit(fn, *args): index for index, args in enumerate(tasks)
+    }
+    waves = -(-len(tasks) // jobs)
+    overall = None if timeout is None else timeout * waves
+    done, not_done = concurrent.futures.wait(set(futures), timeout=overall)
+    for future in done:
+        index = futures[future]
+        try:
+            outcomes[index] = TaskOutcome(ok=True, value=future.result())
+        except Exception:
+            outcomes[index] = TaskOutcome(
+                ok=False, error=traceback.format_exc()
+            )
+    for future in not_done:
+        index = futures[future]
+        outcomes[index] = TaskOutcome(
+            ok=False,
+            error=f"timed out ({timeout:.1f}s per-task budget exhausted)",
+        )
+    # Don't block on overrunning workers: they are orphaned tasks whose
+    # results nobody will read.
+    pool.shutdown(wait=not not_done, cancel_futures=True)
+    return outcomes
 
 
 @dataclass
@@ -191,53 +281,18 @@ def run_suite(
     cache_dir = str(cache.root) if cache is not None else None
     start = time.perf_counter()
 
-    if jobs == 1:
-        outcomes = [
-            _analyze_one(name, macros, seed, config, analyze_kwargs,
-                         cache_dir, workload_factory)
-            for name in selected
-        ]
-        return SuiteReport(
-            outcomes=outcomes,
-            wall_seconds=time.perf_counter() - start,
-            jobs=1,
-        )
-
-    outcomes: List[Optional[WorkloadOutcome]] = [None] * len(selected)
-    pool = concurrent.futures.ProcessPoolExecutor(max_workers=jobs)
-    futures = {
-        pool.submit(
-            _analyze_one, name, macros, seed, config, analyze_kwargs,
-            cache_dir, workload_factory,
-        ): index
-        for index, name in enumerate(selected)
-    }
-    # The per-task budget cannot portably interrupt a running worker, so
-    # it is enforced as an overall deadline scaled by the number of
-    # sequential "waves" the pool needs for the task count.
-    waves = -(-len(selected) // jobs)
-    overall = None if timeout is None else timeout * waves
-    done, not_done = concurrent.futures.wait(set(futures), timeout=overall)
-    for future in done:
-        index = futures[future]
-        try:
-            outcomes[index] = future.result()
-        except Exception:
-            outcomes[index] = WorkloadOutcome(
-                name=selected[index],
-                ok=False,
-                error=traceback.format_exc(),
-            )
-    for future in not_done:
-        index = futures[future]
-        outcomes[index] = WorkloadOutcome(
-            name=selected[index],
-            ok=False,
-            error=f"timed out ({timeout:.1f}s per-task budget exhausted)",
-        )
-    # Don't block on overrunning workers: they are orphaned tasks whose
-    # results nobody will read.
-    pool.shutdown(wait=not not_done, cancel_futures=True)
+    tasks = [
+        (name, macros, seed, config, analyze_kwargs, cache_dir,
+         workload_factory)
+        for name in selected
+    ]
+    results = parallel_map(_analyze_one, tasks, jobs=jobs, timeout=timeout)
+    outcomes = [
+        result.value
+        if result.ok
+        else WorkloadOutcome(name=name, ok=False, error=result.error)
+        for name, result in zip(selected, results)
+    ]
     return SuiteReport(
         outcomes=outcomes,
         wall_seconds=time.perf_counter() - start,

@@ -181,3 +181,33 @@ class TestSensitivity:
         # Memory stack wins segment 0 now: L1D has leverage, FP_ADD none.
         assert gradient.get(EventType.L1D, 0.0) > 0
         assert EventType.FP_ADD not in gradient
+
+
+class TestMatrixPrediction:
+    def test_predict_many_of_empty_sequence_is_empty(self, two_segment_model):
+        batch = two_segment_model.predict_many([])
+        assert isinstance(batch, np.ndarray)
+        assert batch.shape == (0,)
+
+    def test_matrix_chunk_matches_per_point(self, two_segment_model):
+        base = LatencyConfig()
+        points = [
+            base,
+            base.with_overrides({EventType.FP_ADD: 1}),
+            base.with_overrides({EventType.MEM_D: 10, EventType.L1D: 1}),
+            base.with_overrides({EventType.L2D: 1, EventType.LD: 5}),
+        ]
+        thetas = np.stack([p.as_vector() for p in points], axis=1)
+        batch = two_segment_model.predict_cycles_matrix(thetas)
+        singles = [two_segment_model.predict_cycles(p) for p in points]
+        assert list(batch) == singles  # exact, not approx
+
+    def test_empty_matrix_chunk_is_priced_as_empty(self, two_segment_model):
+        thetas = np.empty((NUM_EVENTS, 0))
+        assert two_segment_model.predict_cycles_matrix(thetas).shape == (0,)
+
+    def test_bad_matrix_shape_rejected(self, two_segment_model):
+        with pytest.raises(ValueError, match="NUM_EVENTS"):
+            two_segment_model.predict_cycles_matrix(np.zeros((3, 5)))
+        with pytest.raises(ValueError, match="NUM_EVENTS"):
+            two_segment_model.predict_cycles_matrix(np.zeros(NUM_EVENTS))

@@ -78,3 +78,69 @@ def test_reduction_space_clamps_to_one_cycle():
 def test_len_matches_num_points():
     s = space(L1D=[1, 2])
     assert len(s) == 2
+
+
+class TestArrayEnumeration:
+    def big_space(self):
+        return space(
+            L1D=[1, 2, 4], FP_ADD=[1, 3, 6], MEM_D=[33, 66, 133], LD=[1, 2]
+        )
+
+    def test_theta_matrix_matches_materialised_points(self):
+        s = self.big_space()
+        thetas = s.theta_matrix()
+        points = s.points()
+        assert thetas.shape == (18, len(points))
+        for index, point in enumerate(points):
+            assert (thetas[:, index] == point.as_vector()).all()
+
+    def test_point_at_matches_enumeration_order(self):
+        s = self.big_space()
+        for index, point in enumerate(s.points()):
+            assert s.point_at(index) == point
+
+    def test_point_at_rejects_out_of_range(self):
+        s = space(L1D=[1, 2])
+        with pytest.raises(IndexError):
+            s.point_at(2)
+        with pytest.raises(IndexError):
+            s.point_at(-1)
+
+    def test_theta_matrix_chunks_concatenate_to_full(self):
+        import numpy as np
+
+        s = self.big_space()
+        chunks = [s.theta_matrix(lo, hi) for lo, hi in s.iter_chunks(7)]
+        assert np.array_equal(np.hstack(chunks), s.theta_matrix())
+
+    def test_theta_matrix_rejects_bad_ranges(self):
+        s = space(L1D=[1, 2])
+        with pytest.raises(IndexError):
+            s.theta_matrix(0, 3)
+        with pytest.raises(IndexError):
+            s.theta_matrix(2, 1)
+
+    def test_iter_chunks_cover_exactly(self):
+        s = self.big_space()
+        ranges = list(s.iter_chunks(10))
+        assert ranges[0][0] == 0
+        assert ranges[-1][1] == s.num_points
+        total = sum(hi - lo for lo, hi in ranges)
+        assert total == s.num_points
+
+
+class TestSampleWithoutReplacement:
+    def test_full_sample_has_no_duplicates(self):
+        s = space(L1D=[1, 2, 4], FP_ADD=[1, 3, 6])
+        picks = s.sample(s.num_points, seed=5)
+        assert len(set(picks)) == s.num_points
+
+    def test_partial_sample_has_no_duplicates(self):
+        s = space(L1D=[1, 2, 4], FP_ADD=[1, 3, 6], MEM_D=[33, 66, 133])
+        picks = s.sample(20, seed=11)
+        assert len(set(picks)) == 20
+
+    def test_oversampling_falls_back_to_replacement(self):
+        s = space(L1D=[1, 2])
+        picks = s.sample(10, seed=2)
+        assert len(picks) == 10  # duplicates unavoidable, documented

@@ -138,3 +138,61 @@ def test_explorer_with_real_session(gamess_session):
     # within the method's error band.
     simulated = gamess_session.simulate(best.latency).cpi
     assert simulated <= target * 1.10
+
+
+class NoUopsPredictor:
+    """Has a batch interface but no µop count (regression: the explorer
+    used to assume predict_many implies num_uops)."""
+
+    def predict_cpi(self, latency):
+        return latency[EventType.L1D] / 4.0
+
+    def predict_many(self, latencies):  # pragma: no cover - must be unused
+        raise AssertionError("batch path requires num_uops")
+
+
+class TestPredictAllGuards:
+    def test_predictor_without_num_uops_uses_scalar_path(self, l1d_space):
+        result = Explorer(NoUopsPredictor()).explore(l1d_space)
+        assert [c.predicted_cpi for c in result.candidates] == [
+            0.25, 0.5, 1.0, 2.0
+        ]
+
+    def test_empty_point_list_predicts_empty(self):
+        cpis = Explorer(BatchPredictor())._predict_all([])
+        assert len(cpis) == 0
+
+
+class TestZeroCycleCost:
+    def test_zero_cycle_target_costs_more_than_one_cycle(self):
+        base = LatencyConfig()
+        one = base.with_overrides({EventType.L1D: 1})
+        zero = base.with_overrides({EventType.L1D: 0})
+        assert default_cost_model(zero, base) > default_cost_model(one, base)
+
+    def test_cost_is_monotone_toward_zero(self):
+        base = LatencyConfig()
+        costs = [
+            default_cost_model(
+                base.with_overrides({EventType.MEM_D: cycles}), base
+            )
+            for cycles in (133, 66, 12, 4, 1, 0)
+        ]
+        assert all(b > a for a, b in zip(costs, costs[1:]))
+
+    def test_matrix_cost_model_bit_identical_to_scalar(self):
+        from repro.dse.designspace import DesignSpace
+        from repro.dse.explorer import default_cost_model_matrix
+
+        space = DesignSpace.from_mapping(
+            {
+                EventType.L1D: [0, 1, 2, 4, 8],
+                EventType.FP_ADD: [1, 3, 6],
+                EventType.MEM_D: [33, 133, 266],
+            }
+        )
+        vectorised = default_cost_model_matrix(
+            space.theta_matrix(), space.base
+        )
+        scalar = [default_cost_model(p, space.base) for p in space.points()]
+        assert list(vectorised) == scalar

@@ -122,3 +122,52 @@ class TestOnRealModel:
         )
         assert result.target_met
         assert search.evaluations < space_size / 10
+
+
+class InteractionTrapModel:
+    """CPI drops only when L1D *and* FP_ADD both reach one cycle: each
+    single move is CPI-neutral, so plain greedy is stuck at the base
+    point and only the lookahead beam can see the paired gain."""
+
+    def predict_cpi(self, latency):
+        if (
+            latency[EventType.L1D] == 1
+            and latency[EventType.FP_ADD] == 1
+        ):
+            return 0.5
+        return 1.0
+
+
+class TestBeamEscapesNeutralFirstMove:
+    CANDIDATES = {
+        EventType.L1D: [1, 2],
+        EventType.FP_ADD: [1, 2],
+    }
+    BASE = LatencyConfig().with_overrides(
+        {EventType.L1D: 2, EventType.FP_ADD: 2}
+    )
+
+    def test_beam_accepts_neutral_move_with_helping_followup(self):
+        search = GreedyLatencySearch(
+            InteractionTrapModel(), self.CANDIDATES, beam=2
+        )
+        result = search.run(self.BASE, target_cpi=0.6)
+        assert result.target_met
+        assert result.predicted_cpi == pytest.approx(0.5)
+        assert result.num_steps == 2
+
+    def test_plain_greedy_still_breaks_on_neutral_moves(self):
+        search = GreedyLatencySearch(InteractionTrapModel(), self.CANDIDATES)
+        result = search.run(self.BASE, target_cpi=0.6)
+        assert not result.target_met
+        assert result.num_steps == 0
+
+    def test_beam_still_stops_when_nothing_helps_at_depth(self):
+        class FlatModel:
+            def predict_cpi(self, latency):
+                return 1.0
+
+        search = GreedyLatencySearch(FlatModel(), self.CANDIDATES, beam=2)
+        result = search.run(self.BASE, target_cpi=0.6)
+        assert not result.target_met
+        assert result.num_steps == 0

@@ -1,0 +1,267 @@
+"""Streaming sweep-engine tests: differential exactness, sharding,
+memory bounds, edge cases and the chunked prediction property."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.config import LatencyConfig
+from repro.common.events import NUM_EVENTS, EventType
+from repro.core.model import RpStacksModel
+from repro.dse.designspace import DesignSpace
+from repro.dse.explorer import Explorer
+from repro.dse.sweep import _prune, _shard_ranges, sweep_space
+
+
+def vec(**units):
+    out = np.zeros(NUM_EVENTS)
+    for name, value in units.items():
+        out[EventType[name]] = value
+    return out
+
+
+@pytest.fixture(scope="module")
+def model():
+    """A small hand-built model with winner switches in both segments."""
+    seg0 = np.stack([vec(FP_ADD=4, BASE=10), vec(L1D=5, LD=2, BASE=8)])
+    seg1 = np.stack([vec(MEM_D=1, BASE=6), vec(L2D=7, BASE=20)])
+    return RpStacksModel(
+        [seg0, seg1], baseline=LatencyConfig(), num_uops=100
+    )
+
+
+@pytest.fixture(scope="module")
+def reference_space():
+    return DesignSpace.from_mapping(
+        {
+            EventType.L1D: [1, 2, 3, 4],
+            EventType.FP_ADD: [1, 2, 4, 6],
+            EventType.MEM_D: [33, 66, 133],
+            EventType.L2D: [3, 6, 12],
+        }
+    )
+
+
+def front_key(result):
+    return [
+        (c.latency, c.predicted_cpi, c.cost) for c in result.pareto_front()
+    ]
+
+
+class TestDifferential:
+    """The acceptance criterion: streamed == materialised, bit for bit."""
+
+    @pytest.mark.parametrize("chunk_size", [1, 7, 64, 1000, 10**6])
+    def test_front_bit_identical_across_chunk_sizes(
+        self, model, reference_space, chunk_size
+    ):
+        seed = Explorer(model).explore(reference_space)
+        swept = Explorer(model).sweep(
+            reference_space, chunk_size=chunk_size
+        )
+        assert front_key(swept) == front_key(seed)
+
+    @pytest.mark.parametrize("chunk_size", [13, 50])
+    def test_front_bit_identical_with_target(
+        self, model, reference_space, chunk_size
+    ):
+        target = model.predict_cpi(LatencyConfig()) * 0.9
+        seed = Explorer(model).explore(reference_space, target_cpi=target)
+        swept = Explorer(model).sweep(
+            reference_space, target_cpi=target, chunk_size=chunk_size
+        )
+        assert front_key(swept) == front_key(seed)
+        assert swept.num_meeting_target == seed.num_meeting_target
+
+    def test_sharded_front_bit_identical(self, model, reference_space):
+        seed = Explorer(model).explore(reference_space)
+        swept = Explorer(model).sweep(
+            reference_space, chunk_size=16, jobs=2
+        )
+        assert front_key(swept) == front_key(seed)
+        assert swept.metrics.jobs == 2
+
+    def test_candidate_set_independent_of_chunking(self, model, reference_space):
+        """The conservative prune is confluent: any chunk/shard layout
+        yields the identical surviving candidate list."""
+        runs = [
+            sweep_space(model, reference_space, chunk_size=5),
+            sweep_space(model, reference_space, chunk_size=37),
+            sweep_space(model, reference_space, chunk_size=16, jobs=3),
+        ]
+        keys = [
+            [(c.latency, c.predicted_cpi, c.cost) for c in run.candidates]
+            for run in runs
+        ]
+        assert keys[0] == keys[1] == keys[2]
+
+    def test_real_model_front_bit_identical(self, gamess_session):
+        space = DesignSpace.from_mapping(
+            {
+                EventType.L1D: [1, 2, 4],
+                EventType.FP_ADD: [1, 3, 6],
+                EventType.FP_MUL: [1, 3, 6],
+                EventType.L2D: [3, 6, 12],
+            },
+            base=gamess_session.config.latency,
+        )
+        target = gamess_session.baseline_cpi * 0.9
+        seed = gamess_session.explore(space, target_cpi=target)
+        swept = gamess_session.sweep(
+            space, target_cpi=target, chunk_size=17
+        )
+        assert front_key(swept) == front_key(seed)
+        assert swept.num_meeting_target == seed.num_meeting_target
+
+
+class TestStreaming:
+    def test_memory_stays_bounded(self, model):
+        """A space much larger than any chunk never holds more than a
+        few candidates at once — the whole point of the engine."""
+        space = DesignSpace.from_mapping(
+            {
+                EventType.L1D: [1, 2, 3, 4],
+                EventType.FP_ADD: [1, 2, 3, 4, 5, 6],
+                EventType.MEM_D: list(range(10, 134, 4)),
+                EventType.L2D: list(range(1, 13)),
+            }
+        )
+        assert space.num_points > 8000
+        result = sweep_space(model, space, chunk_size=256)
+        assert result.metrics.peak_candidates < 600
+        assert result.metrics.peak_candidates >= len(result.candidates)
+
+    def test_top_k_caps_the_candidate_set(self, model, reference_space):
+        capped = sweep_space(model, reference_space, chunk_size=16, top_k=3)
+        assert len(capped.candidates) <= 3
+        full = sweep_space(model, reference_space, chunk_size=16)
+        # The cap keeps the best-(cost, cpi) prefix of the full set.
+        assert [
+            (c.latency, c.cost) for c in capped.candidates
+        ] == [(c.latency, c.cost) for c in full.candidates[:3]]
+
+    def test_metrics_are_recorded(self, model, reference_space):
+        result = sweep_space(model, reference_space, chunk_size=16)
+        metrics = result.metrics
+        assert metrics.num_points == reference_space.num_points
+        assert metrics.num_chunks == -(-reference_space.num_points // 16)
+        assert metrics.chunk_size == 16
+        assert metrics.points_per_second > 0
+        assert metrics.total_seconds > 0
+        assert metrics.max_chunk_seconds >= metrics.mean_chunk_seconds > 0
+        assert "points/s" in metrics.describe()
+
+    def test_metrics_serialise_in_as_dict(self, model, reference_space):
+        summary = sweep_space(model, reference_space, chunk_size=16).as_dict()
+        assert summary["metrics"]["chunk_size"] == 16
+        assert summary["num_points"] == reference_space.num_points
+
+
+class TestFallbacks:
+    def test_scalar_only_predictor_streams_correctly(self, reference_space):
+        class Scalar:
+            def predict_cpi(self, latency):
+                return latency[EventType.L1D] / 4.0
+
+        seed = Explorer(Scalar()).explore(reference_space)
+        swept = Explorer(Scalar()).sweep(reference_space, chunk_size=16)
+        assert front_key(swept) == front_key(seed)
+
+    def test_custom_cost_model_applies_per_point(self, model, reference_space):
+        def flat_cost(point, base):
+            return float(point[EventType.L1D])
+
+        seed = Explorer(model, cost_model=flat_cost).explore(reference_space)
+        swept = Explorer(model, cost_model=flat_cost).sweep(
+            reference_space, chunk_size=16
+        )
+        assert front_key(swept) == front_key(seed)
+
+
+class TestEdgeCases:
+    def test_single_point_space(self, model):
+        space = DesignSpace.from_mapping({EventType.L1D: [4]})
+        result = sweep_space(model, space, chunk_size=100)
+        assert result.num_points == 1
+        assert len(result.candidates) == 1
+        assert result.candidates[0].predicted_cpi == pytest.approx(
+            model.predict_cpi(space.base.with_overrides({EventType.L1D: 4}))
+        )
+
+    def test_axisless_space_prices_the_base_point(self, model):
+        space = DesignSpace.from_mapping({})
+        result = sweep_space(model, space)
+        assert result.num_points == 1
+        assert result.candidates[0].latency == space.base
+
+    def test_empty_chunk_is_priced_as_empty(self, model):
+        space = DesignSpace.from_mapping({EventType.L1D: [1, 2]})
+        thetas = space.theta_matrix(1, 1)
+        assert thetas.shape == (NUM_EVENTS, 0)
+        assert model.predict_cycles_matrix(thetas).shape == (0,)
+
+    def test_unreachable_target_keeps_nothing(self, model, reference_space):
+        result = sweep_space(model, reference_space, target_cpi=1e-9)
+        assert result.candidates == []
+        assert result.num_meeting_target == 0
+        assert result.pareto_front() == []
+
+    def test_bad_arguments_rejected(self, model, reference_space):
+        with pytest.raises(ValueError, match="chunk_size"):
+            sweep_space(model, reference_space, chunk_size=0)
+        with pytest.raises(ValueError, match="jobs"):
+            sweep_space(model, reference_space, jobs=0)
+        with pytest.raises(ValueError, match="top_k"):
+            sweep_space(model, reference_space, top_k=0)
+
+    def test_prune_keeps_front_reachable_points_only(self):
+        indices = np.arange(4, dtype=np.int64)
+        cpis = np.array([1.0, 0.8, 0.9, 0.5])
+        costs = np.array([0.0, 1.0, 2.0, 3.0])
+        kept, kept_cpis, _costs = _prune(indices, cpis, costs)
+        assert list(kept) == [0, 1, 3]
+        assert list(kept_cpis) == [1.0, 0.8, 0.5]
+
+    def test_shard_ranges_cover_the_space_on_chunk_boundaries(self):
+        ranges = _shard_ranges(1000, 64, 3)
+        assert ranges[0][0] == 0
+        assert ranges[-1][1] == 1000
+        for (_, stop), (start, _) in zip(ranges, ranges[1:]):
+            assert stop == start
+            assert stop % 64 == 0
+
+
+class TestChunkedPredictionProperty:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        data=st.data(),
+        chunk=st.integers(min_value=1, max_value=40),
+    )
+    def test_chunked_matrix_matches_per_point(self, model, data, chunk):
+        """predict_cycles_matrix over arbitrary chunkings is exactly the
+        per-point predict_cycles."""
+        axes = {
+            EventType.L1D: data.draw(
+                st.lists(
+                    st.integers(min_value=0, max_value=8),
+                    min_size=1, max_size=4, unique=True,
+                )
+            ),
+            EventType.MEM_D: data.draw(
+                st.lists(
+                    st.integers(min_value=1, max_value=200),
+                    min_size=1, max_size=4, unique=True,
+                )
+            ),
+        }
+        space = DesignSpace.from_mapping(axes)
+        points = space.points()
+        chunked = np.concatenate(
+            [
+                model.predict_cycles_matrix(space.theta_matrix(lo, hi))
+                for lo, hi in space.iter_chunks(chunk)
+            ]
+        )
+        singles = np.array([model.predict_cycles(p) for p in points])
+        assert np.array_equal(chunked, singles)

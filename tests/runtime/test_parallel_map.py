@@ -1,0 +1,54 @@
+"""Generic pool-machinery tests: ordering, isolation, timeouts."""
+
+import pytest
+
+from repro.runtime.runner import TaskOutcome, parallel_map
+
+
+def square(value):
+    return value * value
+
+
+def add(left, right):
+    return left + right
+
+
+def explode(value):
+    raise RuntimeError(f"boom {value}")
+
+
+def test_serial_preserves_order():
+    outcomes = parallel_map(square, [(3,), (1,), (2,)], jobs=1)
+    assert [o.value for o in outcomes] == [9, 1, 4]
+    assert all(o.ok for o in outcomes)
+
+
+def test_parallel_preserves_order():
+    outcomes = parallel_map(square, [(n,) for n in range(8)], jobs=3)
+    assert [o.value for o in outcomes] == [n * n for n in range(8)]
+
+
+def test_multiple_arguments_unpack():
+    outcomes = parallel_map(add, [(1, 2), (3, 4)], jobs=1)
+    assert [o.value for o in outcomes] == [3, 7]
+
+
+@pytest.mark.parametrize("jobs", [1, 2])
+def test_errors_are_isolated_with_tracebacks(jobs):
+    outcomes = parallel_map(explode, [(1,), (2,)], jobs=jobs)
+    assert not any(o.ok for o in outcomes)
+    assert "boom 1" in outcomes[0].error
+    assert "boom 2" in outcomes[1].error
+    assert isinstance(outcomes[0], TaskOutcome)
+
+
+def test_failed_task_does_not_sink_the_batch():
+    outcomes = parallel_map(explode, [(1,)], jobs=1) + parallel_map(
+        square, [(4,)], jobs=1
+    )
+    assert [o.ok for o in outcomes] == [False, True]
+
+
+def test_bad_jobs_rejected():
+    with pytest.raises(ValueError):
+        parallel_map(square, [(1,)], jobs=0)

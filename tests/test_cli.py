@@ -234,3 +234,67 @@ class TestReportCommand:
         assert code == 0
         assert target.exists()
         assert "# Analysis report" in target.read_text()
+
+
+class TestDseSweep:
+    def test_streams_and_prints_front_with_metrics(self, capsys):
+        code, out = run(
+            capsys, "dse", "sweep", "gamess", "--macros", "100",
+            "--axis", "L1D=1,2,4", "--axis", "Fadd=1,3,6",
+            "--target-fraction", "0.9", "--chunk-size", "4",
+        )
+        assert code == 0
+        assert "design points" in out
+        assert "points/s" in out
+        assert "predicted CPI" in out
+
+    def test_sweep_matches_explore_front(self, capsys):
+        argv = [
+            "gamess", "--macros", "100",
+            "--axis", "L1D=1,2,4", "--axis", "Fadd=1,3,6",
+        ]
+        _code, explore_out = run(capsys, "explore", *argv)
+        _code, sweep_out = run(
+            capsys, "dse", "sweep", *argv, "--chunk-size", "5"
+        )
+        def table(out):
+            lines = out.splitlines()
+            header = next(
+                i for i, line in enumerate(lines)
+                if line.startswith("design point")
+            )
+            return lines[header:]
+
+        assert table(explore_out) == table(sweep_out)
+
+    def test_json_includes_metrics(self, capsys):
+        code, out = run(
+            capsys, "dse", "sweep", "gamess", "--macros", "100",
+            "--axis", "L1D=1,2", "--json",
+        )
+        assert code == 0
+        import json
+
+        payload = json.loads(out)
+        assert payload["metrics"]["num_points"] == 2
+        assert payload["num_points"] == 2
+
+    def test_requires_an_axis(self):
+        with pytest.raises(SystemExit, match="at least one --axis"):
+            main(["dse", "sweep", "gamess"])
+
+    def test_rejects_bad_chunk_size(self):
+        with pytest.raises(SystemExit, match="chunk-size"):
+            main(["dse", "sweep", "gamess", "--axis", "L1D=1,2",
+                  "--chunk-size", "0"])
+
+    def test_saved_model_drives_the_sweep(self, capsys, tmp_path):
+        model_path = tmp_path / "gamess.npz"
+        run(capsys, "analyze", "gamess", "--macros", "100",
+            "--save", str(model_path))
+        code, out = run(
+            capsys, "dse", "sweep", "gamess", "--model", str(model_path),
+            "--axis", "L1D=1,2,4", "--top-k", "2",
+        )
+        assert code == 0
+        assert "loaded model" in out
