@@ -42,6 +42,7 @@ from repro.dse import (
     analyze,
     reduction_space,
 )
+from repro import obs
 from repro.graphmodel import build_graph
 from repro.isa import MicroOp, OpClass, Workload
 from repro.runtime import ArtifactCache, SuiteReport, run_suite
@@ -72,6 +73,7 @@ __all__ = [
     "generate",
     "generate_rpstacks",
     "make_workload",
+    "obs",
     "reduction_space",
     "run_suite",
     "simulate",

@@ -12,7 +12,16 @@ Commands mirror the workflow of the paper's Figure 6a:
 * ``compare``    — score RpStacks / CP1 / FMT against a ground-truth
   re-simulation on given latency overrides;
 * ``pipeline``   — textbook-style ASCII pipeline diagram of a run;
-* ``suite``      — the Figure 12 table over all workload analogues.
+* ``suite``      — the Figure 12 table over all workload analogues;
+* ``profile``    — per-stage overhead breakdown (the paper's Table VI)
+  measured live, with Chrome-trace / metrics-JSON export;
+* ``cache``      — inspect or clear the artifact cache.
+
+``analyze``, ``suite``, ``dse sweep`` and ``profile`` accept
+``--trace-out`` (Chrome/Perfetto trace) and ``--metrics-json``
+(metrics-registry snapshot); the ``REPRO_TRACE_OUT`` /
+``REPRO_METRICS_JSON`` / ``REPRO_OBS`` environment variables enable the
+same instrumentation without flags (see ``docs/observability.md``).
 """
 
 from __future__ import annotations
@@ -66,6 +75,40 @@ def _workload(args) -> object:
     return make_workload(args.workload, args.macros, seed=args.seed)
 
 
+def _observer_from_args(args, force_enabled: bool = False):
+    """Build the command's observer from ``--trace-out`` /
+    ``--metrics-json`` flags, falling back to the ``REPRO_TRACE_OUT`` /
+    ``REPRO_METRICS_JSON`` / ``REPRO_OBS`` environment toggles."""
+    import os
+
+    from repro.obs.observer import NULL_OBSERVER, Observer
+
+    trace_out = getattr(args, "trace_out", None) or os.environ.get(
+        "REPRO_TRACE_OUT"
+    )
+    metrics_out = getattr(args, "metrics_json", None) or os.environ.get(
+        "REPRO_METRICS_JSON"
+    )
+    progress = getattr(args, "progress", None)
+    env_flag = os.environ.get("REPRO_OBS", "").strip().lower()
+    enabled = (
+        force_enabled
+        or bool(trace_out or metrics_out)
+        or progress is not None
+        or env_flag in {"1", "true", "on"}
+    )
+    if not enabled:
+        return NULL_OBSERVER
+    return Observer(
+        enabled=True, trace_out=trace_out, metrics_out=metrics_out
+    )
+
+
+def _finish_observer(obs) -> None:
+    for path in obs.finish():
+        print(f"instrumentation written to {path}")
+
+
 def cmd_simulate(args) -> int:
     workload = _workload(args)
     machine = Machine(workload)
@@ -98,14 +141,17 @@ def cmd_analyze(args) -> int:
         baseline_cpi = result.cpi
     else:
         workload = _workload(args)
+        obs = _observer_from_args(args)
         session = analyze(
             workload,
             segment_length=args.segment_length,
             cache=args.cache_dir,
+            obs=obs,
         )
         base = session.config.latency
         model = session.rpstacks
         baseline_cpi = session.baseline_cpi
+        _finish_observer(obs)
     print(
         f"{workload.name}: {len(workload)} uops, baseline CPI "
         f"{baseline_cpi:.3f}, {model.num_paths} "
@@ -170,13 +216,14 @@ def cmd_dse_sweep(args) -> int:
     if args.jobs < 1:
         raise SystemExit("--jobs must be at least 1")
 
+    obs = _observer_from_args(args)
     if args.model:
         model = load_model(args.model)
         print(f"loaded model: {model.num_paths} paths, "
               f"{model.num_uops} uops")
     else:
         workload = _workload(args)
-        model = analyze(workload, cache=args.cache_dir).rpstacks
+        model = analyze(workload, cache=args.cache_dir, obs=obs).rpstacks
     target = args.target_cpi
     if target is None and args.target_fraction is not None:
         target = model.predict_cpi(model.baseline) * args.target_fraction
@@ -186,7 +233,10 @@ def cmd_dse_sweep(args) -> int:
         chunk_size=args.chunk_size,
         jobs=args.jobs,
         top_k=args.top_k,
+        obs=obs,
+        progress_interval=args.progress,
     )
+    _finish_observer(obs)
     if args.json:
         import json
 
@@ -275,6 +325,7 @@ def cmd_suite(args) -> int:
         raise SystemExit(exc.args[0]) from exc
     if args.jobs < 1:
         raise SystemExit("--jobs must be at least 1")
+    obs = _observer_from_args(args)
     report = run_suite(
         names=tuple(args.only or ()),
         macros=args.macros,
@@ -282,7 +333,9 @@ def cmd_suite(args) -> int:
         jobs=args.jobs,
         cache=args.cache_dir,
         timeout=args.timeout,
+        obs=obs,
     )
+    _finish_observer(obs)
     rows = []
     for outcome in report:
         if not outcome.ok:
@@ -312,8 +365,54 @@ def cmd_suite(args) -> int:
     )
     if hits:
         summary += f", {hits} cache hit(s)"
+    slowest = report.slowest
+    if slowest is not None:
+        summary += (
+            f", slowest {slowest.name} ({slowest.elapsed_seconds:.2f}s)"
+        )
     print(summary)
     return 1 if report.failed else 0
+
+
+def cmd_profile(args) -> int:
+    """Per-stage wall-time breakdown from live instrumentation.
+
+    Reproduces the paper's Table VI overhead decomposition — baseline
+    simulation / graph construction / stack generation / per-design
+    evaluation — measured on this machine, with optional Chrome-trace
+    and metrics-JSON export.
+    """
+    from repro.dse.overhead import measure_overhead
+    from repro.obs.report import span_rollup
+
+    workload = _workload(args)
+    # Profiling is the whole point of this command: collect always,
+    # write files only where asked.
+    obs = _observer_from_args(args, force_enabled=True)
+    profile = measure_overhead(
+        workload,
+        eval_points=args.eval_points,
+        reeval_points=args.reeval_points,
+        segment_length=args.segment_length,
+        obs=obs,
+    )
+    if args.json:
+        import dataclasses
+        import json
+
+        payload = dataclasses.asdict(profile)
+        payload["stages"] = [
+            {"stage": name, "seconds": seconds}
+            for name, seconds in profile.stage_breakdown()
+        ]
+        payload["metrics"] = obs.metrics.snapshot()
+        print(json.dumps(payload, indent=2))
+    else:
+        print(profile.describe())
+        print()
+        print(span_rollup(obs.tracer.totals_by_name()))
+    _finish_observer(obs)
+    return 0
 
 
 def cmd_cache(args) -> int:
@@ -344,6 +443,14 @@ def build_parser() -> argparse.ArgumentParser:
                        help="dynamic length in macro-ops")
         p.add_argument("--seed", type=int, default=1)
 
+    def add_obs_args(p):
+        p.add_argument("--trace-out", metavar="PATH",
+                       help="write a Chrome/Perfetto trace_event JSON "
+                       "(also via REPRO_TRACE_OUT)")
+        p.add_argument("--metrics-json", metavar="PATH",
+                       help="write a metrics-registry snapshot as JSON "
+                       "(also via REPRO_METRICS_JSON)")
+
     p = sub.add_parser("simulate", help="one timing simulation")
     add_workload_args(p)
     p.add_argument("--override", action="append", default=[],
@@ -359,6 +466,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="analyse a saved trace instead of simulating")
     p.add_argument("--cache-dir",
                    help="artifact cache directory (reuse prior analyses)")
+    add_obs_args(p)
     p.set_defaults(func=cmd_analyze)
 
     p = sub.add_parser("explore", help="sweep a latency design space")
@@ -404,6 +512,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="Pareto entries to print")
     p.add_argument("--json", action="store_true",
                    help="emit the result (with sweep metrics) as JSON")
+    p.add_argument("--progress", type=float, metavar="SECONDS",
+                   help="emit a progress line (chunks done / points "
+                   "priced / front size) at this interval")
+    add_obs_args(p)
     p.set_defaults(func=cmd_dse_sweep)
 
     p = sub.add_parser("compare", help="RpStacks vs CP1 vs FMT vs simulator")
@@ -443,7 +555,24 @@ def build_parser() -> argparse.ArgumentParser:
                    help="artifact cache directory (reuse prior analyses)")
     p.add_argument("--timeout", type=float,
                    help="per-workload wall-clock budget in seconds")
+    add_obs_args(p)
     p.set_defaults(func=cmd_suite)
+
+    p = sub.add_parser(
+        "profile",
+        help="per-stage overhead breakdown (the paper's Table VI) from "
+        "live instrumentation",
+    )
+    add_workload_args(p)
+    p.add_argument("--segment-length", type=int, default=256)
+    p.add_argument("--eval-points", type=int, default=64,
+                   help="RpStacks evaluations to average over")
+    p.add_argument("--reeval-points", type=int, default=3,
+                   help="graph re-evaluations to average over (slow)")
+    p.add_argument("--json", action="store_true",
+                   help="emit the breakdown (with metrics) as JSON")
+    add_obs_args(p)
+    p.set_defaults(func=cmd_profile)
 
     p = sub.add_parser("cache", help="inspect or clear the artifact cache")
     p.add_argument("cache_command", choices=["stats", "clear"])

@@ -17,7 +17,6 @@ the true end-to-end critical path — is preserved and tested.
 
 from __future__ import annotations
 
-import time
 from typing import Dict, List, Optional
 
 import numpy as np
@@ -26,6 +25,8 @@ from repro.common.config import LatencyConfig
 from repro.common.events import NUM_EVENTS
 from repro.core.model import GenerationStats, RpStacksModel
 from repro.core.reduction import ReductionPolicy, reduce_stacks
+from repro.obs import clock
+from repro.obs.observer import get_observer
 from repro.graphmodel.graph import DependenceGraph
 from repro.graphmodel.nodes import NODES_PER_UOP
 
@@ -62,7 +63,26 @@ class RpStacksGenerator:
 
     def generate(self) -> RpStacksModel:
         """Run the traversal and return the model."""
-        start_time = time.perf_counter()
+        obs = get_observer()
+        with obs.span(
+            "stacks.generate",
+            uops=self.graph.num_uops,
+            segment_length=self.segment_length,
+        ) as span:
+            model = self._generate()
+        if obs.enabled:
+            span.set(
+                paths=model.num_paths, segments=model.num_segments
+            )
+            obs.gauge("stacks.paths").set(model.num_paths)
+            obs.gauge("stacks.segments").set(model.num_segments)
+            obs.histogram("stacks.generate_seconds").observe(
+                model.stats.analysis_seconds
+            )
+        return model
+
+    def _generate(self) -> RpStacksModel:
+        start_time = clock.perf_seconds()
         graph = self.graph
         base_theta = self.baseline.as_vector()
         policy = self.policy
@@ -154,7 +174,7 @@ class RpStacksGenerator:
         for sink in sorted(sink_results):
             segment_results.append(sink_results[sink])
 
-        stats.analysis_seconds = time.perf_counter() - start_time
+        stats.analysis_seconds = clock.perf_seconds() - start_time
         return RpStacksModel(
             segment_results,
             baseline=self.baseline,

@@ -99,7 +99,13 @@ class Candidate:
 
 @dataclass
 class SweepMetrics:
-    """Instrumentation of one streaming sweep run."""
+    """Instrumentation of one streaming sweep run.
+
+    A structured snapshot of the sweep's
+    :class:`~repro.obs.metrics.MetricsRegistry` (built by
+    :meth:`from_registry`), kept as a dataclass so CLI/JSON consumers
+    have a stable schema.
+    """
 
     #: design points priced end to end
     num_points: int = 0
@@ -119,6 +125,40 @@ class SweepMetrics:
     jobs: int = 1
     #: points per evaluation chunk
     chunk_size: int = 0
+    #: 95th-percentile single-chunk evaluation, seconds
+    p95_chunk_seconds: float = 0.0
+
+    @classmethod
+    def from_registry(
+        cls,
+        registry,
+        *,
+        num_points: int,
+        total_seconds: float,
+        jobs: int = 1,
+        chunk_size: int = 0,
+    ) -> "SweepMetrics":
+        """Snapshot the sweep's metrics registry into the stable shape.
+
+        Reads the ``sweep.chunk_seconds`` histogram and the
+        ``sweep.peak_candidates`` / ``sweep.points_per_sec`` gauges the
+        sweep engine records (:func:`repro.dse.sweep.sweep_space`).
+        """
+        chunks = registry.histogram("sweep.chunk_seconds")
+        return cls(
+            num_points=num_points,
+            total_seconds=total_seconds,
+            points_per_second=registry.gauge_value("sweep.points_per_sec"),
+            num_chunks=chunks.count,
+            max_chunk_seconds=chunks.max,
+            mean_chunk_seconds=chunks.mean,
+            p95_chunk_seconds=chunks.percentile(95.0),
+            peak_candidates=int(
+                registry.gauge_value("sweep.peak_candidates")
+            ),
+            jobs=jobs,
+            chunk_size=chunk_size,
+        )
 
     def describe(self) -> str:
         return (
@@ -234,6 +274,8 @@ class Explorer:
         chunk_size: int = 65536,
         jobs: int = 1,
         top_k: Optional[int] = None,
+        obs=None,
+        progress_interval: Optional[float] = None,
     ) -> ExplorationResult:
         """Stream *space* through the bounded-memory sweep engine.
 
@@ -243,7 +285,9 @@ class Explorer:
         and reduced on the fly to the candidates that can still reach
         the cost/CPI Pareto front, so million-point spaces sweep in
         bounded memory.  The returned front is bit-identical to the
-        materialised path's.  See :func:`repro.dse.sweep.sweep_space`.
+        materialised path's.  See :func:`repro.dse.sweep.sweep_space`
+        (including the ``obs`` / ``progress_interval`` instrumentation
+        knobs forwarded here).
         """
         from repro.dse.sweep import sweep_space
 
@@ -255,6 +299,8 @@ class Explorer:
             jobs=jobs,
             top_k=top_k,
             cost_model=self.cost_model,
+            obs=obs,
+            progress_interval=progress_interval,
         )
 
     def _predict_all(self, points: Sequence[LatencyConfig]) -> np.ndarray:

@@ -11,9 +11,8 @@ headline; the speed-up at 1000 points is its abstract's "26x" claim.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.baselines.cp1 import CP1Predictor
 from repro.common.config import LatencyConfig, MicroarchConfig, baseline_config
@@ -23,6 +22,9 @@ from repro.dse.literature import MethodSpeed
 from repro.graphmodel.builder import build_graph
 from repro.graphmodel.graph import DependenceGraph
 from repro.isa.uop import Workload
+from repro.obs import clock
+from repro.obs.observer import use_observer
+from repro.obs.report import format_seconds, stage_table
 from repro.simulator.core import TimingSimulator
 from repro.simulator.prepass import run_prepass
 
@@ -95,6 +97,40 @@ class OverheadProfile:
         )
         return setup / gain
 
+    def stage_breakdown(self) -> List[Tuple[str, float]]:
+        """The paper's Table VI stage set as ``(stage, seconds)`` rows:
+        one-off analysis phases plus the per-design evaluation cost."""
+        return [
+            ("baseline simulation", self.simulate_seconds),
+            ("graph construction", self.graph_build_seconds),
+            ("stack generation", self.rpstacks_generate_seconds),
+            ("per-design evaluation", self.rpstacks_eval_seconds),
+        ]
+
+    def describe(self) -> str:
+        """Table VI-style per-stage wall-time/percentage breakdown."""
+        stages = self.stage_breakdown()
+        table = stage_table(
+            stages,
+            title=(
+                f"{self.workload_name}: {self.num_uops} uops — "
+                "one-off analysis breakdown"
+            ),
+        )
+        lines = [
+            table,
+            "",
+            f"per-design evaluation   "
+            f"{format_seconds(self.rpstacks_eval_seconds)}/point "
+            f"(vs {format_seconds(self.simulate_seconds)} re-simulation)",
+            f"graph re-evaluation     "
+            f"{format_seconds(self.graph_reeval_seconds)}/point",
+            f"speedup @ 1000 points   {self.speedup(1000):.1f}x",
+            f"crossover               "
+            f"{self.crossover_points():.1f} design points",
+        ]
+        return "\n".join(lines)
+
 
 def measure_overhead(
     workload: Workload,
@@ -102,6 +138,7 @@ def measure_overhead(
     eval_points: int = 64,
     reeval_points: int = 3,
     segment_length: int = 256,
+    obs=None,
 ) -> OverheadProfile:
     """Measure every phase cost for *workload* on this machine.
 
@@ -111,35 +148,70 @@ def measure_overhead(
         eval_points: RpStacks evaluations to average over.
         reeval_points: graph re-evaluations to average over (slow).
         segment_length: RpStacks segmentation parameter.
+        obs: an :class:`~repro.obs.Observer` — each phase is recorded
+            as a ``profile.*`` span and a metrics histogram, so the
+            printed table and the exported trace agree by construction.
     """
     config = config or baseline_config()
+    with use_observer(obs) as observer:
+        with observer.span(
+            "profile.simulate", workload=workload.name
+        ):
+            start = clock.perf_seconds()
+            prepass = run_prepass(workload, config)
+            result = TimingSimulator(workload, config, prepass).run()
+            simulate_seconds = clock.perf_seconds() - start
 
-    start = time.perf_counter()
-    prepass = run_prepass(workload, config)
-    result = TimingSimulator(workload, config, prepass).run()
-    simulate_seconds = time.perf_counter() - start
+        with observer.span("profile.graph_build", workload=workload.name):
+            start = clock.perf_seconds()
+            graph = build_graph(result)
+            graph.topological_order()
+            graph_build_seconds = clock.perf_seconds() - start
 
-    start = time.perf_counter()
-    graph = build_graph(result)
-    graph.topological_order()
-    graph_build_seconds = time.perf_counter() - start
+        with observer.span("profile.stack_gen", workload=workload.name):
+            start = clock.perf_seconds()
+            model = generate_rpstacks(
+                graph, config.latency, segment_length=segment_length
+            )
+            rpstacks_generate_seconds = clock.perf_seconds() - start
 
-    start = time.perf_counter()
-    model = generate_rpstacks(
-        graph, config.latency, segment_length=segment_length
-    )
-    rpstacks_generate_seconds = time.perf_counter() - start
+        probe = config.latency.with_overrides({})
+        with observer.span(
+            "profile.eval", workload=workload.name, points=eval_points
+        ):
+            start = clock.perf_seconds()
+            for _ in range(eval_points):
+                model.predict_cycles(probe)
+            rpstacks_eval_seconds = (
+                clock.perf_seconds() - start
+            ) / eval_points
 
-    probe = config.latency.with_overrides({})
-    start = time.perf_counter()
-    for _ in range(eval_points):
-        model.predict_cycles(probe)
-    rpstacks_eval_seconds = (time.perf_counter() - start) / eval_points
+        with observer.span(
+            "profile.graph_reeval", workload=workload.name,
+            points=reeval_points,
+        ):
+            start = clock.perf_seconds()
+            for _ in range(reeval_points):
+                graph.longest_path_length(probe)
+            graph_reeval_seconds = (
+                clock.perf_seconds() - start
+            ) / reeval_points
 
-    start = time.perf_counter()
-    for _ in range(reeval_points):
-        graph.longest_path_length(probe)
-    graph_reeval_seconds = (time.perf_counter() - start) / reeval_points
+        if observer.enabled:
+            metrics = observer.metrics
+            metrics.histogram("profile.simulate_seconds").observe(
+                simulate_seconds
+            )
+            metrics.histogram("profile.graph_build_seconds").observe(
+                graph_build_seconds
+            )
+            metrics.histogram("profile.stack_gen_seconds").observe(
+                rpstacks_generate_seconds
+            )
+            metrics.histogram("profile.eval_seconds").observe(
+                rpstacks_eval_seconds
+            )
+            metrics.gauge("profile.uops").set(len(workload))
 
     return OverheadProfile(
         workload_name=workload.name,

@@ -76,12 +76,17 @@ class AnalysisSession:
         chunk_size: int = 65536,
         jobs: int = 1,
         top_k: Optional[int] = None,
+        obs=None,
+        progress_interval: Optional[float] = None,
     ) -> ExplorationResult:
         """Stream *space* through the bounded-memory sweep engine.
 
         The million-point version of :meth:`explore`: same Pareto front
         (bit-identical), but chunked, optionally sharded across worker
-        processes, and never materialising the space.
+        processes, and never materialising the space.  ``obs`` /
+        ``progress_interval`` forward to
+        :func:`repro.dse.sweep.sweep_space` for chunk spans, metrics
+        and progress lines.
         """
         return Explorer(self.rpstacks).sweep(
             space,
@@ -89,6 +94,8 @@ class AnalysisSession:
             chunk_size=chunk_size,
             jobs=jobs,
             top_k=top_k,
+            obs=obs,
+            progress_interval=progress_interval,
         )
 
     def simulate(self, latency: LatencyConfig) -> SimResult:
@@ -105,6 +112,7 @@ def analyze(
     preserve_unique: bool = True,
     warm_caches: bool = True,
     cache=None,
+    obs=None,
 ) -> AnalysisSession:
     """Run the full single-simulation analysis pipeline on *workload*.
 
@@ -118,10 +126,42 @@ def analyze(
             cache directory path) for content-addressed reuse: when the
             exact same analysis has run before, its archived trace,
             graph and model are reloaded instead of re-simulated.
+        obs: an :class:`~repro.obs.Observer`; installed as the ambient
+            observer for the duration of the call so every stage below
+            (simulation, graph build, stack generation, cache probes)
+            records spans and metrics into it.  ``None`` keeps whatever
+            observer is already ambient (the disabled one by default).
 
     Returns:
         An :class:`AnalysisSession` with the model and all baselines.
     """
+    from repro.obs.observer import use_observer
+
+    with use_observer(obs) as observer:
+        return _analyze_instrumented(
+            workload,
+            config,
+            similarity_threshold,
+            segment_length,
+            max_paths,
+            preserve_unique,
+            warm_caches,
+            cache,
+            observer,
+        )
+
+
+def _analyze_instrumented(
+    workload,
+    config,
+    similarity_threshold,
+    segment_length,
+    max_paths,
+    preserve_unique,
+    warm_caches,
+    cache,
+    obs,
+) -> AnalysisSession:
     config = config or baseline_config()
     if cache is not None:
         from repro.core.reduction import ReductionPolicy
@@ -139,31 +179,39 @@ def analyze(
             segment_length=segment_length,
             warm_caches=warm_caches,
         )
-        session = cache.load(key)
+        with obs.span("cache.load", workload=workload.name) as span:
+            session = cache.load(key)
         if session is not None:
+            obs.counter("cache.hit").inc()
+            span.set(outcome="hit")
             return session
-    machine = Machine(workload, config, warm_caches=warm_caches)
-    result = machine.simulate()
-    graph = build_graph(result)
-    rpstacks = generate_rpstacks(
-        graph,
-        config.latency,
-        similarity_threshold=similarity_threshold,
-        segment_length=segment_length,
-        max_paths=max_paths,
-        preserve_unique=preserve_unique,
-    )
-    session = AnalysisSession(
-        workload=workload,
-        config=config,
-        machine=machine,
-        baseline_result=result,
-        graph=graph,
-        rpstacks=rpstacks,
-        cp1=CP1Predictor(graph, config.latency),
-        fmt=FMTPredictor(result),
-        reeval=GraphReevalPredictor(graph),
-    )
-    if cache is not None:
-        cache.store(key, session)
+        obs.counter("cache.miss").inc()
+        span.set(outcome="miss")
+    with obs.span("analyze", workload=workload.name, uops=len(workload)):
+        machine = Machine(workload, config, warm_caches=warm_caches)
+        result = machine.simulate()
+        graph = build_graph(result)
+        rpstacks = generate_rpstacks(
+            graph,
+            config.latency,
+            similarity_threshold=similarity_threshold,
+            segment_length=segment_length,
+            max_paths=max_paths,
+            preserve_unique=preserve_unique,
+        )
+        with obs.span("baselines.init", workload=workload.name):
+            session = AnalysisSession(
+                workload=workload,
+                config=config,
+                machine=machine,
+                baseline_result=result,
+                graph=graph,
+                rpstacks=rpstacks,
+                cp1=CP1Predictor(graph, config.latency),
+                fmt=FMTPredictor(result),
+                reeval=GraphReevalPredictor(graph),
+            )
+        if cache is not None:
+            with obs.span("cache.store", workload=workload.name):
+                cache.store(key, session)
     return session

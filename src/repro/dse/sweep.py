@@ -35,7 +35,6 @@ explorer's, which ``tests/dse/test_sweep.py`` asserts differentially.
 
 from __future__ import annotations
 
-import time
 from typing import Callable, List, Optional, Tuple
 
 import numpy as np
@@ -49,10 +48,17 @@ from repro.dse.explorer import (
     default_cost_model,
     default_cost_model_matrix,
 )
+from repro.obs import clock
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.observer import get_observer
 
 #: Default points per evaluation chunk: big enough to amortise the BLAS
 #: call, small enough that a chunk's intermediates stay cache-friendly.
 DEFAULT_CHUNK_SIZE = 65536
+
+#: Default seconds between progress lines when an interval isn't given
+#: explicitly (progress is emitted only under an enabled observer).
+DEFAULT_PROGRESS_INTERVAL = 10.0
 
 
 def _prune(
@@ -108,23 +114,41 @@ def _sweep_shard(
     target_cpi: Optional[float],
     cost_model: Optional[Callable],
     top_k: Optional[int],
+    progress_interval: Optional[float] = None,
 ) -> dict:
     """Evaluate points ``[start, stop)`` chunk by chunk, merging each
     chunk's survivors into a running pruned candidate set.
 
     Module-level so it pickles into :func:`parallel_map` workers; the
     returned payload is a handful of small arrays, not design points.
+    Under an enabled (ambient) observer each chunk becomes a
+    ``sweep.chunk`` span and a progress line is emitted every
+    *progress_interval* seconds; the disabled path is hoisted to one
+    ``obs.enabled`` check per chunk.
     """
+    # Resolved ambiently: in a worker process parallel_map's capture
+    # wrapper installs a fresh observer whose spans ship back merged.
+    obs = get_observer()
+    instrumented = obs.enabled
+    interval = (
+        progress_interval
+        if progress_interval is not None
+        else DEFAULT_PROGRESS_INTERVAL
+    )
+    last_progress = clock.perf_seconds()
     vector_costs = cost_model is None or cost_model is default_cost_model
     held_idx = np.empty(0, dtype=np.int64)
     held_cpi = np.empty(0, dtype=np.float64)
     held_cost = np.empty(0, dtype=np.float64)
     meeting = 0
     peak = 0
+    chunks_done = 0
+    total_chunks = -(-(stop - start) // chunk_size) if stop > start else 0
     chunk_seconds: List[float] = []
     for lo in range(start, stop, chunk_size):
         hi = min(lo + chunk_size, stop)
-        tick = time.perf_counter()
+        wall_tick = clock.wall_ns() if instrumented else 0
+        tick = clock.perf_seconds()
         cpis, thetas = _chunk_cpis(predictor, space, lo, hi)
         if target_cpi is not None:
             kept = np.flatnonzero(cpis <= target_cpi)
@@ -154,7 +178,32 @@ def _sweep_shard(
             held_idx = held_idx[:top_k]
             held_cpi = held_cpi[:top_k]
             held_cost = held_cost[:top_k]
-        chunk_seconds.append(time.perf_counter() - tick)
+        now = clock.perf_seconds()
+        chunk_seconds.append(now - tick)
+        chunks_done += 1
+        if instrumented:
+            obs.record(
+                "sweep.chunk",
+                wall_tick,
+                int(chunk_seconds[-1] * 1e9),
+                start=lo,
+                stop=hi,
+                survivors=int(held_idx.size),
+            )
+            obs.counter("sweep.points").inc(hi - lo)
+            obs.histogram("sweep.chunk_seconds").observe(chunk_seconds[-1])
+            obs.gauge("prune.survivors").set(int(held_idx.size))
+            if now - last_progress >= interval:
+                last_progress = now
+                obs.progress(
+                    f"sweep: {chunks_done}/{total_chunks} chunks, "
+                    f"{hi - start:,} points priced, "
+                    f"front size {held_idx.size}",
+                    chunks_done=chunks_done,
+                    total_chunks=total_chunks,
+                    points_priced=hi - start,
+                    front_size=int(held_idx.size),
+                )
     return {
         "indices": held_idx,
         "cpis": held_cpi,
@@ -191,6 +240,8 @@ def sweep_space(
     jobs: int = 1,
     top_k: Optional[int] = None,
     cost_model: Callable[[LatencyConfig, LatencyConfig], float] = None,
+    obs=None,
+    progress_interval: Optional[float] = None,
 ) -> ExplorationResult:
     """Sweep *space* in bounded memory, streaming chunks of pricing
     vectors through the predictor and a Pareto reduction.
@@ -212,12 +263,23 @@ def sweep_space(
             is bit-identical to :meth:`Explorer.explore`'s.
         cost_model: scalar cost callable.  The default model is costed
             vectorised; a custom one is applied per surviving point.
+        obs: an :class:`~repro.obs.Observer`; when enabled, every chunk
+            becomes a ``sweep.chunk`` span (worker-side spans are merged
+            through the pool), chunk timings land in the
+            ``sweep.chunk_seconds`` histogram, and progress lines are
+            emitted.  Defaults to the ambient observer — disabled
+            instrumentation costs one flag check per chunk.
+        progress_interval: seconds between progress lines (chunks done /
+            points priced / current front size); defaults to
+            :data:`DEFAULT_PROGRESS_INTERVAL`.  Progress requires an
+            enabled observer.
 
     Returns:
         An :class:`ExplorationResult` whose candidates are the pruned
         front-reachable set, with ``meeting_target`` counting every
-        point that met the target and ``metrics`` recording throughput,
-        chunk timings and the peak candidate-set size.
+        point that met the target and ``metrics`` — snapshotted from
+        the sweep's metrics registry — recording throughput, chunk
+        timings and the peak candidate-set size.
     """
     if chunk_size < 1:
         raise ValueError("chunk_size must be at least 1")
@@ -225,41 +287,48 @@ def sweep_space(
         raise ValueError("jobs must be at least 1")
     if top_k is not None and top_k < 1:
         raise ValueError("top_k must be at least 1 (or None)")
+    from repro.obs.observer import use_observer
+
+    obs = obs if obs is not None else get_observer()
     total = space.num_points
-    start = time.perf_counter()
-    if jobs == 1:
-        shards = [
-            _sweep_shard(
-                predictor, space, 0, total, chunk_size, target_cpi,
-                cost_model, top_k,
-            )
-        ]
-    else:
-        from repro.runtime.runner import parallel_map
+    start = clock.perf_seconds()
+    with use_observer(obs), obs.span(
+        "sweep.run", points=total, jobs=jobs, chunk_size=chunk_size
+    ):
+        if jobs == 1:
+            shards = [
+                _sweep_shard(
+                    predictor, space, 0, total, chunk_size, target_cpi,
+                    cost_model, top_k, progress_interval,
+                )
+            ]
+        else:
+            from repro.runtime.runner import parallel_map
 
-        tasks = [
-            (predictor, space, lo, hi, chunk_size, target_cpi,
-             cost_model, top_k)
-            for lo, hi in _shard_ranges(total, chunk_size, jobs)
-        ]
-        outcomes = parallel_map(_sweep_shard, tasks, jobs=jobs)
-        failed = [o for o in outcomes if not o.ok]
-        if failed:
-            raise RuntimeError(
-                f"{len(failed)} sweep shard(s) failed; first error:\n"
-                f"{failed[0].error}"
-            )
-        shards = [o.value for o in outcomes]
+            tasks = [
+                (predictor, space, lo, hi, chunk_size, target_cpi,
+                 cost_model, top_k, progress_interval)
+                for lo, hi in _shard_ranges(total, chunk_size, jobs)
+            ]
+            outcomes = parallel_map(_sweep_shard, tasks, jobs=jobs, obs=obs)
+            failed = [o for o in outcomes if not o.ok]
+            if failed:
+                raise RuntimeError(
+                    f"{len(failed)} sweep shard(s) failed; first error:\n"
+                    f"{failed[0].error}"
+                )
+            shards = [o.value for o in outcomes]
 
-    indices = np.concatenate([s["indices"] for s in shards])
-    cpis = np.concatenate([s["cpis"] for s in shards])
-    costs = np.concatenate([s["costs"] for s in shards])
-    indices, cpis, costs = _prune(indices, cpis, costs)
-    if top_k is not None and indices.size > top_k:
-        indices = indices[:top_k]
-        cpis = cpis[:top_k]
-        costs = costs[:top_k]
-    elapsed = time.perf_counter() - start
+        with obs.span("sweep.merge", shards=len(shards)):
+            indices = np.concatenate([s["indices"] for s in shards])
+            cpis = np.concatenate([s["cpis"] for s in shards])
+            costs = np.concatenate([s["costs"] for s in shards])
+            indices, cpis, costs = _prune(indices, cpis, costs)
+            if top_k is not None and indices.size > top_k:
+                indices = indices[:top_k]
+                cpis = cpis[:top_k]
+                costs = costs[:top_k]
+    elapsed = clock.perf_seconds() - start
 
     candidates = [
         Candidate(
@@ -269,17 +338,36 @@ def sweep_space(
         )
         for index, cpi, cost in zip(indices, cpis, costs)
     ]
-    chunk_seconds = [t for s in shards for t in s["chunk_seconds"]]
-    metrics = SweepMetrics(
+    # The sweep's run record is a metrics registry first; SweepMetrics
+    # is snapshotted from it (and the registry is folded into the
+    # caller's observer so --metrics-json sees the same numbers).
+    registry = MetricsRegistry()
+    chunk_histogram = registry.histogram("sweep.chunk_seconds")
+    for shard in shards:
+        for seconds in shard["chunk_seconds"]:
+            chunk_histogram.observe(seconds)
+    registry.counter("sweep.points").inc(total)
+    registry.counter("sweep.meeting_target").inc(
+        sum(s["meeting"] for s in shards)
+    )
+    registry.gauge("sweep.peak_candidates").set(
+        max((s["peak"] for s in shards), default=0)
+    )
+    registry.gauge("sweep.points_per_sec").set(
+        total / elapsed if elapsed > 0 else float("inf")
+    )
+    registry.gauge("prune.survivors").set(int(indices.size))
+    if obs.enabled:
+        exported = registry.export()
+        # The parent-side gauges/histogram duplicate what shard workers
+        # already recorded into obs; only merge what is new here.
+        exported["counters"].pop("sweep.points", None)
+        exported["histograms"].pop("sweep.chunk_seconds", None)
+        obs.metrics.merge(exported)
+    metrics = SweepMetrics.from_registry(
+        registry,
         num_points=total,
         total_seconds=elapsed,
-        points_per_second=total / elapsed if elapsed > 0 else float("inf"),
-        num_chunks=len(chunk_seconds),
-        max_chunk_seconds=max(chunk_seconds, default=0.0),
-        mean_chunk_seconds=(
-            sum(chunk_seconds) / len(chunk_seconds) if chunk_seconds else 0.0
-        ),
-        peak_candidates=max((s["peak"] for s in shards), default=0),
         jobs=jobs,
         chunk_size=chunk_size,
     )
@@ -287,6 +375,8 @@ def sweep_space(
         candidates=candidates,
         num_points=total,
         target_cpi=target_cpi,
-        meeting_target=sum(s["meeting"] for s in shards),
+        meeting_target=int(
+            registry.counter_value("sweep.meeting_target")
+        ),
         metrics=metrics,
     )

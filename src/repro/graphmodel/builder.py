@@ -289,4 +289,17 @@ def build_graph(
     result: SimResult, options: Optional[BuilderOptions] = None
 ) -> DependenceGraph:
     """Convenience: build the dependence graph of one simulation result."""
-    return DependenceGraphBuilder(result, options=options).build()
+    from repro.obs.observer import get_observer
+
+    obs = get_observer()
+    with obs.span(
+        "graph.build",
+        workload=result.workload.name,
+        uops=len(result.workload),
+    ) as span:
+        graph = DependenceGraphBuilder(result, options=options).build()
+    if obs.enabled:
+        span.set(nodes=graph.num_nodes, edges=graph.num_edges)
+        obs.gauge("graph.nodes").set(graph.num_nodes)
+        obs.gauge("graph.edges").set(graph.num_edges)
+    return graph

@@ -1,0 +1,67 @@
+"""``repro.obs`` — zero-dependency observability for the pipeline.
+
+Three cooperating pieces (see ``docs/observability.md``):
+
+* **Tracer** (:mod:`repro.obs.tracer`) — nested, attributed spans with
+  process/thread-safe IDs, exported as Chrome ``trace_event`` JSON that
+  Perfetto / ``chrome://tracing`` load directly;
+* **Metrics** (:mod:`repro.obs.metrics`) — counters, gauges and exact
+  p50/p95/max histograms in a mergeable, picklable registry;
+* **Observer** (:mod:`repro.obs.observer`) — the facade instrumented
+  code talks to, with a disabled fast path costing one attribute check,
+  ambient scoping (:func:`use_observer` / :func:`get_observer`) and
+  ``REPRO_TRACE_OUT`` / ``REPRO_METRICS_JSON`` / ``REPRO_OBS`` env
+  toggles.
+
+:mod:`repro.obs.clock` is the repository's single clock-reading seam
+(enforced by ``tools/check_timing.py``), and :mod:`repro.obs.report`
+renders the per-stage breakdown tables behind ``repro profile``.
+
+Quickstart::
+
+    from repro import obs
+
+    observer = obs.Observer(trace_out="trace.json")
+    with obs.use_observer(observer):
+        with observer.span("analysis", workload="gamess"):
+            session = analyze(make_workload("gamess"))
+    observer.finish()          # writes trace.json (load it in Perfetto)
+"""
+
+from repro.obs.clock import perf_ns, perf_seconds, wall_iso, wall_ns
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.observer import (
+    NULL_OBSERVER,
+    Observer,
+    from_env,
+    get_observer,
+    resolve,
+    set_observer,
+    use_observer,
+)
+from repro.obs.report import format_seconds, span_rollup, stage_table
+from repro.obs.tracer import Span, Tracer, load_chrome_trace
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_OBSERVER",
+    "Observer",
+    "Span",
+    "Tracer",
+    "format_seconds",
+    "from_env",
+    "get_observer",
+    "load_chrome_trace",
+    "perf_ns",
+    "perf_seconds",
+    "resolve",
+    "set_observer",
+    "span_rollup",
+    "stage_table",
+    "use_observer",
+    "wall_iso",
+    "wall_ns",
+]

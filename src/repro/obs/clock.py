@@ -1,0 +1,62 @@
+"""The one place the repository reads clocks.
+
+Every timing measurement in ``src/`` goes through these wrappers so
+that (a) instrumentation and ad-hoc accounting share one notion of
+"now", (b) tests can monkeypatch a single seam, and (c) the CI lint
+(``tools/check_timing.py``) can mechanically forbid new bare
+``time.perf_counter()`` / ``time.time()`` call sites outside
+``repro.obs``.
+
+Two clocks, two jobs:
+
+* :func:`perf_seconds` / :func:`perf_ns` — monotonic, high-resolution;
+  use for *durations* (stage costs, chunk timings, span lengths).
+* :func:`wall_ns` / :func:`wall_iso` — wall clock; use for *timestamps*
+  (trace-event start times that must line up across processes, cache
+  entry creation times shown to humans).
+"""
+
+from __future__ import annotations
+
+import datetime
+import time
+
+__all__ = [
+    "perf_seconds",
+    "perf_ns",
+    "wall_ns",
+    "wall_iso",
+    "parse_wall_iso",
+]
+
+
+def perf_seconds() -> float:
+    """Monotonic seconds (duration arithmetic only)."""
+    return time.perf_counter()
+
+
+def perf_ns() -> int:
+    """Monotonic nanoseconds (duration arithmetic only)."""
+    return time.perf_counter_ns()
+
+
+def wall_ns() -> int:
+    """Wall-clock nanoseconds since the epoch.
+
+    Comparable *across processes*, which monotonic readings are not —
+    worker-side trace spans use this for their start timestamps so they
+    land on the parent's timeline when merged.
+    """
+    return time.time_ns()
+
+
+def wall_iso() -> str:
+    """Current UTC wall-clock time as an ISO-8601 string."""
+    return datetime.datetime.now(datetime.timezone.utc).isoformat(
+        timespec="seconds"
+    )
+
+
+def parse_wall_iso(stamp: str) -> datetime.datetime:
+    """Inverse of :func:`wall_iso` (timezone-aware)."""
+    return datetime.datetime.fromisoformat(stamp)

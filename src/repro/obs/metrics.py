@@ -1,0 +1,241 @@
+"""Metrics registry: counters, gauges, and percentile histograms.
+
+One :class:`MetricsRegistry` per observer (or per subsystem — the
+artifact cache and the sweep engine each keep one) holding three metric
+shapes:
+
+* :class:`Counter` — monotonically increasing totals (``cache.hit``,
+  ``sweep.points``);
+* :class:`Gauge` — last-written values (``sweep.points_per_sec``,
+  ``prune.survivors``);
+* :class:`Histogram` — full-value distributions with exact p50/p95/max
+  (``sweep.chunk_seconds``, ``sim.seconds``).
+
+Registries are thread-safe, picklable (locks are rebuilt on
+unpickling), and *mergeable*: a worker process snapshots its registry
+with :meth:`MetricsRegistry.export` and the parent folds it in with
+:meth:`MetricsRegistry.merge` — counters add, gauges last-write-win,
+histograms concatenate their observations so percentiles stay exact.
+:meth:`MetricsRegistry.snapshot` is the human/JSON summary view used by
+``--metrics-json``.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import threading
+from typing import Dict, List, Optional, Union
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
+
+
+class Counter:
+    """A monotonically increasing total."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: Union[int, float] = 1) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up; use a gauge")
+        self.value += amount
+
+
+class Gauge:
+    """A last-write-wins instantaneous value."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: Union[int, float]) -> None:
+        self.value = value
+
+
+class Histogram:
+    """An exact-percentile distribution of observed values.
+
+    Observations are kept verbatim (the workloads here record at most
+    thousands of values per run — chunk timings, stage costs — so exact
+    beats approximate sketches in both simplicity and fidelity).
+    """
+
+    __slots__ = ("name", "values")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.values: List[float] = []
+
+    def observe(self, value: Union[int, float]) -> None:
+        self.values.append(float(value))
+
+    @property
+    def count(self) -> int:
+        return len(self.values)
+
+    @property
+    def sum(self) -> float:
+        return sum(self.values)
+
+    @property
+    def mean(self) -> float:
+        return self.sum / len(self.values) if self.values else 0.0
+
+    @property
+    def max(self) -> float:
+        return max(self.values) if self.values else 0.0
+
+    @property
+    def min(self) -> float:
+        return min(self.values) if self.values else 0.0
+
+    def percentile(self, q: float) -> float:
+        """Exact linear-interpolated percentile, ``q`` in [0, 100]."""
+        if not 0.0 <= q <= 100.0:
+            raise ValueError("percentile must be within [0, 100]")
+        if not self.values:
+            return 0.0
+        ordered = sorted(self.values)
+        if len(ordered) == 1:
+            return ordered[0]
+        rank = (len(ordered) - 1) * q / 100.0
+        lower = int(rank)
+        frac = rank - lower
+        if lower + 1 == len(ordered):
+            return ordered[lower]
+        return ordered[lower] * (1.0 - frac) + ordered[lower + 1] * frac
+
+    def summary(self) -> dict:
+        return {
+            "count": self.count,
+            "sum": self.sum,
+            "mean": self.mean,
+            "min": self.min,
+            "max": self.max,
+            "p50": self.percentile(50.0),
+            "p95": self.percentile(95.0),
+        }
+
+
+class MetricsRegistry:
+    """Named metric instruments, created on first touch."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    # Locks don't pickle; registries ride inside objects that cross
+    # process boundaries (ArtifactCache never does, but defensively).
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        del state["_lock"]
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.Lock()
+
+    # ---- instruments --------------------------------------------------
+
+    def counter(self, name: str) -> Counter:
+        with self._lock:
+            instrument = self._counters.get(name)
+            if instrument is None:
+                instrument = self._counters[name] = Counter(name)
+            return instrument
+
+    def gauge(self, name: str) -> Gauge:
+        with self._lock:
+            instrument = self._gauges.get(name)
+            if instrument is None:
+                instrument = self._gauges[name] = Gauge(name)
+            return instrument
+
+    def histogram(self, name: str) -> Histogram:
+        with self._lock:
+            instrument = self._histograms.get(name)
+            if instrument is None:
+                instrument = self._histograms[name] = Histogram(name)
+            return instrument
+
+    # ---- reads --------------------------------------------------------
+
+    def counter_value(self, name: str, default: float = 0) -> float:
+        with self._lock:
+            instrument = self._counters.get(name)
+        return instrument.value if instrument is not None else default
+
+    def gauge_value(self, name: str, default: float = 0.0) -> float:
+        with self._lock:
+            instrument = self._gauges.get(name)
+        return instrument.value if instrument is not None else default
+
+    # ---- snapshot / merge ---------------------------------------------
+
+    def snapshot(self) -> dict:
+        """Summary view: counters, gauges, histogram percentiles."""
+        with self._lock:
+            return {
+                "counters": {
+                    name: c.value for name, c in sorted(self._counters.items())
+                },
+                "gauges": {
+                    name: g.value for name, g in sorted(self._gauges.items())
+                },
+                "histograms": {
+                    name: h.summary()
+                    for name, h in sorted(self._histograms.items())
+                },
+            }
+
+    def export(self) -> dict:
+        """Lossless view (histograms keep raw observations) for merging
+        across process boundaries."""
+        with self._lock:
+            return {
+                "counters": {
+                    name: c.value for name, c in self._counters.items()
+                },
+                "gauges": {
+                    name: g.value for name, g in self._gauges.items()
+                },
+                "histograms": {
+                    name: list(h.values)
+                    for name, h in self._histograms.items()
+                },
+            }
+
+    def merge(self, exported: Optional[dict]) -> None:
+        """Fold an :meth:`export` payload (e.g. from a worker) into this
+        registry: counters add, gauges overwrite, histograms extend."""
+        if not exported:
+            return
+        for name, value in exported.get("counters", {}).items():
+            self.counter(name).inc(value)
+        for name, value in exported.get("gauges", {}).items():
+            self.gauge(name).set(value)
+        for name, values in exported.get("histograms", {}).items():
+            histogram = self.histogram(name)
+            if isinstance(values, dict):
+                # Tolerate summary-form payloads: keep the mass visible
+                # even though per-value fidelity is gone.
+                histogram.values.extend(
+                    [values.get("mean", 0.0)] * int(values.get("count", 0))
+                )
+            else:
+                histogram.values.extend(float(v) for v in values)
+
+    def write(self, path: Union[str, pathlib.Path]) -> pathlib.Path:
+        """Write the summary snapshot as JSON to *path*."""
+        path = pathlib.Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(self.snapshot(), indent=2, sort_keys=True))
+        return path

@@ -1,0 +1,72 @@
+"""Profile-report formatting: stage tables and span rollups.
+
+Turns instrumentation output into the per-stage wall-time/percentage
+tables the paper presents as its overhead breakdown (Table VI): each
+pipeline stage's absolute cost and its share of the one-off analysis.
+Kept in ``repro.obs`` so any subsystem (CLI ``repro profile``, suite
+reports, benchmarks) renders breakdowns the same way.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+__all__ = ["format_seconds", "stage_table", "span_rollup"]
+
+
+def format_seconds(seconds: float) -> str:
+    """Human-scaled duration: ns/µs/ms below a second, seconds above."""
+    if seconds >= 1.0:
+        return f"{seconds:.3f} s"
+    if seconds >= 1e-3:
+        return f"{seconds * 1e3:.2f} ms"
+    if seconds >= 1e-6:
+        return f"{seconds * 1e6:.2f} us"
+    return f"{seconds * 1e9:.1f} ns"
+
+
+def stage_table(
+    stages: Sequence[Tuple[str, float]],
+    total: Optional[float] = None,
+    title: Optional[str] = None,
+) -> str:
+    """Render ``(stage, seconds)`` rows with their share of *total*.
+
+    Args:
+        stages: ordered stage costs (seconds).
+        total: denominator for the share column; defaults to the sum of
+            the listed stages (the one-off analysis cost).
+        title: optional heading line.
+    """
+    stages = list(stages)
+    denominator = total if total is not None else sum(s for _n, s in stages)
+    width = max([len(name) for name, _s in stages] + [5])
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"{'stage':<{width}}  {'wall time':>12}  {'share':>7}")
+    lines.append("-" * (width + 24))
+    for name, seconds in stages:
+        share = (seconds / denominator * 100.0) if denominator > 0 else 0.0
+        lines.append(
+            f"{name:<{width}}  {format_seconds(seconds):>12}  {share:6.1f}%"
+        )
+    lines.append("-" * (width + 24))
+    lines.append(
+        f"{'total':<{width}}  {format_seconds(denominator):>12}  {100.0:6.1f}%"
+    )
+    return "\n".join(lines)
+
+
+def span_rollup(
+    totals: Dict[str, float], top: int = 12, title: str = "span rollup"
+) -> str:
+    """Render a tracer's per-name duration totals, largest first."""
+    ordered = sorted(totals.items(), key=lambda kv: -kv[1])[:top]
+    if not ordered:
+        return f"{title}: (no spans recorded)"
+    width = max(len(name) for name, _s in ordered)
+    lines = [f"{title} (top {len(ordered)}):"]
+    for name, seconds in ordered:
+        lines.append(f"  {name:<{width}}  {format_seconds(seconds):>12}")
+    return "\n".join(lines)

@@ -1,0 +1,324 @@
+"""Span tracer with Chrome ``trace_event`` export.
+
+A :class:`Tracer` records *spans* — named, attributed, nestable wall
+intervals — and *instant events* (progress marks), and serialises them
+into the Chrome trace-event JSON format, which both ``chrome://tracing``
+and `Perfetto <https://ui.perfetto.dev>`_ load directly.
+
+Design points:
+
+* **Nesting** is tracked per thread: ``span()`` context managers push
+  onto a thread-local stack, so each finished span knows its parent and
+  depth without the caller wiring anything through.
+* **IDs** are unique across threads *and* processes: a process-wide
+  atomic counter composed with the PID.  Worker-side spans exported by
+  :meth:`Tracer.export_events` therefore merge into a parent tracer
+  (:meth:`Tracer.add_events`) without collisions, and Perfetto renders
+  each worker as its own track.
+* **Timestamps** are wall-clock (:func:`repro.obs.clock.wall_ns`), so
+  spans recorded in different processes share one timeline; durations
+  are measured on the monotonic clock for accuracy.
+
+Everything here is stdlib-only and thread-safe.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import os
+import pathlib
+import threading
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Union
+
+from repro.obs.clock import perf_ns, wall_ns
+
+__all__ = ["Span", "Tracer", "load_chrome_trace"]
+
+_ids = itertools.count(1)
+
+
+def _next_span_id() -> int:
+    """Process-unique, thread-safe span id (PID folded into high bits)."""
+    # itertools.count.__next__ is atomic under the GIL; composing the
+    # PID keeps ids from concurrently tracing worker processes disjoint.
+    return (os.getpid() << 24) | (next(_ids) & 0xFFFFFF)
+
+
+@dataclass
+class Span:
+    """One finished (or in-flight) named interval."""
+
+    name: str
+    span_id: int
+    parent_id: Optional[int]
+    start_wall_ns: int
+    duration_ns: int = 0
+    pid: int = 0
+    tid: int = 0
+    attrs: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def duration_seconds(self) -> float:
+        return self.duration_ns / 1e9
+
+    def set(self, **attrs) -> "Span":
+        """Attach attributes after entry (e.g. results known at exit)."""
+        self.attrs.update(attrs)
+        return self
+
+    def to_event(self) -> dict:
+        """This span as one Chrome ``ph="X"`` (complete) trace event."""
+        return {
+            "name": self.name,
+            "cat": self.name.split(".", 1)[0],
+            "ph": "X",
+            "ts": self.start_wall_ns / 1000.0,
+            "dur": self.duration_ns / 1000.0,
+            "pid": self.pid,
+            "tid": self.tid,
+            "args": dict(self.attrs, span_id=self.span_id,
+                         parent_id=self.parent_id),
+        }
+
+
+class _SpanContext:
+    """Context manager measuring one span; returned by :meth:`Tracer.span`."""
+
+    __slots__ = ("_tracer", "span", "_start_perf_ns")
+
+    def __init__(self, tracer: "Tracer", span: Span) -> None:
+        self._tracer = tracer
+        self.span = span
+        self._start_perf_ns = 0
+
+    def set(self, **attrs) -> "_SpanContext":
+        self.span.set(**attrs)
+        return self
+
+    def __enter__(self) -> "_SpanContext":
+        self._tracer._push(self.span)
+        self.span.start_wall_ns = wall_ns()
+        self._start_perf_ns = perf_ns()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.span.duration_ns = perf_ns() - self._start_perf_ns
+        if exc_type is not None:
+            self.span.attrs.setdefault("error", exc_type.__name__)
+        self._tracer._pop(self.span)
+        return False
+
+
+class Tracer:
+    """Collects spans and instant events; exports Chrome trace JSON.
+
+    Args:
+        process_name: label for this process's track in trace viewers.
+    """
+
+    def __init__(self, process_name: str = "repro") -> None:
+        self.process_name = process_name
+        self._lock = threading.Lock()
+        self._spans: List[Span] = []
+        self._instants: List[dict] = []
+        self._foreign: List[dict] = []
+        self._local = threading.local()
+
+    # ---- recording ----------------------------------------------------
+
+    def span(self, name: str, **attrs) -> _SpanContext:
+        """A context manager timing the named interval.
+
+        Nested calls on the same thread chain ``parent_id``s; attributes
+        land in the Chrome event's ``args``.
+        """
+        span = Span(
+            name=name,
+            span_id=_next_span_id(),
+            parent_id=self._current_id(),
+            start_wall_ns=0,
+            pid=os.getpid(),
+            tid=threading.get_ident() & 0xFFFFFFFF,
+            attrs=dict(attrs),
+        )
+        return _SpanContext(self, span)
+
+    def record(
+        self, name: str, start_wall_ns: int, duration_ns: int, **attrs
+    ) -> Span:
+        """Log an already-measured interval post hoc.
+
+        For hot loops that time themselves (the sweep's chunk loop):
+        the caller measures with :func:`~repro.obs.clock.perf_seconds`
+        and reports the finished interval here, paying zero tracer cost
+        inside the measured region.
+        """
+        span = Span(
+            name=name,
+            span_id=_next_span_id(),
+            parent_id=self._current_id(),
+            start_wall_ns=start_wall_ns,
+            duration_ns=duration_ns,
+            pid=os.getpid(),
+            tid=threading.get_ident() & 0xFFFFFFFF,
+            attrs=dict(attrs),
+        )
+        with self._lock:
+            self._spans.append(span)
+        return span
+
+    def instant(self, name: str, **attrs) -> None:
+        """Record a zero-duration mark (progress lines, milestones)."""
+        event = {
+            "name": name,
+            "cat": name.split(".", 1)[0],
+            "ph": "i",
+            "s": "p",
+            "ts": wall_ns() / 1000.0,
+            "pid": os.getpid(),
+            "tid": threading.get_ident() & 0xFFFFFFFF,
+            "args": dict(attrs),
+        }
+        with self._lock:
+            self._instants.append(event)
+
+    def _current_id(self) -> Optional[int]:
+        stack = getattr(self._local, "stack", None)
+        return stack[-1].span_id if stack else None
+
+    def _push(self, span: Span) -> None:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        # The parent is resolved at span() time, but a span may be
+        # created on one thread and entered on another; re-anchor it to
+        # the entering thread's innermost open span.
+        if stack:
+            span.parent_id = stack[-1].span_id
+        stack.append(span)
+
+    def _pop(self, span: Span) -> None:
+        stack = getattr(self._local, "stack", [])
+        if stack and stack[-1] is span:
+            stack.pop()
+        with self._lock:
+            self._spans.append(span)
+
+    # ---- aggregation --------------------------------------------------
+
+    @property
+    def spans(self) -> List[Span]:
+        """Finished spans, in completion order (copy)."""
+        with self._lock:
+            return list(self._spans)
+
+    def depth_of(self, span: Span) -> int:
+        """Nesting depth of *span* within this tracer's recorded set."""
+        by_id = {s.span_id: s for s in self.spans}
+        depth = 0
+        parent = span.parent_id
+        while parent is not None and parent in by_id:
+            depth += 1
+            parent = by_id[parent].parent_id
+        return depth
+
+    def totals_by_name(self) -> Dict[str, float]:
+        """Summed duration (seconds) per span name, locally recorded
+        spans and merged foreign ``ph="X"`` events alike."""
+        totals: Dict[str, float] = {}
+        for span in self.spans:
+            totals[span.name] = (
+                totals.get(span.name, 0.0) + span.duration_seconds
+            )
+        with self._lock:
+            foreign = list(self._foreign)
+        for event in foreign:
+            if event.get("ph") == "X":
+                totals[event["name"]] = (
+                    totals.get(event["name"], 0.0)
+                    + float(event.get("dur", 0.0)) / 1e6
+                )
+        return totals
+
+    # ---- merge / export -----------------------------------------------
+
+    def export_events(self) -> List[dict]:
+        """Everything recorded so far, as plain trace-event dicts.
+
+        The lingua franca for shipping worker-side spans back through a
+        pickled :class:`~repro.runtime.runner.TaskOutcome`.
+        """
+        with self._lock:
+            spans = list(self._spans)
+            instants = list(self._instants)
+            foreign = list(self._foreign)
+        return [s.to_event() for s in spans] + instants + foreign
+
+    def add_events(self, events: Optional[Iterable[dict]]) -> None:
+        """Merge trace events exported by another tracer (e.g. a worker
+        process) onto this tracer's timeline."""
+        if not events:
+            return
+        with self._lock:
+            self._foreign.extend(events)
+
+    def to_chrome_trace(self) -> dict:
+        """The full Chrome/Perfetto ``trace_event`` document."""
+        events = self.export_events()
+        pids = sorted({e["pid"] for e in events} | {os.getpid()})
+        metadata = [
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": 0,
+                "args": {
+                    "name": (
+                        self.process_name
+                        if pid == os.getpid()
+                        else f"{self.process_name}-worker-{pid}"
+                    )
+                },
+            }
+            for pid in pids
+        ]
+        return {
+            "traceEvents": metadata + events,
+            "displayTimeUnit": "ms",
+        }
+
+    def write(self, path: Union[str, pathlib.Path]) -> pathlib.Path:
+        """Write the Chrome trace JSON to *path* (parents created)."""
+        path = pathlib.Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(self.to_chrome_trace(), indent=1))
+        return path
+
+
+def load_chrome_trace(path: Union[str, pathlib.Path]) -> List[dict]:
+    """Load a trace written by :meth:`Tracer.write` (or any Chrome
+    trace-event JSON) and return its non-metadata events.
+
+    Accepts both the object form (``{"traceEvents": [...]}``) and the
+    bare-array form, validating the fields Perfetto requires of each
+    event so round-trip tests fail loudly on schema drift.
+    """
+    document = json.loads(pathlib.Path(path).read_text())
+    events = (
+        document["traceEvents"] if isinstance(document, dict) else document
+    )
+    loaded = []
+    for event in events:
+        if event.get("ph") == "M":
+            continue
+        for key in ("name", "ph", "ts", "pid", "tid"):
+            if key not in event:
+                raise ValueError(
+                    f"trace event missing required field {key!r}: {event}"
+                )
+        if event["ph"] == "X" and "dur" not in event:
+            raise ValueError(f"complete event missing 'dur': {event}")
+        loaded.append(event)
+    return loaded

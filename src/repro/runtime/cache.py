@@ -39,10 +39,11 @@ import os
 import pathlib
 import shutil
 import tempfile
-import time
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional, Union
 
+from repro.obs import clock
+from repro.obs.metrics import MetricsRegistry
 from repro.runtime.fingerprint import analysis_fingerprint, file_checksum
 
 #: Bumped when the entry layout changes; lives in the directory tree so
@@ -58,7 +59,13 @@ class CacheError(RuntimeError):
 
 @dataclass
 class CacheStats:
-    """Aggregate cache state plus this process's hit/miss counters."""
+    """Aggregate cache state plus this process's hit/miss counters.
+
+    The session counters (hits / misses / corruptions) are a snapshot of
+    the cache's :class:`~repro.obs.metrics.MetricsRegistry`
+    (``cache.hit`` / ``cache.miss`` / ``cache.corruption``); the
+    on-disk figures (entries, sizes, ages) come from scanning the root.
+    """
 
     root: str
     entries: int = 0
@@ -67,6 +74,39 @@ class CacheStats:
     misses: int = 0
     corruptions: int = 0
     workloads: Dict[str, int] = field(default_factory=dict)
+    #: seconds since each entry was created, newest first (wall clock;
+    #: empty when no entry carries a parsable ``created`` stamp)
+    entry_ages_seconds: List[float] = field(default_factory=list)
+
+    @classmethod
+    def from_registry(cls, root: str, registry: MetricsRegistry,
+                      **extra) -> "CacheStats":
+        """Session counters straight from the cache's metrics registry."""
+        return cls(
+            root=root,
+            hits=int(registry.counter_value("cache.hit")),
+            misses=int(registry.counter_value("cache.miss")),
+            corruptions=int(registry.counter_value("cache.corruption")),
+            **extra,
+        )
+
+    @property
+    def newest_age_seconds(self) -> Optional[float]:
+        return self.entry_ages_seconds[0] if self.entry_ages_seconds else None
+
+    @property
+    def oldest_age_seconds(self) -> Optional[float]:
+        return self.entry_ages_seconds[-1] if self.entry_ages_seconds else None
+
+    @staticmethod
+    def _age(seconds: float) -> str:
+        if seconds >= 86400:
+            return f"{seconds / 86400:.1f}d"
+        if seconds >= 3600:
+            return f"{seconds / 3600:.1f}h"
+        if seconds >= 60:
+            return f"{seconds / 60:.1f}m"
+        return f"{seconds:.0f}s"
 
     def describe(self) -> str:
         lines = [
@@ -77,6 +117,11 @@ class CacheStats:
             f"session misses  {self.misses}",
             f"corrupt entries {self.corruptions}",
         ]
+        if self.entry_ages_seconds:
+            lines.append(
+                f"entry age       newest {self._age(self.newest_age_seconds)}"
+                f", oldest {self._age(self.oldest_age_seconds)}"
+            )
         for name in sorted(self.workloads):
             lines.append(f"  {name:<14} {self.workloads[name]} entries")
         return "\n".join(lines)
@@ -94,9 +139,23 @@ class ArtifactCache:
         self.root = pathlib.Path(root)
         if self.root.exists() and not self.root.is_dir():
             raise CacheError(f"cache root {self.root} is not a directory")
-        self.hits = 0
-        self.misses = 0
-        self.corruptions = 0
+        #: session counters (cache.hit / cache.miss / cache.corruption)
+        self.metrics = MetricsRegistry()
+
+    @property
+    def hits(self) -> int:
+        """Session cache hits (the ``cache.hit`` counter)."""
+        return int(self.metrics.counter_value("cache.hit"))
+
+    @property
+    def misses(self) -> int:
+        """Session cache misses (the ``cache.miss`` counter)."""
+        return int(self.metrics.counter_value("cache.miss"))
+
+    @property
+    def corruptions(self) -> int:
+        """Session integrity failures (the ``cache.corruption`` counter)."""
+        return int(self.metrics.counter_value("cache.corruption"))
 
     # ---- key handling -------------------------------------------------
 
@@ -121,7 +180,7 @@ class ArtifactCache:
         entry = self._entry_dir(key)
         meta_path = entry / "meta.json"
         if not meta_path.is_file():
-            self.misses += 1
+            self.metrics.counter("cache.miss").inc()
             return None
         try:
             meta = json.loads(meta_path.read_text())
@@ -134,11 +193,11 @@ class ArtifactCache:
         except Exception:
             # Corrupt, truncated, unreadable or written by an
             # incompatible library version: evict and recompute.
-            self.corruptions += 1
-            self.misses += 1
+            self.metrics.counter("cache.corruption").inc()
+            self.metrics.counter("cache.miss").inc()
             shutil.rmtree(entry, ignore_errors=True)
             return None
-        self.hits += 1
+        self.metrics.counter("cache.hit").inc()
         return session
 
     @staticmethod
@@ -198,7 +257,10 @@ class ArtifactCache:
                 "workload": session.workload.name,
                 "num_uops": len(session.workload),
                 "baseline_cycles": session.baseline_result.cycles,
-                "created": time.time(),
+                # Explicit wall-clock ISO stamp: every other duration in
+                # the system is monotonic (perf_counter-domain), but an
+                # entry's birth time is a calendar fact shown to humans.
+                "created": clock.wall_iso(),
                 "checksums": {
                     name: file_checksum(staging / name)
                     for name in _ARTIFACTS
@@ -233,27 +295,45 @@ class ArtifactCache:
                 if (entry / "meta.json").is_file():
                     yield entry
 
+    @staticmethod
+    def _entry_age_seconds(created) -> Optional[float]:
+        """Age of an entry from its ``created`` stamp.
+
+        Current entries carry ISO-8601 strings; pre-rebase entries
+        stored epoch floats — both are honoured so old caches keep
+        reporting ages after an upgrade.
+        """
+        try:
+            if isinstance(created, str):
+                then = clock.parse_wall_iso(created).timestamp()
+            else:
+                then = float(created)
+        except (TypeError, ValueError):
+            return None
+        return max(0.0, clock.wall_ns() / 1e9 - then)
+
     def stats(self) -> CacheStats:
-        """Entry counts and sizes plus this process's hit/miss counters."""
-        stats = CacheStats(
-            root=str(self.root),
-            hits=self.hits,
-            misses=self.misses,
-            corruptions=self.corruptions,
-        )
+        """Entry counts, sizes and ages plus this process's counters."""
+        stats = CacheStats.from_registry(str(self.root), self.metrics)
+        ages: List[float] = []
         for entry in self._entries():
             stats.entries += 1
+            name = "?"
             try:
                 meta = json.loads((entry / "meta.json").read_text())
                 name = meta.get("workload", "?")
+                age = self._entry_age_seconds(meta.get("created"))
+                if age is not None:
+                    ages.append(age)
             except (OSError, ValueError):
-                name = "?"
+                pass
             stats.workloads[name] = stats.workloads.get(name, 0) + 1
             for artifact in entry.iterdir():
                 try:
                     stats.total_bytes += artifact.stat().st_size
                 except OSError:
                     pass
+        stats.entry_ages_seconds = sorted(ages)
         return stats
 
     def clear(self) -> int:

@@ -27,7 +27,6 @@ from __future__ import annotations
 
 import concurrent.futures
 import pathlib
-import time
 import traceback
 from dataclasses import dataclass, field
 from typing import (
@@ -43,17 +42,56 @@ from typing import (
 
 from repro.common.config import MicroarchConfig
 from repro.dse.pipeline import AnalysisSession, analyze
+from repro.obs import clock
+from repro.obs.observer import Observer, get_observer, use_observer
 from repro.runtime.cache import ArtifactCache, open_cache
 from repro.workloads.suite import make_workload, resolve_names, suite_names
 
 
 @dataclass
 class TaskOutcome:
-    """Result of one :func:`parallel_map` task (value or traceback)."""
+    """Result of one :func:`parallel_map` task (value or traceback).
+
+    Besides the payload, each outcome carries its own wall-clock cost
+    and — when the parent ran with an enabled observer — the trace
+    events and metrics its worker recorded, so worker-side spans merge
+    into the parent's timeline instead of vanishing with the process.
+    """
 
     ok: bool
     value: Any = None
     error: Optional[str] = None
+    #: wall-clock seconds this task spent executing (0.0 on timeout —
+    #: the task never reported back)
+    elapsed_seconds: float = 0.0
+    #: Chrome trace events recorded inside the worker (capture mode)
+    trace_events: Optional[List[dict]] = None
+    #: worker-side metrics registry export (capture mode)
+    metrics: Optional[dict] = None
+
+
+def _timed_call(fn: Callable, args: Tuple, capture: bool, label: str):
+    """Worker body: run ``fn(*args)``, timed, optionally under a fresh
+    capturing observer whose spans/metrics ship back with the result.
+
+    Module-level so it pickles into pool workers; also used on the
+    serial path (without capture — there the parent observer is already
+    ambient, so spans record directly into it).
+    """
+    start = clock.perf_seconds()
+    if not capture:
+        value = fn(*args)
+        return value, clock.perf_seconds() - start, None, None
+    worker_obs = Observer(enabled=True, progress_stream=None)
+    with use_observer(worker_obs):
+        with worker_obs.span(f"task.{label}"):
+            value = fn(*args)
+    return (
+        value,
+        clock.perf_seconds() - start,
+        worker_obs.tracer.export_events(),
+        worker_obs.metrics.export(),
+    )
 
 
 def parallel_map(
@@ -61,6 +99,7 @@ def parallel_map(
     tasks: Sequence[Tuple],
     jobs: int = 1,
     timeout: Optional[float] = None,
+    obs=None,
 ) -> List["TaskOutcome"]:
     """Apply ``fn(*args)`` to every argument tuple, optionally across
     worker processes.
@@ -75,35 +114,50 @@ def parallel_map(
       traceback instead of sinking the whole batch;
     * **per-task timeouts** — enforced (parallel mode only) as an
       overall deadline scaled by the number of sequential "waves" the
-      pool needs, since a busy worker cannot portably be interrupted.
+      pool needs, since a busy worker cannot portably be interrupted;
+    * **per-task timing** — every outcome reports its own elapsed
+      seconds, and with an enabled observer each worker's spans and
+      metrics are captured and merged back into the parent
+      (:meth:`~repro.obs.observer.Observer.absorb`).
 
     Args:
         fn: a picklable module-level callable.
         tasks: one positional-argument tuple per task.
         jobs: worker processes; ``1`` runs serially in-process.
         timeout: per-task wall-clock budget in seconds.
+        obs: observer to record into; defaults to the ambient one.
 
     Returns:
         One :class:`TaskOutcome` per task, in *tasks* order.
     """
     if jobs < 1:
         raise ValueError("jobs must be at least 1")
+    obs = obs if obs is not None else get_observer()
     tasks = list(tasks)
     if jobs == 1:
         outcomes = []
-        for args in tasks:
-            try:
-                outcomes.append(TaskOutcome(ok=True, value=fn(*args)))
-            except Exception:
-                outcomes.append(
-                    TaskOutcome(ok=False, error=traceback.format_exc())
-                )
+        with use_observer(obs):
+            for index, args in enumerate(tasks):
+                with obs.span("task", index=index):
+                    try:
+                        value, elapsed, _events, _metrics = _timed_call(
+                            fn, args, capture=False, label=str(index)
+                        )
+                        outcomes.append(TaskOutcome(
+                            ok=True, value=value, elapsed_seconds=elapsed
+                        ))
+                    except Exception:
+                        outcomes.append(TaskOutcome(
+                            ok=False, error=traceback.format_exc()
+                        ))
         return outcomes
 
+    capture = obs.enabled
     outcomes: List[Optional[TaskOutcome]] = [None] * len(tasks)
     pool = concurrent.futures.ProcessPoolExecutor(max_workers=jobs)
     futures = {
-        pool.submit(fn, *args): index for index, args in enumerate(tasks)
+        pool.submit(_timed_call, fn, args, capture, str(index)): index
+        for index, args in enumerate(tasks)
     }
     waves = -(-len(tasks) // jobs)
     overall = None if timeout is None else timeout * waves
@@ -111,7 +165,15 @@ def parallel_map(
     for future in done:
         index = futures[future]
         try:
-            outcomes[index] = TaskOutcome(ok=True, value=future.result())
+            value, elapsed, events, metrics = future.result()
+            outcomes[index] = TaskOutcome(
+                ok=True,
+                value=value,
+                elapsed_seconds=elapsed,
+                trace_events=events,
+                metrics=metrics,
+            )
+            obs.absorb(events, metrics)
         except Exception:
             outcomes[index] = TaskOutcome(
                 ok=False, error=traceback.format_exc()
@@ -181,6 +243,15 @@ class SuiteReport:
                 return outcome.session
         raise KeyError(f"no outcome for workload {name!r}")
 
+    @property
+    def slowest(self) -> Optional[WorkloadOutcome]:
+        """The outcome that took the longest wall-clock time (the
+        parallel run's critical path), or ``None`` on an empty report."""
+        timed = [o for o in self.outcomes if o.elapsed_seconds > 0]
+        if not timed:
+            return None
+        return max(timed, key=lambda o: o.elapsed_seconds)
+
     def describe(self) -> str:
         lines = [
             f"{len(self.succeeded)}/{len(self.outcomes)} workloads analysed "
@@ -197,6 +268,12 @@ class SuiteReport:
                 first_line = (outcome.error or "").strip().splitlines()
                 reason = first_line[-1] if first_line else "unknown error"
                 lines.append(f"  {outcome.name:<12} FAILED: {reason}")
+        slowest = self.slowest
+        if slowest is not None:
+            lines.append(
+                f"slowest: {slowest.name} "
+                f"({slowest.elapsed_seconds:.2f}s)"
+            )
         return "\n".join(lines)
 
 
@@ -214,7 +291,7 @@ def _analyze_one(
     Module-level so it pickles for the process pool; the cache is
     re-opened per worker from its path rather than shipped as an object.
     """
-    start = time.perf_counter()
+    start = clock.perf_seconds()
     try:
         build = factory or make_workload
         workload = build(name, macros, seed=seed)
@@ -225,7 +302,7 @@ def _analyze_one(
             name=name,
             ok=True,
             session=session,
-            elapsed_seconds=time.perf_counter() - start,
+            elapsed_seconds=clock.perf_seconds() - start,
             cache_hit=bool(cache and cache.hits),
         )
     except Exception:
@@ -233,7 +310,7 @@ def _analyze_one(
             name=name,
             ok=False,
             error=traceback.format_exc(),
-            elapsed_seconds=time.perf_counter() - start,
+            elapsed_seconds=clock.perf_seconds() - start,
         )
 
 
@@ -246,6 +323,7 @@ def run_suite(
     cache: Union[None, str, pathlib.Path, ArtifactCache] = None,
     timeout: Optional[float] = None,
     workload_factory: Optional[Callable] = None,
+    obs=None,
     **analyze_kwargs,
 ) -> SuiteReport:
     """Analyse a set of suite workloads, optionally in parallel.
@@ -262,6 +340,9 @@ def run_suite(
         workload_factory: replaces :func:`make_workload` — must be a
             picklable callable ``(name, macros, seed=...) -> Workload``
             (used by robustness tests and custom suites).
+        obs: an :class:`~repro.obs.Observer`; per-workload pipeline
+            spans (worker-side in parallel mode) are merged into its
+            trace.  Defaults to the ambient observer.
         **analyze_kwargs: forwarded to :func:`repro.dse.pipeline.analyze`
             (reduction knobs, ``warm_caches``, ...).
 
@@ -277,24 +358,48 @@ def run_suite(
         selected = tuple(names) or suite_names()
     if jobs < 1:
         raise ValueError("jobs must be at least 1")
+    obs = obs if obs is not None else get_observer()
     cache = open_cache(cache)
     cache_dir = str(cache.root) if cache is not None else None
-    start = time.perf_counter()
+    start = clock.perf_seconds()
 
     tasks = [
         (name, macros, seed, config, analyze_kwargs, cache_dir,
          workload_factory)
         for name in selected
     ]
-    results = parallel_map(_analyze_one, tasks, jobs=jobs, timeout=timeout)
-    outcomes = [
-        result.value
-        if result.ok
-        else WorkloadOutcome(name=name, ok=False, error=result.error)
-        for name, result in zip(selected, results)
-    ]
-    return SuiteReport(
+    with obs.span("suite.run", workloads=len(selected), jobs=jobs):
+        results = parallel_map(
+            _analyze_one, tasks, jobs=jobs, timeout=timeout, obs=obs
+        )
+    outcomes = []
+    for name, result in zip(selected, results):
+        if result.ok:
+            outcome = result.value
+            # _analyze_one's in-worker measurement is authoritative, but
+            # a task that failed to even report gets the pool's timing.
+            if outcome.elapsed_seconds == 0.0:
+                outcome.elapsed_seconds = result.elapsed_seconds
+        else:
+            outcome = WorkloadOutcome(
+                name=name,
+                ok=False,
+                error=result.error,
+                elapsed_seconds=result.elapsed_seconds,
+            )
+        outcomes.append(outcome)
+    report = SuiteReport(
         outcomes=outcomes,
-        wall_seconds=time.perf_counter() - start,
+        wall_seconds=clock.perf_seconds() - start,
         jobs=jobs,
     )
+    if obs.enabled:
+        obs.gauge("suite.wall_seconds").set(report.wall_seconds)
+        obs.counter("suite.workloads").inc(len(selected))
+        obs.counter("suite.failures").inc(len(report.failed))
+        slowest = report.slowest
+        if slowest is not None:
+            obs.gauge("suite.slowest_seconds").set(
+                slowest.elapsed_seconds
+            )
+    return report

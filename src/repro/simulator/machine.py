@@ -14,6 +14,8 @@ from typing import Dict, Optional
 
 from repro.common.config import LatencyConfig, MicroarchConfig, baseline_config
 from repro.isa.uop import Workload
+from repro.obs import clock
+from repro.obs.observer import get_observer
 from repro.simulator.core import TimingSimulator
 from repro.simulator.prepass import PrepassResult, run_prepass
 from repro.simulator.trace import SimResult
@@ -37,13 +39,19 @@ class Machine:
     ) -> None:
         self.workload = workload
         self.config = config or baseline_config()
-        self._prepass = run_prepass(
-            workload,
-            self.config,
-            warm_caches=warm_caches,
-            warm_stream=warm_stream,
-            predictor_extra_stream=predictor_extra_stream,
-        )
+        # Resolved ambiently (never stored) so Machine — and the
+        # AnalysisSession wrapping it — stays picklable across the
+        # worker pool and the artifact cache.
+        with get_observer().span(
+            "sim.prepass", workload=workload.name, uops=len(workload)
+        ):
+            self._prepass = run_prepass(
+                workload,
+                self.config,
+                warm_caches=warm_caches,
+                warm_stream=warm_stream,
+                predictor_extra_stream=predictor_extra_stream,
+            )
         self._cache: Dict[LatencyConfig, SimResult] = {}
         #: count of timing runs actually executed (for overhead reports)
         self.timing_runs = 0
@@ -61,10 +69,21 @@ class Machine:
         if cached is not None:
             return cached
         design = self.config.with_latency(latency)
-        # Each run stamps timestamps into the trace records; deep-copy the
-        # pre-pass records so cached results stay immutable.
-        prepass = copy.deepcopy(self._prepass)
-        result = TimingSimulator(self.workload, design, prepass).run()
+        obs = get_observer()
+        start = clock.perf_seconds()
+        with obs.span(
+            "sim.run", workload=self.workload.name, uops=len(self.workload)
+        ):
+            # Each run stamps timestamps into the trace records; deep-copy
+            # the pre-pass records so cached results stay immutable.
+            prepass = copy.deepcopy(self._prepass)
+            result = TimingSimulator(self.workload, design, prepass).run()
+        if obs.enabled:
+            obs.counter("sim.runs").inc()
+            obs.counter("sim.uops_retired").inc(len(self.workload))
+            obs.histogram("sim.seconds").observe(
+                clock.perf_seconds() - start
+            )
         self.timing_runs += 1
         self._cache[latency] = result
         return result

@@ -1,0 +1,120 @@
+"""Metrics registry tests: instruments, percentiles, export/merge."""
+
+import json
+import pickle
+
+import pytest
+
+from repro.obs.metrics import Histogram, MetricsRegistry
+
+
+class TestInstruments:
+    def test_counter_accumulates(self):
+        registry = MetricsRegistry()
+        registry.counter("cache.hit").inc()
+        registry.counter("cache.hit").inc(4)
+        assert registry.counter_value("cache.hit") == 5
+
+    def test_counter_rejects_negative(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().counter("x").inc(-1)
+
+    def test_gauge_last_write_wins(self):
+        registry = MetricsRegistry()
+        registry.gauge("front").set(10)
+        registry.gauge("front").set(3)
+        assert registry.gauge_value("front") == 3
+
+    def test_missing_reads_return_defaults(self):
+        registry = MetricsRegistry()
+        assert registry.counter_value("nope") == 0
+        assert registry.gauge_value("nope", default=-1.0) == -1.0
+
+    def test_create_on_touch_returns_same_instrument(self):
+        registry = MetricsRegistry()
+        assert registry.histogram("h") is registry.histogram("h")
+
+
+class TestHistogramPercentiles:
+    def test_exact_percentiles_on_known_data(self):
+        h = Histogram("t")
+        for value in [1.0, 2.0, 3.0, 4.0, 5.0]:
+            h.observe(value)
+        assert h.percentile(0) == 1.0
+        assert h.percentile(50) == 3.0
+        assert h.percentile(100) == 5.0
+        # Linear interpolation: rank 3.8 between 4.0 and 5.0.
+        assert h.percentile(95) == pytest.approx(4.8)
+
+    def test_single_value(self):
+        h = Histogram("t")
+        h.observe(7.5)
+        for q in (0, 50, 95, 100):
+            assert h.percentile(q) == 7.5
+
+    def test_empty_histogram_is_zero(self):
+        h = Histogram("t")
+        assert h.percentile(50) == 0.0
+        assert h.mean == 0.0
+        assert h.max == 0.0
+
+    def test_out_of_range_quantile_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram("t").percentile(101)
+
+    def test_summary_fields(self):
+        h = Histogram("t")
+        for value in [2.0, 4.0]:
+            h.observe(value)
+        summary = h.summary()
+        assert summary == {
+            "count": 2, "sum": 6.0, "mean": 3.0, "min": 2.0,
+            "max": 4.0, "p50": 3.0, "p95": pytest.approx(3.9),
+        }
+
+
+class TestSnapshotExportMerge:
+    def _populated(self):
+        registry = MetricsRegistry()
+        registry.counter("hits").inc(3)
+        registry.gauge("front").set(12)
+        registry.histogram("chunk").observe(0.5)
+        registry.histogram("chunk").observe(1.5)
+        return registry
+
+    def test_snapshot_shape(self):
+        snapshot = self._populated().snapshot()
+        assert snapshot["counters"] == {"hits": 3}
+        assert snapshot["gauges"] == {"front": 12}
+        assert snapshot["histograms"]["chunk"]["count"] == 2
+        assert snapshot["histograms"]["chunk"]["p50"] == 1.0
+
+    def test_merge_adds_counters_and_extends_histograms(self):
+        parent = self._populated()
+        worker = MetricsRegistry()
+        worker.counter("hits").inc(2)
+        worker.gauge("front").set(99)
+        worker.histogram("chunk").observe(2.5)
+        parent.merge(worker.export())
+        assert parent.counter_value("hits") == 5
+        assert parent.gauge_value("front") == 99
+        assert parent.histogram("chunk").values == [0.5, 1.5, 2.5]
+        # Percentiles computed over the concatenated observations.
+        assert parent.histogram("chunk").percentile(50) == 1.5
+
+    def test_merge_tolerates_summary_form_and_none(self):
+        registry = MetricsRegistry()
+        registry.merge(None)
+        registry.merge({"histograms": {"h": {"count": 3, "mean": 2.0}}})
+        assert registry.histogram("h").values == [2.0, 2.0, 2.0]
+
+    def test_registry_pickles_without_its_lock(self):
+        clone = pickle.loads(pickle.dumps(self._populated()))
+        assert clone.counter_value("hits") == 3
+        clone.counter("hits").inc()  # the rebuilt lock works
+        assert clone.counter_value("hits") == 4
+
+    def test_write_is_valid_json(self, tmp_path):
+        path = self._populated().write(tmp_path / "m.json")
+        payload = json.loads(path.read_text())
+        assert payload["counters"]["hits"] == 3

@@ -1,0 +1,130 @@
+"""Profile path tests: measure_overhead instrumentation, the Table VI
+stage set, and the ``repro profile`` CLI end to end."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.dse.overhead import measure_overhead
+from repro.obs.observer import Observer
+from repro.obs.report import format_seconds, stage_table
+from repro.obs.tracer import load_chrome_trace
+from repro.workloads.suite import make_workload
+
+POINTS = dict(eval_points=4, reeval_points=1, segment_length=64)
+
+
+@pytest.fixture(scope="module")
+def profile_and_obs():
+    obs = Observer(enabled=True, progress_stream=None)
+    workload = make_workload("gamess", 120)
+    return measure_overhead(workload, obs=obs, **POINTS), obs
+
+
+class TestMeasureOverhead:
+    def test_stage_breakdown_matches_table_vi(self, profile_and_obs):
+        profile, _ = profile_and_obs
+        stages = [name for name, _seconds in profile.stage_breakdown()]
+        assert stages == [
+            "baseline simulation",
+            "graph construction",
+            "stack generation",
+            "per-design evaluation",
+        ]
+
+    def test_each_phase_becomes_a_span(self, profile_and_obs):
+        _, obs = profile_and_obs
+        totals = obs.tracer.totals_by_name()
+        for name in (
+            "profile.simulate",
+            "profile.graph_build",
+            "profile.stack_gen",
+            "profile.eval",
+            "profile.graph_reeval",
+        ):
+            assert name in totals
+
+    def test_span_and_table_agree(self, profile_and_obs):
+        profile, obs = profile_and_obs
+        # The span wraps the timed region, so it can only be >= the
+        # stage figure (context-manager overhead included).
+        span_seconds = obs.tracer.totals_by_name()["profile.simulate"]
+        assert span_seconds >= profile.simulate_seconds
+
+    def test_metrics_histograms_populated(self, profile_and_obs):
+        _, obs = profile_and_obs
+        assert obs.metrics.histogram("profile.simulate_seconds").count == 1
+        assert obs.metrics.gauge_value("profile.uops") > 0
+
+    def test_describe_renders_shares(self, profile_and_obs):
+        profile, _ = profile_and_obs
+        text = profile.describe()
+        assert "one-off analysis breakdown" in text
+        assert "baseline simulation" in text
+        assert "%" in text
+        assert "crossover" in text
+
+
+class TestReportHelpers:
+    def test_format_seconds_scales_units(self):
+        assert format_seconds(2.5) == "2.500 s"
+        assert format_seconds(0.0125) == "12.50 ms"
+        assert format_seconds(4.2e-6) == "4.20 us"
+        assert format_seconds(3e-9) == "3.0 ns"
+
+    def test_stage_table_shares_sum_to_total(self):
+        table = stage_table([("a", 3.0), ("b", 1.0)])
+        assert "75.0%" in table
+        assert "25.0%" in table
+        assert "total" in table
+
+
+class TestProfileCli:
+    def run(self, capsys, *argv):
+        code = main(list(argv))
+        return code, capsys.readouterr().out
+
+    def test_prints_stage_table(self, capsys):
+        code, out = self.run(
+            capsys, "profile", "gamess", "--macros", "120",
+            "--eval-points", "4", "--reeval-points", "1",
+            "--segment-length", "64",
+        )
+        assert code == 0
+        assert "baseline simulation" in out
+        assert "per-design evaluation" in out
+        assert "span rollup" in out
+
+    def test_trace_out_is_perfetto_loadable(self, capsys, tmp_path):
+        trace = tmp_path / "profile-trace.json"
+        code, out = self.run(
+            capsys, "profile", "gamess", "--macros", "120",
+            "--eval-points", "4", "--reeval-points", "1",
+            "--segment-length", "64", "--trace-out", str(trace),
+        )
+        assert code == 0
+        assert str(trace) in out
+        events = load_chrome_trace(trace)
+        names = {event["name"] for event in events}
+        assert "profile.simulate" in names
+        # Perfetto-required fields on every complete event.
+        for event in events:
+            if event["ph"] == "X":
+                assert set(event) >= {"name", "ph", "ts", "dur", "pid", "tid"}
+
+    def test_json_payload(self, capsys, tmp_path):
+        metrics = tmp_path / "m.json"
+        code, out = self.run(
+            capsys, "profile", "gamess", "--macros", "120",
+            "--eval-points", "4", "--reeval-points", "1",
+            "--segment-length", "64", "--json",
+            "--metrics-json", str(metrics),
+        )
+        assert code == 0
+        payload = json.loads(out[: out.rindex("}") + 1])
+        assert payload["workload_name"] == "gamess"
+        stage_names = [stage["stage"] for stage in payload["stages"]]
+        assert "baseline simulation" in stage_names
+        snapshot = json.loads(metrics.read_text())
+        assert "profile.simulate_seconds" in snapshot["histograms"]

@@ -1,0 +1,149 @@
+"""Tracer unit tests: nesting, IDs, merging, Chrome-JSON round trip."""
+
+import json
+import threading
+
+from repro.obs.tracer import Tracer, load_chrome_trace
+
+
+class TestSpans:
+    def test_span_records_name_attrs_and_duration(self):
+        tracer = Tracer()
+        with tracer.span("graph.build", workload="gamess") as ctx:
+            ctx.set(nodes=13)
+        (span,) = tracer.spans
+        assert span.name == "graph.build"
+        assert span.attrs["workload"] == "gamess"
+        assert span.attrs["nodes"] == 13
+        assert span.duration_ns >= 0
+        assert span.start_wall_ns > 0
+
+    def test_nesting_links_parent_ids(self):
+        tracer = Tracer()
+        with tracer.span("outer") as outer:
+            with tracer.span("middle") as middle:
+                with tracer.span("inner") as inner:
+                    pass
+        assert inner.span.parent_id == middle.span.span_id
+        assert middle.span.parent_id == outer.span.span_id
+        assert outer.span.parent_id is None
+        assert tracer.depth_of(inner.span) == 2
+        assert tracer.depth_of(outer.span) == 0
+
+    def test_siblings_share_a_parent(self):
+        tracer = Tracer()
+        with tracer.span("parent") as parent:
+            with tracer.span("first") as first:
+                pass
+            with tracer.span("second") as second:
+                pass
+        assert first.span.parent_id == parent.span.span_id
+        assert second.span.parent_id == parent.span.span_id
+
+    def test_exception_closes_span_and_marks_error(self):
+        tracer = Tracer()
+        try:
+            with tracer.span("doomed"):
+                raise ValueError("nope")
+        except ValueError:
+            pass
+        (span,) = tracer.spans
+        assert span.attrs["error"] == "ValueError"
+        # The stack unwound: a new span is again a root.
+        with tracer.span("fresh") as fresh:
+            pass
+        assert fresh.span.parent_id is None
+
+    def test_ids_unique_across_threads(self):
+        tracer = Tracer()
+        seen = []
+
+        def work():
+            for _ in range(50):
+                with tracer.span("worker"):
+                    pass
+
+        threads = [threading.Thread(target=work) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        seen = [span.span_id for span in tracer.spans]
+        assert len(seen) == 200
+        assert len(set(seen)) == 200
+
+    def test_record_logs_premeasured_interval(self):
+        tracer = Tracer()
+        tracer.record("sweep.chunk", 1_000_000_000, 250_000, start=0)
+        (span,) = tracer.spans
+        assert span.duration_ns == 250_000
+        assert span.start_wall_ns == 1_000_000_000
+
+    def test_totals_by_name_sums_durations(self):
+        tracer = Tracer()
+        tracer.record("a", 0, 1_000_000_000)
+        tracer.record("a", 0, 500_000_000)
+        tracer.record("b", 0, 250_000_000)
+        totals = tracer.totals_by_name()
+        assert totals["a"] == 1.5
+        assert totals["b"] == 0.25
+
+
+class TestChromeExport:
+    def test_round_trip_through_perfetto_schema(self, tmp_path):
+        tracer = Tracer()
+        with tracer.span("analyze", workload="gamess"):
+            with tracer.span("sim.run"):
+                pass
+        tracer.instant("progress", message="halfway")
+        path = tracer.write(tmp_path / "trace.json")
+        events = load_chrome_trace(path)
+        names = {event["name"] for event in events}
+        assert {"analyze", "sim.run", "progress"} <= names
+        complete = [e for e in events if e["ph"] == "X"]
+        assert all("dur" in e for e in complete)
+        instants = [e for e in events if e["ph"] == "i"]
+        assert instants[0]["args"]["message"] == "halfway"
+
+    def test_document_shape_is_chrome_trace(self, tmp_path):
+        tracer = Tracer(process_name="unit")
+        with tracer.span("x"):
+            pass
+        path = tracer.write(tmp_path / "t.json")
+        document = json.loads(path.read_text())
+        assert "traceEvents" in document
+        metadata = [
+            e for e in document["traceEvents"] if e.get("ph") == "M"
+        ]
+        assert metadata[0]["args"]["name"] == "unit"
+
+    def test_loader_accepts_bare_array_form(self, tmp_path):
+        path = tmp_path / "bare.json"
+        path.write_text(json.dumps([
+            {"name": "x", "ph": "X", "ts": 1.0, "dur": 2.0,
+             "pid": 1, "tid": 1},
+        ]))
+        events = load_chrome_trace(path)
+        assert events[0]["name"] == "x"
+
+    def test_loader_rejects_schema_drift(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps([{"name": "x", "ph": "X", "ts": 1.0}]))
+        try:
+            load_chrome_trace(path)
+        except ValueError as error:
+            assert "missing required field" in str(error)
+        else:
+            raise AssertionError("schema violation not caught")
+
+    def test_merged_foreign_events_survive_export(self, tmp_path):
+        parent = Tracer()
+        worker = Tracer()
+        with worker.span("task.0"):
+            pass
+        parent.add_events(worker.export_events())
+        with parent.span("suite.run"):
+            pass
+        path = parent.write(tmp_path / "merged.json")
+        names = {event["name"] for event in load_chrome_trace(path)}
+        assert {"task.0", "suite.run"} <= names

@@ -1,7 +1,11 @@
-"""Generic pool-machinery tests: ordering, isolation, timeouts."""
+"""Generic pool-machinery tests: ordering, isolation, timeouts,
+per-task timing and worker-side instrumentation capture."""
+
+import time
 
 import pytest
 
+from repro.obs.observer import Observer
 from repro.runtime.runner import TaskOutcome, parallel_map
 
 
@@ -15,6 +19,11 @@ def add(left, right):
 
 def explode(value):
     raise RuntimeError(f"boom {value}")
+
+
+def nap_and_square(value):
+    time.sleep(0.02)
+    return value * value
 
 
 def test_serial_preserves_order():
@@ -52,3 +61,38 @@ def test_failed_task_does_not_sink_the_batch():
 def test_bad_jobs_rejected():
     with pytest.raises(ValueError):
         parallel_map(square, [(1,)], jobs=0)
+
+
+@pytest.mark.parametrize("jobs", [1, 2])
+def test_outcomes_carry_elapsed_seconds(jobs):
+    outcomes = parallel_map(nap_and_square, [(2,), (3,)], jobs=jobs)
+    assert [o.value for o in outcomes] == [4, 9]
+    for outcome in outcomes:
+        assert outcome.elapsed_seconds >= 0.02
+
+
+def test_disabled_observer_captures_nothing():
+    outcomes = parallel_map(square, [(2,)], jobs=2)
+    assert outcomes[0].trace_events is None
+    assert outcomes[0].metrics is None
+
+
+def test_enabled_observer_absorbs_worker_spans():
+    obs = Observer(enabled=True, progress_stream=None)
+    outcomes = parallel_map(square, [(2,), (3,)], jobs=2, obs=obs)
+    assert [o.value for o in outcomes] == [4, 9]
+    # Each worker wrapped its task in a span shipped back with the result
+    # and merged into the parent's timeline.
+    for outcome in outcomes:
+        assert outcome.trace_events
+    names = {e["name"] for o in outcomes for e in o.trace_events}
+    assert {"task.0", "task.1"} <= names
+    totals = obs.tracer.totals_by_name()
+    assert "task.0" in totals and "task.1" in totals
+
+
+def test_serial_enabled_observer_records_task_spans():
+    obs = Observer(enabled=True, progress_stream=None)
+    parallel_map(square, [(2,), (3,)], jobs=1, obs=obs)
+    spans = [s for s in obs.tracer.spans if s.name == "task"]
+    assert [s.attrs["index"] for s in spans] == [0, 1]

@@ -124,6 +124,57 @@ def test_clear_and_stats(tmp_path):
     assert cache.clear() == 0
 
 
+def test_created_stamp_is_wall_clock_iso(tmp_path):
+    workload = make_workload("gamess", MACROS)
+    cache, _session, entry = _fresh_entry(tmp_path, workload)
+    meta = json.loads((entry / "meta.json").read_text())
+    # ISO-8601 UTC, parsable back into an age of roughly "just now".
+    from repro.obs import clock
+
+    then = clock.parse_wall_iso(meta["created"])
+    assert then.tzinfo is not None
+    age = ArtifactCache._entry_age_seconds(meta["created"])
+    assert 0.0 <= age < 300.0
+
+
+def test_stats_report_entry_ages(tmp_path):
+    cache = ArtifactCache(tmp_path / "cache")
+    analyze(make_workload("gamess", MACROS), cache=cache)
+    analyze(make_workload("bzip2", MACROS), cache=cache)
+    stats = cache.stats()
+    assert len(stats.entry_ages_seconds) == 2
+    assert stats.newest_age_seconds <= stats.oldest_age_seconds
+    assert "entry age" in stats.describe()
+    assert "newest" in stats.describe()
+
+
+def test_legacy_epoch_created_stamp_still_ages(tmp_path):
+    workload = make_workload("gamess", MACROS)
+    cache, _session, entry = _fresh_entry(tmp_path, workload)
+    meta = json.loads((entry / "meta.json").read_text())
+    from repro.obs import clock
+
+    meta["created"] = clock.wall_ns() / 1e9 - 120.0  # pre-rebase format
+    (entry / "meta.json").write_text(json.dumps(meta))
+    # Rewriting meta.json invalidates nothing age-wise (checksums only
+    # cover artifacts); the epoch float is honoured.
+    stats = cache.stats()
+    assert stats.entry_ages_seconds
+    assert 115.0 <= stats.oldest_age_seconds <= 600.0
+
+
+def test_unparsable_created_stamp_is_skipped(tmp_path):
+    workload = make_workload("gamess", MACROS)
+    cache, _session, entry = _fresh_entry(tmp_path, workload)
+    meta = json.loads((entry / "meta.json").read_text())
+    meta["created"] = "not-a-date"
+    (entry / "meta.json").write_text(json.dumps(meta))
+    stats = cache.stats()
+    assert stats.entries == 1
+    assert stats.entry_ages_seconds == []
+    assert "entry age" not in stats.describe()
+
+
 def test_checksums_recorded_in_meta(tmp_path):
     workload = make_workload("gamess", MACROS)
     _cache, _session, entry = _fresh_entry(tmp_path, workload)

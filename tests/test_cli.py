@@ -298,3 +298,56 @@ class TestDseSweep:
         )
         assert code == 0
         assert "loaded model" in out
+
+
+class TestObservability:
+    """The --trace-out/--metrics-json flags and progress reporting."""
+
+    def test_suite_summary_names_the_slowest_workload(self, capsys):
+        code, out = run(
+            capsys, "suite", "--only", "gamess", "--only", "bzip2",
+            "--macros", "60",
+        )
+        assert code == 0
+        assert "slowest" in out
+
+    def test_analyze_trace_out_writes_a_loadable_trace(self, capsys, tmp_path):
+        from repro.obs.tracer import load_chrome_trace
+
+        trace = tmp_path / "trace.json"
+        code, out = run(
+            capsys, "analyze", "gamess", "--macros", "60",
+            "--trace-out", str(trace),
+        )
+        assert code == 0
+        assert "instrumentation written to" in out
+        names = {event["name"] for event in load_chrome_trace(trace)}
+        # The root pipeline span and at least one nested stage.
+        assert "analyze" in names
+        assert "sim.run" in names
+        assert "graph.build" in names
+
+    def test_suite_metrics_json_snapshot(self, capsys, tmp_path):
+        import json
+
+        metrics = tmp_path / "metrics.json"
+        code, _out = run(
+            capsys, "suite", "--only", "gamess", "--macros", "60",
+            "--metrics-json", str(metrics),
+        )
+        assert code == 0
+        snapshot = json.loads(metrics.read_text())
+        assert snapshot["counters"]["suite.workloads"] == 1
+        assert "suite.wall_seconds" in snapshot["gauges"]
+
+    def test_sweep_progress_lines_reach_stderr(self, capsys):
+        code = main(
+            ["dse", "sweep", "gamess", "--macros", "100",
+             "--axis", "L1D=1,2,4", "--axis", "Fadd=1,3,6",
+             "--chunk-size", "2", "--progress", "0"]
+        )
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "sweep:" in captured.err
+        assert "chunks" in captured.err
+        assert "front size" in captured.err

@@ -1,0 +1,43 @@
+"""The timing lint must keep ``src/`` clean and actually catch drift."""
+
+import pathlib
+import subprocess
+import sys
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "tools"))
+
+from check_timing import ALLOWED, find_violations  # noqa: E402
+
+
+def test_src_tree_is_clean():
+    assert find_violations(REPO) == []
+
+
+def test_lint_catches_a_bare_perf_counter(tmp_path):
+    src = tmp_path / "src" / "pkg"
+    src.mkdir(parents=True)
+    (src / "hot.py").write_text(
+        "import time\nstart = time.perf_counter()\n"
+    )
+    violations = find_violations(tmp_path)
+    assert len(violations) == 1
+    assert "src/pkg/hot.py:2" in violations[0]
+
+
+def test_allowlist_covers_only_the_clock_module(tmp_path):
+    assert ALLOWED == frozenset({"src/repro/obs/clock.py"})
+    src = tmp_path / "src" / "repro" / "obs"
+    src.mkdir(parents=True)
+    (src / "clock.py").write_text("import time\nt = time.time_ns()\n")
+    assert find_violations(tmp_path) == []
+
+
+def test_cli_entrypoint_exits_zero_on_clean_tree():
+    result = subprocess.run(
+        [sys.executable, str(REPO / "tools" / "check_timing.py")],
+        capture_output=True,
+        text=True,
+    )
+    assert result.returncode == 0, result.stdout + result.stderr
+    assert "timing lint ok" in result.stdout

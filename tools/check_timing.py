@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""CI lint: no bare clock reads outside ``repro.obs.clock``.
+
+The observability layer (``repro.obs``) is the repository's single seam
+for reading clocks — spans, metrics and ad-hoc stage accounting all go
+through :mod:`repro.obs.clock`.  A new ``time.perf_counter()`` sprinkled
+into a pipeline stage silently re-creates the scattered-timing problem
+this layer exists to end, so the build fails on any bare
+``time.perf_counter`` / ``time.time`` / ``time.monotonic`` (and their
+``_ns`` variants) call under ``src/`` except in the clock module itself.
+
+Run from anywhere: ``python tools/check_timing.py``.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import re
+import sys
+
+FORBIDDEN = re.compile(
+    r"\btime\.(perf_counter|perf_counter_ns|time|time_ns|monotonic|"
+    r"monotonic_ns)\s*\("
+)
+
+#: The only files allowed to touch the stdlib clocks directly.
+ALLOWED = frozenset({"src/repro/obs/clock.py"})
+
+
+def find_violations(root: pathlib.Path) -> list:
+    violations = []
+    for path in sorted((root / "src").rglob("*.py")):
+        rel = path.relative_to(root).as_posix()
+        if rel in ALLOWED:
+            continue
+        for lineno, line in enumerate(
+            path.read_text().splitlines(), start=1
+        ):
+            if FORBIDDEN.search(line):
+                violations.append(f"{rel}:{lineno}: {line.strip()}")
+    return violations
+
+
+def main() -> int:
+    root = pathlib.Path(__file__).resolve().parent.parent
+    violations = find_violations(root)
+    if violations:
+        print(
+            "bare clock reads outside repro.obs.clock — route timing "
+            "through repro.obs.clock.perf_seconds()/wall_iso() instead:"
+        )
+        for violation in violations:
+            print(f"  {violation}")
+        return 1
+    checked = sum(1 for _ in (root / "src").rglob("*.py"))
+    print(f"timing lint ok ({checked} files checked)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
