@@ -40,6 +40,10 @@ from repro.dse.report import format_table, render_cpi_stack
 from repro.simulator.machine import Machine
 from repro.workloads.suite import SPEC_LABELS, make_workload, suite_names
 
+#: ``dse sweep --abort-after-chunks`` exit: the sweep stopped on purpose
+#: after persisting its checkpoint (rerun with ``--resume`` to finish).
+EXIT_SWEEP_INTERRUPTED = 4
+
 
 def _parse_overrides(items: Sequence[str]) -> Dict[EventType, int]:
     """Parse ``EVENT=CYCLES`` pairs (e.g. ``L1D=2 Fadd=3``)."""
@@ -204,6 +208,12 @@ def cmd_explore(args) -> int:
 
 
 def cmd_dse_sweep(args) -> int:
+    from repro.runtime.resilience import (
+        CheckpointError,
+        RetryPolicy,
+        SweepInterrupted,
+    )
+
     axes = dict(_parse_axis(spec) for spec in args.axis)
     if not axes:
         raise SystemExit("sweep needs at least one --axis")
@@ -215,6 +225,8 @@ def cmd_dse_sweep(args) -> int:
         raise SystemExit("--chunk-size must be at least 1")
     if args.jobs < 1:
         raise SystemExit("--jobs must be at least 1")
+    if args.retries < 0:
+        raise SystemExit("--retries must be non-negative")
 
     obs = _observer_from_args(args)
     if args.model:
@@ -227,15 +239,31 @@ def cmd_dse_sweep(args) -> int:
     target = args.target_cpi
     if target is None and args.target_fraction is not None:
         target = model.predict_cpi(model.baseline) * args.target_fraction
-    result = Explorer(model).sweep(
-        space,
-        target_cpi=target,
-        chunk_size=args.chunk_size,
-        jobs=args.jobs,
-        top_k=args.top_k,
-        obs=obs,
-        progress_interval=args.progress,
+    retry = (
+        RetryPolicy(max_attempts=args.retries + 1)
+        if args.retries > 0 else None
     )
+    try:
+        result = Explorer(model).sweep(
+            space,
+            target_cpi=target,
+            chunk_size=args.chunk_size,
+            jobs=args.jobs,
+            top_k=args.top_k,
+            obs=obs,
+            progress_interval=args.progress,
+            retry=retry,
+            checkpoint=args.checkpoint,
+            checkpoint_interval=args.checkpoint_interval,
+            resume=args.resume,
+            abort_after_chunks=args.abort_after_chunks,
+        )
+    except SweepInterrupted as interrupted:
+        _finish_observer(obs)
+        print(interrupted)
+        return EXIT_SWEEP_INTERRUPTED
+    except (CheckpointError, ValueError) as error:
+        raise SystemExit(str(error))
     _finish_observer(obs)
     if args.json:
         import json
@@ -316,6 +344,7 @@ def cmd_pipeline(args) -> int:
 
 
 def cmd_suite(args) -> int:
+    from repro.runtime.resilience import CheckpointError, RetryPolicy
     from repro.runtime.runner import run_suite
     from repro.workloads.suite import resolve_names
 
@@ -325,16 +354,28 @@ def cmd_suite(args) -> int:
         raise SystemExit(exc.args[0]) from exc
     if args.jobs < 1:
         raise SystemExit("--jobs must be at least 1")
-    obs = _observer_from_args(args)
-    report = run_suite(
-        names=tuple(args.only or ()),
-        macros=args.macros,
-        seed=args.seed,
-        jobs=args.jobs,
-        cache=args.cache_dir,
-        timeout=args.timeout,
-        obs=obs,
+    if args.retries < 0:
+        raise SystemExit("--retries must be non-negative")
+    retry = (
+        RetryPolicy(max_attempts=args.retries + 1)
+        if args.retries > 0 else None
     )
+    obs = _observer_from_args(args)
+    try:
+        report = run_suite(
+            names=tuple(args.only or ()),
+            macros=args.macros,
+            seed=args.seed,
+            jobs=args.jobs,
+            cache=args.cache_dir,
+            timeout=args.timeout,
+            obs=obs,
+            retry=retry,
+            checkpoint=args.checkpoint,
+            resume=args.resume,
+        )
+    except (CheckpointError, ValueError) as error:
+        raise SystemExit(str(error))
     _finish_observer(obs)
     rows = []
     for outcome in report:
@@ -359,19 +400,30 @@ def cmd_suite(args) -> int:
         )
     print(format_table(["application", "baseline CPI", "bottlenecks"], rows))
     hits = sum(1 for outcome in report if outcome.cache_hit)
+    retried = sum(1 for outcome in report if outcome.attempts > 1)
+    resumed = sum(1 for outcome in report if outcome.resumed)
     summary = (
         f"{len(report.succeeded)}/{len(report)} workloads in "
         f"{report.wall_seconds:.2f}s ({report.jobs} job(s))"
     )
     if hits:
         summary += f", {hits} cache hit(s)"
+    if retried:
+        summary += f", {retried} retried"
+    if resumed:
+        summary += f", {resumed} resumed"
     slowest = report.slowest
     if slowest is not None:
         summary += (
             f", slowest {slowest.name} ({slowest.elapsed_seconds:.2f}s)"
         )
     print(summary)
-    return 1 if report.failed else 0
+    if report.failed and report.succeeded:
+        print(
+            f"partial failure: {len(report.failed)} workload(s) failed "
+            f"after retries (exit {report.exit_code})"
+        )
+    return report.exit_code
 
 
 def cmd_profile(args) -> int:
@@ -515,6 +567,23 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--progress", type=float, metavar="SECONDS",
                    help="emit a progress line (chunks done / points "
                    "priced / front size) at this interval")
+    p.add_argument("--retries", type=int, default=0,
+                   help="re-run a failed sweep shard up to this many "
+                   "times (jobs > 1; transient errors and worker "
+                   "deaths)")
+    p.add_argument("--checkpoint", metavar="PATH",
+                   help="crash-safe sweep snapshot file, atomically "
+                   "rewritten every --checkpoint-interval chunks "
+                   "(requires --jobs 1)")
+    p.add_argument("--checkpoint-interval", type=int, default=16,
+                   metavar="CHUNKS", help="chunks between snapshots")
+    p.add_argument("--resume", action="store_true",
+                   help="continue from --checkpoint, skipping every "
+                   "already-priced chunk (front stays bit-identical); "
+                   "stale checkpoints are rejected")
+    p.add_argument("--abort-after-chunks", type=int, metavar="N",
+                   help="crash drill: stop after N chunks with the "
+                   f"checkpoint persisted (exit {EXIT_SWEEP_INTERRUPTED})")
     add_obs_args(p)
     p.set_defaults(func=cmd_dse_sweep)
 
@@ -554,7 +623,19 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--cache-dir",
                    help="artifact cache directory (reuse prior analyses)")
     p.add_argument("--timeout", type=float,
-                   help="per-workload wall-clock budget in seconds")
+                   help="per-workload wall-clock budget in seconds, "
+                   "measured from task start; stragglers are reaped")
+    p.add_argument("--retries", type=int, default=0,
+                   help="retry a failing workload up to this many extra "
+                   "times (exponential backoff; worker deaths respawn "
+                   "the pool)")
+    p.add_argument("--checkpoint", metavar="PATH",
+                   help="journal completed workloads to this file after "
+                   "each one finishes")
+    p.add_argument("--resume", action="store_true",
+                   help="skip workloads the --checkpoint journal records "
+                   "as completed (requires --cache-dir; stale journals "
+                   "are rejected)")
     add_obs_args(p)
     p.set_defaults(func=cmd_suite)
 

@@ -276,6 +276,11 @@ class Explorer:
         top_k: Optional[int] = None,
         obs=None,
         progress_interval: Optional[float] = None,
+        retry=None,
+        checkpoint=None,
+        checkpoint_interval: int = 16,
+        resume: bool = False,
+        abort_after_chunks: Optional[int] = None,
     ) -> ExplorationResult:
         """Stream *space* through the bounded-memory sweep engine.
 
@@ -287,7 +292,8 @@ class Explorer:
         bounded memory.  The returned front is bit-identical to the
         materialised path's.  See :func:`repro.dse.sweep.sweep_space`
         (including the ``obs`` / ``progress_interval`` instrumentation
-        knobs forwarded here).
+        knobs and the ``retry`` / ``checkpoint`` / ``resume``
+        fault-tolerance knobs forwarded here).
         """
         from repro.dse.sweep import sweep_space
 
@@ -301,6 +307,11 @@ class Explorer:
             cost_model=self.cost_model,
             obs=obs,
             progress_interval=progress_interval,
+            retry=retry,
+            checkpoint=checkpoint,
+            checkpoint_interval=checkpoint_interval,
+            resume=resume,
+            abort_after_chunks=abort_after_chunks,
         )
 
     def _predict_all(self, points: Sequence[LatencyConfig]) -> np.ndarray:

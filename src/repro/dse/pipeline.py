@@ -78,6 +78,11 @@ class AnalysisSession:
         top_k: Optional[int] = None,
         obs=None,
         progress_interval: Optional[float] = None,
+        retry=None,
+        checkpoint=None,
+        checkpoint_interval: int = 16,
+        resume: bool = False,
+        abort_after_chunks: Optional[int] = None,
     ) -> ExplorationResult:
         """Stream *space* through the bounded-memory sweep engine.
 
@@ -86,7 +91,10 @@ class AnalysisSession:
         processes, and never materialising the space.  ``obs`` /
         ``progress_interval`` forward to
         :func:`repro.dse.sweep.sweep_space` for chunk spans, metrics
-        and progress lines.
+        and progress lines; ``retry`` / ``checkpoint`` /
+        ``checkpoint_interval`` / ``resume`` / ``abort_after_chunks``
+        forward the fault-tolerance machinery (shard retries, crash-safe
+        snapshots, bit-identical resume).
         """
         return Explorer(self.rpstacks).sweep(
             space,
@@ -96,6 +104,11 @@ class AnalysisSession:
             top_k=top_k,
             obs=obs,
             progress_interval=progress_interval,
+            retry=retry,
+            checkpoint=checkpoint,
+            checkpoint_interval=checkpoint_interval,
+            resume=resume,
+            abort_after_chunks=abort_after_chunks,
         )
 
     def simulate(self, latency: LatencyConfig) -> SimResult:

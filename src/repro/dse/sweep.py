@@ -35,7 +35,8 @@ explorer's, which ``tests/dse/test_sweep.py`` asserts differentially.
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional, Tuple
+import pathlib
+from typing import Callable, List, Optional, Tuple, Union
 
 import numpy as np
 
@@ -115,16 +116,20 @@ def _sweep_shard(
     cost_model: Optional[Callable],
     top_k: Optional[int],
     progress_interval: Optional[float] = None,
+    initial: Optional[dict] = None,
 ) -> dict:
     """Evaluate points ``[start, stop)`` chunk by chunk, merging each
     chunk's survivors into a running pruned candidate set.
 
     Module-level so it pickles into :func:`parallel_map` workers; the
     returned payload is a handful of small arrays, not design points.
-    Under an enabled (ambient) observer each chunk becomes a
-    ``sweep.chunk`` span and a progress line is emitted every
-    *progress_interval* seconds; the disabled path is hoisted to one
-    ``obs.enabled`` check per chunk.
+    *initial* seeds the running state with a previous segment's payload
+    (the checkpointed path continues a sweep exactly where a snapshot
+    left off — the prune's confluence makes the result bit-identical to
+    one uninterrupted pass).  Under an enabled (ambient) observer each
+    chunk becomes a ``sweep.chunk`` span and a progress line is emitted
+    every *progress_interval* seconds; the disabled path is hoisted to
+    one ``obs.enabled`` check per chunk.
     """
     # Resolved ambiently: in a worker process parallel_map's capture
     # wrapper installs a fresh observer whose spans ship back merged.
@@ -137,14 +142,22 @@ def _sweep_shard(
     )
     last_progress = clock.perf_seconds()
     vector_costs = cost_model is None or cost_model is default_cost_model
-    held_idx = np.empty(0, dtype=np.int64)
-    held_cpi = np.empty(0, dtype=np.float64)
-    held_cost = np.empty(0, dtype=np.float64)
-    meeting = 0
-    peak = 0
+    if initial is not None:
+        held_idx = np.asarray(initial["indices"], dtype=np.int64)
+        held_cpi = np.asarray(initial["cpis"], dtype=np.float64)
+        held_cost = np.asarray(initial["costs"], dtype=np.float64)
+        meeting = int(initial["meeting"])
+        peak = int(initial["peak"])
+        chunk_seconds: List[float] = list(initial["chunk_seconds"])
+    else:
+        held_idx = np.empty(0, dtype=np.int64)
+        held_cpi = np.empty(0, dtype=np.float64)
+        held_cost = np.empty(0, dtype=np.float64)
+        meeting = 0
+        peak = 0
+        chunk_seconds = []
     chunks_done = 0
     total_chunks = -(-(stop - start) // chunk_size) if stop > start else 0
-    chunk_seconds: List[float] = []
     for lo in range(start, stop, chunk_size):
         hi = min(lo + chunk_size, stop)
         wall_tick = clock.wall_ns() if instrumented else 0
@@ -231,6 +244,17 @@ def _shard_ranges(
     return ranges
 
 
+def _empty_state() -> dict:
+    return {
+        "indices": np.empty(0, dtype=np.int64),
+        "cpis": np.empty(0, dtype=np.float64),
+        "costs": np.empty(0, dtype=np.float64),
+        "meeting": 0,
+        "peak": 0,
+        "chunk_seconds": [],
+    }
+
+
 def sweep_space(
     predictor,
     space: DesignSpace,
@@ -242,6 +266,11 @@ def sweep_space(
     cost_model: Callable[[LatencyConfig, LatencyConfig], float] = None,
     obs=None,
     progress_interval: Optional[float] = None,
+    retry=None,
+    checkpoint: Union[None, str, pathlib.Path] = None,
+    checkpoint_interval: int = 16,
+    resume: bool = False,
+    abort_after_chunks: Optional[int] = None,
 ) -> ExplorationResult:
     """Sweep *space* in bounded memory, streaming chunks of pricing
     vectors through the predictor and a Pareto reduction.
@@ -273,6 +302,28 @@ def sweep_space(
             points priced / current front size); defaults to
             :data:`DEFAULT_PROGRESS_INTERVAL`.  Progress requires an
             enabled observer.
+        retry: a :class:`~repro.runtime.resilience.RetryPolicy` for the
+            sharded path (``jobs > 1``): a shard whose worker raises a
+            transient error or dies is re-run instead of failing the
+            sweep.
+        checkpoint: path for crash-safe
+            :class:`~repro.runtime.resilience.SweepCheckpoint`
+            snapshots — the pruned candidate set, the chunk cursor and
+            the input fingerprints, atomically rewritten every
+            *checkpoint_interval* chunks.  Requires ``jobs == 1`` (the
+            snapshot is a single linear cursor).
+        checkpoint_interval: chunks between snapshots.
+        resume: continue from *checkpoint* if it exists, skipping every
+            already-priced chunk; the stored fingerprints must match
+            this run's space/model/cost model/chunk size/target/top-k
+            or a
+            :class:`~repro.runtime.resilience.CheckpointMismatchError`
+            is raised.  The resumed front is bit-identical to an
+            uninterrupted run's (prune confluence; property-tested).
+        abort_after_chunks: crash drill — raise
+            :class:`~repro.runtime.resilience.SweepInterrupted` after
+            pricing this many chunks (checkpoint already persisted).
+            Requires *checkpoint*.
 
     Returns:
         An :class:`ExplorationResult` whose candidates are the pruned
@@ -287,15 +338,113 @@ def sweep_space(
         raise ValueError("jobs must be at least 1")
     if top_k is not None and top_k < 1:
         raise ValueError("top_k must be at least 1 (or None)")
+    if checkpoint is not None and jobs > 1:
+        raise ValueError(
+            "checkpointing tracks a single linear chunk cursor; "
+            "use jobs=1 (sharded sweeps recover via the retry policy)"
+        )
+    if checkpoint_interval < 1:
+        raise ValueError("checkpoint_interval must be at least 1")
+    if resume and checkpoint is None:
+        raise ValueError("resume requires a checkpoint path")
+    if abort_after_chunks is not None:
+        if checkpoint is None:
+            raise ValueError(
+                "abort_after_chunks is a checkpoint crash drill; give "
+                "a checkpoint path"
+            )
+        if abort_after_chunks < 1:
+            raise ValueError("abort_after_chunks must be at least 1")
     from repro.obs.observer import use_observer
 
     obs = obs if obs is not None else get_observer()
     total = space.num_points
+    resume_start = 0
+    ckpt_path: Optional[pathlib.Path] = None
+    if checkpoint is not None:
+        from repro.runtime.resilience import (
+            SweepCheckpoint,
+            SweepInterrupted,
+            cost_model_id,
+            predictor_fingerprint,
+            space_fingerprint,
+        )
+
+        ckpt_path = pathlib.Path(checkpoint).expanduser()
+        space_fp = space_fingerprint(space)
+        model_fp = predictor_fingerprint(predictor)
+        cost_id = cost_model_id(cost_model)
     start = clock.perf_seconds()
     with use_observer(obs), obs.span(
         "sweep.run", points=total, jobs=jobs, chunk_size=chunk_size
     ):
-        if jobs == 1:
+        if ckpt_path is not None:
+            state = None
+            if resume and ckpt_path.exists():
+                with obs.span("sweep.checkpoint.load"):
+                    snapshot = SweepCheckpoint.load(ckpt_path)
+                snapshot.validate(
+                    space_fp=space_fp,
+                    model_fp=model_fp,
+                    cost_id=cost_id,
+                    chunk_size=chunk_size,
+                    target_cpi=target_cpi,
+                    top_k=top_k,
+                    total=total,
+                )
+                state = {
+                    "indices": snapshot.indices,
+                    "cpis": snapshot.cpis,
+                    "costs": snapshot.costs,
+                    "meeting": snapshot.meeting,
+                    "peak": snapshot.peak,
+                    "chunk_seconds": list(snapshot.chunk_seconds),
+                }
+                resume_start = snapshot.next_start
+                obs.counter("sweep.resumed_points").inc(resume_start)
+            cursor = resume_start
+            chunks_this_run = 0
+            segment_points = checkpoint_interval * chunk_size
+            while cursor < total:
+                segment_stop = min(cursor + segment_points, total)
+                if abort_after_chunks is not None:
+                    budget = abort_after_chunks - chunks_this_run
+                    segment_stop = min(
+                        segment_stop, cursor + budget * chunk_size
+                    )
+                state = _sweep_shard(
+                    predictor, space, cursor, segment_stop, chunk_size,
+                    target_cpi, cost_model, top_k, progress_interval,
+                    initial=state,
+                )
+                chunks_this_run += -(-(segment_stop - cursor) // chunk_size)
+                cursor = segment_stop
+                with obs.span("sweep.checkpoint", next_start=cursor):
+                    SweepCheckpoint(
+                        space_fingerprint=space_fp,
+                        model_fingerprint=model_fp,
+                        cost_model_id=cost_id,
+                        chunk_size=chunk_size,
+                        target_cpi=target_cpi,
+                        top_k=top_k,
+                        total=total,
+                        next_start=cursor,
+                        indices=state["indices"],
+                        cpis=state["cpis"],
+                        costs=state["costs"],
+                        meeting=state["meeting"],
+                        peak=state["peak"],
+                        chunk_seconds=state["chunk_seconds"],
+                    ).save(ckpt_path)
+                obs.counter("sweep.checkpoints").inc()
+                if (
+                    abort_after_chunks is not None
+                    and chunks_this_run >= abort_after_chunks
+                    and cursor < total
+                ):
+                    raise SweepInterrupted(str(ckpt_path), chunks_this_run)
+            shards = [state if state is not None else _empty_state()]
+        elif jobs == 1:
             shards = [
                 _sweep_shard(
                     predictor, space, 0, total, chunk_size, target_cpi,
@@ -310,7 +459,9 @@ def sweep_space(
                  cost_model, top_k, progress_interval)
                 for lo, hi in _shard_ranges(total, chunk_size, jobs)
             ]
-            outcomes = parallel_map(_sweep_shard, tasks, jobs=jobs, obs=obs)
+            outcomes = parallel_map(
+                _sweep_shard, tasks, jobs=jobs, obs=obs, retry=retry
+            )
             failed = [o for o in outcomes if not o.ok]
             if failed:
                 raise RuntimeError(
@@ -353,8 +504,11 @@ def sweep_space(
     registry.gauge("sweep.peak_candidates").set(
         max((s["peak"] for s in shards), default=0)
     )
+    # A resumed run only priced the points past its snapshot cursor;
+    # throughput reports what *this* process actually did.
+    priced = total - resume_start
     registry.gauge("sweep.points_per_sec").set(
-        total / elapsed if elapsed > 0 else float("inf")
+        priced / elapsed if elapsed > 0 else float("inf")
     )
     registry.gauge("prune.survivors").set(int(indices.size))
     if obs.enabled:

@@ -10,7 +10,10 @@ hardware allows"):
   dependence graphs and RpStacks models keyed by those fingerprints;
 * :mod:`repro.runtime.graphio` — lossless dependence-graph archives;
 * :mod:`repro.runtime.runner` — process-pool fan-out of ``analyze()``
-  over the workload suite with error isolation and timeouts.
+  over the workload suite with error isolation, retries and per-task
+  deadlines;
+* :mod:`repro.runtime.resilience` — retry policies with deterministic
+  backoff, crash-safe sweep/suite checkpoints, stale-resume rejection.
 """
 
 from repro.runtime.cache import ArtifactCache, CacheStats, open_cache
@@ -20,7 +23,18 @@ from repro.runtime.fingerprint import (
     workload_fingerprint,
 )
 from repro.runtime.graphio import GraphFormatError, load_graph, save_graph
+from repro.runtime.resilience import (
+    CheckpointError,
+    CheckpointMismatchError,
+    RetryPolicy,
+    SuiteCheckpoint,
+    SweepCheckpoint,
+    SweepInterrupted,
+)
 from repro.runtime.runner import (
+    EXIT_ALL_FAILED,
+    EXIT_OK,
+    EXIT_PARTIAL_FAILURE,
     SuiteReport,
     TaskOutcome,
     WorkloadOutcome,
@@ -31,8 +45,17 @@ from repro.runtime.runner import (
 __all__ = [
     "ArtifactCache",
     "CacheStats",
+    "CheckpointError",
+    "CheckpointMismatchError",
+    "EXIT_ALL_FAILED",
+    "EXIT_OK",
+    "EXIT_PARTIAL_FAILURE",
     "GraphFormatError",
+    "RetryPolicy",
+    "SuiteCheckpoint",
     "SuiteReport",
+    "SweepCheckpoint",
+    "SweepInterrupted",
     "TaskOutcome",
     "WorkloadOutcome",
     "parallel_map",

@@ -1,0 +1,518 @@
+"""Fault-tolerant execution: retry policies and crash-safe checkpoints.
+
+Long campaigns die for boring reasons — a worker segfaults, a box
+reboots mid-sweep, one workload deadlocks — and the ROADMAP's
+production-scale north star means those deaths must cost a retry or a
+resume, never a from-scratch rerun.  This module is the policy layer
+the execution machinery (:func:`repro.runtime.runner.parallel_map`,
+:func:`repro.dse.sweep.sweep_space`, :func:`repro.runtime.runner.run_suite`)
+builds its resilience on:
+
+* :class:`RetryPolicy` — bounded retries with exponential backoff and
+  *deterministic* jitter (a pure function of seed, task and attempt, so
+  chaos tests replay bit-identically and the documented delay cap is a
+  provable bound, property-tested in ``tests/runtime``);
+* :class:`SweepCheckpoint` — an atomic on-disk snapshot of a streaming
+  sweep's pruned candidate set, chunk cursor and input fingerprints,
+  written with the same stage-then-``os.replace`` discipline as the
+  artifact cache so a crash can never leave a torn checkpoint;
+* :class:`SuiteCheckpoint` — the suite runner's journal of completed
+  workloads, enabling ``suite --resume`` to skip finished work;
+* fingerprint helpers that make stale resumes *loud*: resuming against
+  a different design space, model, chunk size, target or cost model
+  fails with a :class:`CheckpointMismatchError` naming the offending
+  field instead of silently merging incompatible fronts.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import pathlib
+import tempfile
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+__all__ = [
+    "RetryPolicy",
+    "CheckpointError",
+    "CheckpointMismatchError",
+    "SweepInterrupted",
+    "SweepCheckpoint",
+    "SuiteCheckpoint",
+    "space_fingerprint",
+    "predictor_fingerprint",
+    "cost_model_id",
+    "suite_fingerprint",
+]
+
+#: Bump when the checkpoint layout changes incompatibly; old files are
+#: rejected with a clear error instead of being misread.
+CHECKPOINT_FORMAT = 1
+
+
+# ---------------------------------------------------------------------------
+# Retry policy
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded retries with exponential backoff and deterministic jitter.
+
+    The delay before attempt ``n + 1`` (after ``n`` failures) is::
+
+        min(max_delay, base_delay * backoff_factor ** (n - 1))
+            * (1 + jitter_fraction * u)
+
+    where ``u ∈ [0, 1)`` is a pure hash of ``(seed, task_key, n)`` —
+    the same task retried under the same policy always waits the same
+    amount, so fault-injection runs are replayable and the total delay
+    a single task can accumulate is bounded by :meth:`total_delay_cap`
+    (property-tested in ``tests/runtime/test_resilience.py``).
+
+    Attributes:
+        max_attempts: total tries per task (1 = no retries).
+        base_delay: seconds before the first retry, pre-jitter.
+        backoff_factor: multiplier applied per further retry.
+        max_delay: pre-jitter ceiling for any single delay.
+        jitter_fraction: delays stretch by up to this fraction.
+        seed: folded into the jitter hash (vary to decorrelate runs).
+        retryable: exception classes considered transient; anything
+            else fails the task immediately.
+        retry_pool_breaks: whether a worker-process death
+            (``BrokenProcessPool`` — e.g. a SIGKILL or segfault) counts
+            as a retryable event for the tasks that were running.
+    """
+
+    max_attempts: int = 3
+    base_delay: float = 0.05
+    backoff_factor: float = 2.0
+    max_delay: float = 2.0
+    jitter_fraction: float = 0.1
+    seed: int = 0
+    retryable: Tuple[type, ...] = (Exception,)
+    retry_pool_breaks: bool = True
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be at least 1")
+        if self.base_delay < 0:
+            raise ValueError("base_delay must be non-negative")
+        if self.backoff_factor < 1.0:
+            raise ValueError("backoff_factor must be at least 1.0")
+        if self.max_delay < 0:
+            raise ValueError("max_delay must be non-negative")
+        if not 0.0 <= self.jitter_fraction <= 1.0:
+            raise ValueError("jitter_fraction must be within [0, 1]")
+
+    def should_retry(self, error: BaseException, attempt: int) -> bool:
+        """Whether a task that failed on *attempt* (1-based) with
+        *error* deserves another try under this policy."""
+        if attempt >= self.max_attempts:
+            return False
+        return isinstance(error, self.retryable)
+
+    def delay_for(self, attempt: int, task_key: Any = 0) -> float:
+        """Seconds to wait before re-running a task whose *attempt*
+        (1-based) just failed.  Deterministic in (policy, task, attempt).
+        """
+        if attempt < 1:
+            raise ValueError("attempt is 1-based")
+        raw = self.base_delay * self.backoff_factor ** (attempt - 1)
+        capped = min(self.max_delay, raw)
+        return capped * (1.0 + self.jitter_fraction * self._unit(
+            task_key, attempt
+        ))
+
+    def total_delay_cap(self) -> float:
+        """Documented upper bound on the backoff a single task can
+        accumulate across all its retries (jitter included)."""
+        total = 0.0
+        for attempt in range(1, self.max_attempts):
+            raw = self.base_delay * self.backoff_factor ** (attempt - 1)
+            total += min(self.max_delay, raw)
+        return total * (1.0 + self.jitter_fraction)
+
+    def _unit(self, task_key: Any, attempt: int) -> float:
+        """A deterministic pseudo-uniform draw in ``[0, 1)``."""
+        token = f"{self.seed}|{task_key!r}|{attempt}".encode("utf-8")
+        digest = hashlib.sha256(token).digest()
+        return int.from_bytes(digest[:8], "big") / float(1 << 64)
+
+
+# ---------------------------------------------------------------------------
+# Errors
+# ---------------------------------------------------------------------------
+
+
+class CheckpointError(RuntimeError):
+    """A checkpoint file is unreadable, torn or of an unknown format."""
+
+
+class CheckpointMismatchError(CheckpointError):
+    """A checkpoint was recorded under different sweep inputs.
+
+    Carries the first mismatching component in :attr:`field` so callers
+    (and tests) can tell *which* input drifted.
+    """
+
+    def __init__(self, field_name: str, stored: Any, current: Any) -> None:
+        self.field = field_name
+        self.stored = stored
+        self.current = current
+        super().__init__(
+            f"checkpoint was written for a different {field_name}: "
+            f"stored {stored!r}, current run has {current!r}; "
+            "delete the checkpoint (or point --checkpoint elsewhere) to "
+            "start fresh"
+        )
+
+
+class SweepInterrupted(RuntimeError):
+    """A sweep aborted deliberately after persisting a checkpoint
+    (crash-drill seam used by tests and ``--abort-after-chunks``)."""
+
+    def __init__(self, path: str, chunks_done: int) -> None:
+        self.path = str(path)
+        self.chunks_done = chunks_done
+        super().__init__(
+            f"sweep interrupted after {chunks_done} chunk(s); "
+            f"checkpoint saved to {path} — rerun with --resume to continue"
+        )
+
+
+# ---------------------------------------------------------------------------
+# Fingerprints
+# ---------------------------------------------------------------------------
+
+
+def space_fingerprint(space) -> str:
+    """SHA-256 over a design space's full content: the base pricing
+    vector plus every axis (event id and candidate latencies)."""
+    digest = hashlib.sha256()
+    digest.update(np.ascontiguousarray(
+        space.base.as_vector(), dtype=np.float64
+    ).tobytes())
+    for event, values in space.axes:
+        digest.update(repr((int(event), tuple(values))).encode("ascii"))
+    return digest.hexdigest()
+
+
+def predictor_fingerprint(predictor) -> str:
+    """SHA-256 over what determines a predictor's prices.
+
+    For an :class:`~repro.core.model.RpStacksModel` (anything exposing
+    ``segment_stacks`` / ``baseline`` / ``num_uops``) the hash covers
+    the stack matrices themselves, so two models trained on different
+    workloads — or the same workload re-reduced differently — never
+    share a checkpoint.  Predictors without that shape fall back to
+    their class identity, which still catches swapping predictor kinds.
+    """
+    digest = hashlib.sha256()
+    cls = type(predictor)
+    digest.update(f"{cls.__module__}.{cls.__qualname__}".encode("utf-8"))
+    stacks = getattr(predictor, "segment_stacks", None)
+    if stacks is not None:
+        for stack in stacks:
+            digest.update(np.ascontiguousarray(
+                stack, dtype=np.float64
+            ).tobytes())
+    baseline = getattr(predictor, "baseline", None)
+    if baseline is not None and hasattr(baseline, "as_vector"):
+        digest.update(np.ascontiguousarray(
+            baseline.as_vector(), dtype=np.float64
+        ).tobytes())
+    num_uops = getattr(predictor, "num_uops", None)
+    if num_uops is not None:
+        digest.update(str(int(num_uops)).encode("ascii"))
+    return digest.hexdigest()
+
+
+def cost_model_id(cost_model) -> str:
+    """Stable identity of the sweep's cost model (``default`` for the
+    built-in vectorised model, the qualified name otherwise)."""
+    if cost_model is None:
+        return "default"
+    from repro.dse.explorer import default_cost_model
+
+    if cost_model is default_cost_model:
+        return "default"
+    return f"{cost_model.__module__}.{getattr(cost_model, '__qualname__', repr(cost_model))}"
+
+
+def suite_fingerprint(
+    names: Sequence[str],
+    macros: int,
+    seed: int,
+    config,
+    analyze_kwargs: Dict,
+    factory=None,
+) -> str:
+    """SHA-256 over everything that shapes a suite run's outcomes."""
+    from repro.simulator.traceio import config_to_dict
+
+    payload = {
+        "names": list(names),
+        "macros": int(macros),
+        "seed": int(seed),
+        "config": None if config is None else config_to_dict(config),
+        "analyze_kwargs": sorted(
+            (key, repr(value)) for key, value in analyze_kwargs.items()
+        ),
+        "factory": (
+            None
+            if factory is None
+            else f"{factory.__module__}.{getattr(factory, '__qualname__', repr(factory))}"
+        ),
+    }
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+# ---------------------------------------------------------------------------
+# Sweep checkpoint
+# ---------------------------------------------------------------------------
+
+
+def _atomic_write(path: pathlib.Path, writer) -> None:
+    """Stage bytes in a sibling temp file, publish with ``os.replace``.
+
+    The same crash-safety discipline as the artifact cache: a reader
+    only ever sees a complete file, never a torn one.
+    """
+    path.parent.mkdir(parents=True, exist_ok=True)
+    handle, tmp_name = tempfile.mkstemp(
+        dir=str(path.parent), prefix=f".{path.name}.", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(handle, "wb") as stream:
+            writer(stream)
+        os.replace(tmp_name, str(path))
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+
+
+@dataclass
+class SweepCheckpoint:
+    """Crash-safe snapshot of a streaming sweep in flight.
+
+    Stores the pruned candidate set (which, by the prune's confluence,
+    is *exactly* the state an uninterrupted run would hold at the same
+    chunk boundary), the cursor of the next unpriced point, and the
+    fingerprints of every input that must match on resume.  Serialised
+    as a single ``.npz`` (arrays raw, scalars in a JSON header) and
+    published atomically.
+    """
+
+    space_fingerprint: str
+    model_fingerprint: str
+    cost_model_id: str
+    chunk_size: int
+    target_cpi: Optional[float]
+    top_k: Optional[int]
+    total: int
+    next_start: int
+    indices: np.ndarray
+    cpis: np.ndarray
+    costs: np.ndarray
+    meeting: int = 0
+    peak: int = 0
+    chunk_seconds: List[float] = field(default_factory=list)
+    created: str = ""
+
+    @property
+    def complete(self) -> bool:
+        return self.next_start >= self.total
+
+    def _meta(self) -> Dict:
+        return {
+            "format": CHECKPOINT_FORMAT,
+            "space_fingerprint": self.space_fingerprint,
+            "model_fingerprint": self.model_fingerprint,
+            "cost_model_id": self.cost_model_id,
+            "chunk_size": int(self.chunk_size),
+            "target_cpi": self.target_cpi,
+            "top_k": self.top_k,
+            "total": int(self.total),
+            "next_start": int(self.next_start),
+            "meeting": int(self.meeting),
+            "peak": int(self.peak),
+            "created": self.created,
+        }
+
+    def save(self, path: Union[str, pathlib.Path]) -> pathlib.Path:
+        """Atomically persist the snapshot to *path*."""
+        from repro.obs import clock
+
+        if not self.created:
+            self.created = clock.wall_iso()
+        path = pathlib.Path(path).expanduser()
+
+        def writer(stream):
+            np.savez(
+                stream,
+                meta=np.array(json.dumps(self._meta())),
+                indices=np.asarray(self.indices, dtype=np.int64),
+                cpis=np.asarray(self.cpis, dtype=np.float64),
+                costs=np.asarray(self.costs, dtype=np.float64),
+                chunk_seconds=np.asarray(
+                    self.chunk_seconds, dtype=np.float64
+                ),
+            )
+
+        _atomic_write(path, writer)
+        return path
+
+    @classmethod
+    def load(cls, path: Union[str, pathlib.Path]) -> "SweepCheckpoint":
+        """Read a snapshot back; raises :class:`CheckpointError` on any
+        structural problem (torn file, unknown format, missing keys)."""
+        path = pathlib.Path(path).expanduser()
+        try:
+            with np.load(str(path), allow_pickle=False) as archive:
+                meta = json.loads(str(archive["meta"]))
+                indices = np.asarray(archive["indices"], dtype=np.int64)
+                cpis = np.asarray(archive["cpis"], dtype=np.float64)
+                costs = np.asarray(archive["costs"], dtype=np.float64)
+                chunk_seconds = [
+                    float(s) for s in archive["chunk_seconds"]
+                ]
+        except CheckpointError:
+            raise
+        except Exception as error:
+            raise CheckpointError(
+                f"unreadable sweep checkpoint {path}: {error}"
+            ) from error
+        if meta.get("format") != CHECKPOINT_FORMAT:
+            raise CheckpointError(
+                f"sweep checkpoint {path} has format "
+                f"{meta.get('format')!r}; this build reads format "
+                f"{CHECKPOINT_FORMAT}"
+            )
+        return cls(
+            space_fingerprint=meta["space_fingerprint"],
+            model_fingerprint=meta["model_fingerprint"],
+            cost_model_id=meta["cost_model_id"],
+            chunk_size=int(meta["chunk_size"]),
+            target_cpi=meta["target_cpi"],
+            top_k=meta["top_k"],
+            total=int(meta["total"]),
+            next_start=int(meta["next_start"]),
+            indices=indices,
+            cpis=cpis,
+            costs=costs,
+            meeting=int(meta["meeting"]),
+            peak=int(meta["peak"]),
+            chunk_seconds=chunk_seconds,
+            created=meta.get("created", ""),
+        )
+
+    def validate(
+        self,
+        *,
+        space_fp: str,
+        model_fp: str,
+        cost_id: str,
+        chunk_size: int,
+        target_cpi: Optional[float],
+        top_k: Optional[int],
+        total: int,
+    ) -> None:
+        """Reject a stale snapshot, naming the first drifted input."""
+        checks = (
+            ("design space", self.space_fingerprint, space_fp),
+            ("model", self.model_fingerprint, model_fp),
+            ("cost model", self.cost_model_id, cost_id),
+            ("chunk size", int(self.chunk_size), int(chunk_size)),
+            ("target CPI", self.target_cpi, target_cpi),
+            ("top-k cap", self.top_k, top_k),
+            ("point count", int(self.total), int(total)),
+        )
+        for field_name, stored, current in checks:
+            if stored != current:
+                raise CheckpointMismatchError(field_name, stored, current)
+
+
+# ---------------------------------------------------------------------------
+# Suite checkpoint
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class SuiteCheckpoint:
+    """Journal of a suite run: which workloads already finished cleanly.
+
+    A tiny JSON file rewritten atomically after every completed
+    workload.  On ``--resume`` the runner validates the fingerprint,
+    skips the recorded names (reloading their sessions through the
+    artifact cache) and only dispatches the remainder to the pool.
+    """
+
+    fingerprint: str
+    completed: List[str] = field(default_factory=list)
+    created: str = ""
+
+    def save(self, path: Union[str, pathlib.Path]) -> pathlib.Path:
+        from repro.obs import clock
+
+        if not self.created:
+            self.created = clock.wall_iso()
+        path = pathlib.Path(path).expanduser()
+        payload = {
+            "format": CHECKPOINT_FORMAT,
+            "kind": "suite",
+            "fingerprint": self.fingerprint,
+            "completed": list(self.completed),
+            "created": self.created,
+        }
+
+        def writer(stream):
+            stream.write(
+                json.dumps(payload, indent=2).encode("utf-8")
+            )
+
+        _atomic_write(path, writer)
+        return path
+
+    @classmethod
+    def load(cls, path: Union[str, pathlib.Path]) -> "SuiteCheckpoint":
+        path = pathlib.Path(path).expanduser()
+        try:
+            payload = json.loads(path.read_text())
+        except Exception as error:
+            raise CheckpointError(
+                f"unreadable suite checkpoint {path}: {error}"
+            ) from error
+        if payload.get("format") != CHECKPOINT_FORMAT or (
+            payload.get("kind") != "suite"
+        ):
+            raise CheckpointError(
+                f"{path} is not a format-{CHECKPOINT_FORMAT} suite "
+                "checkpoint"
+            )
+        return cls(
+            fingerprint=payload["fingerprint"],
+            completed=list(payload["completed"]),
+            created=payload.get("created", ""),
+        )
+
+    def validate(self, fingerprint: str) -> None:
+        if self.fingerprint != fingerprint:
+            raise CheckpointMismatchError(
+                "suite configuration", self.fingerprint, fingerprint
+            )
+
+    def mark(self, name: str, path: Union[str, pathlib.Path]) -> None:
+        """Record *name* as completed and persist immediately."""
+        if name not in self.completed:
+            self.completed.append(name)
+        self.save(path)

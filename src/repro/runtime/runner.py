@@ -11,11 +11,22 @@ runner distributes the per-workload pipeline over a
 * **error isolation** — a workload whose generator or simulation raises
   is reported as a failed outcome (with its traceback) without sinking
   the rest of the suite;
-* **per-task timeouts** — a wall-clock budget per workload, after which
-  the task is reported failed;
+* **fault tolerance** — with a
+  :class:`~repro.runtime.resilience.RetryPolicy`, transient failures
+  are retried with exponential backoff (deterministic jitter), and a
+  worker-process death (``BrokenProcessPool`` — SIGKILL, segfault, OOM
+  kill) respawns the pool and requeues the unfinished tasks instead of
+  failing the batch;
+* **per-task deadlines** — a wall-clock budget per task measured from
+  the moment it actually starts running; an overrunning task is
+  reported failed with its *real* elapsed time and its straggler worker
+  is reaped (terminated and joined), never orphaned;
 * **cache integration** — workers share one on-disk
   :class:`~repro.runtime.cache.ArtifactCache`, whose atomic-rename
-  writes make concurrent population safe.
+  writes make concurrent population safe;
+* **checkpoint/resume** — ``run_suite(checkpoint=..., resume=True)``
+  journals completed workloads and skips them on the next run (see
+  :class:`~repro.runtime.resilience.SuiteCheckpoint`).
 
 Workloads are regenerated inside each worker from their (name, macros,
 seed) coordinates instead of being pickled over, which keeps task
@@ -27,7 +38,9 @@ from __future__ import annotations
 
 import concurrent.futures
 import pathlib
+import time
 import traceback
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import (
     Any,
@@ -45,39 +58,74 @@ from repro.dse.pipeline import AnalysisSession, analyze
 from repro.obs import clock
 from repro.obs.observer import Observer, get_observer, use_observer
 from repro.runtime.cache import ArtifactCache, open_cache
+from repro.runtime.resilience import (
+    RetryPolicy,
+    SuiteCheckpoint,
+    suite_fingerprint,
+)
 from repro.workloads.suite import make_workload, resolve_names, suite_names
+
+#: Suite exit codes (`python -m repro suite`): every workload analysed.
+EXIT_OK = 0
+#: Every workload failed (or the command itself could not run).
+EXIT_ALL_FAILED = 1
+#: Some workloads failed after retries but the suite still produced a
+#: partial report — distinct from 1 so schedulers can tell "rerun the
+#: stragglers" from "everything is broken" (2 is argparse's).
+EXIT_PARTIAL_FAILURE = 3
+
+#: Poll cadence while a deadline is armed but no task has been observed
+#: running yet (run-start detection needs an occasional wakeup).
+_START_POLL_SECONDS = 0.05
+
+#: How long to wait for a terminated straggler before escalating to
+#: SIGKILL, and again before giving up on the join.
+_REAP_GRACE_SECONDS = 5.0
 
 
 @dataclass
 class TaskOutcome:
     """Result of one :func:`parallel_map` task (value or traceback).
 
-    Besides the payload, each outcome carries its own wall-clock cost
-    and — when the parent ran with an enabled observer — the trace
-    events and metrics its worker recorded, so worker-side spans merge
-    into the parent's timeline instead of vanishing with the process.
+    Besides the payload, each outcome carries its own wall-clock cost,
+    how many attempts it took (>1 means the retry policy earned its
+    keep), and — when the parent ran with an enabled observer — the
+    trace events and metrics its worker recorded, so worker-side spans
+    merge into the parent's timeline instead of vanishing with the
+    process.
     """
 
     ok: bool
     value: Any = None
     error: Optional[str] = None
-    #: wall-clock seconds this task spent executing (0.0 on timeout —
-    #: the task never reported back)
+    #: wall-clock seconds the final attempt spent executing (on a
+    #: timeout this is the real time the task ran before being reaped)
     elapsed_seconds: float = 0.0
     #: Chrome trace events recorded inside the worker (capture mode)
     trace_events: Optional[List[dict]] = None
     #: worker-side metrics registry export (capture mode)
     metrics: Optional[dict] = None
+    #: total tries this task consumed (1 = succeeded/failed first try)
+    attempts: int = 1
+    #: the task exhausted its per-task deadline
+    timed_out: bool = False
 
 
-def _timed_call(fn: Callable, args: Tuple, capture: bool, label: str):
+def _timed_call(
+    fn: Callable, args: Tuple, capture: bool, label: str,
+    delay: float = 0.0,
+):
     """Worker body: run ``fn(*args)``, timed, optionally under a fresh
     capturing observer whose spans/metrics ship back with the result.
 
     Module-level so it pickles into pool workers; also used on the
     serial path (without capture — there the parent observer is already
-    ambient, so spans record directly into it).
+    ambient, so spans record directly into it).  *delay* is the retry
+    backoff, slept in the worker before the timer starts so the parent
+    event loop never blocks on another task's backoff.
     """
+    if delay > 0:
+        time.sleep(delay)
     start = clock.perf_seconds()
     if not capture:
         value = fn(*args)
@@ -94,12 +142,87 @@ def _timed_call(fn: Callable, args: Tuple, capture: bool, label: str):
     )
 
 
+def _terminate_pool(pool: concurrent.futures.ProcessPoolExecutor) -> None:
+    """Tear a pool down *now*, reaping every worker process.
+
+    Used when a straggler holds a worker hostage (deadline overrun) or
+    the pool is already broken: terminate, join, escalate to SIGKILL if
+    termination is ignored.  Guarantees no orphaned worker outlives the
+    :func:`parallel_map` call that spawned it (asserted by
+    ``tests/runtime/test_parallel_map.py``).
+    """
+    # Snapshot before shutdown(): the executor drops its _processes
+    # reference during shutdown, and the manager thread would otherwise
+    # wait politely for the straggler to finish its 30-minute nap.
+    processes = list((getattr(pool, "_processes", None) or {}).values())
+    pool.shutdown(wait=False, cancel_futures=True)
+    for process in processes:
+        try:
+            process.terminate()
+        except (OSError, ValueError):
+            pass
+    for process in processes:
+        process.join(timeout=_REAP_GRACE_SECONDS)
+        if process.is_alive():
+            process.kill()
+            process.join(timeout=_REAP_GRACE_SECONDS)
+
+
+def _serial_map(
+    fn: Callable,
+    tasks: List[Tuple],
+    obs,
+    retry: Optional[RetryPolicy],
+    on_result: Optional[Callable],
+) -> List[TaskOutcome]:
+    """In-process path: same retry semantics, parent-side backoff."""
+    outcomes: List[TaskOutcome] = []
+    with use_observer(obs):
+        for index, args in enumerate(tasks):
+            attempt = 1
+            while True:
+                with obs.span("task", index=index, attempt=attempt):
+                    try:
+                        value, elapsed, _events, _metrics = _timed_call(
+                            fn, args, capture=False, label=str(index)
+                        )
+                        outcome = TaskOutcome(
+                            ok=True, value=value,
+                            elapsed_seconds=elapsed, attempts=attempt,
+                        )
+                        break
+                    except Exception as error:
+                        if retry is not None and retry.should_retry(
+                            error, attempt
+                        ):
+                            obs.counter("runner.retries").inc()
+                            obs.event(
+                                "task.retry", index=index, attempt=attempt
+                            )
+                            time.sleep(
+                                retry.delay_for(attempt, task_key=index)
+                            )
+                            attempt += 1
+                            continue
+                        outcome = TaskOutcome(
+                            ok=False, error=traceback.format_exc(),
+                            attempts=attempt,
+                        )
+                        break
+            outcomes.append(outcome)
+            if on_result is not None:
+                on_result(index, outcome)
+    return outcomes
+
+
 def parallel_map(
     fn: Callable,
     tasks: Sequence[Tuple],
     jobs: int = 1,
     timeout: Optional[float] = None,
     obs=None,
+    retry: Optional[RetryPolicy] = None,
+    on_result: Optional[Callable[[int, TaskOutcome], None]] = None,
 ) -> List["TaskOutcome"]:
     """Apply ``fn(*args)`` to every argument tuple, optionally across
     worker processes.
@@ -112,20 +235,36 @@ def parallel_map(
     * **error isolation** — a task that raises (or cannot be shipped to
       a worker) yields a failed :class:`TaskOutcome` carrying its
       traceback instead of sinking the whole batch;
-    * **per-task timeouts** — enforced (parallel mode only) as an
-      overall deadline scaled by the number of sequential "waves" the
-      pool needs, since a busy worker cannot portably be interrupted;
+    * **retries** — with a *retry* policy, a task failing with a
+      retryable exception is requeued after its deterministic backoff
+      (slept worker-side), up to ``max_attempts`` tries; a
+      ``BrokenProcessPool`` (worker SIGKILLed, segfaulted, OOM-killed)
+      respawns the pool, charges an attempt to the tasks that were
+      running, and requeues queued tasks for free;
+    * **per-task deadlines** — *timeout* bounds each task's wall clock
+      measured from when it is first observed running (queue time is
+      free); an overrun records a failed outcome with the real elapsed
+      time, and the straggling worker is terminated and joined so no
+      orphan survives the call;
     * **per-task timing** — every outcome reports its own elapsed
-      seconds, and with an enabled observer each worker's spans and
-      metrics are captured and merged back into the parent
-      (:meth:`~repro.obs.observer.Observer.absorb`).
+      seconds and attempt count, and with an enabled observer each
+      worker's spans and metrics are captured and merged back into the
+      parent (:meth:`~repro.obs.observer.Observer.absorb`).
 
     Args:
         fn: a picklable module-level callable.
         tasks: one positional-argument tuple per task.
-        jobs: worker processes; ``1`` runs serially in-process.
+        jobs: worker processes; ``1`` runs serially in-process
+            (retries apply, deadlines do not — there is no second
+            process to reap).
         timeout: per-task wall-clock budget in seconds.
         obs: observer to record into; defaults to the ambient one.
+        retry: a :class:`~repro.runtime.resilience.RetryPolicy`;
+            ``None`` fails tasks on their first error.
+        on_result: called as ``on_result(index, outcome)`` in the
+            parent the moment each task reaches a final outcome (in
+            completion order) — the hook incremental checkpointing
+            hangs off.
 
     Returns:
         One :class:`TaskOutcome` per task, in *tasks* order.
@@ -135,58 +274,187 @@ def parallel_map(
     obs = obs if obs is not None else get_observer()
     tasks = list(tasks)
     if jobs == 1:
-        outcomes = []
-        with use_observer(obs):
-            for index, args in enumerate(tasks):
-                with obs.span("task", index=index):
-                    try:
-                        value, elapsed, _events, _metrics = _timed_call(
-                            fn, args, capture=False, label=str(index)
-                        )
-                        outcomes.append(TaskOutcome(
-                            ok=True, value=value, elapsed_seconds=elapsed
-                        ))
-                    except Exception:
-                        outcomes.append(TaskOutcome(
-                            ok=False, error=traceback.format_exc()
-                        ))
-        return outcomes
+        return _serial_map(fn, tasks, obs, retry, on_result)
 
     capture = obs.enabled
     outcomes: List[Optional[TaskOutcome]] = [None] * len(tasks)
+    attempts: List[int] = [1] * len(tasks)
     pool = concurrent.futures.ProcessPoolExecutor(max_workers=jobs)
-    futures = {
-        pool.submit(_timed_call, fn, args, capture, str(index)): index
-        for index, args in enumerate(tasks)
-    }
-    waves = -(-len(tasks) // jobs)
-    overall = None if timeout is None else timeout * waves
-    done, not_done = concurrent.futures.wait(set(futures), timeout=overall)
-    for future in done:
-        index = futures[future]
-        try:
-            value, elapsed, events, metrics = future.result()
-            outcomes[index] = TaskOutcome(
+    pending: Dict[concurrent.futures.Future, int] = {}
+    started_at: Dict[concurrent.futures.Future, float] = {}
+
+    def submit(index: int, delay: float = 0.0) -> None:
+        future = pool.submit(
+            _timed_call, fn, tasks[index], capture, str(index), delay
+        )
+        pending[future] = index
+
+    def finalise(index: int, outcome: TaskOutcome) -> None:
+        outcomes[index] = outcome
+        if on_result is not None:
+            on_result(index, outcome)
+
+    def respawn() -> None:
+        nonlocal pool
+        _terminate_pool(pool)
+        pool = concurrent.futures.ProcessPoolExecutor(max_workers=jobs)
+        obs.counter("runner.pool_respawns").inc()
+
+    for index in range(len(tasks)):
+        submit(index)
+
+    while pending:
+        now = clock.perf_seconds()
+        for future, index in pending.items():
+            if future not in started_at and future.running():
+                started_at[future] = now
+        wait_timeout = None
+        if timeout is not None:
+            deadlines = [
+                started_at[f] + timeout for f in pending if f in started_at
+            ]
+            if deadlines:
+                wait_timeout = max(0.0, min(deadlines) - now)
+        if any(f not in started_at for f in pending):
+            # Keep polling until every pending task has a run-start
+            # stamp: deadlines measure from it, and pool-break
+            # attribution (below) relies on knowing who was running.
+            wait_timeout = (
+                _START_POLL_SECONDS
+                if wait_timeout is None
+                else min(wait_timeout, _START_POLL_SECONDS)
+            )
+        done, _not_done = concurrent.futures.wait(
+            set(pending),
+            timeout=wait_timeout,
+            return_when=concurrent.futures.FIRST_COMPLETED,
+        )
+
+        requeue: List[Tuple[int, float]] = []
+        broken: List[Tuple[int, bool]] = []
+        pool_broken = False
+        for future in done:
+            index = pending.pop(future)
+            was_running = started_at.pop(future, None) is not None
+            try:
+                value, elapsed, events, metrics = future.result()
+            except BrokenProcessPool:
+                pool_broken = True
+                broken.append((index, was_running))
+                continue
+            except Exception as error:
+                if retry is not None and retry.should_retry(
+                    error, attempts[index]
+                ):
+                    obs.counter("runner.retries").inc()
+                    obs.event(
+                        "task.retry", index=index, attempt=attempts[index]
+                    )
+                    delay = retry.delay_for(
+                        attempts[index], task_key=index
+                    )
+                    attempts[index] += 1
+                    requeue.append((index, delay))
+                else:
+                    finalise(index, TaskOutcome(
+                        ok=False, error=traceback.format_exc(),
+                        attempts=attempts[index],
+                    ))
+                continue
+            obs.absorb(events, metrics)
+            finalise(index, TaskOutcome(
                 ok=True,
                 value=value,
                 elapsed_seconds=elapsed,
                 trace_events=events,
                 metrics=metrics,
-            )
-            obs.absorb(events, metrics)
-        except Exception:
-            outcomes[index] = TaskOutcome(
-                ok=False, error=traceback.format_exc()
-            )
-    for future in not_done:
-        index = futures[future]
-        outcomes[index] = TaskOutcome(
-            ok=False,
-            error=f"timed out ({timeout:.1f}s per-task budget exhausted)",
-        )
-    # Don't block on overrunning workers: they are orphaned tasks whose
-    # results nobody will read.
-    pool.shutdown(wait=not not_done, cancel_futures=True)
+                attempts=attempts[index],
+            ))
+
+        if pool_broken:
+            # The whole pool is dead: every still-pending future is
+            # doomed too.  Tasks that were actually running when it
+            # broke are charged an attempt (one of them is the killer,
+            # and attribution is impossible); queued tasks requeue free.
+            for future in list(pending):
+                index = pending.pop(future)
+                broken.append((index, started_at.pop(future, None) is not None))
+            if not any(was_running for _idx, was_running in broken):
+                # The killer died faster than the run-start poll could
+                # observe it.  Attribution is impossible, so charge an
+                # attempt to every victim — this keeps a
+                # deterministically-crashing task from being requeued
+                # for free forever.
+                broken = [(index, True) for index, _w in broken]
+            for index, was_running in sorted(broken):
+                if not was_running:
+                    requeue.append((index, 0.0))
+                elif (
+                    retry is not None
+                    and retry.retry_pool_breaks
+                    and attempts[index] < retry.max_attempts
+                ):
+                    obs.counter("runner.retries").inc()
+                    delay = retry.delay_for(attempts[index], task_key=index)
+                    attempts[index] += 1
+                    requeue.append((index, delay))
+                else:
+                    finalise(index, TaskOutcome(
+                        ok=False,
+                        error=(
+                            "worker process died abruptly "
+                            "(BrokenProcessPool — killed, segfaulted or "
+                            "OOM-reaped) and the task was out of retries"
+                        ),
+                        attempts=attempts[index],
+                    ))
+            respawn()
+            for index, delay in requeue:
+                submit(index, delay)
+            continue
+
+        if timeout is not None:
+            now = clock.perf_seconds()
+            expired = [
+                (future, index)
+                for future, index in pending.items()
+                if future in started_at
+                and now - started_at[future] >= timeout
+            ]
+            if expired:
+                for future, index in expired:
+                    elapsed = now - started_at.pop(future)
+                    pending.pop(future)
+                    future.cancel()
+                    obs.counter("runner.timeouts").inc()
+                    finalise(index, TaskOutcome(
+                        ok=False,
+                        error=(
+                            f"timed out after {elapsed:.1f}s "
+                            f"({timeout:.1f}s per-task budget); "
+                            "straggler worker reaped"
+                        ),
+                        elapsed_seconds=elapsed,
+                        attempts=attempts[index],
+                        timed_out=True,
+                    ))
+                # The stragglers hold workers hostage; reclaim them by
+                # respawning the pool and requeuing the innocents
+                # (no attempt charged — they never misbehaved).
+                survivors = sorted(pending.values())
+                pending.clear()
+                started_at.clear()
+                respawn()
+                for index in survivors:
+                    submit(index)
+                for index, delay in requeue:
+                    submit(index, delay)
+                continue
+
+        for index, delay in requeue:
+            submit(index, delay)
+
+    pool.shutdown(wait=True, cancel_futures=True)
     return outcomes
 
 
@@ -200,6 +468,10 @@ class WorkloadOutcome:
     error: Optional[str] = None
     elapsed_seconds: float = 0.0
     cache_hit: bool = False
+    #: tries the runner spent on this workload (>1 = retried)
+    attempts: int = 1
+    #: completed in a previous run and skipped via ``resume``
+    resumed: bool = False
 
     @property
     def baseline_cycles(self) -> Optional[int]:
@@ -232,6 +504,17 @@ class SuiteReport:
     def failed(self) -> List[WorkloadOutcome]:
         return [o for o in self.outcomes if not o.ok]
 
+    @property
+    def exit_code(self) -> int:
+        """Process exit code for this report: ``0`` all analysed,
+        ``3`` partial failure (some workloads failed after retries but
+        the report is still useful), ``1`` nothing succeeded."""
+        if not self.failed:
+            return EXIT_OK
+        if self.succeeded:
+            return EXIT_PARTIAL_FAILURE
+        return EXIT_ALL_FAILED
+
     def session(self, name: str) -> AnalysisSession:
         """The named workload's session; raises if it failed or is absent."""
         for outcome in self.outcomes:
@@ -260,9 +543,15 @@ class SuiteReport:
         for outcome in self.outcomes:
             if outcome.ok:
                 source = "cache" if outcome.cache_hit else "fresh"
+                if outcome.resumed:
+                    source = "resumed"
+                note = (
+                    f", {outcome.attempts} attempts"
+                    if outcome.attempts > 1 else ""
+                )
                 lines.append(
                     f"  {outcome.name:<12} CPI {outcome.baseline_cpi:.3f} "
-                    f"({outcome.elapsed_seconds:.2f}s, {source})"
+                    f"({outcome.elapsed_seconds:.2f}s, {source}{note})"
                 )
             else:
                 first_line = (outcome.error or "").strip().splitlines()
@@ -285,11 +574,16 @@ def _analyze_one(
     analyze_kwargs: Dict,
     cache_dir: Optional[str],
     factory: Optional[Callable] = None,
+    raise_errors: bool = False,
 ) -> WorkloadOutcome:
     """Worker body: generate, analyse (through the cache) and report.
 
     Module-level so it pickles for the process pool; the cache is
     re-opened per worker from its path rather than shipped as an object.
+    With *raise_errors* the exception propagates instead of being folded
+    into a failed outcome — the suite runner sets it when a retry policy
+    is armed, so :func:`parallel_map` (not this wrapper) decides whether
+    a failure is transient.
     """
     start = clock.perf_seconds()
     try:
@@ -306,6 +600,8 @@ def _analyze_one(
             cache_hit=bool(cache and cache.hits),
         )
     except Exception:
+        if raise_errors:
+            raise
         return WorkloadOutcome(
             name=name,
             ok=False,
@@ -324,6 +620,9 @@ def run_suite(
     timeout: Optional[float] = None,
     workload_factory: Optional[Callable] = None,
     obs=None,
+    retry: Optional[RetryPolicy] = None,
+    checkpoint: Union[None, str, pathlib.Path] = None,
+    resume: bool = False,
     **analyze_kwargs,
 ) -> SuiteReport:
     """Analyse a set of suite workloads, optionally in parallel.
@@ -336,13 +635,29 @@ def run_suite(
         cache: an :class:`ArtifactCache`, a cache directory path, or
             ``None`` to disable artifact reuse.
         timeout: per-workload wall-clock budget in seconds (parallel
-            mode only); an overrunning task is reported as failed.
+            mode only), measured from when the task starts running; an
+            overrunning task is reported failed with its real elapsed
+            time and its worker is reaped.
         workload_factory: replaces :func:`make_workload` — must be a
             picklable callable ``(name, macros, seed=...) -> Workload``
             (used by robustness tests and custom suites).
         obs: an :class:`~repro.obs.Observer`; per-workload pipeline
             spans (worker-side in parallel mode) are merged into its
             trace.  Defaults to the ambient observer.
+        retry: a :class:`~repro.runtime.resilience.RetryPolicy` applied
+            per workload — transient failures and worker deaths are
+            retried with backoff; a workload still failing afterwards
+            degrades gracefully into a failed outcome in an otherwise
+            complete report (see :attr:`SuiteReport.exit_code`).
+        checkpoint: path to a
+            :class:`~repro.runtime.resilience.SuiteCheckpoint` journal,
+            atomically rewritten as each workload completes.
+        resume: skip workloads the checkpoint records as completed,
+            reloading their sessions through the (required) artifact
+            cache; the journal's fingerprint must match this run's
+            configuration or a
+            :class:`~repro.runtime.resilience.CheckpointMismatchError`
+            is raised.
         **analyze_kwargs: forwarded to :func:`repro.dse.pipeline.analyze`
             (reduction knobs, ``warm_caches``, ...).
 
@@ -358,22 +673,69 @@ def run_suite(
         selected = tuple(names) or suite_names()
     if jobs < 1:
         raise ValueError("jobs must be at least 1")
+    if resume and checkpoint is None:
+        raise ValueError("resume requires a checkpoint path")
+    if resume and cache is None:
+        raise ValueError(
+            "resuming a suite requires an artifact cache (completed "
+            "workloads reload their sessions from it)"
+        )
     obs = obs if obs is not None else get_observer()
     cache = open_cache(cache)
     cache_dir = str(cache.root) if cache is not None else None
     start = clock.perf_seconds()
 
-    tasks = [
-        (name, macros, seed, config, analyze_kwargs, cache_dir,
-         workload_factory)
-        for name in selected
-    ]
-    with obs.span("suite.run", workloads=len(selected), jobs=jobs):
-        results = parallel_map(
-            _analyze_one, tasks, jobs=jobs, timeout=timeout, obs=obs
+    journal: Optional[SuiteCheckpoint] = None
+    journal_path: Optional[pathlib.Path] = None
+    completed: frozenset = frozenset()
+    if checkpoint is not None:
+        journal_path = pathlib.Path(checkpoint).expanduser()
+        fingerprint = suite_fingerprint(
+            selected, macros, seed, config, analyze_kwargs,
+            factory=workload_factory,
         )
-    outcomes = []
-    for name, result in zip(selected, results):
+        if resume and journal_path.exists():
+            journal = SuiteCheckpoint.load(journal_path)
+            journal.validate(fingerprint)
+            completed = frozenset(journal.completed) & frozenset(selected)
+        else:
+            journal = SuiteCheckpoint(fingerprint=fingerprint)
+            journal.save(journal_path)
+
+    with obs.span("suite.run", workloads=len(selected), jobs=jobs):
+        # Workloads journalled as done reload in-process through the
+        # cache (a hit is ~ms); everything else goes to the pool.
+        resumed: Dict[str, WorkloadOutcome] = {}
+        for name in sorted(completed):
+            outcome = _analyze_one(
+                name, macros, seed, config, analyze_kwargs, cache_dir,
+                workload_factory,
+            )
+            outcome.resumed = True
+            resumed[name] = outcome
+        if resumed:
+            obs.counter("suite.resumed_workloads").inc(len(resumed))
+        remaining = [name for name in selected if name not in resumed]
+        tasks = [
+            (name, macros, seed, config, analyze_kwargs, cache_dir,
+             workload_factory, retry is not None)
+            for name in remaining
+        ]
+
+        def journal_result(index: int, outcome: TaskOutcome) -> None:
+            if journal is None or not outcome.ok:
+                return
+            workload_outcome = outcome.value
+            if workload_outcome.ok:
+                journal.mark(remaining[index], journal_path)
+
+        results = parallel_map(
+            _analyze_one, tasks, jobs=jobs, timeout=timeout, obs=obs,
+            retry=retry,
+            on_result=journal_result if journal is not None else None,
+        )
+    by_name: Dict[str, WorkloadOutcome] = dict(resumed)
+    for name, result in zip(remaining, results):
         if result.ok:
             outcome = result.value
             # _analyze_one's in-worker measurement is authoritative, but
@@ -387,9 +749,10 @@ def run_suite(
                 error=result.error,
                 elapsed_seconds=result.elapsed_seconds,
             )
-        outcomes.append(outcome)
+        outcome.attempts = result.attempts
+        by_name[name] = outcome
     report = SuiteReport(
-        outcomes=outcomes,
+        outcomes=[by_name[name] for name in selected],
         wall_seconds=clock.perf_seconds() - start,
         jobs=jobs,
     )

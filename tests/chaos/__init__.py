@@ -1,0 +1,1 @@
+"""Deterministic chaos tests: fault injection for the execution layer."""

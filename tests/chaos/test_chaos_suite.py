@@ -1,0 +1,138 @@
+"""Chaos acceptance: the 12-workload suite survives injected faults.
+
+Workers raise transient errors or SIGKILL themselves mid-suite; with a
+retry policy the run must still complete, the faulted workloads must
+succeed on a later attempt, and a workload that *keeps* failing must
+degrade into a partial report with the dedicated exit code instead of
+sinking the suite.
+
+The fault seed comes from ``REPRO_CHAOS_SEED`` when set (the CI
+chaos-smoke matrix), otherwise both CI seeds run locally.
+"""
+
+import os
+
+import pytest
+
+from repro.runtime import (
+    EXIT_OK,
+    EXIT_PARTIAL_FAILURE,
+    RetryPolicy,
+    run_suite,
+)
+from repro.workloads.suite import suite_names
+from tests.chaos import faults
+
+_ENV_SEED = os.environ.get("REPRO_CHAOS_SEED")
+SEEDS = [int(_ENV_SEED)] if _ENV_SEED else [101, 202]
+
+#: Small enough that a 12-workload suite with retries stays fast.
+MACROS = 60
+
+
+def _arm(plan, tmp_path, monkeypatch):
+    for key, value in faults.arm(plan, tmp_path / "chaos").items():
+        monkeypatch.setenv(key, value)
+
+
+@pytest.mark.parametrize("chaos_seed", SEEDS)
+def test_suite_survives_injected_faults(tmp_path, monkeypatch, chaos_seed):
+    """The headline drill: transient raises + worker SIGKILLs across the
+    full canonical suite, jobs > 1, everything completes."""
+    names = suite_names()
+    assert len(names) == 12
+    plan = faults.make_plan(
+        chaos_seed, names, kinds=("raise", "sigkill"), fraction=0.25
+    )
+    _arm(plan, tmp_path, monkeypatch)
+    # max_attempts exceeds the worst-case pool-break count (every victim
+    # a SIGKILL), so an innocent workload charged by each break can
+    # never exhaust its budget.
+    retry = RetryPolicy(
+        max_attempts=len(plan) + 1,
+        base_delay=0.01,
+        max_delay=0.05,
+        seed=chaos_seed,
+    )
+    report = run_suite(
+        names=names,
+        macros=MACROS,
+        jobs=3,
+        retry=retry,
+        workload_factory=faults.chaos_workload,
+        cache=tmp_path / "cache",
+    )
+    assert len(report) == len(names)
+    assert not report.failed
+    assert report.exit_code == EXIT_OK
+    # Every victim needed (and got) more than one attempt.
+    attempts = {o.name: o.attempts for o in report}
+    for victim in plan:
+        assert attempts[victim] > 1, (victim, attempts)
+
+
+def test_exhausted_retries_degrade_to_partial_report(
+    tmp_path, monkeypatch
+):
+    """A workload that fails every attempt yields a failed outcome in an
+    otherwise complete report — graceful degradation, exit code 3."""
+    names = list(suite_names())[:4]
+    victim = names[1]
+    _arm(
+        {victim: {"kind": "raise", "attempts": 99}}, tmp_path, monkeypatch
+    )
+    retry = RetryPolicy(max_attempts=2, base_delay=0.01, max_delay=0.02)
+    report = run_suite(
+        names=names,
+        macros=MACROS,
+        jobs=2,
+        retry=retry,
+        workload_factory=faults.chaos_workload,
+    )
+    assert [o.name for o in report.failed] == [victim]
+    assert len(report.succeeded) == len(names) - 1
+    assert report.exit_code == EXIT_PARTIAL_FAILURE
+    failed = report.failed[0]
+    assert failed.attempts == retry.max_attempts
+    assert "ChaosError" in (failed.error or "")
+    assert "FAILED" in report.describe()
+
+
+def test_suite_resume_skips_journalled_workloads(tmp_path, monkeypatch):
+    """Crash drill for the journal: a first run with one hopeless
+    workload journals the survivors; after the fault clears, ``resume``
+    reloads them through the cache and only re-runs the failure."""
+    names = list(suite_names())[:4]
+    victim = names[2]
+    _arm(
+        {victim: {"kind": "raise", "attempts": 99}}, tmp_path, monkeypatch
+    )
+    journal = tmp_path / "suite.journal.json"
+    cache = tmp_path / "cache"
+    first = run_suite(
+        names=names,
+        macros=MACROS,
+        jobs=2,
+        cache=cache,
+        checkpoint=journal,
+        workload_factory=faults.chaos_workload,
+    )
+    assert first.exit_code == EXIT_PARTIAL_FAILURE
+    assert journal.exists()
+
+    # The fault zone ends: re-arm with an empty plan and resume.
+    _arm({}, tmp_path / "clear", monkeypatch)
+    second = run_suite(
+        names=names,
+        macros=MACROS,
+        jobs=2,
+        cache=cache,
+        checkpoint=journal,
+        resume=True,
+        workload_factory=faults.chaos_workload,
+    )
+    assert second.exit_code == EXIT_OK
+    resumed = {o.name for o in second if o.resumed}
+    assert resumed == set(names) - {victim}
+    fresh = next(o for o in second if o.name == victim)
+    assert fresh.ok and not fresh.resumed

@@ -1,0 +1,165 @@
+"""Chaos acceptance: a 100k-point sweep survives interruption and
+worker deaths.
+
+Three drills on the same six-figure design space:
+
+* interrupt a checkpointed sweep mid-run and resume it — the front must
+  be **bit-identical** to an uninterrupted baseline;
+* inject a transient exception into a sharded sweep's predictor — the
+  shard retries and the front matches the serial run;
+* SIGKILL a shard's worker mid-chunk — the pool respawns, the shard
+  re-runs, and the front still matches.
+"""
+
+import numpy as np
+import pytest
+
+from repro.common.config import LatencyConfig
+from repro.common.events import NUM_EVENTS, EventType
+from repro.core.model import RpStacksModel
+from repro.dse.designspace import DesignSpace
+from repro.dse.sweep import sweep_space
+from repro.runtime import RetryPolicy, SweepInterrupted
+from tests.chaos import faults
+
+
+def vec(**units):
+    out = np.zeros(NUM_EVENTS)
+    for name, value in units.items():
+        out[EventType[name]] = value
+    return out
+
+
+@pytest.fixture(scope="module")
+def model():
+    seg0 = np.stack([vec(FP_ADD=4, BASE=10), vec(L1D=5, LD=2, BASE=8)])
+    seg1 = np.stack([vec(MEM_D=1, BASE=6), vec(L2D=7, BASE=20)])
+    return RpStacksModel(
+        [seg0, seg1], baseline=LatencyConfig(), num_uops=100
+    )
+
+
+@pytest.fixture(scope="module")
+def big_space():
+    """8 * 10 * 50 * 25 = 100,000 design points."""
+    space = DesignSpace.from_mapping(
+        {
+            EventType.L1D: list(range(1, 9)),
+            EventType.FP_ADD: list(range(1, 11)),
+            EventType.MEM_D: list(range(10, 110, 2)),
+            EventType.L2D: list(range(1, 26)),
+        }
+    )
+    assert space.num_points == 100_000
+    return space
+
+
+@pytest.fixture(scope="module")
+def baseline(model, big_space):
+    """The uninterrupted serial run every drill is compared against."""
+    return sweep_space(model, big_space, chunk_size=4096)
+
+
+def front_key(result):
+    return [
+        (c.latency, c.predicted_cpi, c.cost)
+        for c in result.pareto_front()
+    ]
+
+
+def candidate_key(result):
+    return [
+        (c.latency, c.predicted_cpi, c.cost) for c in result.candidates
+    ]
+
+
+def _arm(plan, tmp_path, monkeypatch):
+    for key, value in faults.arm(plan, tmp_path / "chaos").items():
+        monkeypatch.setenv(key, value)
+
+
+def test_interrupted_sweep_resumes_bit_identical(
+    tmp_path, model, big_space, baseline
+):
+    """Kill the sweep after 7 of 25 chunks, resume, compare bit-for-bit."""
+    ckpt = tmp_path / "sweep.ckpt.npz"
+    with pytest.raises(SweepInterrupted) as exc:
+        sweep_space(
+            model,
+            big_space,
+            chunk_size=4096,
+            checkpoint=ckpt,
+            checkpoint_interval=3,
+            abort_after_chunks=7,
+        )
+    assert exc.value.chunks_done == 7
+    assert ckpt.exists()
+    resumed = sweep_space(
+        model,
+        big_space,
+        chunk_size=4096,
+        checkpoint=ckpt,
+        resume=True,
+    )
+    assert candidate_key(resumed) == candidate_key(baseline)
+    assert front_key(resumed) == front_key(baseline)
+    assert resumed.num_meeting_target == baseline.num_meeting_target
+
+
+def test_sharded_sweep_retries_transient_fault(
+    tmp_path, monkeypatch, model, big_space, baseline
+):
+    """First chunk priced anywhere raises ChaosError; the shard retries
+    and the sharded front matches the serial baseline."""
+    _arm(
+        {"pricing": {"kind": "raise", "attempts": 1}},
+        tmp_path,
+        monkeypatch,
+    )
+    chaotic = faults.ChaosModel(model, probe_id="pricing")
+    swept = sweep_space(
+        chaotic,
+        big_space,
+        chunk_size=4096,
+        jobs=2,
+        retry=RetryPolicy(max_attempts=3, base_delay=0.01, max_delay=0.05),
+    )
+    assert candidate_key(swept) == candidate_key(baseline)
+    assert swept.num_meeting_target == baseline.num_meeting_target
+
+
+def test_sharded_sweep_survives_worker_sigkill(
+    tmp_path, monkeypatch, model, big_space, baseline
+):
+    """A shard's worker SIGKILLs itself mid-sweep; the pool respawns,
+    the shard re-runs, and the front is unchanged."""
+    _arm(
+        {"pricing": {"kind": "sigkill", "attempts": 1}},
+        tmp_path,
+        monkeypatch,
+    )
+    chaotic = faults.ChaosModel(model, probe_id="pricing")
+    swept = sweep_space(
+        chaotic,
+        big_space,
+        chunk_size=4096,
+        jobs=2,
+        retry=RetryPolicy(max_attempts=3, base_delay=0.01, max_delay=0.05),
+    )
+    assert candidate_key(swept) == candidate_key(baseline)
+    assert swept.num_meeting_target == baseline.num_meeting_target
+
+
+def test_sweep_without_retry_fails_loudly(
+    tmp_path, monkeypatch, model, big_space
+):
+    """No retry policy: the injected fault surfaces as a hard error
+    naming the shard failure, not a silent wrong answer."""
+    _arm(
+        {"pricing": {"kind": "raise", "attempts": 99}},
+        tmp_path,
+        monkeypatch,
+    )
+    chaotic = faults.ChaosModel(model, probe_id="pricing")
+    with pytest.raises(RuntimeError, match="shard"):
+        sweep_space(chaotic, big_space, chunk_size=4096, jobs=2)

@@ -1,0 +1,253 @@
+"""Checkpoint/resume semantics of the streaming sweep engine.
+
+The load-bearing claim: a sweep killed at *any* chunk boundary and
+resumed from its snapshot produces a candidate set bit-identical to one
+uninterrupted pass (prune confluence), and a snapshot recorded under
+different inputs is rejected loudly, naming the drifted field.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.config import LatencyConfig
+from repro.common.events import NUM_EVENTS, EventType
+from repro.core.model import RpStacksModel
+from repro.dse.designspace import DesignSpace
+from repro.dse.sweep import sweep_space
+from repro.runtime.resilience import (
+    CheckpointMismatchError,
+    SweepCheckpoint,
+    SweepInterrupted,
+)
+
+
+def vec(**units):
+    out = np.zeros(NUM_EVENTS)
+    for name, value in units.items():
+        out[EventType[name]] = value
+    return out
+
+
+@pytest.fixture(scope="module")
+def model():
+    seg0 = np.stack([vec(FP_ADD=4, BASE=10), vec(L1D=5, LD=2, BASE=8)])
+    seg1 = np.stack([vec(MEM_D=1, BASE=6), vec(L2D=7, BASE=20)])
+    return RpStacksModel(
+        [seg0, seg1], baseline=LatencyConfig(), num_uops=100
+    )
+
+
+@pytest.fixture(scope="module")
+def space():
+    return DesignSpace.from_mapping(
+        {
+            EventType.L1D: [1, 2, 3, 4],
+            EventType.FP_ADD: [1, 2, 4, 6],
+            EventType.MEM_D: [33, 66, 133],
+            EventType.L2D: [3, 6, 12],
+        }
+    )
+
+
+def candidate_key(result):
+    return [
+        (c.latency, c.predicted_cpi, c.cost) for c in result.candidates
+    ]
+
+
+class TestCheckpointedSweep:
+    def test_checkpointing_does_not_change_the_answer(
+        self, tmp_path, model, space
+    ):
+        plain = sweep_space(model, space, chunk_size=16)
+        ckpt = tmp_path / "sweep.npz"
+        checkpointed = sweep_space(
+            model, space, chunk_size=16,
+            checkpoint=ckpt, checkpoint_interval=2,
+        )
+        assert candidate_key(checkpointed) == candidate_key(plain)
+        # The final snapshot records a completed run.
+        final = SweepCheckpoint.load(ckpt)
+        assert final.complete
+        assert final.next_start == space.num_points
+
+    def test_interrupt_then_resume_is_bit_identical(
+        self, tmp_path, model, space
+    ):
+        plain = sweep_space(model, space, chunk_size=16, target_cpi=0.3)
+        ckpt = tmp_path / "sweep.npz"
+        with pytest.raises(SweepInterrupted) as exc:
+            sweep_space(
+                model, space, chunk_size=16, target_cpi=0.3,
+                checkpoint=ckpt, checkpoint_interval=4,
+                abort_after_chunks=5,
+            )
+        assert exc.value.chunks_done == 5
+        assert exc.value.path == str(ckpt)
+        snapshot = SweepCheckpoint.load(ckpt)
+        assert snapshot.next_start == 5 * 16
+        assert not snapshot.complete
+        resumed = sweep_space(
+            model, space, chunk_size=16, target_cpi=0.3,
+            checkpoint=ckpt, resume=True,
+        )
+        assert candidate_key(resumed) == candidate_key(plain)
+        assert resumed.num_meeting_target == plain.num_meeting_target
+
+    def test_resume_with_missing_checkpoint_starts_fresh(
+        self, tmp_path, model, space
+    ):
+        plain = sweep_space(model, space, chunk_size=16)
+        result = sweep_space(
+            model, space, chunk_size=16,
+            checkpoint=tmp_path / "never-written.npz", resume=True,
+        )
+        assert candidate_key(result) == candidate_key(plain)
+
+    def test_resuming_a_complete_checkpoint_prices_nothing_new(
+        self, tmp_path, model, space
+    ):
+        ckpt = tmp_path / "sweep.npz"
+        first = sweep_space(
+            model, space, chunk_size=16, checkpoint=ckpt
+        )
+        again = sweep_space(
+            model, space, chunk_size=16, checkpoint=ckpt, resume=True
+        )
+        assert candidate_key(again) == candidate_key(first)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        chunk_size=st.integers(min_value=1, max_value=60),
+        abort_chunks=st.integers(min_value=1, max_value=400),
+        interval=st.integers(min_value=1, max_value=8),
+    )
+    def test_resume_equivalence_at_any_chunk_boundary(
+        self, tmp_path_factory, model, space, chunk_size, abort_chunks,
+        interval,
+    ):
+        """Property: kill at an arbitrary boundary, resume, get the
+        uninterrupted run's candidates bit-for-bit."""
+        total_chunks = -(-space.num_points // chunk_size)
+        abort_chunks = min(abort_chunks, total_chunks - 1)
+        if abort_chunks < 1:
+            return  # single-chunk space: nothing to interrupt
+        plain = sweep_space(model, space, chunk_size=chunk_size)
+        ckpt = tmp_path_factory.mktemp("ckpt") / "sweep.npz"
+        with pytest.raises(SweepInterrupted):
+            sweep_space(
+                model, space, chunk_size=chunk_size,
+                checkpoint=ckpt, checkpoint_interval=interval,
+                abort_after_chunks=abort_chunks,
+            )
+        resumed = sweep_space(
+            model, space, chunk_size=chunk_size,
+            checkpoint=ckpt, resume=True,
+        )
+        assert candidate_key(resumed) == candidate_key(plain)
+
+
+class TestStaleCheckpointRejection:
+    """Every drifted input is caught end to end through sweep_space."""
+
+    @pytest.fixture
+    def interrupted(self, tmp_path, model, space):
+        ckpt = tmp_path / "sweep.npz"
+        with pytest.raises(SweepInterrupted):
+            sweep_space(
+                model, space, chunk_size=16, target_cpi=0.5,
+                checkpoint=ckpt, checkpoint_interval=2,
+                abort_after_chunks=4,
+            )
+        return ckpt
+
+    def _resume(self, ckpt, predictor, space, **kwargs):
+        options = dict(chunk_size=16, target_cpi=0.5)
+        options.update(kwargs)
+        return sweep_space(
+            predictor, space, checkpoint=ckpt, resume=True, **options
+        )
+
+    def test_different_space_rejected(self, interrupted, model):
+        other = DesignSpace.from_mapping({EventType.L1D: [1, 2]})
+        with pytest.raises(
+            CheckpointMismatchError, match="design space"
+        ) as exc:
+            self._resume(interrupted, model, other)
+        assert exc.value.field == "design space"
+
+    def test_different_model_rejected(self, interrupted, space, model):
+        other = RpStacksModel(
+            [stack * 3 for stack in model.segment_stacks],
+            baseline=model.baseline,
+            num_uops=model.num_uops,
+        )
+        with pytest.raises(CheckpointMismatchError, match="model") as exc:
+            self._resume(interrupted, other, space)
+        assert exc.value.field == "model"
+
+    def test_different_chunk_size_rejected(
+        self, interrupted, model, space
+    ):
+        with pytest.raises(
+            CheckpointMismatchError, match="chunk size"
+        ) as exc:
+            self._resume(interrupted, model, space, chunk_size=32)
+        assert exc.value.field == "chunk size"
+
+    def test_different_target_rejected(self, interrupted, model, space):
+        with pytest.raises(
+            CheckpointMismatchError, match="target CPI"
+        ) as exc:
+            self._resume(interrupted, model, space, target_cpi=0.9)
+        assert exc.value.field == "target CPI"
+
+    def test_different_top_k_rejected(self, interrupted, model, space):
+        with pytest.raises(
+            CheckpointMismatchError, match="top-k"
+        ) as exc:
+            self._resume(interrupted, model, space, top_k=3)
+        assert exc.value.field == "top-k cap"
+
+    def test_different_cost_model_rejected(
+        self, interrupted, model, space
+    ):
+        def flat_cost(point, base):
+            return float(point[EventType.L1D])
+
+        with pytest.raises(
+            CheckpointMismatchError, match="cost model"
+        ) as exc:
+            self._resume(
+                interrupted, model, space, cost_model=flat_cost
+            )
+        assert exc.value.field == "cost model"
+
+
+class TestArgumentValidation:
+    def test_checkpoint_requires_serial_run(self, tmp_path, model, space):
+        with pytest.raises(ValueError, match="jobs=1"):
+            sweep_space(
+                model, space, jobs=2, checkpoint=tmp_path / "c.npz"
+            )
+
+    def test_resume_requires_checkpoint_path(self, model, space):
+        with pytest.raises(ValueError, match="resume"):
+            sweep_space(model, space, resume=True)
+
+    def test_abort_requires_checkpoint(self, model, space):
+        with pytest.raises(ValueError, match="abort_after_chunks"):
+            sweep_space(model, space, abort_after_chunks=2)
+
+    def test_bad_intervals_rejected(self, tmp_path, model, space):
+        ckpt = tmp_path / "c.npz"
+        with pytest.raises(ValueError, match="checkpoint_interval"):
+            sweep_space(
+                model, space, checkpoint=ckpt, checkpoint_interval=0
+            )
+        with pytest.raises(ValueError, match="abort_after_chunks"):
+            sweep_space(
+                model, space, checkpoint=ckpt, abort_after_chunks=0
+            )

@@ -1,0 +1,330 @@
+"""Unit and property tests for the resilience policy layer: retry
+backoff (deterministic, provably bounded), checkpoint round-trips and
+stale-resume rejection."""
+
+import json
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.config import LatencyConfig
+from repro.common.events import NUM_EVENTS, EventType
+from repro.core.model import RpStacksModel
+from repro.dse.designspace import DesignSpace
+from repro.runtime.resilience import (
+    CHECKPOINT_FORMAT,
+    CheckpointError,
+    CheckpointMismatchError,
+    RetryPolicy,
+    SuiteCheckpoint,
+    SweepCheckpoint,
+    cost_model_id,
+    predictor_fingerprint,
+    space_fingerprint,
+    suite_fingerprint,
+)
+
+
+class TestRetryPolicy:
+    def test_defaults_are_sane(self):
+        policy = RetryPolicy()
+        assert policy.max_attempts == 3
+        assert policy.should_retry(ValueError("x"), 1)
+        assert policy.should_retry(ValueError("x"), 2)
+        assert not policy.should_retry(ValueError("x"), 3)
+
+    def test_non_retryable_errors_fail_immediately(self):
+        policy = RetryPolicy(retryable=(OSError,))
+        assert policy.should_retry(OSError("io"), 1)
+        assert not policy.should_retry(ValueError("logic"), 1)
+        # KeyboardInterrupt is a BaseException, never in (Exception,).
+        assert not RetryPolicy().should_retry(KeyboardInterrupt(), 1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="max_attempts"):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError, match="base_delay"):
+            RetryPolicy(base_delay=-1)
+        with pytest.raises(ValueError, match="backoff_factor"):
+            RetryPolicy(backoff_factor=0.5)
+        with pytest.raises(ValueError, match="max_delay"):
+            RetryPolicy(max_delay=-0.1)
+        with pytest.raises(ValueError, match="jitter_fraction"):
+            RetryPolicy(jitter_fraction=1.5)
+        with pytest.raises(ValueError, match="1-based"):
+            RetryPolicy().delay_for(0)
+
+    def test_delays_are_deterministic_and_grow(self):
+        policy = RetryPolicy(
+            max_attempts=5, base_delay=0.1, backoff_factor=2.0,
+            max_delay=10.0, jitter_fraction=0.0,
+        )
+        delays = [policy.delay_for(a, task_key="t") for a in range(1, 5)]
+        assert delays == [
+            policy.delay_for(a, task_key="t") for a in range(1, 5)
+        ]
+        assert delays == sorted(delays)
+        assert delays[0] == pytest.approx(0.1)
+        assert delays[3] == pytest.approx(0.8)
+
+    def test_jitter_varies_by_task_and_attempt_not_by_call(self):
+        policy = RetryPolicy(jitter_fraction=0.5, seed=7)
+        a = policy.delay_for(1, task_key="alpha")
+        b = policy.delay_for(1, task_key="beta")
+        assert a == policy.delay_for(1, task_key="alpha")
+        assert a != b  # sha256 collision would be astonishing
+
+    def test_max_delay_caps_the_raw_backoff(self):
+        policy = RetryPolicy(
+            max_attempts=10, base_delay=1.0, backoff_factor=10.0,
+            max_delay=2.0, jitter_fraction=0.0,
+        )
+        assert policy.delay_for(9, task_key=0) == pytest.approx(2.0)
+
+    @settings(max_examples=200, deadline=None)
+    @given(
+        max_attempts=st.integers(min_value=1, max_value=8),
+        base_delay=st.floats(
+            min_value=0.0, max_value=5.0, allow_nan=False
+        ),
+        backoff_factor=st.floats(
+            min_value=1.0, max_value=4.0, allow_nan=False
+        ),
+        max_delay=st.floats(
+            min_value=0.0, max_value=10.0, allow_nan=False
+        ),
+        jitter_fraction=st.floats(
+            min_value=0.0, max_value=1.0, allow_nan=False
+        ),
+        seed=st.integers(min_value=0, max_value=2**32),
+        task_key=st.one_of(st.integers(), st.text(max_size=20)),
+    )
+    def test_total_backoff_never_exceeds_documented_cap(
+        self, max_attempts, base_delay, backoff_factor, max_delay,
+        jitter_fraction, seed, task_key,
+    ):
+        """The property the docs promise: however unlucky the jitter,
+        one task's accumulated backoff stays within total_delay_cap()."""
+        policy = RetryPolicy(
+            max_attempts=max_attempts,
+            base_delay=base_delay,
+            backoff_factor=backoff_factor,
+            max_delay=max_delay,
+            jitter_fraction=jitter_fraction,
+            seed=seed,
+        )
+        total = sum(
+            policy.delay_for(attempt, task_key=task_key)
+            for attempt in range(1, policy.max_attempts)
+        )
+        cap = policy.total_delay_cap()
+        assert total <= cap * (1 + 1e-12) + 1e-12
+
+
+@pytest.fixture
+def model():
+    def vec(**units):
+        out = np.zeros(NUM_EVENTS)
+        for name, value in units.items():
+            out[EventType[name]] = value
+        return out
+
+    seg0 = np.stack([vec(FP_ADD=4, BASE=10), vec(L1D=5, LD=2, BASE=8)])
+    return RpStacksModel([seg0], baseline=LatencyConfig(), num_uops=50)
+
+
+@pytest.fixture
+def space():
+    return DesignSpace.from_mapping(
+        {EventType.L1D: [1, 2, 4], EventType.FP_ADD: [1, 3]}
+    )
+
+
+class TestFingerprints:
+    def test_space_fingerprint_tracks_content(self, space):
+        same = DesignSpace.from_mapping(
+            {EventType.L1D: [1, 2, 4], EventType.FP_ADD: [1, 3]}
+        )
+        other = DesignSpace.from_mapping(
+            {EventType.L1D: [1, 2, 5], EventType.FP_ADD: [1, 3]}
+        )
+        assert space_fingerprint(space) == space_fingerprint(same)
+        assert space_fingerprint(space) != space_fingerprint(other)
+
+    def test_predictor_fingerprint_tracks_stacks(self, model):
+        twin = RpStacksModel(
+            [s.copy() for s in model.segment_stacks],
+            baseline=model.baseline,
+            num_uops=model.num_uops,
+        )
+        assert predictor_fingerprint(model) == predictor_fingerprint(twin)
+        bigger = RpStacksModel(
+            [s * 2 for s in model.segment_stacks],
+            baseline=model.baseline,
+            num_uops=model.num_uops,
+        )
+        assert predictor_fingerprint(model) != predictor_fingerprint(
+            bigger
+        )
+
+    def test_cost_model_id(self):
+        from repro.dse.explorer import default_cost_model
+
+        assert cost_model_id(None) == "default"
+        assert cost_model_id(default_cost_model) == "default"
+
+        def custom(point, base):
+            return 0.0
+
+        assert "custom" in cost_model_id(custom)
+
+    def test_suite_fingerprint_tracks_inputs(self):
+        base = suite_fingerprint(["a", "b"], 100, 1, None, {})
+        assert base == suite_fingerprint(["a", "b"], 100, 1, None, {})
+        assert base != suite_fingerprint(["a"], 100, 1, None, {})
+        assert base != suite_fingerprint(["a", "b"], 200, 1, None, {})
+        assert base != suite_fingerprint(["a", "b"], 100, 2, None, {})
+        assert base != suite_fingerprint(
+            ["a", "b"], 100, 1, None, {"warm_caches": False}
+        )
+
+
+def _checkpoint(**overrides):
+    fields = dict(
+        space_fingerprint="sfp",
+        model_fingerprint="mfp",
+        cost_model_id="default",
+        chunk_size=64,
+        target_cpi=1.5,
+        top_k=None,
+        total=1000,
+        next_start=256,
+        indices=np.array([3, 7], dtype=np.int64),
+        cpis=np.array([1.2, 1.1]),
+        costs=np.array([0.5, 2.0]),
+        meeting=42,
+        peak=17,
+        chunk_seconds=[0.01, 0.02],
+    )
+    fields.update(overrides)
+    return SweepCheckpoint(**fields)
+
+
+class TestSweepCheckpoint:
+    def test_roundtrip_is_lossless(self, tmp_path):
+        path = tmp_path / "sweep.npz"
+        original = _checkpoint()
+        original.save(path)
+        loaded = SweepCheckpoint.load(path)
+        assert loaded.space_fingerprint == "sfp"
+        assert loaded.model_fingerprint == "mfp"
+        assert loaded.chunk_size == 64
+        assert loaded.target_cpi == 1.5
+        assert loaded.top_k is None
+        assert loaded.total == 1000
+        assert loaded.next_start == 256
+        assert loaded.meeting == 42
+        assert loaded.peak == 17
+        assert loaded.chunk_seconds == [0.01, 0.02]
+        assert np.array_equal(loaded.indices, original.indices)
+        assert np.array_equal(loaded.cpis, original.cpis)
+        assert np.array_equal(loaded.costs, original.costs)
+        assert loaded.created  # stamped on save
+        assert not loaded.complete
+        assert _checkpoint(next_start=1000).complete
+
+    def test_save_is_atomic_no_temp_debris(self, tmp_path):
+        path = tmp_path / "sweep.npz"
+        _checkpoint().save(path)
+        _checkpoint(next_start=512).save(path)
+        assert [p.name for p in tmp_path.iterdir()] == ["sweep.npz"]
+        assert SweepCheckpoint.load(path).next_start == 512
+
+    def test_unreadable_file_raises_checkpoint_error(self, tmp_path):
+        path = tmp_path / "torn.npz"
+        path.write_bytes(b"this is not an npz archive")
+        with pytest.raises(CheckpointError, match="unreadable"):
+            SweepCheckpoint.load(path)
+        with pytest.raises(CheckpointError):
+            SweepCheckpoint.load(tmp_path / "missing.npz")
+
+    def test_unknown_format_rejected(self, tmp_path):
+        path = tmp_path / "future.npz"
+        ckpt = _checkpoint()
+        meta = ckpt._meta()
+        meta["format"] = CHECKPOINT_FORMAT + 1
+        with open(path, "wb") as stream:
+            np.savez(
+                stream,
+                meta=np.array(json.dumps(meta)),
+                indices=ckpt.indices,
+                cpis=ckpt.cpis,
+                costs=ckpt.costs,
+                chunk_seconds=np.array(ckpt.chunk_seconds),
+            )
+        with pytest.raises(CheckpointError, match="format"):
+            SweepCheckpoint.load(path)
+
+    @pytest.mark.parametrize(
+        "override, field",
+        [
+            ({"space_fp": "other"}, "design space"),
+            ({"model_fp": "other"}, "model"),
+            ({"cost_id": "custom"}, "cost model"),
+            ({"chunk_size": 128}, "chunk size"),
+            ({"target_cpi": 2.0}, "target CPI"),
+            ({"top_k": 5}, "top-k cap"),
+            ({"total": 999}, "point count"),
+        ],
+    )
+    def test_validate_names_each_drifted_field(self, override, field):
+        current = dict(
+            space_fp="sfp",
+            model_fp="mfp",
+            cost_id="default",
+            chunk_size=64,
+            target_cpi=1.5,
+            top_k=None,
+            total=1000,
+        )
+        ckpt = _checkpoint()
+        ckpt.validate(**current)  # identical inputs pass
+        current.update(override)
+        with pytest.raises(CheckpointMismatchError) as exc:
+            ckpt.validate(**current)
+        assert exc.value.field == field
+        assert field in str(exc.value)
+
+
+class TestSuiteCheckpoint:
+    def test_roundtrip_and_mark(self, tmp_path):
+        path = tmp_path / "suite.json"
+        journal = SuiteCheckpoint(fingerprint="fp")
+        journal.save(path)
+        journal.mark("gcc", path)
+        journal.mark("mcf", path)
+        journal.mark("gcc", path)  # idempotent
+        loaded = SuiteCheckpoint.load(path)
+        assert loaded.fingerprint == "fp"
+        assert loaded.completed == ["gcc", "mcf"]
+        assert loaded.created
+
+    def test_validate_rejects_other_configuration(self, tmp_path):
+        journal = SuiteCheckpoint(fingerprint="fp")
+        journal.validate("fp")
+        with pytest.raises(
+            CheckpointMismatchError, match="suite configuration"
+        ):
+            journal.validate("other")
+
+    def test_garbage_and_wrong_kind_rejected(self, tmp_path):
+        garbage = tmp_path / "garbage.json"
+        garbage.write_text("{not json")
+        with pytest.raises(CheckpointError, match="unreadable"):
+            SuiteCheckpoint.load(garbage)
+        wrong = tmp_path / "wrong.json"
+        wrong.write_text(json.dumps({"format": 1, "kind": "sweep"}))
+        with pytest.raises(CheckpointError, match="suite"):
+            SuiteCheckpoint.load(wrong)

@@ -351,3 +351,108 @@ class TestObservability:
         assert "sweep:" in captured.err
         assert "chunks" in captured.err
         assert "front size" in captured.err
+
+
+class TestFaultToleranceCli:
+    SWEEP_ARGS = [
+        "gamess", "--macros", "100",
+        "--axis", "L1D=1,2,4", "--axis", "Fadd=1,3,6",
+        "--chunk-size", "2",
+    ]
+
+    @staticmethod
+    def front_table(out):
+        lines = out.splitlines()
+        header = next(
+            i for i, line in enumerate(lines)
+            if line.startswith("design point")
+        )
+        return lines[header:]
+
+    def test_sweep_interrupt_exits_4_then_resume_matches(
+        self, capsys, tmp_path
+    ):
+        _code, plain_out = run(capsys, "dse", "sweep", *self.SWEEP_ARGS)
+        ckpt = tmp_path / "sweep.ckpt.npz"
+        code = main(
+            ["dse", "sweep", *self.SWEEP_ARGS,
+             "--checkpoint", str(ckpt), "--checkpoint-interval", "2",
+             "--abort-after-chunks", "2"]
+        )
+        out = capsys.readouterr().out
+        assert code == 4  # EXIT_SWEEP_INTERRUPTED
+        assert "interrupted" in out
+        assert "--resume" in out
+        assert ckpt.exists()
+        code, resumed_out = run(
+            capsys, "dse", "sweep", *self.SWEEP_ARGS,
+            "--checkpoint", str(ckpt), "--resume",
+        )
+        assert code == 0
+        assert self.front_table(resumed_out) == self.front_table(plain_out)
+
+    def test_sweep_stale_checkpoint_rejected(self, capsys, tmp_path):
+        ckpt = tmp_path / "sweep.ckpt.npz"
+        code = main(
+            ["dse", "sweep", *self.SWEEP_ARGS,
+             "--checkpoint", str(ckpt), "--abort-after-chunks", "2"]
+        )
+        capsys.readouterr()
+        assert code == 4
+        with pytest.raises(SystemExit, match="chunk size"):
+            main(
+                ["dse", "sweep", *self.SWEEP_ARGS[:-2],
+                 "--chunk-size", "3",
+                 "--checkpoint", str(ckpt), "--resume"]
+            )
+
+    def test_sweep_flag_validation(self, tmp_path):
+        with pytest.raises(SystemExit, match="retries"):
+            main(["dse", "sweep", *self.SWEEP_ARGS, "--retries", "-1"])
+        with pytest.raises(SystemExit, match="resume"):
+            main(["dse", "sweep", *self.SWEEP_ARGS, "--resume"])
+        with pytest.raises(SystemExit, match="jobs=1"):
+            main(
+                ["dse", "sweep", *self.SWEEP_ARGS, "--jobs", "2",
+                 "--checkpoint", str(tmp_path / "c.npz")]
+            )
+
+    def test_suite_checkpoint_then_resume_reports_resumed(
+        self, capsys, tmp_path
+    ):
+        journal = tmp_path / "suite.journal.json"
+        cache = tmp_path / "cache"
+        base = ["suite", "--only", "gamess", "--macros", "60",
+                "--cache-dir", str(cache), "--checkpoint", str(journal)]
+        code, _out = run(capsys, *base)
+        assert code == 0
+        assert journal.exists()
+        code, out = run(capsys, *base, "--resume")
+        assert code == 0
+        assert "1 resumed" in out
+
+    def test_suite_stale_journal_rejected(self, capsys, tmp_path):
+        journal = tmp_path / "suite.journal.json"
+        cache = tmp_path / "cache"
+        code, _out = run(
+            capsys, "suite", "--only", "gamess", "--macros", "60",
+            "--cache-dir", str(cache), "--checkpoint", str(journal),
+        )
+        assert code == 0
+        with pytest.raises(SystemExit, match="suite configuration"):
+            main(
+                ["suite", "--only", "gamess", "--macros", "80",
+                 "--cache-dir", str(cache),
+                 "--checkpoint", str(journal), "--resume"]
+            )
+
+    def test_suite_flag_validation(self, tmp_path):
+        with pytest.raises(SystemExit, match="retries"):
+            main(["suite", "--only", "gamess", "--retries", "-1"])
+        with pytest.raises(SystemExit, match="checkpoint"):
+            main(["suite", "--only", "gamess", "--resume"])
+        with pytest.raises(SystemExit, match="cache"):
+            main(
+                ["suite", "--only", "gamess",
+                 "--checkpoint", str(tmp_path / "j.json"), "--resume"]
+            )
