@@ -1,0 +1,133 @@
+"""Extension — segment-parallel, array-native stack generation speed.
+
+The ROADMAP north star scales analysis toward the paper's
+1M-instruction SimPoints.  This bench measures cold analysis (timing
+simulation + graph build + stack generation) on a long trace — a
+``repro.workloads.make_long_trace`` stream of at least 200k µops — and
+compares the segment-parallel array walk with its compiled per-node
+reducer against the reference whole-graph dictionary walk it replaced
+(``RpStacksGenerator._generate_reference``, which also pins the
+seed-era similarity kernel's allocation behaviour for an honest
+baseline cost).
+
+``test_generate_smoke`` is the CI guard: reduced scale, asserts the
+models are byte-identical across the reference walk, ``jobs=1`` and
+``jobs=2``, and that the new path is at least 2x faster.  The full-size
+run backs the committed numbers in ``results/generate_long_trace.txt``
+and enforces the >=4x cold-analysis bar at ``jobs=8``.
+"""
+
+import os
+import time
+
+from conftest import write_report
+
+from repro.common.config import baseline_config
+from repro.core.generator import RpStacksGenerator
+from repro.graphmodel.builder import build_graph
+from repro.simulator.core import simulate
+from repro.workloads.suite import LONG_TRACE_UOPS, make_long_trace, make_workload
+
+WORKLOAD = "gamess"
+SEGMENT_LENGTH = 256
+
+#: Override for reduced-scale CI runs (µops floor of the long trace).
+BENCH_UOPS = int(os.environ.get("REPRO_BENCH_GENERATE_UOPS", LONG_TRACE_UOPS))
+
+
+def _timed(fn):
+    start = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - start
+
+
+def _cold_setup(workload):
+    """Simulation + graph build: the cold-analysis cost both walks share."""
+    start = time.perf_counter()
+    result = simulate(workload, baseline_config())
+    graph = build_graph(result)
+    return graph, time.perf_counter() - start
+
+
+def _generator(graph, jobs=1):
+    return RpStacksGenerator(
+        graph,
+        baseline_config().latency,
+        segment_length=SEGMENT_LENGTH,
+        jobs=jobs,
+    )
+
+
+def test_generate_smoke():
+    """CI guard: byte-identity across all three walks, and the
+    array-native path must clearly beat the reference walk."""
+    workload = make_workload(WORKLOAD, 2000)
+    graph, _ = _cold_setup(workload)
+    serial, serial_seconds = _timed(_generator(graph, jobs=1).generate)
+    parallel, _ = _timed(_generator(graph, jobs=2).generate)
+    reference, reference_seconds = _timed(
+        _generator(graph)._generate_reference
+    )
+    assert serial.content_digest() == parallel.content_digest()
+    assert serial.content_digest() == reference.content_digest()
+    assert reference_seconds > 2 * serial_seconds, (
+        f"array-native walk ({serial_seconds:.2f}s) must be >=2x faster "
+        f"than the reference walk ({reference_seconds:.2f}s)"
+    )
+
+
+def test_long_trace_generation():
+    workload = make_long_trace(WORKLOAD, min_uops=BENCH_UOPS)
+    graph, setup_seconds = _cold_setup(workload)
+
+    jobs8, jobs8_seconds = _timed(_generator(graph, jobs=8).generate)
+    jobs1, jobs1_seconds = _timed(_generator(graph, jobs=1).generate)
+    reference, reference_seconds = _timed(
+        _generator(graph)._generate_reference
+    )
+
+    digest = jobs1.content_digest()
+    assert jobs8.content_digest() == digest
+    assert reference.content_digest() == digest
+
+    cold_reference = setup_seconds + reference_seconds
+    cold_jobs8 = setup_seconds + jobs8_seconds
+    speedup = cold_reference / cold_jobs8
+    full_scale = BENCH_UOPS >= LONG_TRACE_UOPS
+
+    lines = [
+        f"Segment-parallel stack generation ({WORKLOAD} long trace, "
+        f"{len(workload):,} uops, {graph.num_segments(SEGMENT_LENGTH):,} "
+        f"segments of {SEGMENT_LENGTH} uops)",
+        "",
+        f"{'stage':<42}{'wall-clock':>12}",
+        f"{'-' * 42}{'-' * 12}",
+        f"{'simulate + graph build (shared)':<42}"
+        f"{setup_seconds:>11.2f}s",
+        f"{'reference walk (dict per node)':<42}"
+        f"{reference_seconds:>11.2f}s",
+        f"{'array-native walk, jobs=1':<42}{jobs1_seconds:>11.2f}s",
+        f"{'array-native walk, jobs=8':<42}{jobs8_seconds:>11.2f}s",
+        "",
+        f"cold analysis, reference: {cold_reference:.2f}s",
+        f"cold analysis, jobs=8:    {cold_jobs8:.2f}s",
+        f"cold-analysis speedup:    {speedup:.1f}x",
+        "",
+        f"models byte-identical across all walks: yes ({digest[:16]}...)",
+        f"paths: {jobs1.num_paths:,} across "
+        f"{jobs1.num_segments:,} segments",
+    ]
+    report = "\n".join(lines)
+    if full_scale:
+        write_report("generate_long_trace.txt", report)
+    else:
+        write_report("generate_long_trace_ci.txt", report)
+    print()
+    print(report)
+
+    # Acceptance bar: >=4x cold analysis at full scale; at reduced CI
+    # scale fixed overheads weigh more, so require >=2x.
+    floor = 4.0 if full_scale else 2.0
+    assert speedup >= floor, (
+        f"cold-analysis speedup {speedup:.2f}x below the {floor}x bar"
+    )

@@ -140,7 +140,11 @@ def cmd_analyze(args) -> int:
         base = result.config.latency
         graph = build_graph(result)
         model = generate_rpstacks(
-            graph, base, segment_length=args.segment_length
+            graph,
+            base,
+            segment_length=args.segment_length,
+            include_base_in_similarity=args.include_base_similarity,
+            jobs=args.jobs,
         )
         baseline_cpi = result.cpi
     else:
@@ -149,6 +153,8 @@ def cmd_analyze(args) -> int:
         session = analyze(
             workload,
             segment_length=args.segment_length,
+            include_base_in_similarity=args.include_base_similarity,
+            jobs=args.jobs,
             cache=args.cache_dir,
             obs=obs,
         )
@@ -513,6 +519,12 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("analyze", help="bottleneck analysis + model")
     add_workload_args(p)
     p.add_argument("--segment-length", type=int, default=256)
+    p.add_argument("--jobs", type=int, default=1,
+                   help="worker processes for segment-parallel stack "
+                   "generation (model is byte-identical for any value)")
+    p.add_argument("--include-base-similarity", action="store_true",
+                   help="include the BASE dimension when comparing "
+                   "stacks for merging (Fig 14 ablation regime)")
     p.add_argument("--save", help="archive the RpStacks model (.npz)")
     p.add_argument("--from-trace",
                    help="analyse a saved trace instead of simulating")

@@ -13,22 +13,186 @@ boundary are dropped, each segment is analysed from a fresh zero stack,
 and the per-segment results are summed at prediction time.  The paper's
 A-A'/B'-B argument — the summed per-segment maxima can slightly exceed
 the true end-to-end critical path — is preserved and tested.
+
+Because segments are independent by construction, the traversal shards:
+each segment's nodes and intra-segment edges are sliced out as a
+:class:`~repro.graphmodel.graph.SegmentView` and walked on their own,
+either in-process or fanned out across worker processes through
+:func:`repro.runtime.runner.parallel_map` (``jobs > 1``), inheriting its
+retry/deadline semantics and worker span capture.  Per-segment results
+are merged back in segment order, so serial and parallel generation
+produce bit-identical models (pinned by a differential test over the
+full workload suite).
+
+``RpStacksGenerator._generate_reference`` preserves the original
+whole-graph dict-of-lists walk as the oracle for that differential test
+and the baseline for ``benchmarks/bench_generate.py``.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.common.config import LatencyConfig
-from repro.common.events import NUM_EVENTS
+from repro.common.events import NUM_EVENTS, EventType
 from repro.core.model import GenerationStats, RpStacksModel
-from repro.core.reduction import ReductionPolicy, reduce_stacks
+from repro.core.native import load_native
+from repro.core.reduction import (
+    ReductionPolicy,
+    reduce_blocks,
+    reduce_stacks_reference,
+)
 from repro.obs import clock
 from repro.obs.observer import get_observer
-from repro.graphmodel.graph import DependenceGraph
+from repro.graphmodel.graph import DependenceGraph, SegmentView
 from repro.graphmodel.nodes import NODES_PER_UOP
+
+
+def _walk_segment(
+    view: SegmentView,
+    base_theta: np.ndarray,
+    policy: ReductionPolicy,
+) -> Tuple[np.ndarray, int, int]:
+    """Propagate stacks through one segment; return its sink population.
+
+    Array-native inner loop: per-node state lives in a preallocated
+    slot table indexed by local node id, candidate populations are
+    assembled with batched adds into one preallocated buffer, and the
+    whole population is reduced block-wise
+    (:func:`~repro.core.reduction.reduce_blocks`) without re-hashing or
+    re-sorting rows the blocks already keep ordered.
+
+    Returns:
+        ``(sink_stacks, candidate_stacks, reductions)`` — the reduced
+        population at the segment's sink plus reduction statistics.
+    """
+    # Python lists for the per-node bookkeeping: scalar indexing into
+    # ndarrays costs a boxing allocation per access, which adds up over
+    # hundreds of thousands of nodes.
+    indptr = view.in_indptr.tolist()
+    src = view.edge_src.tolist()
+    charges = view.charge_matrix()
+    has_charge = (charges != 0).any(axis=1).tolist()
+    degree = np.diff(view.in_indptr).tolist()
+
+    native = load_native()
+    theta = np.ascontiguousarray(base_theta, dtype=np.float64)
+    sim_lo = 0 if policy.include_base_in_similarity else EventType.BASE + 1
+    threshold = policy.similarity_threshold
+    max_paths = policy.max_paths
+    preserve_unique = policy.preserve_unique
+    sizes_buffer = np.empty(64, dtype=np.int32)
+
+    zero_set = np.zeros((1, NUM_EVENTS))
+    sets: List[Optional[np.ndarray]] = [None] * view.num_nodes
+    # One growing buffer assembles every node's candidate population;
+    # the reduction copies survivors out, so the buffer is free to reuse.
+    buffer = np.empty((64, NUM_EVENTS))
+    out_indices = np.empty(64, dtype=np.int32)
+    candidate_stacks = 0
+    reductions = 0
+
+    for v in view.topological_order().tolist():
+        deg = degree[v]
+        if deg == 0:
+            sets[v] = zero_set  # segment entry: start from nothing
+            continue
+        begin = indptr[v]
+        if deg == 1:
+            # Fast path: one predecessor — the set moves unchanged
+            # (shared) or shifted by the edge charge; reduction is a
+            # no-op because adding a constant preserves both the
+            # ordering and the dominance relation of the population.
+            pred = sets[src[begin]]
+            sets[v] = pred + charges[begin] if has_charge[begin] else pred
+            continue
+        end = begin + deg
+        edges = range(begin, end)
+        blocks = [sets[src[e]] for e in edges]
+        sizes = [block.shape[0] for block in blocks]
+        total = sum(sizes)
+        if total > buffer.shape[0]:
+            buffer = np.empty((2 * total, NUM_EVENTS))
+            out_indices = np.empty(2 * total, dtype=np.int32)
+        if deg > sizes_buffer.shape[0]:
+            sizes_buffer = np.empty(2 * deg, dtype=np.int32)
+        candidates = buffer[:total]
+        offset = 0
+        index = 0
+        for e, block, size in zip(edges, blocks, sizes):
+            out = candidates[offset : offset + size]
+            if has_charge[e]:
+                np.add(block, charges[e], out=out)
+            else:
+                out[:] = block
+            offset += size
+            sizes_buffer[index] = size
+            index += 1
+        candidate_stacks += total
+        reductions += 1
+        if native is not None:
+            # Whole-node reduction in one C call (bit-identical to
+            # reduce_blocks; pinned by differential tests).
+            kept = native.reduce_node_indices(
+                candidates,
+                sizes_buffer[:index],
+                theta,
+                sim_lo,
+                threshold,
+                max_paths,
+                preserve_unique,
+                out_indices,
+            )
+            sets[v] = candidates[out_indices[:kept]]
+            continue
+        result = reduce_blocks(candidates, sizes, base_theta, policy)
+        if result.base is not None:
+            # The two-candidate fast path can return a row view into the
+            # buffer; detach it before the buffer is reused.
+            result = result.copy()
+        sets[v] = result
+
+    return sets[view.sink_local].copy(), candidate_stacks, reductions
+
+
+def _segment_batch_task(
+    views: Sequence[SegmentView],
+    base_theta: np.ndarray,
+    policy: ReductionPolicy,
+) -> Tuple[List[np.ndarray], int, int, int]:
+    """Walk a batch of segment views (one :func:`parallel_map` task).
+
+    Module-level so it pickles into pool workers.  Spans and metrics
+    record into the ambient observer: in-process that is the caller's
+    observer directly; in a worker it is the capturing observer whose
+    events :func:`~repro.runtime.runner.parallel_map` merges back into
+    the parent timeline.
+    """
+    obs = get_observer()
+    results: List[np.ndarray] = []
+    nodes_visited = 0
+    candidate_stacks = 0
+    reductions = 0
+    for view in views:
+        start = clock.perf_seconds()
+        with obs.span(
+            "stacks.segment", segment=view.segment, uops=view.num_uops
+        ) as span:
+            stacks, candidates, reduces = _walk_segment(
+                view, base_theta, policy
+            )
+        if obs.enabled:
+            span.set(paths=stacks.shape[0], reductions=reduces)
+            obs.histogram("stacks.segment_seconds").observe(
+                clock.perf_seconds() - start
+            )
+        results.append(stacks)
+        nodes_visited += view.num_nodes
+        candidate_stacks += candidates
+        reductions += reduces
+    return results, nodes_visited, candidate_stacks, reductions
 
 
 class RpStacksGenerator:
@@ -45,6 +209,14 @@ class RpStacksGenerator:
             the Fig 14 bench sweeps this and shows the same U-shaped
             error curve (small segments over-predict via boundary
             traversals, large segments lose hidden paths to reduction).
+        jobs: worker processes for the segment walk; ``1`` (default)
+            walks every segment in-process.  Results are bit-identical
+            either way — parallelism only reorders which segment is
+            walked when, never what any segment computes.
+        timeout: optional per-batch deadline in seconds (forwarded to
+            :func:`~repro.runtime.runner.parallel_map`).
+        retry: optional :class:`~repro.runtime.runner.RetryPolicy` for
+            worker failures (forwarded likewise).
     """
 
     def __init__(
@@ -53,13 +225,21 @@ class RpStacksGenerator:
         baseline: LatencyConfig,
         policy: Optional[ReductionPolicy] = None,
         segment_length: int = 256,
+        jobs: int = 1,
+        timeout: Optional[float] = None,
+        retry=None,
     ) -> None:
         if segment_length < 1:
             raise ValueError("segment_length must be positive")
+        if jobs < 1:
+            raise ValueError("jobs must be at least 1")
         self.graph = graph
         self.baseline = baseline
         self.policy = policy or ReductionPolicy()
         self.segment_length = segment_length
+        self.jobs = jobs
+        self.timeout = timeout
+        self.retry = retry
 
     def generate(self) -> RpStacksModel:
         """Run the traversal and return the model."""
@@ -68,6 +248,7 @@ class RpStacksGenerator:
             "stacks.generate",
             uops=self.graph.num_uops,
             segment_length=self.segment_length,
+            jobs=self.jobs,
         ) as span:
             model = self._generate()
         if obs.enabled:
@@ -82,6 +263,77 @@ class RpStacksGenerator:
         return model
 
     def _generate(self) -> RpStacksModel:
+        start_time = clock.perf_seconds()
+        graph = self.graph
+        base_theta = self.baseline.as_vector()
+        policy = self.policy
+        seg_len = self.segment_length
+
+        num_segments = graph.num_segments(seg_len)
+        views = [graph.segment_view(s, seg_len) for s in range(num_segments)]
+
+        stats = GenerationStats()
+        segment_results: List[np.ndarray] = []
+        if self.jobs <= 1 or num_segments <= 1:
+            # In-process: one batch, spans record straight into the
+            # ambient observer.
+            if views:
+                results, nodes, candidates, reduces = _segment_batch_task(
+                    views, base_theta, policy
+                )
+                segment_results.extend(results)
+                stats.nodes_visited += nodes
+                stats.candidate_stacks += candidates
+                stats.reductions += reduces
+        else:
+            from repro.runtime.runner import parallel_map
+
+            # Several batches per worker for load balance; contiguous
+            # slices keep task order == segment order, so flattening the
+            # (order-preserving) outcomes order-merges the segments.
+            batches = min(num_segments, self.jobs * 4)
+            bounds = np.linspace(0, num_segments, batches + 1).astype(int)
+            tasks = [
+                (views[lo:hi], base_theta, policy)
+                for lo, hi in zip(bounds[:-1], bounds[1:])
+                if hi > lo
+            ]
+            outcomes = parallel_map(
+                _segment_batch_task,
+                tasks,
+                jobs=self.jobs,
+                timeout=self.timeout,
+                obs=get_observer(),
+                retry=self.retry,
+            )
+            for outcome in outcomes:
+                if not outcome.ok:
+                    raise RuntimeError(
+                        "segment batch failed after "
+                        f"{outcome.attempts} attempt(s): {outcome.error}"
+                    )
+                results, nodes, candidates, reduces = outcome.value
+                segment_results.extend(results)
+                stats.nodes_visited += nodes
+                stats.candidate_stacks += candidates
+                stats.reductions += reduces
+
+        stats.analysis_seconds = clock.perf_seconds() - start_time
+        return RpStacksModel(
+            segment_results,
+            baseline=self.baseline,
+            num_uops=graph.num_uops,
+            stats=stats,
+        )
+
+    def _generate_reference(self) -> RpStacksModel:
+        """Original whole-graph serial walk (differential-test oracle).
+
+        Kept verbatim — dict-of-lists node state, per-edge Python inner
+        loop, single-shot :func:`reduce_stacks_reference` — so the
+        segment-parallel path and the benchmarks always have the exact
+        pre-optimisation behaviour to compare against.
+        """
         start_time = clock.perf_seconds()
         graph = self.graph
         base_theta = self.baseline.as_vector()
@@ -151,10 +403,6 @@ class RpStacksGenerator:
             if intra_edges == 0:
                 result = zero_set  # segment entry: start from nothing
             elif single is not None:
-                # Fast path: one predecessor — the set moves unchanged
-                # (shared) or shifted by the edge charge; reduction is a
-                # no-op because adding a constant preserves both the
-                # ordering and the dominance relation of the population.
                 result = (
                     single + charge_rows[single_edge]
                     if edge_has_charge[single_edge]
@@ -163,7 +411,9 @@ class RpStacksGenerator:
             else:
                 candidates = np.vstack(gathered)
                 stats.candidate_stacks += candidates.shape[0]
-                result = reduce_stacks(candidates, base_theta, policy)
+                result = reduce_stacks_reference(
+                    candidates, base_theta, policy
+                )
                 stats.reductions += 1
             node_sets[v] = result
             stats.nodes_visited += 1
@@ -190,13 +440,20 @@ def generate_rpstacks(
     segment_length: int = 256,
     max_paths: int = 32,
     preserve_unique: bool = True,
+    include_base_in_similarity: bool = False,
+    jobs: int = 1,
 ) -> RpStacksModel:
     """One-call convenience wrapper around :class:`RpStacksGenerator`."""
     policy = ReductionPolicy(
         similarity_threshold=similarity_threshold,
         max_paths=max_paths,
         preserve_unique=preserve_unique,
+        include_base_in_similarity=include_base_in_similarity,
     )
     return RpStacksGenerator(
-        graph, baseline, policy=policy, segment_length=segment_length
+        graph,
+        baseline,
+        policy=policy,
+        segment_length=segment_length,
+        jobs=jobs,
     ).generate()

@@ -95,6 +95,21 @@ class RpStacksModel:
             for row in self.segment_stacks[segment]
         ]
 
+    def content_digest(self) -> str:
+        """SHA-256 over every segment's stack array (shapes and bytes).
+
+        Two models digest equal iff they hold byte-identical stacks in
+        the same segment order — the equivalence the serial-vs-parallel
+        generation differential asserts.
+        """
+        import hashlib
+
+        digest = hashlib.sha256()
+        for stacks in self.segment_stacks:
+            digest.update(np.int64(stacks.shape[0]).tobytes())
+            digest.update(np.ascontiguousarray(stacks).tobytes())
+        return digest.hexdigest()
+
     # ---- prediction ---------------------------------------------------
 
     def predict_cycles(self, latency: LatencyConfig) -> float:

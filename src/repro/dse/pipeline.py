@@ -123,6 +123,8 @@ def analyze(
     segment_length: int = 256,
     max_paths: int = 32,
     preserve_unique: bool = True,
+    include_base_in_similarity: bool = False,
+    jobs: int = 1,
     warm_caches: bool = True,
     cache=None,
     obs=None,
@@ -133,7 +135,12 @@ def analyze(
         workload: the dynamic micro-op stream to analyse.
         config: structure + baseline latencies (Table II default).
         similarity_threshold / segment_length / max_paths /
-            preserve_unique: RpStacks generation parameters (§III-C).
+            preserve_unique / include_base_in_similarity: RpStacks
+            generation parameters (§III-C).
+        jobs: worker processes for segment-parallel stack generation.
+            Segments are independent (§IV-D) and results are
+            order-merged, so any ``jobs`` value yields a byte-identical
+            model; ``jobs`` therefore never enters the cache key.
         warm_caches: warm caches/TLBs to steady state before measuring.
         cache: an :class:`~repro.runtime.cache.ArtifactCache` (or a
             cache directory path) for content-addressed reuse: when the
@@ -158,6 +165,8 @@ def analyze(
             segment_length,
             max_paths,
             preserve_unique,
+            include_base_in_similarity,
+            jobs,
             warm_caches,
             cache,
             observer,
@@ -171,6 +180,8 @@ def _analyze_instrumented(
     segment_length,
     max_paths,
     preserve_unique,
+    include_base_in_similarity,
+    jobs,
     warm_caches,
     cache,
     obs,
@@ -188,6 +199,7 @@ def _analyze_instrumented(
                 similarity_threshold=similarity_threshold,
                 max_paths=max_paths,
                 preserve_unique=preserve_unique,
+                include_base_in_similarity=include_base_in_similarity,
             ),
             segment_length=segment_length,
             warm_caches=warm_caches,
@@ -211,6 +223,8 @@ def _analyze_instrumented(
             segment_length=segment_length,
             max_paths=max_paths,
             preserve_unique=preserve_unique,
+            include_base_in_similarity=include_base_in_similarity,
+            jobs=jobs,
         )
         with obs.span("baselines.init", workload=workload.name):
             session = AnalysisSession(

@@ -15,6 +15,7 @@ its parent chain yields the critical path's stall-event stack (CP1).
 from __future__ import annotations
 
 from collections import deque
+from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -36,6 +37,108 @@ _EVENT_MEMBERS: Tuple[EventType, ...] = tuple(EventType)
 
 class GraphBuildError(ValueError):
     """Raised when edge lists are malformed (e.g. cyclic)."""
+
+
+def _charge_matrix(events: np.ndarray, units: np.ndarray) -> np.ndarray:
+    """Dense (m x NUM_EVENTS) unit matrix from packed charge arrays.
+
+    One flat ``bincount`` over row-offset event ids; an order of
+    magnitude faster than ``np.add.at`` scatter on the same data
+    (padding slots carry zero units, so they land harmlessly in bin 0).
+    """
+    count = events.shape[0]
+    if count == 0:
+        return np.zeros((0, NUM_EVENTS), dtype=np.float64)
+    flat_ids = events + (
+        np.arange(count, dtype=np.int64)[:, None] * NUM_EVENTS
+    )
+    flat = np.bincount(
+        flat_ids.ravel(),
+        weights=units.ravel(),
+        minlength=count * NUM_EVENTS,
+    )
+    return flat.reshape(count, NUM_EVENTS)
+
+
+@dataclass
+class SegmentView:
+    """One segment's slice of a dependence graph (Fig 7b).
+
+    Segmentation makes segments *independent by construction*: edges
+    crossing a segment boundary are dropped and every segment starts
+    from a fresh zero stack.  A view therefore carries everything a
+    traversal of that segment needs — the intra-segment edges in local
+    (segment-relative) CSR form plus their packed event charges — and
+    nothing else, which keeps it cheap to pickle into pool workers.
+
+    Local node ``v`` corresponds to global node ``node_offset + v``; the
+    in-edge order per node matches the parent graph's CSR order, so a
+    walk over a view gathers predecessor blocks in exactly the order the
+    whole-graph walk would.
+    """
+
+    segment: int
+    first_uop: int
+    num_uops: int
+    node_offset: int
+    num_nodes: int
+    #: (num_nodes + 1,) CSR row pointer over *intra-segment* in-edges.
+    in_indptr: np.ndarray
+    #: (m,) local source node per intra-segment edge, CSR order.
+    edge_src: np.ndarray
+    #: (m, MAX_EDGE_EVENTS) packed event ids (zero-padded).
+    events: np.ndarray
+    #: (m, MAX_EDGE_EVENTS) packed event units (zero-padded).
+    units: np.ndarray
+    _topo: Optional[np.ndarray] = field(default=None, repr=False)
+
+    @property
+    def sink_local(self) -> int:
+        """Local id of the segment's sink: the last µop's commit node."""
+        return self.num_uops * NODES_PER_UOP - 1
+
+    def charge_matrix(self) -> np.ndarray:
+        """Dense (m x NUM_EVENTS) charge matrix of the intra edges."""
+        return _charge_matrix(self.events, self.units)
+
+    def topological_order(self) -> np.ndarray:
+        """Topological order of the segment's nodes (computed once).
+
+        Plain-list Kahn: segment graphs are small (a few thousand nodes)
+        and shallow waves make per-wave vectorisation pay more in ufunc
+        dispatch than it saves, so scalar Python wins here.  Any
+        topological order yields bit-identical traversal results (a
+        node's stacks depend only on its predecessors' stacks and its
+        in-edge CSR order), so this order needs no relation to the
+        parent graph's global order.
+        """
+        if self._topo is not None:
+            return self._topo
+        n = self.num_nodes
+        indegree = np.diff(self.in_indptr).tolist()
+        out_order = np.argsort(self.edge_src, kind="stable")
+        out_dst = np.repeat(
+            np.arange(n, dtype=np.int64), indegree
+        )[out_order].tolist()
+        out_counts = np.bincount(self.edge_src, minlength=n)
+        out_indptr = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(out_counts, out=out_indptr[1:])
+        out_indptr = out_indptr.tolist()
+
+        queue = deque(v for v in range(n) if indegree[v] == 0)
+        topo: List[int] = []
+        while queue:
+            v = queue.popleft()
+            topo.append(v)
+            for e in range(out_indptr[v], out_indptr[v + 1]):
+                w = out_dst[e]
+                indegree[w] -= 1
+                if indegree[w] == 0:
+                    queue.append(w)
+        if len(topo) != n:
+            raise GraphBuildError("dependence graph contains a cycle")
+        self._topo = np.asarray(topo, dtype=np.int64)
+        return self._topo
 
 
 class DependenceGraph:
@@ -162,12 +265,57 @@ class DependenceGraph:
 
     def edge_charge_vectors(self) -> np.ndarray:
         """Dense (num_edges x NUM_EVENTS) unit matrix (RpStacks traversal)."""
-        mat = np.zeros((self.num_edges, NUM_EVENTS), dtype=np.float64)
-        rows = np.repeat(
-            np.arange(self.num_edges), MAX_EDGE_EVENTS
-        ).reshape(self.num_edges, MAX_EDGE_EVENTS)
-        np.add.at(mat, (rows.ravel(), self._events.ravel()), self._units.ravel())
-        return mat
+        return _charge_matrix(self._events, self._units)
+
+    # ------------------------------------------------------------------
+
+    def num_segments(self, segment_length: int) -> int:
+        """Number of segments the graph splits into at *segment_length*."""
+        if segment_length < 1:
+            raise ValueError("segment_length must be positive")
+        return (self.num_uops + segment_length - 1) // segment_length
+
+    def segment_view(self, segment: int, segment_length: int) -> SegmentView:
+        """Slice out one segment's nodes and intra-segment edges.
+
+        Reuses the packed CSR arrays: edges are stored sorted by
+        destination, so a segment's candidate in-edges occupy one
+        contiguous slice, from which cross-boundary edges (sources
+        outside the segment) are masked out — the paper's rule that
+        boundary-crossing dependences are dropped.  The surviving edges
+        keep their relative CSR order, so per-node predecessor order is
+        identical to the whole-graph walk's.
+        """
+        count = self.num_segments(segment_length)
+        if not 0 <= segment < count:
+            raise IndexError(
+                f"segment {segment} out of range ({count} segments)"
+            )
+        first_uop = segment * segment_length
+        seg_uops = min(segment_length, self.num_uops - first_uop)
+        lo = first_uop * NODES_PER_UOP
+        n = seg_uops * NODES_PER_UOP
+        hi = lo + n
+
+        begin = int(self.in_indptr[lo])
+        end = int(self.in_indptr[hi])
+        src = self.edge_src[begin:end]
+        intra = (src >= lo) & (src < hi)
+        per_node = np.diff(self.in_indptr[lo : hi + 1])
+        dst_local = np.repeat(np.arange(n, dtype=np.int64), per_node)[intra]
+        in_indptr = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(np.bincount(dst_local, minlength=n), out=in_indptr[1:])
+        return SegmentView(
+            segment=segment,
+            first_uop=first_uop,
+            num_uops=seg_uops,
+            node_offset=lo,
+            num_nodes=n,
+            in_indptr=in_indptr,
+            edge_src=(src[intra] - lo).astype(np.int64),
+            events=self._events[begin:end][intra],
+            units=self._units[begin:end][intra],
+        )
 
     # ------------------------------------------------------------------
 

@@ -9,7 +9,9 @@ from repro.workloads.generator import (
 )
 from repro.workloads.suite import (
     DEFAULT_MACRO_OPS,
+    LONG_TRACE_UOPS,
     SPEC_LABELS,
+    make_long_trace,
     make_suite,
     make_workload,
     suite_names,
@@ -19,11 +21,13 @@ from repro.workloads.suite import (
 __all__ = [
     "DATA_BASE",
     "DEFAULT_MACRO_OPS",
+    "LONG_TRACE_UOPS",
     "MACRO_OP_BYTES",
     "NUM_ARCH_REGS",
     "SPEC_LABELS",
     "WorkloadSpec",
     "generate",
+    "make_long_trace",
     "make_suite",
     "make_workload",
     "suite_names",

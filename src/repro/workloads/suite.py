@@ -39,6 +39,12 @@ from repro.workloads.generator import WorkloadSpec, generate
 #: callers can resize via :func:`make_workload`.
 DEFAULT_MACRO_OPS = 2000
 
+#: Dynamic µop floor of the long-trace scale: the size class the
+#: segment-parallel generation path (§IV-D) is benchmarked at.  Two
+#: orders of magnitude beyond :data:`DEFAULT_MACRO_OPS`, approaching the
+#: paper's 1M-instruction SimPoint regime.
+LONG_TRACE_UOPS = 200_000
+
 _SUITE_SPECS: Dict[str, WorkloadSpec] = {
     "perlbench": WorkloadSpec(
         name="perlbench",
@@ -337,6 +343,27 @@ def make_workload(
             blocks.append((spec, macros))
             total += macros
     return make_phased_workload(blocks, name=name, seed=seed)
+
+
+def make_long_trace(
+    name: str, min_uops: int = LONG_TRACE_UOPS, seed: int = 1
+) -> Workload:
+    """Generate the named analogue at long-trace scale (≥ *min_uops* µops).
+
+    Suite analogues decode to roughly 1.1–1.6 µops per macro-op
+    depending on their load/store mix, so the macro-op count is sized
+    from a small probe of the same spec and grown until the µop floor
+    is met.  Deterministic given ``(name, min_uops, seed)``.
+    """
+    probe_macros = 2000
+    probe = make_workload(name, num_macro_ops=probe_macros, seed=seed)
+    per_macro = max(len(probe) / probe_macros, 1.0)
+    macros = int(min_uops / per_macro) + 1
+    workload = make_workload(name, num_macro_ops=macros, seed=seed)
+    while len(workload) < min_uops:
+        macros = int(macros * 1.1) + 1
+        workload = make_workload(name, num_macro_ops=macros, seed=seed)
+    return workload
 
 
 def make_suite(

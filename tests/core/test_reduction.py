@@ -246,3 +246,102 @@ class TestBaseInSimilarity:
             ),
         )
         assert kept.shape[0] == 2
+
+
+class TestCapPriority:
+    """The max_paths cap when unique rows alone exceed the budget:
+    row 0 (the baseline maximum) always survives, then uniqueness
+    witnesses in descending-penalty order, then everything else."""
+
+    THETA = np.ones(NUM_EVENTS)
+
+    def population(self):
+        # Penalties (under unit pricing) strictly descend; rows 0 and 1
+        # share their support (neither is unique), rows 2-4 each own a
+        # dimension no other row touches.  No row dominates another.
+        return stacks(
+            stack(L1D=10, LD=2),      # 12: baseline maximum, non-unique
+            stack(L1D=2, LD=9),       # 11: non-unique
+            stack(L1D=1, FP_ADD=9),   # 10: owns FP_ADD
+            stack(L1D=1, MEM_D=8),    # 9:  owns MEM_D
+            stack(L1D=1, L2D=7),      # 8:  owns L2D
+        )
+
+    def test_unique_rows_outrank_larger_non_unique_rows(self):
+        population = self.population()
+        policy = ReductionPolicy(similarity_threshold=1.0, max_paths=3)
+        reduced = reduce_stacks(population, self.THETA, policy)
+        expected = population[[0, 2, 3]]
+        assert reduced.shape == expected.shape
+        assert (reduced == expected).all()
+        # The non-unique row 1 lost its slot to smaller unique rows,
+        # and the smallest unique row fell off the end of the budget.
+        kept = {row.tobytes() for row in reduced}
+        assert population[1].tobytes() not in kept
+        assert population[4].tobytes() not in kept
+
+    def test_baseline_maximum_survives_a_cap_of_one(self):
+        population = self.population()
+        policy = ReductionPolicy(similarity_threshold=1.0, max_paths=1)
+        reduced = reduce_stacks(population, self.THETA, policy)
+        assert reduced.shape[0] == 1
+        assert (reduced[0] == population[0]).all()
+
+    def test_without_preservation_cap_is_by_penalty(self):
+        population = self.population()
+        policy = ReductionPolicy(
+            similarity_threshold=1.0, max_paths=3, preserve_unique=False
+        )
+        reduced = reduce_stacks(population, self.THETA, policy)
+        assert (reduced == population[[0, 1, 2]]).all()
+
+
+class TestPairParity:
+    """The two-candidate fast path must be indistinguishable from the
+    general reduction machinery — pinned as a differential property over
+    random pairs, zero-priced theta dimensions and exact ties."""
+
+    pair_rows = hnp.arrays(
+        dtype=np.float64,
+        shape=(2, NUM_EVENTS),
+        # Small integers on purpose: exact penalty ties and identical
+        # rows then occur often enough for hypothesis to exercise the
+        # dedup/tiebreak branches.
+        elements=st.integers(min_value=0, max_value=3).map(float),
+    )
+    thetas = hnp.arrays(
+        dtype=np.float64,
+        shape=NUM_EVENTS,
+        # Zeros allowed: a zero-priced dimension makes distinct rows tie
+        # exactly, the regime where fast-path drift once hid.
+        elements=st.integers(min_value=0, max_value=4).map(float),
+    )
+
+    @given(
+        pair=pair_rows,
+        theta=thetas,
+        threshold=st.sampled_from([0.0, 0.3, 0.7, 1.0]),
+        max_paths=st.integers(min_value=1, max_value=4),
+        preserve_unique=st.booleans(),
+        include_base=st.booleans(),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_pair_fast_path_matches_general_path(
+        self, pair, theta, threshold, max_paths, preserve_unique,
+        include_base,
+    ):
+        policy = ReductionPolicy(
+            similarity_threshold=threshold,
+            max_paths=max_paths,
+            preserve_unique=preserve_unique,
+            include_base_in_similarity=include_base,
+        )
+        # Two rows route through _reduce_pair; appending a duplicate of
+        # the first row forces the general path (dedup collapses it back
+        # to the same two-row population before reducing).
+        fast = reduce_stacks(pair, theta, policy)
+        general = reduce_stacks(
+            np.vstack([pair, pair[:1]]), theta, policy
+        )
+        assert fast.shape == general.shape
+        assert (fast == general).all()

@@ -125,3 +125,49 @@ def test_similarity_to_set_matches_scalar():
 
 def test_similarity_to_set_empty_kept():
     assert similarity_to_set(np.zeros(NUM_EVENTS), np.zeros((0, NUM_EVENTS))).size == 0
+
+
+# ---- convention-parity regression (one shared kernel) ----------------
+#
+# The three public entry points once held subtly different conventions
+# for degenerate inputs (an all-zero row against a nonzero row, two
+# all-zero rows); now they all route through one kernel, and this
+# differential fuzz pins that the conventions can never drift apart
+# again — bit-exact equality, not approx.
+
+degenerate_stacks = hnp.arrays(
+    dtype=np.float64,
+    shape=st.tuples(
+        st.integers(min_value=1, max_value=6),
+        st.just(NUM_EVENTS),
+    ),
+    # Small integers make all-zero rows and shared-support ties common.
+    elements=st.integers(min_value=0, max_value=2).map(float),
+)
+
+
+@given(stacks=degenerate_stacks)
+@settings(max_examples=150, deadline=None)
+def test_property_conventions_agree_bit_exactly(stacks):
+    matrix = pairwise_modified_cosine(stacks)
+    k = stacks.shape[0]
+    for i in range(k):
+        row = similarity_to_set(stacks[i], stacks)
+        for j in range(k):
+            scalar = modified_cosine(stacks[i], stacks[j])
+            assert matrix[i, j] == scalar
+            assert row[j] == scalar
+
+
+def test_zero_row_conventions_are_identical_across_entry_points():
+    zero = np.zeros(NUM_EVENTS)
+    one = np.zeros(NUM_EVENTS)
+    one[0] = 3.0
+    population = np.stack([zero, one, zero])
+    matrix = pairwise_modified_cosine(population)
+    # both-zero pairs are identical-by-convention ...
+    assert matrix[0, 2] == 1.0 == modified_cosine(zero, zero)
+    assert similarity_to_set(zero, population)[2] == 1.0
+    # ... while zero-vs-nonzero pairs are orthogonal, everywhere.
+    assert matrix[0, 1] == 0.0 == modified_cosine(zero, one)
+    assert similarity_to_set(one, population)[0] == 0.0
