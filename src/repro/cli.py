@@ -493,6 +493,13 @@ def build_parser() -> argparse.ArgumentParser:
         description="RpStacks: single-simulation processor design space "
         "exploration (MICRO 2014 reproduction)",
     )
+    parser.add_argument(
+        "--native", choices=["auto", "on", "off"], default=None,
+        help="compiled simulator/analysis kernels: 'auto' probes for a C "
+        "compiler and falls back to Python, 'on' requires the compiled "
+        "path, 'off' forces pure Python (equivalent to REPRO_NATIVE=1/0; "
+        "both paths are bit-identical)",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     def add_workload_args(p):
@@ -678,6 +685,16 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    if args.native is not None:
+        # The gate is read ambiently (simulator, pre-pass, analysis
+        # kernels), so publish it through the environment rather than
+        # threading a flag through every call site.  ``auto`` restores
+        # the probe-and-fall-back default even if REPRO_NATIVE is set.
+        import os
+
+        os.environ["REPRO_NATIVE"] = {
+            "auto": "auto", "on": "1", "off": "0"
+        }[args.native]
     return args.func(args)
 
 

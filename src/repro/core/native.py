@@ -28,6 +28,10 @@ build, or ``REPRO_NATIVE=0`` all fall back to the numpy path (set
 ``REPRO_NATIVE=1`` to make a missing native build an error instead).
 The compiled library is cached under the system temp directory keyed by
 source hash, so workers spawned by ``parallel_map`` just ``dlopen`` it.
+
+The build/cache/gate machinery (:func:`native_mode`,
+:func:`compile_shared_library`, :func:`load_gated`) is generic and
+shared with the compiled simulator (:mod:`repro.simulator.native`).
 """
 
 from __future__ import annotations
@@ -38,7 +42,7 @@ import os
 import subprocess
 import sys
 import tempfile
-from typing import Optional
+from typing import Callable, Optional
 
 import numpy as np
 
@@ -296,36 +300,80 @@ _CACHED: Optional[NativeReduction] = None
 _LOAD_ATTEMPTED = False
 
 
-def _build_dir() -> str:
+def native_mode() -> str:
+    """The ``REPRO_NATIVE`` gate: ``"off"``, ``"require"`` or ``"auto"``.
+
+    ``0/off/false/no`` disables every native path; ``1/on/true/yes``
+    turns a build/load failure into an error instead of a silent Python
+    fallback; anything else (or unset) means best-effort.
+    """
+    mode = os.environ.get("REPRO_NATIVE", "auto").lower()
+    if mode in ("0", "off", "false", "no"):
+        return "off"
+    if mode in ("1", "on", "true", "yes"):
+        return "require"
+    return "auto"
+
+
+def compile_shared_library(
+    name: str, source: str, cflags: Optional[list] = None
+) -> str:
+    """Compile *source* into a cached shared library; return its path.
+
+    The cache directory is keyed by the hash of the source and flags, so
+    a source change never reuses a stale build and concurrent workers
+    converge on one artifact (the final rename is atomic: racing
+    builders both win).
+    """
+    cflags = list(_CFLAGS if cflags is None else cflags)
     tag = hashlib.sha256(
-        (_C_SOURCE + " ".join(_CFLAGS)).encode()
+        (source + " ".join(cflags)).encode()
     ).hexdigest()[:16]
     root = os.environ.get("REPRO_NATIVE_CACHE") or os.path.join(
         tempfile.gettempdir(), f"repro-native-{os.getuid()}"
     )
-    return os.path.join(root, tag)
-
-
-def _compile() -> str:
-    """Compile the shared library (idempotent); return its path."""
-    directory = _build_dir()
-    lib_path = os.path.join(directory, "_reduction.so")
+    directory = os.path.join(root, tag)
+    lib_path = os.path.join(directory, f"_{name}.so")
     if os.path.exists(lib_path):
         return lib_path
     os.makedirs(directory, exist_ok=True)
-    src_path = os.path.join(directory, "_reduction.c")
+    src_path = os.path.join(directory, f"_{name}.c")
     with open(src_path, "w") as handle:
-        handle.write(_C_SOURCE)
-    tmp_path = os.path.join(directory, f"_reduction.{os.getpid()}.tmp.so")
+        handle.write(source)
+    tmp_path = os.path.join(directory, f"_{name}.{os.getpid()}.tmp.so")
     compiler = os.environ.get("CC", "cc")
     subprocess.run(
-        [compiler, *_CFLAGS, src_path, "-o", tmp_path, "-lm"],
+        [compiler, *cflags, src_path, "-o", tmp_path, "-lm"],
         check=True,
         capture_output=True,
         timeout=120,
     )
-    os.replace(tmp_path, lib_path)  # atomic: racing workers both win
+    os.replace(tmp_path, lib_path)
     return lib_path
+
+
+def load_gated(what: str, builder: Callable[[], object]):
+    """Run *builder* under the ``REPRO_NATIVE`` gate.
+
+    Returns ``None`` when the gate is off or (in auto mode) when
+    *builder* raises; re-raises as ``RuntimeError`` when the gate
+    requires the native path.
+    """
+    if native_mode() == "off":
+        return None
+    try:
+        return builder()
+    except Exception as exc:  # noqa: BLE001 - any failure means fallback
+        if native_mode() == "require":
+            raise RuntimeError(
+                f"REPRO_NATIVE=1 but the native {what} failed to load: {exc}"
+            ) from exc
+        print(
+            f"repro: native {what} unavailable ({exc.__class__.__name__}); "
+            "using the Python path",
+            file=sys.stderr,
+        )
+        return None
 
 
 def load_native() -> Optional[NativeReduction]:
@@ -339,20 +387,10 @@ def load_native() -> Optional[NativeReduction]:
     if _LOAD_ATTEMPTED:
         return _CACHED
     _LOAD_ATTEMPTED = True
-    mode = os.environ.get("REPRO_NATIVE", "auto").lower()
-    if mode in ("0", "off", "false", "no"):
-        return None
-    try:
-        _CACHED = NativeReduction(ctypes.CDLL(_compile()))
-    except Exception as exc:  # noqa: BLE001 - any failure means fallback
-        if mode in ("1", "on", "true", "yes"):
-            raise RuntimeError(
-                f"REPRO_NATIVE=1 but the native reducer failed to load: {exc}"
-            ) from exc
-        print(
-            f"repro: native reducer unavailable ({exc.__class__.__name__}); "
-            "using the numpy path",
-            file=sys.stderr,
-        )
-        _CACHED = None
+    _CACHED = load_gated(
+        "reducer",
+        lambda: NativeReduction(
+            ctypes.CDLL(compile_shared_library("reduction", _C_SOURCE))
+        ),
+    )
     return _CACHED

@@ -18,8 +18,14 @@ from repro.simulator.prefetch import (
     StridePrefetcher,
     make_prefetcher,
 )
+from repro.simulator.native import (
+    UnsupportedWorkloadError,
+    load_native_sim,
+    try_native_simulate,
+    try_native_timing,
+)
 from repro.simulator.prepass import PrepassResult, run_prepass
-from repro.simulator.traceio import load_result, save_result
+from repro.simulator.traceio import load_result, result_digest, save_result
 from repro.simulator.tlb import TLB
 from repro.simulator.trace import (
     SimResult,
@@ -45,14 +51,19 @@ __all__ = [
     "SimResult",
     "TLB",
     "TimingSimulator",
+    "UnsupportedWorkloadError",
     "UopTrace",
     "data_access_charge",
     "fetch_access_charge",
     "load_result",
+    "load_native_sim",
     "make_predictor",
     "make_prefetcher",
     "render_pipeline",
+    "result_digest",
     "save_result",
     "run_prepass",
     "simulate",
+    "try_native_simulate",
+    "try_native_timing",
 ]

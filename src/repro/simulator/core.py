@@ -535,6 +535,7 @@ def simulate(
     config: MicroarchConfig,
     warm_caches: bool = True,
     prepass: Optional[PrepassResult] = None,
+    native: Optional[bool] = None,
 ) -> SimResult:
     """Run one full timing simulation.
 
@@ -546,10 +547,32 @@ def simulate(
             depends on the structure domain, so it is shared across the
             latency sweep of one structure).  NOTE: pre-pass records are
             re-stamped with this run's timestamps.
+        native: ``None`` uses the compiled simulator when available (the
+            ``REPRO_NATIVE``-gated default), ``False`` forces the Python
+            loops, ``True`` requires the compiled path.  The two are bit
+            identical; the differential parity suite pins that.
 
     Returns:
         The :class:`~repro.simulator.trace.SimResult` of the run.
     """
     if prepass is None:
-        prepass = run_prepass(workload, config, warm_caches=warm_caches)
+        if native is not False:
+            # One-shot run: the fused compiled prepass+timing path
+            # materialises the trace records exactly once.
+            from repro.simulator.native import try_native_simulate
+
+            result = try_native_simulate(
+                workload, config, warm_caches=warm_caches, native=native
+            )
+            if result is not None:
+                return result
+        prepass = run_prepass(
+            workload, config, warm_caches=warm_caches, native=native
+        )
+    if native is not False:
+        from repro.simulator.native import try_native_timing
+
+        result = try_native_timing(workload, config, prepass, native)
+        if result is not None:
+            return result
     return TimingSimulator(workload, config, prepass).run()

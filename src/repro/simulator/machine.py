@@ -36,12 +36,17 @@ class Machine:
         warm_caches: bool = True,
         warm_stream: Optional[Workload] = None,
         predictor_extra_stream: Optional[Workload] = None,
+        native: Optional[bool] = None,
     ) -> None:
         self.workload = workload
         self.config = config or baseline_config()
-        # Resolved ambiently (never stored) so Machine — and the
-        # AnalysisSession wrapping it — stays picklable across the
-        # worker pool and the artifact cache.
+        #: tri-state compiled-path selection (None = auto via
+        #: ``REPRO_NATIVE``, False = Python, True = require native);
+        #: both paths are bit identical so cached results are portable.
+        self.native = native
+        # The observer is resolved ambiently (never stored) so Machine —
+        # and the AnalysisSession wrapping it — stays picklable across
+        # the worker pool and the artifact cache.
         with get_observer().span(
             "sim.prepass", workload=workload.name, uops=len(workload)
         ):
@@ -51,6 +56,7 @@ class Machine:
                 warm_caches=warm_caches,
                 warm_stream=warm_stream,
                 predictor_extra_stream=predictor_extra_stream,
+                native=native,
             )
         self._cache: Dict[LatencyConfig, SimResult] = {}
         #: count of timing runs actually executed (for overhead reports)
@@ -74,12 +80,36 @@ class Machine:
         with obs.span(
             "sim.run", workload=self.workload.name, uops=len(self.workload)
         ):
-            # Each run stamps timestamps into the trace records; deep-copy
-            # the pre-pass records so cached results stay immutable.
-            prepass = copy.deepcopy(self._prepass)
-            result = TimingSimulator(self.workload, design, prepass).run()
+            # Each run stamps timestamps into the trace records; copy the
+            # pre-pass records so cached results stay immutable.  Record
+            # fields are all immutable, so per-record shallow copies
+            # suffice (and the packed arrays are read-only, so they are
+            # shared rather than duplicated).
+            source = self._prepass
+            prepass = PrepassResult(
+                records=[copy.copy(rec) for rec in source.records],
+                frees_reg_on_commit=source.frees_reg_on_commit,
+                needs_phys_reg=source.needs_phys_reg,
+                macro_last_uop=source.macro_last_uop,
+                stats=source.stats,
+                packed=source.packed,
+            )
+            result = None
+            if self.native is not False:
+                from repro.simulator.native import try_native_timing
+
+                result = try_native_timing(
+                    self.workload, design, prepass, self.native
+                )
+            used_native = result is not None
+            if result is None:
+                result = TimingSimulator(
+                    self.workload, design, prepass
+                ).run()
         if obs.enabled:
             obs.counter("sim.runs").inc()
+            if used_native:
+                obs.counter("sim.native_runs").inc()
             obs.counter("sim.uops_retired").inc(len(self.workload))
             obs.histogram("sim.seconds").observe(
                 clock.perf_seconds() - start

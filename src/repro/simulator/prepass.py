@@ -51,6 +51,10 @@ class PrepassResult:
         macro_last_uop: for each µop, the seq of the last µop of its
             macro-op (used for the SoM commit gate).
         stats: functional counters (cache hits/misses, mispredictions).
+        packed: flat-array view of the outcome when the native pre-pass
+            produced it (``repro.simulator.native.PackedPrepass``); the
+            native timing loop consumes it directly.  ``None`` for
+            Python-produced results (they can be packed on demand).
     """
 
     records: List[UopTrace]
@@ -58,6 +62,7 @@ class PrepassResult:
     needs_phys_reg: List[bool]
     macro_last_uop: List[int]
     stats: Dict[str, int] = field(default_factory=dict)
+    packed: Optional[object] = None
 
 
 def _declared_footprint(workload: Workload, key: str) -> Optional[int]:
@@ -181,6 +186,7 @@ def run_prepass(
     warm_caches: bool = True,
     warm_stream: Optional[Workload] = None,
     predictor_extra_stream: Optional[Workload] = None,
+    native: Optional[bool] = None,
 ) -> PrepassResult:
     """Execute the functional pre-pass for *workload* under *config*.
 
@@ -199,9 +205,22 @@ def run_prepass(
             on this stream after warming — for a SimPoint interval, the
             measured prefix preceding it, which reproduces the predictor
             state the interval would see in situ.
+        native: ``None`` uses the compiled pass when available (the
+            ``REPRO_NATIVE``-gated default), ``False`` forces the Python
+            pass, ``True`` requires the compiled one.  Both passes are
+            bit-identical by construction and pinned by the differential
+            parity suite.
     """
     if len(workload) == 0:
         raise ValueError("cannot simulate an empty workload")
+
+    if native is not False:
+        result = _try_native_prepass(
+            workload, config, warm_caches, warm_stream,
+            predictor_extra_stream, native,
+        )
+        if result is not None:
+            return result
 
     from repro.simulator.prefetch import make_prefetcher
 
@@ -320,4 +339,43 @@ def run_prepass(
         needs_phys_reg=needs_reg,
         macro_last_uop=macro_last,
         stats=stats,
+    )
+
+
+def _try_native_prepass(
+    workload: Workload,
+    config: MicroarchConfig,
+    warm_caches: bool,
+    warm_stream: Optional[Workload],
+    predictor_extra_stream: Optional[Workload],
+    native: Optional[bool],
+) -> Optional[PrepassResult]:
+    """Run the compiled pre-pass, or return ``None`` to fall back."""
+    from repro.simulator.native import (
+        UnsupportedWorkloadError,
+        native_prepass_pieces,
+        resolve_native,
+    )
+
+    sim = resolve_native(native)
+    if sim is None:
+        return None
+    try:
+        records, frees, needs, macro_last, stats, packed = (
+            native_prepass_pieces(
+                workload, config, warm_caches, warm_stream,
+                predictor_extra_stream, sim,
+            )
+        )
+    except UnsupportedWorkloadError:
+        if native is True:
+            raise
+        return None
+    return PrepassResult(
+        records=records,
+        frees_reg_on_commit=frees,
+        needs_phys_reg=needs,
+        macro_last_uop=macro_last,
+        stats=stats,
+        packed=packed,
     )

@@ -12,6 +12,7 @@ stored, not Python objects, so archives are portable across sessions.
 
 from __future__ import annotations
 
+import hashlib
 import json
 import pathlib
 from typing import Union
@@ -137,6 +138,62 @@ def save_result(
     path.parent.mkdir(parents=True, exist_ok=True)
     np.savez_compressed(path, **arrays)
     return path
+
+
+def result_digest(result: SimResult) -> str:
+    """Canonical SHA-256 over every behaviour-bearing field of a run.
+
+    Two results digest equally iff their workload streams, trace
+    records (charges, producers, witnesses, timestamps), cycle counts,
+    stats and configurations are all value-identical — the oracle the
+    native/Python differential and the determinism tests compare.
+    The digest is independent of *how* the result was produced
+    (compiled or pure-Python path, in-process or worker pool).
+    """
+    workload = result.workload
+    payload = {
+        "workload": {
+            "name": workload.name,
+            "params": [[k, _encode_param_value(v)]
+                       for k, v in workload.params],
+            "uops": [
+                [
+                    u.macro_id, int(u.som), int(u.eom), int(u.opclass),
+                    u.pc, list(u.src_regs),
+                    -1 if u.dst_reg is None else u.dst_reg,
+                    -1 if u.mem_addr is None else u.mem_addr,
+                    list(u.addr_src_regs), int(u.taken),
+                    -1 if u.target_pc is None else u.target_pc,
+                ]
+                for u in workload
+            ],
+        },
+        "records": [
+            [
+                _encode_charge(r.exec_charge),
+                _encode_charge(r.fetch_charge),
+                int(r.dtlb_miss), int(r.mispredicted),
+                list(r.data_producers), list(r.addr_producers),
+            ]
+            + [int(getattr(r, field))
+               for field in _WITNESS_FIELDS + _TIMESTAMP_FIELDS]
+            for r in result.uops
+        ],
+        "cycles": result.cycles,
+        "stats": result.stats,
+        "config": config_to_dict(result.config),
+    }
+    blob = json.dumps(
+        payload, sort_keys=True, separators=(",", ":")
+    ).encode("utf-8")
+    return hashlib.sha256(blob).hexdigest()
+
+
+def _encode_param_value(value):
+    """JSON-stable encoding of a workload provenance param value."""
+    if isinstance(value, tuple):
+        return [_encode_param_value(item) for item in value]
+    return value
 
 
 def load_result(path: Union[str, pathlib.Path]) -> SimResult:

@@ -39,9 +39,16 @@ from repro.workloads.phased import make_phased_workload  # noqa: E402
 __all__.append("make_phased_workload")
 
 from repro.workloads.kernels import (  # noqa: E402
+    STRESS_KERNELS,
     blocked_gemm,
+    branch_mispredict_storm,
     daxpy,
+    dcache_thrash,
+    divider_pressure,
+    dtlb_thrash,
+    icache_thrash,
     independent_stream,
+    load_after_store,
     pointer_ring,
     reduction_tree,
     serial_chain,
@@ -50,9 +57,16 @@ from repro.workloads.kernels import (  # noqa: E402
 
 __all__.extend(
     [
+        "STRESS_KERNELS",
         "blocked_gemm",
+        "branch_mispredict_storm",
         "daxpy",
+        "dcache_thrash",
+        "divider_pressure",
+        "dtlb_thrash",
+        "icache_thrash",
         "independent_stream",
+        "load_after_store",
         "pointer_ring",
         "reduction_tree",
         "serial_chain",

@@ -296,3 +296,179 @@ def reduction_tree(leaves: int = 128) -> Workload:
     emit(leaves)
     return builder.build(kernel="reduction_tree", leaves=leaves,
                          working_set_bytes=64, code_footprint_bytes=64)
+
+
+# ----------------------------------------------------------------------
+# stress kernels: one dominant stall event each
+# ----------------------------------------------------------------------
+#
+# Each kernel below is built so that exactly one penalty event should
+# dominate its CPI stack under the baseline design — the UStress idea of
+# single-bottleneck micro-benchmarks, used here as behavioural oracles
+# for the simulator (and for the compiled fast path, which must agree
+# with Python on all of them bit for bit).
+
+
+def branch_mispredict_storm(
+    branches: int = 512, seed: int = 0x9E3779B9
+) -> Workload:
+    """A single hot branch with a pseudo-random taken pattern.
+
+    Neither bimodal counters nor gshare history can learn an LCG-driven
+    outcome stream, so roughly half the branches mispredict and BrMisp
+    should dominate the stack.  Everything else (one cheap ALU op per
+    iteration) stays resident and predictable.
+    """
+    if branches < 1:
+        raise ValueError("branches must be positive")
+    builder = _KernelBuilder("branch-mispredict-storm")
+    state = seed & 0xFFFFFFFF
+    for i in range(branches):
+        state = (state * 1664525 + 1013904223) & 0xFFFFFFFF
+        builder.op(OpClass.INT_ALU, pc=0, dst=8)
+        builder.op(
+            OpClass.BRANCH, pc=MACRO_OP_BYTES, srcs=(8,),
+            taken=bool(state >> 31),
+        )
+    return builder.build(kernel="branch_mispredict_storm",
+                         branches=branches, seed=seed,
+                         working_set_bytes=64, code_footprint_bytes=64)
+
+
+def icache_thrash(
+    passes: int = 4, code_bytes: int = 128 * 1024
+) -> Workload:
+    """Sequential sweeps over a code region larger than the L1I.
+
+    The default region (128 KiB) overflows the 48 KiB L1I several times
+    over while staying inside the ITLB reach (64 x 4 KiB pages) and the
+    L2, so with LRU every line fetch in the steady-state sweep misses
+    the L1I and hits the L2: the L2I event should dominate.
+    """
+    if passes < 1:
+        raise ValueError("passes must be positive")
+    lines = max(1, code_bytes // 64)
+    builder = _KernelBuilder("icache-thrash")
+    for _ in range(passes):
+        for line in range(lines):
+            builder.op(OpClass.INT_ALU, pc=line * 64, dst=8)
+    return builder.build(kernel="icache_thrash", passes=passes,
+                         working_set_bytes=64,
+                         code_footprint_bytes=code_bytes)
+
+
+def dcache_thrash(
+    passes: int = 4, array_bytes: int = 192 * 1024
+) -> Workload:
+    """Line-stride loads sweeping an array larger than the L1D.
+
+    The default array (192 KiB = 3072 lines) overflows the 48 KiB L1D
+    four times over but spans only 48 pages — inside the DTLB — and
+    fits easily in the L2, so each load misses the L1D and hits the L2:
+    the L2D event should dominate.  Loads are independent (no pointer
+    chase), so the kernel also exposes memory-level parallelism.
+    """
+    if passes < 1:
+        raise ValueError("passes must be positive")
+    lines = max(1, array_bytes // 64)
+    builder = _KernelBuilder("dcache-thrash")
+    for p in range(passes):
+        for line in range(lines):
+            builder.op(
+                OpClass.LOAD,
+                pc=(line % 16) * MACRO_OP_BYTES,
+                dst=8 + (line % 32),
+                addr=DATA_BASE + line * 64,
+                addr_srcs=(2,),
+            )
+    return builder.build(kernel="dcache_thrash", passes=passes,
+                         working_set_bytes=array_bytes,
+                         code_footprint_bytes=64)
+
+
+def dtlb_thrash(
+    passes: int = 4, pages: int = 256
+) -> Workload:
+    """Page-stride loads cycling through more pages than the DTLB holds.
+
+    One load per 4 KiB page over *pages* pages (default 256, four times
+    the 64-entry DTLB): a sequential cycle through more pages than the
+    TLB holds misses on every access under LRU, while the touched lines
+    (one per page, 16 KiB total) stay L1D-resident — so the DTLB event
+    should dominate.
+    """
+    if passes < 1:
+        raise ValueError("passes must be positive")
+    if pages < 1:
+        raise ValueError("pages must be positive")
+    builder = _KernelBuilder("dtlb-thrash")
+    for p in range(passes):
+        for page in range(pages):
+            builder.op(
+                OpClass.LOAD,
+                pc=(page % 16) * MACRO_OP_BYTES,
+                dst=8 + (page % 32),
+                addr=DATA_BASE + page * 4096,
+                addr_srcs=(2,),
+            )
+    return builder.build(kernel="dtlb_thrash", passes=passes,
+                         working_set_bytes=pages * 4096,
+                         code_footprint_bytes=64)
+
+
+def divider_pressure(length: int = 256) -> Workload:
+    """A serial integer-divide chain: each quotient feeds the next.
+
+    The non-pipelined long-latency divider is the bottleneck by
+    construction — steady-state CPI approaches the IntDiv latency and
+    that event should dominate the stack.
+    """
+    if length < 1:
+        raise ValueError("length must be positive")
+    builder = _KernelBuilder("divider-pressure")
+    for i in range(length):
+        builder.op(
+            OpClass.INT_DIV,
+            pc=(i % 16) * MACRO_OP_BYTES,
+            srcs=(1,) if i else (),
+            dst=1,
+        )
+    return builder.build(kernel="divider_pressure", length=length,
+                         working_set_bytes=64, code_footprint_bytes=64)
+
+
+def load_after_store(pairs: int = 256) -> Workload:
+    """Store/load ping-pong on one address: forwarding-ordered pairs.
+
+    Every load sits behind the program-order previous store to the same
+    line, so each one carries a ``store_barrier`` witness and the pair
+    chain serialises through the L1D; the L1D event should dominate the
+    stack (everything is resident — the penalty is the ordered
+    store-to-load path itself).
+    """
+    if pairs < 1:
+        raise ValueError("pairs must be positive")
+    builder = _KernelBuilder("load-after-store")
+    addr = DATA_BASE
+    for i in range(pairs):
+        builder.op(
+            OpClass.STORE, pc=0, srcs=(8,), addr=addr, addr_srcs=(2,)
+        )
+        builder.op(
+            OpClass.LOAD, pc=MACRO_OP_BYTES, dst=8, addr=addr,
+            addr_srcs=(2,),
+        )
+    return builder.build(kernel="load_after_store", pairs=pairs,
+                         working_set_bytes=64, code_footprint_bytes=64)
+
+
+#: The stress-kernel registry: name -> zero-argument default builder
+#: and the event expected to dominate the baseline CPI stack.
+STRESS_KERNELS = {
+    "branch_mispredict_storm": branch_mispredict_storm,
+    "icache_thrash": icache_thrash,
+    "dcache_thrash": dcache_thrash,
+    "dtlb_thrash": dtlb_thrash,
+    "divider_pressure": divider_pressure,
+    "load_after_store": load_after_store,
+}

@@ -44,6 +44,47 @@ class TestSimulate:
         assert code == 0
 
 
+class TestNativeGate:
+    def test_native_flag_publishes_the_gate(self, capsys, monkeypatch):
+        import os
+
+        # setenv (not delenv) so teardown restores the pre-test state
+        # even though main() mutates os.environ directly.
+        monkeypatch.setenv("REPRO_NATIVE", "auto")
+        code, off_out = run(
+            capsys, "--native", "off", "simulate", "gamess",
+            "--macros", "100",
+        )
+        assert code == 0
+        assert os.environ["REPRO_NATIVE"] == "0"
+        code, auto_out = run(
+            capsys, "--native", "auto", "simulate", "gamess",
+            "--macros", "100",
+        )
+        assert code == 0
+        assert os.environ["REPRO_NATIVE"] == "auto"
+        # Both paths are bit-identical, so the printed run must match.
+        assert off_out == auto_out
+
+    def test_native_on_and_off_agree(self, capsys, monkeypatch):
+        from repro.simulator.native import load_native_sim
+
+        monkeypatch.setenv("REPRO_NATIVE", "auto")
+        if load_native_sim() is None:
+            pytest.skip("no C compiler available")
+        code, on_out = run(
+            capsys, "--native", "on", "simulate", "gamess",
+            "--macros", "100",
+        )
+        assert code == 0
+        code, off_out = run(
+            capsys, "--native", "off", "simulate", "gamess",
+            "--macros", "100",
+        )
+        assert code == 0
+        assert on_out == off_out
+
+
 class TestAnalyze:
     def test_prints_decomposition(self, capsys):
         code, out = run(capsys, "analyze", "gamess", "--macros", "100")

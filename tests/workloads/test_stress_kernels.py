@@ -1,0 +1,105 @@
+"""Stress-kernel oracles: one dominant stall event per kernel.
+
+Each UStress-style kernel in :mod:`repro.workloads.kernels` is designed
+so a single penalty event should dominate its baseline CPI stack.  The
+tests run the full analysis pipeline (simulate, graph, RpStacks) and
+assert the intended event really is the argmax of the non-BASE stack
+components — a behavioural oracle over the whole simulator, sensitive
+to cache/TLB/predictor modelling mistakes that aggregate-CPI checks
+would miss.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.events import EventType
+from repro.dse.pipeline import analyze
+from repro.isa.uop import OpClass, validate_stream
+from repro.workloads.kernels import (
+    STRESS_KERNELS,
+    branch_mispredict_storm,
+    dcache_thrash,
+    divider_pressure,
+    dtlb_thrash,
+    icache_thrash,
+    load_after_store,
+)
+
+#: kernel factory -> the event its stack must be dominated by.
+EXPECTED_DOMINANT = {
+    "branch_mispredict_storm": EventType.BR_MISP,
+    "icache_thrash": EventType.L2I,
+    "dcache_thrash": EventType.L2D,
+    "dtlb_thrash": EventType.DTLB,
+    "divider_pressure": EventType.INT_DIV,
+    "load_after_store": EventType.L1D,
+}
+
+#: Shrunken builds keeping the oracle property but the test fast.
+SMALL_BUILDS = {
+    "branch_mispredict_storm": lambda: branch_mispredict_storm(256),
+    "icache_thrash": lambda: icache_thrash(passes=2),
+    "dcache_thrash": lambda: dcache_thrash(passes=2),
+    "dtlb_thrash": lambda: dtlb_thrash(passes=2),
+    "divider_pressure": lambda: divider_pressure(128),
+    "load_after_store": lambda: load_after_store(128),
+}
+
+
+def _dominant_event(workload):
+    session = analyze(workload)
+    base = session.config.latency
+    penalties = session.rpstacks.representative_stack(base).penalties(base)
+    penalties.pop(EventType.BASE, None)
+    assert penalties, f"{workload.name}: no non-BASE penalty at all"
+    return max(penalties.items(), key=lambda item: item[1])[0]
+
+
+class TestDominance:
+    @pytest.mark.parametrize("kernel", sorted(EXPECTED_DOMINANT))
+    def test_intended_event_dominates(self, kernel):
+        workload = SMALL_BUILDS[kernel]()
+        assert _dominant_event(workload) is EXPECTED_DOMINANT[kernel]
+
+
+class TestStructure:
+    def test_registry_is_complete(self):
+        assert set(STRESS_KERNELS) == set(EXPECTED_DOMINANT)
+
+    @pytest.mark.parametrize("kernel", sorted(STRESS_KERNELS))
+    def test_valid_stream(self, kernel):
+        validate_stream(SMALL_BUILDS[kernel]().uops)
+
+    @pytest.mark.parametrize("kernel", sorted(STRESS_KERNELS))
+    def test_builders_are_deterministic(self, kernel):
+        assert SMALL_BUILDS[kernel]().uops == SMALL_BUILDS[kernel]().uops
+
+    def test_bad_sizes_rejected(self):
+        for builder in (
+            branch_mispredict_storm, icache_thrash, dcache_thrash,
+            divider_pressure, load_after_store,
+        ):
+            with pytest.raises(ValueError):
+                builder(0)
+        with pytest.raises(ValueError):
+            dtlb_thrash(pages=0)
+
+    def test_mispredict_storm_pattern_is_balanced(self):
+        workload = branch_mispredict_storm(512)
+        takens = [u.taken for u in workload if u.opclass is OpClass.BRANCH]
+        assert len(takens) == 512
+        # An LCG high bit is balanced enough to defeat the predictor.
+        assert 0.35 < sum(takens) / len(takens) < 0.65
+
+    def test_load_after_store_carries_barrier_witnesses(self):
+        from repro.common.config import baseline_config
+        from repro.simulator.core import simulate
+
+        result = simulate(load_after_store(64), baseline_config())
+        loads = [
+            rec
+            for rec, u in zip(result.uops, result.workload)
+            if u.opclass is OpClass.LOAD
+        ]
+        assert loads and all(rec.store_barrier >= 0 for rec in loads)
