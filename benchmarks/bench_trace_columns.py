@@ -1,0 +1,160 @@
+"""Columnar trace representation — the materialisation tax, measured.
+
+Before the columnar rework, every native simulate call paid an O(n)
+Python loop converting the C outcome arrays into per-µop ``UopTrace``
+records before anything downstream could run; at 200k µops that loop
+dominated the 0.57s PR-6 simulate stage.  The columnar path hands the
+graph builder ``TraceColumns`` straight from the C arrays with zero
+per-row Python work, so the end-to-end cost of "simulate + trace
+available to the graph builder" drops to array copies.
+
+``test_trace_columns_smoke`` is the CI guard (reduced scale via
+``REPRO_BENCH_COLUMNS_UOPS``): asserts digest parity between the
+columnar result and a forced record materialisation, and that skipping
+materialisation is measurably faster.  The full-size run backs the
+committed numbers in ``results/trace_columns.txt`` and enforces the
+issue's >=4x bar against the committed PR-6 native baseline.
+"""
+
+import gc
+import os
+import time
+
+import pytest
+from conftest import write_report
+
+from repro.common.config import baseline_config
+from repro.graphmodel.builder import build_graph
+from repro.simulator.core import simulate
+from repro.simulator.native import load_native_sim
+from repro.simulator.traceio import result_digest
+from repro.workloads.suite import LONG_TRACE_UOPS, make_long_trace
+
+requires_native = pytest.mark.skipif(
+    load_native_sim() is None,
+    reason="no C compiler available (or REPRO_NATIVE=0)",
+)
+
+WORKLOAD = "gamess"
+
+#: Committed PR-6 simulate-stage wall clock (results/sim_native.txt):
+#: native prepass + timing *including* the per-µop record loop.
+PR6_NATIVE_BASELINE_SECONDS = 0.57
+
+#: Override for reduced-scale CI runs (µops floor of the long trace).
+BENCH_UOPS = int(
+    os.environ.get("REPRO_BENCH_COLUMNS_UOPS", LONG_TRACE_UOPS)
+)
+
+
+def _best_of(fn, reps):
+    best = None
+    result = None
+    for _ in range(reps):
+        gc.collect()
+        start = time.perf_counter()
+        result = fn()
+        elapsed = time.perf_counter() - start
+        best = elapsed if best is None else min(best, elapsed)
+    return result, best
+
+
+def _bench(workload, reps):
+    config = baseline_config()
+    # Untimed warm-up: shared-library build / cache probe.
+    simulate(workload, config, native=True)
+
+    def columnar():
+        result = simulate(workload, config, native=True)
+        # The deliverable: the trace is ready for the graph builder.
+        assert result.columns.n == len(workload)
+        return result
+
+    def materialised():
+        result = simulate(workload, config, native=True)
+        # The PR-6-era tax: per-µop records built before anything runs.
+        assert len(result.uops) == len(workload)
+        return result
+
+    columnar_result, columnar_seconds = _best_of(columnar, reps)
+    assert columnar_result._uops is None  # never paid the tax
+    materialised_result, materialised_seconds = _best_of(
+        materialised, reps
+    )
+    assert result_digest(columnar_result) == result_digest(
+        materialised_result
+    )
+    return columnar_result, columnar_seconds, materialised_seconds
+
+
+@requires_native
+def test_trace_columns_smoke():
+    """CI guard: digest parity and a real saving even at reduced scale."""
+    workload = make_long_trace(WORKLOAD, min_uops=min(BENCH_UOPS, 20_000))
+    _, columnar_seconds, materialised_seconds = _bench(workload, reps=2)
+    ratio = materialised_seconds / columnar_seconds
+    assert ratio >= 1.5, (
+        f"columnar simulate ({columnar_seconds:.3f}s) only {ratio:.2f}x "
+        f"faster than record-materialising ({materialised_seconds:.3f}s)"
+    )
+
+
+@requires_native
+def test_long_trace_columns():
+    """The issue bar: >=4x vs the committed PR-6 native baseline."""
+    workload = make_long_trace(WORKLOAD, min_uops=BENCH_UOPS)
+    full_scale = BENCH_UOPS >= LONG_TRACE_UOPS
+    result, columnar_seconds, materialised_seconds = _bench(
+        workload, reps=3 if full_scale else 2
+    )
+
+    # Graph-build cost on columns (context for the report, untimed bar).
+    gc.collect()
+    start = time.perf_counter()
+    graph = build_graph(result)
+    graph_seconds = time.perf_counter() - start
+
+    tax = materialised_seconds - columnar_seconds
+    uops_per_second = len(workload) / columnar_seconds
+    lines = [
+        f"Columnar trace representation ({WORKLOAD} long trace, "
+        f"{len(workload):,} uops)",
+        "",
+        f"{'path':<52}{'wall-clock':>12}",
+        f"{'-' * 52}{'-' * 12}",
+        f"{'native simulate -> columns (graph-builder ready)':<52}"
+        f"{columnar_seconds:>11.3f}s",
+        f"{'native simulate + UopTrace materialisation':<52}"
+        f"{materialised_seconds:>11.3f}s",
+        f"{'columnar graph build (for context)':<52}"
+        f"{graph_seconds:>11.3f}s",
+        "",
+        f"record-materialisation tax avoided:  {tax:.3f}s "
+        f"({materialised_seconds / columnar_seconds:.1f}x)",
+        f"columnar throughput:                 {uops_per_second:,.0f} uops/s",
+        f"PR-6 committed native baseline:      "
+        f"{PR6_NATIVE_BASELINE_SECONDS:.2f}s "
+        f"(speedup {PR6_NATIVE_BASELINE_SECONDS / columnar_seconds:.1f}x)"
+        if full_scale
+        else f"(reduced scale: {len(workload):,} uops; no PR-6 comparison)",
+        "",
+        f"graph edges built from columns:      {graph.num_edges:,}",
+        "results byte-identical (canonical sha256 digests match): yes",
+        "timing: best-of-N wall clock per path, gc.collect() before "
+        "each rep, untimed native warm-up excluded",
+    ]
+    report = "\n".join(lines)
+    write_report(
+        "trace_columns.txt" if full_scale else "trace_columns_ci.txt",
+        report,
+    )
+    print()
+    print(report)
+
+    if full_scale:
+        speedup = PR6_NATIVE_BASELINE_SECONDS / columnar_seconds
+        assert speedup >= 4.0, (
+            f"columnar simulate {columnar_seconds:.3f}s is only "
+            f"{speedup:.2f}x the committed PR-6 baseline "
+            f"({PR6_NATIVE_BASELINE_SECONDS:.2f}s); the bar is 4x"
+        )

@@ -68,11 +68,18 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
+import numpy as np
+
 from repro.common.config import MicroarchConfig
 from repro.common.events import EventType
-from repro.graphmodel.graph import DependenceGraph, EventCharge
-from repro.graphmodel.nodes import Stage, node_id
-from repro.isa.uop import Workload
+from repro.graphmodel.graph import (
+    MAX_EDGE_EVENTS,
+    DependenceGraph,
+    EventCharge,
+    GraphBuildError,
+)
+from repro.graphmodel.nodes import NODES_PER_UOP, Stage, node_id
+from repro.isa.uop import OpClass, Workload
 from repro.simulator.trace import SimResult, UopTrace
 
 _ZERO: EventCharge = ()
@@ -285,10 +292,385 @@ def _split_fetch_charge(
     return itlb, icache
 
 
+# ----------------------------------------------------------------------
+# columnar builder
+# ----------------------------------------------------------------------
+#
+# The record builder above is the executable specification: one
+# readable loop emitting every Table I edge.  The columnar builder
+# below produces the *identical* graph (same edges, same charges, same
+# CSR order — pinned by the builder-equality tests) straight from
+# TraceColumns arrays, with no per-µop Python work.
+#
+# Ordering argument: every `_edge` call in the reference's iteration i
+# has its destination among µop i's nodes, so the reference's global
+# emission order restricted to one destination node equals the textual
+# order of the `_edge` call sites.  Each call site below is one edge
+# *family* emitted for all µops at once, numbered by that textual
+# order; a stable lexsort by (dst, family) — with within-family
+# generation order matching the reference's loop order — therefore
+# reproduces the reference's stable sort-by-dst exactly, which is the
+# invariant `DependenceGraph.from_packed` adopts.
+
+
+class _EdgeAccumulator:
+    """Collects vectorised edge families, then packs + sorts them."""
+
+    def __init__(self) -> None:
+        self._families: List[tuple] = []
+
+    def emit(self, src, dst, charge=None) -> None:
+        """Add one family.
+
+        *charge* is ``None`` (zero charge), ``(event, units)`` applied
+        to every edge, or per-edge ``(events, units, lengths)`` arrays
+        of shapes ``(m, MAX_EDGE_EVENTS)`` / ``(m,)``.
+        """
+        if len(src) == 0:
+            return
+        self._families.append((np.asarray(src), np.asarray(dst), charge))
+
+    def pack(self, num_uops: int) -> DependenceGraph:
+        counts = [len(src) for src, _dst, _charge in self._families]
+        total = int(sum(counts))
+        edge_src = np.empty(total, np.int64)
+        edge_dst = np.empty(total, np.int64)
+        events = np.zeros((total, MAX_EDGE_EVENTS), np.int16)
+        units = np.zeros((total, MAX_EDGE_EVENTS), np.int32)
+        lengths = np.zeros(total, np.int8)
+        offset = 0
+        for src, dst, charge in self._families:
+            m = len(src)
+            sel = slice(offset, offset + m)
+            edge_src[sel] = src
+            edge_dst[sel] = dst
+            if charge is not None:
+                if len(charge) == 2:
+                    event, count = charge
+                    events[sel, 0] = int(event)
+                    units[sel, 0] = count
+                    lengths[sel] = 1
+                else:
+                    ev, un, ln = charge
+                    events[sel] = ev
+                    units[sel] = un
+                    lengths[sel] = ln
+            offset += m
+        family = np.repeat(
+            np.arange(len(counts), dtype=np.int32), counts
+        )
+        order = np.lexsort((family, edge_dst))
+        return DependenceGraph.from_packed(
+            num_uops,
+            edge_src[order],
+            edge_dst[order],
+            events[order],
+            units[order],
+            lengths[order],
+        )
+
+
+def _padded_charges(indptr, csr_events, csr_units):
+    """CSR charge rows -> zero-padded ``(m, W)`` matrices + lengths."""
+    lengths = np.diff(indptr)
+    width = max(int(lengths.max(initial=0)), 1)
+    m = len(lengths)
+    events = np.zeros((m, width), np.int16)
+    units = np.zeros((m, width), np.int32)
+    valid = np.arange(width) < lengths[:, None]
+    events[valid] = csr_events
+    units[valid] = csr_units
+    return events, units, lengths, valid
+
+
+def _fit_charges(events, units, lengths):
+    """Clamp padded charge matrices to the MAX_EDGE_EVENTS edge width."""
+    if int(lengths.max(initial=0)) > MAX_EDGE_EVENTS:
+        worst = int(np.argmax(lengths))
+        raise GraphBuildError(
+            f"edge for µop {worst} carries {int(lengths[worst])} event "
+            f"pairs (max {MAX_EDGE_EVENTS})"
+        )
+    m, width = events.shape
+    if width == MAX_EDGE_EVENTS:
+        return events, units, lengths.astype(np.int8)
+    if width > MAX_EDGE_EVENTS:
+        # Beyond-length slots are zero, so the clip is lossless.
+        return (
+            np.ascontiguousarray(events[:, :MAX_EDGE_EVENTS]),
+            np.ascontiguousarray(units[:, :MAX_EDGE_EVENTS]),
+            lengths.astype(np.int8),
+        )
+    out_events = np.zeros((m, MAX_EDGE_EVENTS), np.int16)
+    out_units = np.zeros((m, MAX_EDGE_EVENTS), np.int32)
+    out_events[:, :width] = events
+    out_units[:, :width] = units
+    return out_events, out_units, lengths.astype(np.int8)
+
+
+def _split_fetch_columns(indptr, csr_events, csr_units):
+    """Columnar twin of :func:`_split_fetch_charge`.
+
+    Returns per-edge ``(events, units, lengths)`` triples for the
+    F->ITLB and ITLB->IC families, partitioning each µop's fetch-charge
+    row by event identity with row order preserved on both sides.
+    """
+    events, units, _lengths, valid = _padded_charges(
+        indptr, csr_events, csr_units
+    )
+    width = events.shape[1]
+    is_itlb = (events == int(EventType.ITLB)) & valid
+
+    def compact(mask):
+        # Stable per-row partition: selected slots first, order kept.
+        perm = np.argsort(np.where(mask, 0, 1), axis=1, kind="stable")
+        ev = np.take_along_axis(events, perm, axis=1)
+        un = np.take_along_axis(units, perm, axis=1)
+        ln = mask.sum(axis=1)
+        keep = np.arange(width) < ln[:, None]
+        return _fit_charges(
+            np.where(keep, ev, 0), np.where(keep, un, 0), ln
+        )
+
+    return compact(is_itlb), compact(~is_itlb & valid)
+
+
+def _macro_last_from_ids(macro_id: np.ndarray) -> np.ndarray:
+    """Per-µop seq of the last µop in its macro-op (vectorised)."""
+    seq = np.arange(len(macro_id), dtype=np.int64)
+    _uniq, inverse = np.unique(macro_id, return_inverse=True)
+    last = np.zeros(inverse.max(initial=-1) + 1, np.int64)
+    np.maximum.at(last, inverse, seq)
+    return last[inverse]
+
+
+def _expand_producers(indptr, values, row_gate):
+    """CSR producers -> (src µop, dst µop) pairs, dropping -1 entries.
+
+    *row_gate* masks whole µops (the reference builder only walks
+    address producers of memory ops).
+    """
+    rows = np.repeat(
+        np.arange(len(indptr) - 1, dtype=np.int64), np.diff(indptr)
+    )
+    keep = (values >= 0) & row_gate[rows]
+    return values[keep], rows[keep]
+
+
+def build_graph_columns(
+    result: SimResult, options: Optional[BuilderOptions] = None
+) -> DependenceGraph:
+    """Build the Table I graph straight from columnar trace arrays.
+
+    Byte-identical output to :class:`DependenceGraphBuilder` (same edge
+    order, charges and CSR layout), with no per-µop Python loop — the
+    production path since the columnar trace rework.
+    """
+    options = options or BuilderOptions()
+    core = result.config.core
+    tc = result.columns
+    n = tc.n
+    if n == 0:
+        return DependenceGraph(0, [], [], [])
+
+    from repro.simulator.columns import workload_columns
+
+    wc = workload_columns(result.workload)
+    idx = np.arange(n, dtype=np.int64)
+    base = idx * NODES_PER_UOP
+
+    def nodes(stage: Stage) -> np.ndarray:
+        return base + int(stage)
+
+    f_n = nodes(Stage.F)
+    itlb_n = nodes(Stage.ITLB)
+    ic_n = nodes(Stage.IC)
+    rn_n = nodes(Stage.N)
+    d_n = nodes(Stage.D)
+    r_n = nodes(Stage.R)
+    e_n = nodes(Stage.E)
+    p_n = nodes(Stage.P)
+    rc_n = nodes(Stage.RC)
+    c_n = nodes(Stage.C)
+
+    opclass = wc.opclass.astype(np.int64)
+    is_load = opclass == int(OpClass.LOAD)
+    is_store = opclass == int(OpClass.STORE)
+    is_mem = is_load | is_store
+    som = wc.som
+    misp = tc.mispredicted
+    iq_freer = tc.iq_freer
+    preg_freer = tc.phys_reg_freer
+    store_barrier = tc.store_barrier
+    line_sharer = tc.line_sharer
+
+    acc = _EdgeAccumulator()
+    one = (EventType.BASE, 1)
+
+    # ---- front end ----
+    acc.emit(ic_n[:-1], f_n[1:])
+    if n > core.fetch_width:
+        acc.emit(ic_n[: n - core.fetch_width], f_n[core.fetch_width :], one)
+    if options.fetch_buffer_edge and n > core.fetch_buffer:
+        acc.emit(rn_n[: n - core.fetch_buffer], f_n[core.fetch_buffer :])
+    misp_prev = misp[:-1]
+    acc.emit(
+        p_n[:-1][misp_prev], f_n[1:][misp_prev], (EventType.BR_MISP, 1)
+    )
+    itlb_charge, icache_charge = _split_fetch_columns(
+        tc.fetch_indptr, tc.fetch_events, tc.fetch_units
+    )
+    acc.emit(f_n, itlb_n, itlb_charge)
+    acc.emit(itlb_n, ic_n, icache_charge)
+
+    # ---- rename ----
+    decode = (EventType.BASE, core.decode_depth) if core.decode_depth else None
+    acc.emit(ic_n, rn_n, decode)
+    acc.emit(rn_n[:-1], rn_n[1:])
+    if n > core.rob_size:
+        acc.emit(c_n[: n - core.rob_size], rn_n[core.rob_size :])
+    if n > core.rename_width:
+        acc.emit(
+            rn_n[: n - core.rename_width], rn_n[core.rename_width :], one
+        )
+
+    # ---- dispatch ----
+    acc.emit(rn_n, d_n, one)
+    acc.emit(d_n[:-1], d_n[1:])
+    if options.issue_dependency:
+        gate = iq_freer >= 0
+        acc.emit(
+            iq_freer[gate] * NODES_PER_UOP + int(Stage.E), d_n[gate]
+        )
+    if n > core.dispatch_width:
+        acc.emit(
+            d_n[: n - core.dispatch_width], d_n[core.dispatch_width :], one
+        )
+
+    # ---- ready (address path for memory ops) ----
+    if not options.address_path:
+        producers, rows = _expand_producers(
+            tc.addr_indptr, tc.addr_values, is_mem
+        )
+        acc.emit(
+            producers * NODES_PER_UOP + int(Stage.P),
+            rows * NODES_PER_UOP + int(Stage.R),
+        )
+    else:
+        mem_idx = idx[is_mem]
+        ar1_n = mem_idx * NODES_PER_UOP + int(Stage.AR1)
+        ar2_n = mem_idx * NODES_PER_UOP + int(Stage.AR2)
+        dtlb_n = mem_idx * NODES_PER_UOP + int(Stage.DTLB)
+        acc.emit(d_n[is_mem], ar1_n, one)
+        producers, rows = _expand_producers(
+            tc.addr_indptr, tc.addr_values, is_mem
+        )
+        acc.emit(
+            producers * NODES_PER_UOP + int(Stage.P),
+            rows * NODES_PER_UOP + int(Stage.AR1),
+        )
+        m = len(mem_idx)
+        agu_events = np.zeros((m, MAX_EDGE_EVENTS), np.int16)
+        agu_units = np.zeros((m, MAX_EDGE_EVENTS), np.int32)
+        agu_events[:, 0] = np.where(
+            is_load[is_mem], int(EventType.LD), int(EventType.ST)
+        )
+        agu_units[:, 0] = 1
+        acc.emit(
+            ar1_n, ar2_n, (agu_events, agu_units, np.ones(m, np.int8))
+        )
+        dtlb_len = tc.dtlb_miss[is_mem].astype(np.int8)
+        dtlb_events = np.zeros((m, MAX_EDGE_EVENTS), np.int16)
+        dtlb_units = np.zeros((m, MAX_EDGE_EVENTS), np.int32)
+        dtlb_events[:, 0] = dtlb_len * int(EventType.DTLB)
+        dtlb_units[:, 0] = dtlb_len
+        acc.emit(ar2_n, dtlb_n, (dtlb_events, dtlb_units, dtlb_len))
+        acc.emit(dtlb_n, r_n[is_mem])
+    acc.emit(d_n, r_n, one)
+    if options.phys_reg_edges:
+        gate = preg_freer >= 0
+        acc.emit(
+            preg_freer[gate] * NODES_PER_UOP + int(Stage.C), r_n[gate]
+        )
+    producers, rows = _expand_producers(
+        tc.data_indptr, tc.data_values, np.ones(n, np.bool_)
+    )
+    acc.emit(
+        producers * NODES_PER_UOP + int(Stage.P),
+        rows * NODES_PER_UOP + int(Stage.R),
+    )
+
+    # ---- execute ----
+    acc.emit(r_n, e_n)
+    if options.load_store_ordering:
+        gate = is_load & (store_barrier >= 0)
+        acc.emit(
+            store_barrier[gate] * NODES_PER_UOP + int(Stage.E), e_n[gate]
+        )
+        store_idx = idx[is_store]
+        acc.emit(
+            store_idx[:-1] * NODES_PER_UOP + int(Stage.E),
+            store_idx[1:] * NODES_PER_UOP + int(Stage.E),
+        )
+    share = (
+        is_load & (line_sharer >= 0)
+        if options.cache_line_sharing
+        else np.zeros(n, np.bool_)
+    )
+    acc.emit(
+        line_sharer[share] * NODES_PER_UOP + int(Stage.E), e_n[share]
+    )
+    acc.emit(
+        e_n,
+        p_n,
+        _fit_charges(
+            *_padded_charges(tc.exec_indptr, tc.exec_events, tc.exec_units)[:3]
+        ),
+    )
+    acc.emit(
+        line_sharer[share] * NODES_PER_UOP + int(Stage.P), p_n[share]
+    )
+
+    # ---- commit ----
+    acc.emit(c_n[:-1], rc_n[1:])
+    if n > core.commit_width:
+        acc.emit(
+            c_n[: n - core.commit_width], rc_n[core.commit_width :], one
+        )
+    if not options.uop_commit_dependency:
+        acc.emit(p_n, rc_n, one)
+    else:
+        macro_last = _macro_last_from_ids(wc.macro_id)
+        starts = idx[som]
+        member_counts = macro_last[som] - starts + 1
+        total = int(member_counts.sum())
+        row_offsets = np.repeat(
+            np.cumsum(member_counts) - member_counts, member_counts
+        )
+        members = (
+            np.repeat(starts, member_counts)
+            + np.arange(total, dtype=np.int64)
+            - row_offsets
+        )
+        acc.emit(
+            members * NODES_PER_UOP + int(Stage.P),
+            np.repeat(rc_n[som], member_counts),
+            one,
+        )
+    acc.emit(rc_n, c_n)
+
+    return acc.pack(n)
+
+
 def build_graph(
     result: SimResult, options: Optional[BuilderOptions] = None
 ) -> DependenceGraph:
-    """Convenience: build the dependence graph of one simulation result."""
+    """Convenience: build the dependence graph of one simulation result.
+
+    Uses the columnar builder (identical output to the reference
+    :class:`DependenceGraphBuilder`, pinned by the builder-equality
+    suite) so native results never materialise per-µop records here.
+    """
     from repro.obs.observer import get_observer
 
     obs = get_observer()
@@ -297,7 +679,7 @@ def build_graph(
         workload=result.workload.name,
         uops=len(result.workload),
     ) as span:
-        graph = DependenceGraphBuilder(result, options=options).build()
+        graph = build_graph_columns(result, options=options)
     if obs.enabled:
         span.set(nodes=graph.num_nodes, edges=graph.num_edges)
         obs.gauge("graph.nodes").set(graph.num_nodes)

@@ -42,13 +42,17 @@ PIPELINE_EPOCH = 1
 def code_version() -> str:
     """Version token folded into every fingerprint.
 
-    Combines the pipeline epoch, both on-disk format versions and the
-    event taxonomy size, so a change to any of them orphans (rather than
-    mis-serves) existing cache entries.
+    Combines the pipeline epoch, the on-disk format compatibility floors
+    and the event taxonomy size.  The trace component is the *oldest
+    readable* archive version, not the writer version: bumping the
+    writer while keeping the old reader (as the v1->v2 columnar
+    transition does) leaves existing cache entries loadable, so they
+    must keep their keys; dropping a reader raises the floor and
+    orphans (rather than mis-serves) the now-unreadable entries.
     """
     return (
         f"epoch{PIPELINE_EPOCH}"
-        f"-trace{traceio.FORMAT_VERSION}"
+        f"-trace{traceio.COMPAT_FORMAT_VERSION}"
         f"-model{model_io.FORMAT_VERSION}"
         f"-events{NUM_EVENTS}"
     )
@@ -63,6 +67,8 @@ def workload_fingerprint(workload: Workload) -> str:
     with identical content hash identically regardless of how they were
     produced.
     """
+    from repro.simulator.columns import workload_columns
+
     digest = hashlib.sha256()
     digest.update(workload.name.encode("utf-8"))
     digest.update(
@@ -71,21 +77,11 @@ def workload_fingerprint(workload: Workload) -> str:
             sort_keys=False,
         ).encode("utf-8")
     )
-    for uop in workload.uops:
-        record = (
-            uop.macro_id,
-            int(uop.som),
-            int(uop.eom),
-            int(uop.opclass),
-            uop.pc,
-            uop.src_regs,
-            -1 if uop.dst_reg is None else uop.dst_reg,
-            -1 if uop.mem_addr is None else uop.mem_addr,
-            uop.addr_src_regs,
-            int(uop.taken),
-            -1 if uop.target_pc is None else uop.target_pc,
-        )
-        digest.update(repr(record).encode("ascii"))
+    # Stream content hashes via the canonical column encoding: fixed
+    # dtypes and field order, so equal content gives equal bytes with no
+    # per-µop Python loop (the columns are memoised per workload, so
+    # repeated fingerprinting of one workload is near-free).
+    digest.update(workload_columns(workload).canonical_bytes())
     return digest.hexdigest()
 
 

@@ -8,6 +8,12 @@ from repro.simulator.branch import (
     make_predictor,
 )
 from repro.simulator.caches import AccessLevel, MemoryHierarchy, SetAssocCache
+from repro.simulator.columns import (
+    TraceColumns,
+    WorkloadColumns,
+    columns_equal,
+    workload_columns,
+)
 from repro.simulator.core import TimingSimulator, simulate
 from repro.simulator.machine import Machine
 from repro.simulator.pipeview import render_pipeline
@@ -51,8 +57,11 @@ __all__ = [
     "SimResult",
     "TLB",
     "TimingSimulator",
+    "TraceColumns",
     "UnsupportedWorkloadError",
     "UopTrace",
+    "WorkloadColumns",
+    "columns_equal",
     "data_access_charge",
     "fetch_access_charge",
     "load_result",
@@ -66,4 +75,5 @@ __all__ = [
     "simulate",
     "try_native_simulate",
     "try_native_timing",
+    "workload_columns",
 ]

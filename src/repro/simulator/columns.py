@@ -1,0 +1,470 @@
+"""Struct-of-arrays trace representation (the canonical in-memory form).
+
+The simulator's per-µop :class:`~repro.simulator.trace.UopTrace`
+dataclasses are convenient to inspect but ruinously expensive to build:
+after the compiled simulator (PR 6) the Python-side record
+materialisation was ~85% of native wall-clock.  This module keeps the
+whole trace in packed numpy columns instead — timestamps, witnesses and
+flags as dense ``int64``/``bool`` arrays, and the ragged per-µop data
+(event charges, register producers) in CSR ``indptr``/``values`` form,
+mirroring the packed dependence-graph layout of PR 5.
+
+:class:`TraceColumns` is latency-stamped trace state;
+:class:`WorkloadColumns` is the latency-invariant µop stream.  Both
+offer ``canonical_bytes()`` — a fixed-dtype, fixed-order byte encoding
+that :func:`repro.simulator.traceio.result_digest` hashes, so the
+native and Python paths digest identically *by construction* (equal
+values imply equal bytes).
+
+Legacy consumers keep working: ``SimResult.uops`` materialises
+:class:`UopTrace` tuples from the columns lazily, and
+:meth:`TraceColumns.from_records` packs record lists produced by the
+pure-Python simulator into the identical layout.
+"""
+
+from __future__ import annotations
+
+import gc
+import itertools
+import weakref
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.common.events import EventType
+from repro.isa.uop import MicroOp, OpClass, Workload
+from repro.simulator.trace import UopTrace
+
+#: Index-to-member lookup (EventType(i) is ~5x slower in per-row loops).
+_EVENT_MEMBERS: Tuple[EventType, ...] = tuple(EventType)
+
+#: Timestamp columns, in UopTrace field order.
+TIMESTAMP_COLUMNS = (
+    "t_fetch",
+    "t_rename",
+    "t_dispatch",
+    "t_ready",
+    "t_issue",
+    "t_complete",
+    "t_commit",
+)
+
+#: Witness columns, in UopTrace field order.
+WITNESS_COLUMNS = (
+    "store_barrier",
+    "line_sharer",
+    "phys_reg_freer",
+    "iq_freer",
+)
+
+
+def _csr_from_lists(
+    rows: Sequence[Sequence[int]], dtype=np.int64
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Pack a list of variable-length rows into (indptr, values)."""
+    lengths = np.fromiter(
+        (len(row) for row in rows), np.int64, count=len(rows)
+    )
+    indptr = np.zeros(len(rows) + 1, np.int64)
+    np.cumsum(lengths, out=indptr[1:])
+    values = np.fromiter(
+        (value for row in rows for value in row),
+        dtype,
+        count=int(indptr[-1]),
+    )
+    return indptr, values
+
+
+def _charge_csr(
+    charges: Sequence[Tuple[Tuple[EventType, int], ...]],
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Pack sparse event charges into (indptr, events, units)."""
+    lengths = np.fromiter(
+        (len(charge) for charge in charges), np.int64, count=len(charges)
+    )
+    indptr = np.zeros(len(charges) + 1, np.int64)
+    np.cumsum(lengths, out=indptr[1:])
+    total = int(indptr[-1])
+    events = np.fromiter(
+        (int(event) for charge in charges for event, _ in charge),
+        np.int16,
+        count=total,
+    )
+    units = np.fromiter(
+        (int(units) for charge in charges for _, units in charge),
+        np.int32,
+        count=total,
+    )
+    return indptr, events, units
+
+
+def _canonical(chunks: List[bytes], tag: str, array: np.ndarray, dtype):
+    """Append one column's canonical byte encoding."""
+    chunks.append(tag.encode("ascii") + b"\x00")
+    chunks.append(np.ascontiguousarray(array, dtype=dtype).tobytes())
+
+
+@dataclass(eq=False)
+class TraceColumns:
+    """One run's trace in struct-of-arrays form.
+
+    Attributes mirror :class:`~repro.simulator.trace.UopTrace` fields
+    column-wise; the ragged charge and producer fields use CSR pairs
+    (``*_indptr`` of length ``n + 1`` plus flat value arrays).
+    """
+
+    n: int
+    # flags (bool_)
+    dtlb_miss: np.ndarray
+    mispredicted: np.ndarray
+    # witnesses (int64, -1 sentinels)
+    store_barrier: np.ndarray
+    line_sharer: np.ndarray
+    phys_reg_freer: np.ndarray
+    iq_freer: np.ndarray
+    # pipeline timestamps (int64)
+    t_fetch: np.ndarray
+    t_rename: np.ndarray
+    t_dispatch: np.ndarray
+    t_ready: np.ndarray
+    t_issue: np.ndarray
+    t_complete: np.ndarray
+    t_commit: np.ndarray
+    # execution charge CSR: events int16, units int32
+    exec_indptr: np.ndarray
+    exec_events: np.ndarray
+    exec_units: np.ndarray
+    # fetch charge CSR
+    fetch_indptr: np.ndarray
+    fetch_events: np.ndarray
+    fetch_units: np.ndarray
+    # register producer CSR (int64 seqs, -1 sentinels)
+    data_indptr: np.ndarray
+    data_values: np.ndarray
+    addr_indptr: np.ndarray
+    addr_values: np.ndarray
+
+    @classmethod
+    def from_records(cls, records: Sequence[UopTrace]) -> "TraceColumns":
+        """Pack per-µop trace records into columns (the legacy path)."""
+        n = len(records)
+        exec_indptr, exec_events, exec_units = _charge_csr(
+            [rec.exec_charge for rec in records]
+        )
+        fetch_indptr, fetch_events, fetch_units = _charge_csr(
+            [rec.fetch_charge for rec in records]
+        )
+        data_indptr, data_values = _csr_from_lists(
+            [rec.data_producers for rec in records]
+        )
+        addr_indptr, addr_values = _csr_from_lists(
+            [rec.addr_producers for rec in records]
+        )
+        columns: Dict[str, np.ndarray] = {}
+        for name in WITNESS_COLUMNS + TIMESTAMP_COLUMNS:
+            columns[name] = np.fromiter(
+                (getattr(rec, name) for rec in records), np.int64, count=n
+            )
+        return cls(
+            n=n,
+            dtlb_miss=np.fromiter(
+                (rec.dtlb_miss for rec in records), np.bool_, count=n
+            ),
+            mispredicted=np.fromiter(
+                (rec.mispredicted for rec in records), np.bool_, count=n
+            ),
+            exec_indptr=exec_indptr,
+            exec_events=exec_events,
+            exec_units=exec_units,
+            fetch_indptr=fetch_indptr,
+            fetch_events=fetch_events,
+            fetch_units=fetch_units,
+            data_indptr=data_indptr,
+            data_values=data_values,
+            addr_indptr=addr_indptr,
+            addr_values=addr_values,
+            **columns,
+        )
+
+    def to_records(self) -> List[UopTrace]:
+        """Materialise :class:`UopTrace` records from the columns.
+
+        Value-identical (and ``==``-equal) to the records the Python
+        simulator would have produced: charges become ``(EventType,
+        int)`` tuples, producers become int tuples, flags become Python
+        bools.  Uses the same GC-paused bulk-allocation technique as the
+        native record builder — this is the legacy compatibility path,
+        paid only when something touches ``SimResult.uops``.
+        """
+        n = self.n
+        members = _EVENT_MEMBERS
+        exec_pairs = list(
+            zip(
+                [members[e] for e in self.exec_events.tolist()],
+                self.exec_units.tolist(),
+            )
+        )
+        fetch_pairs = list(
+            zip(
+                [members[e] for e in self.fetch_events.tolist()],
+                self.fetch_units.tolist(),
+            )
+        )
+        ei = self.exec_indptr.tolist()
+        fi = self.fetch_indptr.tolist()
+        di = self.data_indptr.tolist()
+        ai = self.addr_indptr.tolist()
+        data_vals = self.data_values.tolist()
+        addr_vals = self.addr_values.tolist()
+        dm_l = self.dtlb_miss.tolist()
+        mp_l = self.mispredicted.tolist()
+        sb_l = self.store_barrier.tolist()
+        ls_l = self.line_sharer.tolist()
+        pf_l = self.phys_reg_freer.tolist()
+        iqf_l = self.iq_freer.tolist()
+        stamps = [getattr(self, name).tolist() for name in TIMESTAMP_COLUMNS]
+
+        gc_was_enabled = gc.isenabled()
+        if gc_was_enabled:
+            gc.disable()
+        try:
+            records: List[UopTrace] = list(
+                map(UopTrace.__new__, itertools.repeat(UopTrace, n))
+            )
+            for (
+                rec, seq, dm, mp, sb, ls, pf, iqf,
+                tf, tr, td, trd, ti, tc, tcm,
+            ) in zip(
+                records, range(n), dm_l, mp_l, sb_l, ls_l, pf_l, iqf_l,
+                *stamps,
+            ):
+                rec.__dict__ = {
+                    "seq": seq,
+                    "exec_charge": tuple(exec_pairs[ei[seq]:ei[seq + 1]]),
+                    "fetch_charge": tuple(fetch_pairs[fi[seq]:fi[seq + 1]]),
+                    "dtlb_miss": dm,
+                    "mispredicted": mp,
+                    "data_producers": tuple(data_vals[di[seq]:di[seq + 1]]),
+                    "addr_producers": tuple(addr_vals[ai[seq]:ai[seq + 1]]),
+                    "store_barrier": sb,
+                    "line_sharer": ls,
+                    "phys_reg_freer": pf,
+                    "iq_freer": iqf,
+                    "t_fetch": tf,
+                    "t_rename": tr,
+                    "t_dispatch": td,
+                    "t_ready": trd,
+                    "t_issue": ti,
+                    "t_complete": tc,
+                    "t_commit": tcm,
+                }
+        finally:
+            if gc_was_enabled:
+                gc.enable()
+        return records
+
+    #: (column name, canonical dtype), in canonical hashing order.
+    _CANONICAL_FIELDS = (
+        ("dtlb_miss", np.bool_),
+        ("mispredicted", np.bool_),
+        ("store_barrier", np.int64),
+        ("line_sharer", np.int64),
+        ("phys_reg_freer", np.int64),
+        ("iq_freer", np.int64),
+        ("t_fetch", np.int64),
+        ("t_rename", np.int64),
+        ("t_dispatch", np.int64),
+        ("t_ready", np.int64),
+        ("t_issue", np.int64),
+        ("t_complete", np.int64),
+        ("t_commit", np.int64),
+        ("exec_indptr", np.int64),
+        ("exec_events", np.int16),
+        ("exec_units", np.int32),
+        ("fetch_indptr", np.int64),
+        ("fetch_events", np.int16),
+        ("fetch_units", np.int32),
+        ("data_indptr", np.int64),
+        ("data_values", np.int64),
+        ("addr_indptr", np.int64),
+        ("addr_values", np.int64),
+    )
+
+    def canonical_bytes(self) -> bytes:
+        """Fixed-dtype, fixed-order byte encoding for digesting.
+
+        Two :class:`TraceColumns` carrying equal values produce equal
+        bytes regardless of which simulator path built them — the
+        property ``result_digest`` relies on for the native/Python
+        parity oracle.
+        """
+        chunks: List[bytes] = [b"trace-columns-v1\x00"]
+        chunks.append(int(self.n).to_bytes(8, "little"))
+        for name, dtype in self._CANONICAL_FIELDS:
+            _canonical(chunks, name, getattr(self, name), dtype)
+        return b"".join(chunks)
+
+
+def columns_equal(a: TraceColumns, b: TraceColumns) -> bool:
+    """Exact value equality of two column sets (test helper)."""
+    if a.n != b.n:
+        return False
+    return all(
+        np.array_equal(getattr(a, name), getattr(b, name))
+        for name, _dtype in TraceColumns._CANONICAL_FIELDS
+    )
+
+
+# ----------------------------------------------------------------------
+# workload columns
+# ----------------------------------------------------------------------
+
+
+@dataclass(eq=False)
+class WorkloadColumns:
+    """Latency-invariant µop stream in struct-of-arrays form.
+
+    Unlike the native simulator's :class:`PackedWorkload` this layout is
+    fully general — register ids and address-source counts are
+    unbounded (CSR), so every workload the Python simulator accepts can
+    be expressed, archived and fingerprinted.
+    """
+
+    n: int
+    macro_id: np.ndarray   # int64
+    som: np.ndarray        # bool_
+    eom: np.ndarray        # bool_
+    opclass: np.ndarray    # int16
+    pc: np.ndarray         # int64
+    dst_reg: np.ndarray    # int64, -1 when no destination
+    mem_addr: np.ndarray   # int64, -1 for non-memory µops
+    taken: np.ndarray      # bool_
+    target_pc: np.ndarray  # int64, -1 when absent
+    src_indptr: np.ndarray   # int64 (n + 1)
+    src_values: np.ndarray   # int64
+    asrc_indptr: np.ndarray  # int64 (n + 1)
+    asrc_values: np.ndarray  # int64
+
+    @classmethod
+    def from_workload(cls, workload: Workload) -> "WorkloadColumns":
+        uops = workload.uops
+        n = len(uops)
+        src_indptr, src_values = _csr_from_lists(
+            [u.src_regs for u in uops]
+        )
+        asrc_indptr, asrc_values = _csr_from_lists(
+            [u.addr_src_regs for u in uops]
+        )
+        return cls(
+            n=n,
+            macro_id=np.fromiter(
+                (u.macro_id for u in uops), np.int64, count=n
+            ),
+            som=np.fromiter((u.som for u in uops), np.bool_, count=n),
+            eom=np.fromiter((u.eom for u in uops), np.bool_, count=n),
+            opclass=np.fromiter(
+                (u.opclass for u in uops), np.int16, count=n
+            ),
+            pc=np.fromiter((u.pc for u in uops), np.int64, count=n),
+            dst_reg=np.fromiter(
+                (-1 if u.dst_reg is None else u.dst_reg for u in uops),
+                np.int64,
+                count=n,
+            ),
+            mem_addr=np.fromiter(
+                (-1 if u.mem_addr is None else u.mem_addr for u in uops),
+                np.int64,
+                count=n,
+            ),
+            taken=np.fromiter((u.taken for u in uops), np.bool_, count=n),
+            target_pc=np.fromiter(
+                (-1 if u.target_pc is None else u.target_pc for u in uops),
+                np.int64,
+                count=n,
+            ),
+            src_indptr=src_indptr,
+            src_values=src_values,
+            asrc_indptr=asrc_indptr,
+            asrc_values=asrc_values,
+        )
+
+    def to_uops(self) -> Tuple[MicroOp, ...]:
+        """Rebuild the :class:`MicroOp` tuple (archive loading)."""
+        macro_l = self.macro_id.tolist()
+        som_l = self.som.tolist()
+        eom_l = self.eom.tolist()
+        oc_l = self.opclass.tolist()
+        pc_l = self.pc.tolist()
+        dst_l = self.dst_reg.tolist()
+        mem_l = self.mem_addr.tolist()
+        taken_l = self.taken.tolist()
+        target_l = self.target_pc.tolist()
+        si = self.src_indptr.tolist()
+        ai = self.asrc_indptr.tolist()
+        src_vals = self.src_values.tolist()
+        asrc_vals = self.asrc_values.tolist()
+        return tuple(
+            MicroOp(
+                seq=i,
+                macro_id=macro_l[i],
+                som=som_l[i],
+                eom=eom_l[i],
+                opclass=OpClass(oc_l[i]),
+                pc=pc_l[i],
+                src_regs=tuple(src_vals[si[i]:si[i + 1]]),
+                dst_reg=None if dst_l[i] < 0 else dst_l[i],
+                mem_addr=None if mem_l[i] < 0 else mem_l[i],
+                addr_src_regs=tuple(asrc_vals[ai[i]:ai[i + 1]]),
+                taken=taken_l[i],
+                target_pc=None if target_l[i] < 0 else target_l[i],
+            )
+            for i in range(self.n)
+        )
+
+    _CANONICAL_FIELDS = (
+        ("macro_id", np.int64),
+        ("som", np.bool_),
+        ("eom", np.bool_),
+        ("opclass", np.int16),
+        ("pc", np.int64),
+        ("dst_reg", np.int64),
+        ("mem_addr", np.int64),
+        ("taken", np.bool_),
+        ("target_pc", np.int64),
+        ("src_indptr", np.int64),
+        ("src_values", np.int64),
+        ("asrc_indptr", np.int64),
+        ("asrc_values", np.int64),
+    )
+
+    def canonical_bytes(self) -> bytes:
+        """Fixed-dtype, fixed-order byte encoding for fingerprinting."""
+        chunks: List[bytes] = [b"workload-columns-v1\x00"]
+        chunks.append(int(self.n).to_bytes(8, "little"))
+        for name, dtype in self._CANONICAL_FIELDS:
+            _canonical(chunks, name, getattr(self, name), dtype)
+        return b"".join(chunks)
+
+
+#: id-keyed weak cache so one workload is packed once per process (the
+#: same shape as the native packer's memo: a WeakKeyDictionary would
+#: re-hash the full µop tuple on every lookup).
+_COLUMN_CACHE: Dict[int, Tuple[object, WorkloadColumns]] = {}
+
+
+def workload_columns(workload: Workload) -> WorkloadColumns:
+    """Column view of *workload*, memoised per workload object."""
+    key = id(workload)
+    hit = _COLUMN_CACHE.get(key)
+    if hit is not None and hit[0]() is workload:
+        return hit[1]
+    columns = WorkloadColumns.from_workload(workload)
+    try:
+        ref = weakref.ref(
+            workload, lambda _ref, _key=key: _COLUMN_CACHE.pop(_key, None)
+        )
+    except TypeError:
+        return columns
+    _COLUMN_CACHE[key] = (ref, columns)
+    return columns

@@ -80,27 +80,47 @@ class Machine:
         with obs.span(
             "sim.run", workload=self.workload.name, uops=len(self.workload)
         ):
-            # Each run stamps timestamps into the trace records; copy the
-            # pre-pass records so cached results stay immutable.  Record
-            # fields are all immutable, so per-record shallow copies
-            # suffice (and the packed arrays are read-only, so they are
-            # shared rather than duplicated).
             source = self._prepass
-            prepass = PrepassResult(
-                records=[copy.copy(rec) for rec in source.records],
-                frees_reg_on_commit=source.frees_reg_on_commit,
-                needs_phys_reg=source.needs_phys_reg,
-                macro_last_uop=source.macro_last_uop,
-                stats=source.stats,
-                packed=source.packed,
-            )
             result = None
-            if self.native is not False:
+            if (
+                self.native is not False
+                and source.packed is not None
+                and not source.records_materialised
+            ):
+                # Columnar fast path: the shared prepass never grew
+                # Python records, so hand the native loop a lightweight
+                # per-run wrapper around the (read-only) packed arrays.
+                # Each wrapper carries its own sticky witness arrays, so
+                # every latency point starts with unbound witnesses —
+                # the same isolation the record-copy path buys below.
                 from repro.simulator.native import try_native_timing
 
+                prepass = PrepassResult(
+                    stats=source.stats, packed=source.packed
+                )
                 result = try_native_timing(
                     self.workload, design, prepass, self.native
                 )
+            if result is None:
+                # Each run stamps timestamps into the trace records; copy
+                # the pre-pass records so cached results stay immutable.
+                # Record fields are all immutable, so per-record shallow
+                # copies suffice (and the packed arrays are read-only, so
+                # they are shared rather than duplicated).
+                prepass = PrepassResult(
+                    records=[copy.copy(rec) for rec in source.records],
+                    frees_reg_on_commit=source.frees_reg_on_commit,
+                    needs_phys_reg=source.needs_phys_reg,
+                    macro_last_uop=source.macro_last_uop,
+                    stats=source.stats,
+                    packed=source.packed,
+                )
+                if self.native is not False:
+                    from repro.simulator.native import try_native_timing
+
+                    result = try_native_timing(
+                        self.workload, design, prepass, self.native
+                    )
             used_native = result is not None
             if result is None:
                 result = TimingSimulator(

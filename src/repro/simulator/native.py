@@ -45,6 +45,7 @@ from repro.common.config import MicroarchConfig
 from repro.common.events import EventType
 from repro.core.native import compile_shared_library, load_gated, native_mode
 from repro.isa.uop import EXEC_EVENT, OpClass, Workload
+from repro.simulator.columns import TraceColumns
 from repro.simulator.trace import (
     SimResult,
     UopTrace,
@@ -1258,44 +1259,31 @@ def native_prepass_pieces(
 ):
     """Run the compiled functional pre-pass.
 
-    Returns ``(records, frees_reg, needs_reg, macro_last, stats,
-    packed_prepass)`` — the pieces :class:`PrepassResult` is assembled
-    from — or raises :class:`UnsupportedWorkloadError` when the
-    workload cannot be packed.
+    Returns ``(packed_prepass, stats)`` — per-µop records are *not*
+    built here; :class:`repro.simulator.prepass.PrepassResult`
+    materialises them lazily from the packed arrays only if legacy
+    Python-side code asks.  Raises :class:`UnsupportedWorkloadError`
+    when the workload cannot be packed.
     """
     if sim is None:
         sim = load_native_sim()
     if sim is None:
         raise RuntimeError("native simulator unavailable")
-    packed, stats = _run_native_prepass(
+    return _run_native_prepass(
         workload, config, warm_caches, warm_stream,
         predictor_extra_stream, sim,
     )
-    records = _build_records(packed)
-    needs_list = packed.needs_reg.tolist()
-    needs = [bool(flag) for flag in needs_list]
-    return (
-        records,
-        list(needs),  # frees_reg == needs_reg (see prepass.py)
-        needs,
-        packed.workload.macro_last.tolist(),
-        stats,
-        packed,
-    )
 
 
-def _build_records(
-    pp: PackedPrepass, stamps=None
-) -> List[UopTrace]:
+def _build_records(pp: PackedPrepass) -> List[UopTrace]:
     """Rebuild UopTrace records from the C outcome arrays.
 
     Charge tuples are shared constants: the Python path builds
     value-identical tuples, so equality (and the canonical digest) is
-    preserved.  When *stamps* (nine timestamp/witness lists from a
-    timing run, in ``t_fetch, t_rename, t_dispatch, t_ready, t_issue,
-    t_complete, t_commit, phys_reg_freer, iq_freer`` order) is given,
-    the records are built fully stamped in one pass — the fused
-    prepass+timing fast path.
+    preserved.  Records carry prepass state only (zero timestamps, -1
+    witnesses) — since the columnar rework this is the lazy
+    ``PrepassResult.records`` compatibility path, never the simulate
+    fast path, so no stamped variant exists any more.
     """
     pw = pp.workload
     fetch_level = pp.fetch_level
@@ -1348,13 +1336,10 @@ def _build_records(
     a0_l = a0.tolist()
     a1_l = a1.tolist()
     ls_l = line_sharer.tolist()
-    if stamps is None:
-        zeros = [0] * pw.n
-        negs = [-1] * pw.n
-        tf_l = tr_l = td_l = trd_l = ti_l = tc_l = tcm_l = zeros
-        pf_l = iqf_l = negs
-    else:
-        tf_l, tr_l, td_l, trd_l, ti_l, tc_l, tcm_l, pf_l, iqf_l = stamps
+    zeros = [0] * pw.n
+    negs = [-1] * pw.n
+    tf_l = tr_l = td_l = trd_l = ti_l = tc_l = tcm_l = zeros
+    pf_l = iqf_l = negs
 
     empty = ()
     # Bulk-allocate the bare instances through a C-level map, then fill
@@ -1415,6 +1400,143 @@ def _build_records(
     # the C pass never write it, so nothing further to fix up.
     _ = store_id
     return records
+
+
+# ----------------------------------------------------------------------
+# columnar trace assembly
+# ----------------------------------------------------------------------
+
+#: (exec_events (20, 3) int16, exec_len (20,) int64,
+#:  fetch_events (8, 4) int16, fetch_len (8,) int64) — built once.
+_CHARGE_TABLES = None
+
+
+def _charge_tables():
+    """Flat event-chain lookup tables for columnar charge assembly.
+
+    Exec rows are keyed by opclass (0..9, stores and NOPs charge BASE)
+    or ``16 + data_level`` for loads; fetch rows by ``fetch_level * 2 +
+    itlb_miss`` with level 0 meaning "no new line opened".  Chains come
+    from the same :func:`data_access_charge` / :func:`fetch_access_charge`
+    constants the Python prepass charges, so columns and records carry
+    identical event sequences by construction.
+    """
+    global _CHARGE_TABLES
+    if _CHARGE_TABLES is not None:
+        return _CHARGE_TABLES
+    exec_events = np.zeros((20, 3), np.int16)
+    exec_len = np.zeros(20, np.int64)
+    base = EventType.BASE
+    for oc in OpClass:
+        event = EXEC_EVENT[oc]
+        if oc in (OpClass.NOP, OpClass.STORE):
+            event = base
+        exec_events[int(oc), 0] = int(event)
+        exec_len[int(oc)] = 1
+    for level in (1, 2, 3):
+        chain = data_access_charge(level, False)
+        for slot, (event, _units) in enumerate(chain):
+            exec_events[16 + level, slot] = int(event)
+        exec_len[16 + level] = len(chain)
+    fetch_events = np.zeros((8, 4), np.int16)
+    fetch_len = np.zeros(8, np.int64)
+    for level in (1, 2, 3):
+        for miss in (0, 1):
+            chain = fetch_access_charge(level, bool(miss))
+            for slot, (event, _units) in enumerate(chain):
+                fetch_events[level * 2 + miss, slot] = int(event)
+            fetch_len[level * 2 + miss] = len(chain)
+    _CHARGE_TABLES = (exec_events, exec_len, fetch_events, fetch_len)
+    return _CHARGE_TABLES
+
+
+def _producer_csr(counts: np.ndarray, first: np.ndarray, second: np.ndarray):
+    """CSR-pack up to two producer seqs per µop (vectorised)."""
+    counts = counts.astype(np.int64)
+    indptr = np.zeros(len(counts) + 1, np.int64)
+    np.cumsum(counts, out=indptr[1:])
+    values = np.empty(int(indptr[-1]), np.int64)
+    starts = indptr[:-1]
+    has_one = counts >= 1
+    values[starts[has_one]] = first[has_one]
+    has_two = counts >= 2
+    values[starts[has_two] + 1] = second[has_two]
+    return indptr, values
+
+
+def _trace_columns(
+    pp: PackedPrepass,
+    stamps,
+    preg_freer: np.ndarray,
+    iq_freer: np.ndarray,
+) -> TraceColumns:
+    """Assemble :class:`TraceColumns` straight from the C outcome arrays.
+
+    Pure array work — no per-row Python objects anywhere.  Prepass
+    arrays that are never mutated after the prepass (flags, producers,
+    line sharers) are aliased rather than copied; the witness arrays are
+    snapshotted because the sticky per-prepass copies keep mutating on
+    later timing runs.
+    """
+    pw = pp.workload
+    n = pw.n
+    exec_tbl, exec_len_tbl, fetch_tbl, fetch_len_tbl = _charge_tables()
+
+    opclass = pw.opclass.astype(np.int64)
+    is_load = opclass == int(OpClass.LOAD)
+    exec_key = np.where(is_load, pp.data_level.astype(np.int64) + 16, opclass)
+    exec_len = exec_len_tbl[exec_key]
+    exec_indptr = np.zeros(n + 1, np.int64)
+    np.cumsum(exec_len, out=exec_indptr[1:])
+    exec_events = exec_tbl[exec_key][
+        np.arange(3) < exec_len[:, None]
+    ]
+    exec_units = np.ones(int(exec_indptr[-1]), np.int32)
+
+    fetch_key = (
+        pp.fetch_level.astype(np.int64) * 2 + pp.itlb_miss.astype(np.int64)
+    )
+    fetch_len = fetch_len_tbl[fetch_key]
+    fetch_indptr = np.zeros(n + 1, np.int64)
+    np.cumsum(fetch_len, out=fetch_indptr[1:])
+    fetch_events = fetch_tbl[fetch_key][
+        np.arange(4) < fetch_len[:, None]
+    ]
+    fetch_units = np.ones(int(fetch_indptr[-1]), np.int32)
+
+    data_indptr, data_values = _producer_csr(pw.n_src, pp.p0, pp.p1)
+    addr_indptr, addr_values = _producer_csr(pw.n_asrc, pp.a0, pp.a1)
+
+    (
+        t_fetch, t_rename, t_dispatch, t_ready, t_issue,
+        t_complete, t_commit,
+    ) = stamps
+    return TraceColumns(
+        n=n,
+        dtlb_miss=pp.dtlb_miss != 0,
+        mispredicted=pp.mispredicted != 0,
+        store_barrier=np.where(is_load, pp.store_barrier, -1),
+        line_sharer=pp.line_sharer,
+        phys_reg_freer=preg_freer.copy(),
+        iq_freer=iq_freer.copy(),
+        t_fetch=t_fetch,
+        t_rename=t_rename,
+        t_dispatch=t_dispatch,
+        t_ready=t_ready,
+        t_issue=t_issue,
+        t_complete=t_complete,
+        t_commit=t_commit,
+        exec_indptr=exec_indptr,
+        exec_events=exec_events,
+        exec_units=exec_units,
+        fetch_indptr=fetch_indptr,
+        fetch_events=fetch_events,
+        fetch_units=fetch_units,
+        data_indptr=data_indptr,
+        data_values=data_values,
+        addr_indptr=addr_indptr,
+        addr_values=addr_values,
+    )
 
 
 # ----------------------------------------------------------------------
@@ -1486,9 +1608,12 @@ def _run_native_timing(
 ):
     """Invoke the compiled timing loop on packed prepass arrays.
 
-    Returns ``(cycles, stamps)`` where *stamps* is the nine-list tuple
-    :func:`_build_records` consumes.  Failure modes mirror the Python
-    loop (deadlock / runaway raise ``RuntimeError``).
+    Returns ``(cycles, stamps)`` where *stamps* is the seven-array
+    timestamp tuple in ``TIMESTAMP_COLUMNS`` order — int64 arrays owned
+    by this run, handed to :func:`_trace_columns` without further
+    copying.  The witness arrays the caller passed in are mutated in
+    place by the kernel.  Failure modes mirror the Python loop
+    (deadlock / runaway raise ``RuntimeError``).
     """
     pw = pp.workload
     n = pw.n
@@ -1545,9 +1670,8 @@ def _run_native_timing(
     if rc != 0:
         raise MemoryError("native timing allocation failed")
     stamps = (
-        t_fetch.tolist(), t_rename.tolist(), t_dispatch.tolist(),
-        t_ready.tolist(), t_issue.tolist(), t_complete.tolist(),
-        t_commit.tolist(), preg_freer.tolist(), iq_freer.tolist(),
+        t_fetch, t_rename, t_dispatch, t_ready, t_issue,
+        t_complete, t_commit,
     )
     return int(out[0]), stamps
 
@@ -1568,9 +1692,13 @@ def try_native_timing(
     """Run the compiled timing loop, or return ``None`` to fall back.
 
     The prepass may come from either implementation: a native prepass
-    carries its packed arrays; a Python one is packed on the fly.  Like
-    the Python loop, the prepass records are (re-)stamped in place with
-    this run's timestamps.
+    carries its packed arrays; a Python one is packed on the fly.  When
+    the prepass records were never materialised (fully-native runs) the
+    result is assembled columnar with zero per-row Python work, and the
+    structural witnesses live in sticky per-prepass arrays — bound on
+    the first run, persistent across runs sharing the prepass, exactly
+    as the record-restamping path behaves.  When records exist, they are
+    (re-)stamped in place like the Python loop does.
     """
     sim = resolve_native(native)
     if sim is None:
@@ -1583,15 +1711,34 @@ def try_native_timing(
             if native is True:
                 raise
             return None
+
+    if not getattr(prepass, "records_materialised", True):
+        preg_freer, iq_freer = prepass.witness_arrays(pp.workload.n)
+        cycles, stamps = _run_native_timing(
+            pp, config, preg_freer, iq_freer, sim
+        )
+        return SimResult(
+            workload=workload,
+            config=config,
+            cycles=cycles,
+            columns=_trace_columns(pp, stamps, preg_freer, iq_freer),
+            stats=_result_stats(prepass.stats, workload),
+        )
+
     records = prepass.records
-    preg_freer = np.asarray(
-        [rec.phys_reg_freer for rec in records], np.int64
+    preg_freer = np.fromiter(
+        (rec.phys_reg_freer for rec in records), np.int64, count=len(records)
     )
-    iq_freer = np.asarray([rec.iq_freer for rec in records], np.int64)
+    iq_freer = np.fromiter(
+        (rec.iq_freer for rec in records), np.int64, count=len(records)
+    )
     cycles, stamps = _run_native_timing(pp, config, preg_freer, iq_freer, sim)
 
     for rec, tf, tr, td, tready, ti, tc, tcm, pf, iqf in zip(
-        records, *stamps
+        records,
+        *(stamp.tolist() for stamp in stamps),
+        preg_freer.tolist(),
+        iq_freer.tolist(),
     ):
         d = rec.__dict__
         d["t_fetch"] = tf
@@ -1622,9 +1769,10 @@ def try_native_simulate(
     """Fused compiled prepass + timing run, or ``None`` to fall back.
 
     This is the fast path for one-shot :func:`repro.simulator.simulate`
-    calls: both C kernels run back to back and the trace records are
-    materialised exactly once, already stamped — skipping the separate
-    build-then-restamp pass a reusable :class:`PrepassResult` needs.
+    calls: both C kernels run back to back and the result is assembled
+    directly into :class:`TraceColumns` from the C outcome arrays —
+    zero per-row Python work.  :class:`UopTrace` records exist only if
+    legacy code later touches ``result.uops``.
     """
     if len(workload) == 0:
         # Same contract as run_prepass: reject rather than emit an
@@ -1645,11 +1793,10 @@ def try_native_simulate(
     preg_freer = np.full(n, -1, np.int64)
     iq_freer = np.full(n, -1, np.int64)
     cycles, stamps = _run_native_timing(pp, config, preg_freer, iq_freer, sim)
-    records = _build_records(pp, stamps)
     return SimResult(
         workload=workload,
         config=config,
         cycles=cycles,
-        uops=tuple(records),
+        columns=_trace_columns(pp, stamps, preg_freer, iq_freer),
         stats=_result_stats(prepass_stats, workload),
     )

@@ -15,7 +15,7 @@ can be re-priced for any latency design point.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
 from repro.common.config import MicroarchConfig
@@ -106,39 +106,99 @@ class UopTrace:
     t_commit: int = 0
 
 
-@dataclass
 class SimResult:
     """Outcome of one timing simulation run.
+
+    The canonical trace payload is columnar
+    (:class:`repro.simulator.columns.TraceColumns`); per-µop
+    :class:`UopTrace` records are a *view* materialised lazily the first
+    time legacy code touches :attr:`uops`.  A result may be constructed
+    from either representation — the other is derived on demand and
+    cached, and both derivations are value-identical by construction
+    (pinned by the columns parity suite).
 
     Attributes:
         workload: the simulated stream.
         config: the design point simulated.
         cycles: total execution cycles (commit time of the last µop).
-        uops: per-µop trace records, indexed by seq.
-        stats: flat counters (cache/TLB/branch statistics).
+        uops: per-µop trace records, indexed by seq (lazy).
+        columns: struct-of-arrays trace (lazy when built from records).
+        stats: flat counters (cache/TLB/branch statistics), canonicalised
+            to ``str`` keys and ``int`` values at construction so digests
+            and archives never depend on numpy scalar types.
     """
 
-    workload: Workload
-    config: MicroarchConfig
-    cycles: int
-    uops: Tuple[UopTrace, ...]
-    stats: Dict[str, int] = field(default_factory=dict)
+    __slots__ = ("workload", "config", "cycles", "stats", "_uops", "_columns")
+
+    def __init__(
+        self,
+        workload: Workload,
+        config: MicroarchConfig,
+        cycles: int,
+        uops: Optional[Tuple[UopTrace, ...]] = None,
+        stats: Optional[Dict[str, int]] = None,
+        columns: Optional[object] = None,
+    ):
+        if uops is None and columns is None:
+            raise ValueError("SimResult needs trace records or columns")
+        self.workload = workload
+        self.config = config
+        self.cycles = int(cycles)
+        self.stats: Dict[str, int] = {
+            str(key): int(value) for key, value in (stats or {}).items()
+        }
+        self._uops = tuple(uops) if uops is not None else None
+        self._columns = columns
+
+    @property
+    def uops(self) -> Tuple[UopTrace, ...]:
+        """Per-µop records, materialised from the columns on first touch."""
+        if self._uops is None:
+            self._uops = tuple(self._columns.to_records())
+        return self._uops
+
+    @property
+    def columns(self):
+        """Columnar trace, packed from the records on first touch."""
+        if self._columns is None:
+            from repro.simulator.columns import TraceColumns
+
+            self._columns = TraceColumns.from_records(self._uops)
+        return self._columns
+
+    def __getstate__(self):
+        # Prefer shipping whichever representation already exists;
+        # never force a materialisation just to pickle.
+        return {
+            "workload": self.workload,
+            "config": self.config,
+            "cycles": self.cycles,
+            "stats": self.stats,
+            "_uops": self._uops,
+            "_columns": self._columns,
+        }
+
+    def __setstate__(self, state):
+        for name, value in state.items():
+            object.__setattr__(self, name, value)
 
     @property
     def num_uops(self) -> int:
-        return len(self.uops)
+        if self._columns is not None:
+            return self._columns.n
+        return len(self._uops)
 
     @property
     def cpi(self) -> float:
         """Cycles per micro-op (the paper's CPI, at µop granularity)."""
-        return self.cycles / max(1, len(self.uops))
+        return self.cycles / max(1, self.num_uops)
 
     @property
     def ipc(self) -> float:
-        return len(self.uops) / max(1, self.cycles)
+        return self.num_uops / max(1, self.cycles)
 
     def describe(self) -> str:
         return (
-            f"{self.workload.name}: {len(self.uops)} uops, "
+            f"{self.workload.name}: {self.num_uops} uops, "
             f"{self.cycles} cycles, CPI={self.cpi:.3f}"
         )

@@ -2,9 +2,12 @@
 
 A timing run is the expensive step of the whole pipeline; archiving its
 result lets the graph/RpStacks stages (and any later re-analysis) run
-without re-simulating.  The format is a compressed ``.npz`` holding the
-µop stream, the per-µop trace records and the run metadata — everything
-:func:`repro.graphmodel.builder.build_graph` consumes.
+without re-simulating.  The current format (version 2) is a compressed
+``.npz`` holding the µop stream and the trace in **columnar** form —
+the same struct-of-arrays/CSR layout :mod:`repro.simulator.columns`
+keeps in memory — so saving and loading are array copies with no
+per-µop Python encode/decode loops.  Version 1 archives (per-row JSON
+ragged metadata) remain loadable bit-identically.
 
 Only the *baseline* configuration's structure/latency identity is
 stored, not Python objects, so archives are portable across sessions.
@@ -28,25 +31,68 @@ from repro.common.config import (
 )
 from repro.common.events import EventType
 from repro.isa.uop import MicroOp, OpClass, Workload
+from repro.simulator.columns import (
+    TIMESTAMP_COLUMNS,
+    WITNESS_COLUMNS,
+    TraceColumns,
+    WorkloadColumns,
+    workload_columns,
+)
 from repro.simulator.trace import SimResult, UopTrace
 
-FORMAT_VERSION = 1
+#: Format written by :func:`save_result`.
+FORMAT_VERSION = 2
 
-_TIMESTAMP_FIELDS = (
-    "t_fetch",
-    "t_rename",
-    "t_dispatch",
-    "t_ready",
-    "t_issue",
-    "t_complete",
-    "t_commit",
+#: Oldest format :func:`load_result` still reads.  The artifact cache
+#: folds this (not the writer version) into its fingerprint, so bumping
+#: the writer does not orphan cache entries that remain readable.
+COMPAT_FORMAT_VERSION = 1
+
+_TIMESTAMP_FIELDS = TIMESTAMP_COLUMNS
+_WITNESS_FIELDS = WITNESS_COLUMNS
+
+#: TraceColumns attribute -> archive key, saved/loaded verbatim.
+_V2_TRACE_KEYS = (
+    ("dtlb_miss", "rec_dtlb_miss"),
+    ("mispredicted", "rec_mispredicted"),
+    ("store_barrier", "rec_store_barrier"),
+    ("line_sharer", "rec_line_sharer"),
+    ("phys_reg_freer", "rec_phys_reg_freer"),
+    ("iq_freer", "rec_iq_freer"),
+    ("t_fetch", "rec_t_fetch"),
+    ("t_rename", "rec_t_rename"),
+    ("t_dispatch", "rec_t_dispatch"),
+    ("t_ready", "rec_t_ready"),
+    ("t_issue", "rec_t_issue"),
+    ("t_complete", "rec_t_complete"),
+    ("t_commit", "rec_t_commit"),
+    ("exec_indptr", "rec_exec_indptr"),
+    ("exec_events", "rec_exec_events"),
+    ("exec_units", "rec_exec_units"),
+    ("fetch_indptr", "rec_fetch_indptr"),
+    ("fetch_events", "rec_fetch_events"),
+    ("fetch_units", "rec_fetch_units"),
+    ("data_indptr", "rec_data_indptr"),
+    ("data_values", "rec_data_values"),
+    ("addr_indptr", "rec_addr_indptr"),
+    ("addr_values", "rec_addr_values"),
 )
 
-_WITNESS_FIELDS = (
-    "store_barrier",
-    "line_sharer",
-    "phys_reg_freer",
-    "iq_freer",
+#: WorkloadColumns attribute -> archive key.
+_V2_UOP_KEYS = (
+    ("macro_id", "uop_macro_id"),
+    ("som", "uop_som"),
+    ("eom", "uop_eom"),
+    ("opclass", "uop_opclass"),
+    ("pc", "uop_pc"),
+    ("dst_reg", "uop_dst_reg"),
+    ("mem_addr", "uop_mem_addr"),
+    ("taken", "uop_taken"),
+    ("target_pc", "uop_target_pc"),
+    ("src_indptr", "uop_src_indptr"),
+    ("src_values", "uop_src_values"),
+    ("asrc_indptr", "uop_asrc_indptr"),
+    ("asrc_values", "uop_asrc_values"),
 )
 
 
@@ -69,56 +115,48 @@ def _decode_param_value(value):
     return value
 
 
+def _encode_param_value(value):
+    """JSON-stable encoding of a workload provenance param value."""
+    if isinstance(value, tuple):
+        return [_encode_param_value(item) for item in value]
+    return value
+
+
+def normalise_archive_path(path: Union[str, pathlib.Path]) -> pathlib.Path:
+    """The actual on-disk path for a requested archive path.
+
+    Archives are always ``.npz`` (that is what ``np.savez_compressed``
+    produces), so the requested name is *normalised* rather than blindly
+    suffixed:
+
+    * ``trace.npz``    -> ``trace.npz``      (already correct)
+    * ``trace``        -> ``trace.npz``      (extension added)
+    * ``trace.dat``    -> ``trace.npz``      (extension replaced — the
+      old behaviour silently produced ``trace.dat.npz``)
+    * ``trace.npz.gz`` -> ``trace.npz``      (trailing decorations after
+      ``.npz`` dropped — the old behaviour produced ``trace.npz.gz.npz``)
+    """
+    path = pathlib.Path(path)
+    name = path.name
+    if name.endswith(".npz"):
+        return path
+    if ".npz." in name:
+        stem = name[: name.index(".npz.") + len(".npz")]
+        return path.with_name(stem)
+    if path.suffix:
+        return path.with_suffix(".npz")
+    return path.with_name(name + ".npz")
+
+
 def save_result(
     result: SimResult, path: Union[str, pathlib.Path]
 ) -> pathlib.Path:
-    """Archive one simulation result; returns the path written."""
-    path = pathlib.Path(path)
-    if path.suffix != ".npz":
-        path = path.with_suffix(path.suffix + ".npz")
+    """Archive one simulation result; returns the real path written."""
+    path = normalise_archive_path(path)
 
-    n = result.num_uops
     workload = result.workload
-    uop_table = {
-        "macro_id": np.array([u.macro_id for u in workload], np.int64),
-        "som": np.array([u.som for u in workload], np.bool_),
-        "eom": np.array([u.eom for u in workload], np.bool_),
-        "opclass": np.array([int(u.opclass) for u in workload], np.int16),
-        "pc": np.array([u.pc for u in workload], np.int64),
-        "dst_reg": np.array(
-            [-1 if u.dst_reg is None else u.dst_reg for u in workload],
-            np.int16,
-        ),
-        "mem_addr": np.array(
-            [-1 if u.mem_addr is None else u.mem_addr for u in workload],
-            np.int64,
-        ),
-        "taken": np.array([u.taken for u in workload], np.bool_),
-        "target_pc": np.array(
-            [-1 if u.target_pc is None else u.target_pc for u in workload],
-            np.int64,
-        ),
-    }
-    ragged = {
-        "src_regs": [list(u.src_regs) for u in workload],
-        "addr_src_regs": [list(u.addr_src_regs) for u in workload],
-        "data_producers": [list(r.data_producers) for r in result.uops],
-        "addr_producers": [list(r.addr_producers) for r in result.uops],
-        "exec_charge": [_encode_charge(r.exec_charge) for r in result.uops],
-        "fetch_charge": [
-            _encode_charge(r.fetch_charge) for r in result.uops
-        ],
-    }
-    record_table = {
-        "dtlb_miss": np.array([r.dtlb_miss for r in result.uops], np.bool_),
-        "mispredicted": np.array(
-            [r.mispredicted for r in result.uops], np.bool_
-        ),
-    }
-    for field in _WITNESS_FIELDS + _TIMESTAMP_FIELDS:
-        record_table[field] = np.array(
-            [getattr(r, field) for r in result.uops], np.int64
-        )
+    uop_cols = workload_columns(workload)
+    trace_cols = result.columns
 
     meta = {
         "format_version": FORMAT_VERSION,
@@ -127,11 +165,11 @@ def save_result(
         "cycles": result.cycles,
         "stats": result.stats,
         "config": config_to_dict(result.config),
-        "ragged": ragged,
     }
-    arrays = {}
-    arrays.update({f"uop_{k}": v for k, v in uop_table.items()})
-    arrays.update({f"rec_{k}": v for k, v in record_table.items()})
+    arrays = {key: getattr(uop_cols, attr) for attr, key in _V2_UOP_KEYS}
+    arrays.update(
+        {key: getattr(trace_cols, attr) for attr, key in _V2_TRACE_KEYS}
+    )
     arrays["meta_json"] = np.frombuffer(
         json.dumps(meta).encode("utf-8"), dtype=np.uint8
     )
@@ -143,69 +181,55 @@ def save_result(
 def result_digest(result: SimResult) -> str:
     """Canonical SHA-256 over every behaviour-bearing field of a run.
 
-    Two results digest equally iff their workload streams, trace
-    records (charges, producers, witnesses, timestamps), cycle counts,
-    stats and configurations are all value-identical — the oracle the
-    native/Python differential and the determinism tests compare.
-    The digest is independent of *how* the result was produced
-    (compiled or pure-Python path, in-process or worker pool).
+    Two results digest equally iff their workload streams, traces
+    (charges, producers, witnesses, timestamps), cycle counts, stats
+    and configurations are all value-identical — the oracle the
+    native/Python differential and the determinism tests compare.  The
+    digest is independent of *how* the result was produced (compiled or
+    pure-Python path, columnar or record representation, in-process or
+    worker pool): it hashes the canonical byte encoding of the column
+    arrays, and equal values yield equal bytes by construction.
     """
     workload = result.workload
-    payload = {
-        "workload": {
-            "name": workload.name,
-            "params": [[k, _encode_param_value(v)]
-                       for k, v in workload.params],
-            "uops": [
-                [
-                    u.macro_id, int(u.som), int(u.eom), int(u.opclass),
-                    u.pc, list(u.src_regs),
-                    -1 if u.dst_reg is None else u.dst_reg,
-                    -1 if u.mem_addr is None else u.mem_addr,
-                    list(u.addr_src_regs), int(u.taken),
-                    -1 if u.target_pc is None else u.target_pc,
-                ]
-                for u in workload
-            ],
-        },
-        "records": [
-            [
-                _encode_charge(r.exec_charge),
-                _encode_charge(r.fetch_charge),
-                int(r.dtlb_miss), int(r.mispredicted),
-                list(r.data_producers), list(r.addr_producers),
-            ]
-            + [int(getattr(r, field))
-               for field in _WITNESS_FIELDS + _TIMESTAMP_FIELDS]
-            for r in result.uops
+    header = {
+        "workload_name": workload.name,
+        "workload_params": [
+            [k, _encode_param_value(v)] for k, v in workload.params
         ],
         "cycles": result.cycles,
         "stats": result.stats,
         "config": config_to_dict(result.config),
     }
-    blob = json.dumps(
-        payload, sort_keys=True, separators=(",", ":")
-    ).encode("utf-8")
-    return hashlib.sha256(blob).hexdigest()
-
-
-def _encode_param_value(value):
-    """JSON-stable encoding of a workload provenance param value."""
-    if isinstance(value, tuple):
-        return [_encode_param_value(item) for item in value]
-    return value
+    digest = hashlib.sha256()
+    digest.update(b"repro-trace-digest-v2\x00")
+    digest.update(
+        json.dumps(header, sort_keys=True, separators=(",", ":")).encode(
+            "utf-8"
+        )
+    )
+    digest.update(workload_columns(workload).canonical_bytes())
+    digest.update(result.columns.canonical_bytes())
+    return digest.hexdigest()
 
 
 def load_result(path: Union[str, pathlib.Path]) -> SimResult:
-    """Load an archive written by :func:`save_result`."""
+    """Load an archive written by :func:`save_result` (any readable
+    format version — see :data:`COMPAT_FORMAT_VERSION`)."""
     path = pathlib.Path(path)
     with np.load(path, allow_pickle=False) as archive:
         if "meta_json" not in archive:
             raise TraceFormatError(f"{path} is not a trace archive")
         meta = json.loads(bytes(archive["meta_json"]).decode("utf-8"))
-        if meta.get("format_version") != FORMAT_VERSION:
+        version = meta.get("format_version")
+        if version == 1:
+            loader = _load_v1
+        elif version == 2:
+            loader = _load_v2
+        else:
             raise TraceFormatError(
-                f"unsupported format version {meta.get('format_version')}"
+                f"{path}: unsupported trace format version {version} "
+                f"(this build reads versions "
+                f"{COMPAT_FORMAT_VERSION}..{FORMAT_VERSION})"
             )
         uop = {
             key[4:]: archive[key]
@@ -217,7 +241,39 @@ def load_result(path: Union[str, pathlib.Path]) -> SimResult:
             for key in archive.files
             if key.startswith("rec_")
         }
+    return loader(meta, uop, rec)
 
+
+def _meta_workload_params(meta) -> tuple:
+    return tuple(
+        (k, _decode_param_value(v)) for k, v in meta["workload_params"]
+    )
+
+
+def _load_v2(meta, uop, rec) -> SimResult:
+    """Columnar archive: adopt the arrays, rebuild µops once."""
+    uop_cols = WorkloadColumns(
+        n=len(uop["macro_id"]), **{attr: uop[key[4:]] for attr, key in _V2_UOP_KEYS}
+    )
+    workload = Workload(
+        name=meta["workload_name"],
+        uops=uop_cols.to_uops(),
+        params=_meta_workload_params(meta),
+    )
+    columns = TraceColumns(
+        n=uop_cols.n, **{attr: rec[key[4:]] for attr, key in _V2_TRACE_KEYS}
+    )
+    return SimResult(
+        workload=workload,
+        config=config_from_dict(meta["config"]),
+        cycles=int(meta["cycles"]),
+        columns=columns,
+        stats=dict(meta["stats"]),
+    )
+
+
+def _load_v1(meta, uop, rec) -> SimResult:
+    """Legacy row-oriented archive (per-µop JSON ragged metadata)."""
     ragged = meta["ragged"]
     n = len(uop["macro_id"])
     uops = []
@@ -247,9 +303,7 @@ def load_result(path: Union[str, pathlib.Path]) -> SimResult:
     workload = Workload(
         name=meta["workload_name"],
         uops=tuple(uops),
-        params=tuple(
-            (k, _decode_param_value(v)) for k, v in meta["workload_params"]
-        ),
+        params=_meta_workload_params(meta),
     )
 
     records = []
