@@ -13,9 +13,7 @@ the per-point loop.  The million-point run backs the committed numbers
 in ``results/dse_sweep.txt``.
 """
 
-import time
-
-from conftest import get_session, write_report
+from conftest import get_session, timed, write_report
 
 from repro.common.events import EventType
 from repro.dse.designspace import DesignSpace
@@ -49,12 +47,15 @@ def per_point_rate(model, space, sample: int) -> float:
     predict its CPI, cost it — exactly what ``Explorer.explore`` spends
     per point."""
     base = space.base
-    start = time.perf_counter()
-    for index in range(sample):
-        point = space.point_at(index)
-        model.predict_cpi(point)
-        default_cost_model(point, base)
-    return sample / (time.perf_counter() - start)
+
+    def body():
+        for index in range(sample):
+            point = space.point_at(index)
+            model.predict_cpi(point)
+            default_cost_model(point, base)
+
+    _, seconds = timed(body)
+    return sample / seconds
 
 
 def test_sweep_smoke():

@@ -17,12 +17,10 @@ run backs the committed numbers in ``results/generate_long_trace.txt``
 and enforces the >=4x cold-analysis bar at ``jobs=8``.
 """
 
-import gc
 import os
-import time
 
 import pytest
-from conftest import write_report
+from conftest import best_of, timed, write_report
 
 from repro.common.config import baseline_config
 from repro.core.generator import RpStacksGenerator
@@ -39,18 +37,14 @@ SEGMENT_LENGTH = 256
 BENCH_UOPS = int(os.environ.get("REPRO_BENCH_GENERATE_UOPS", LONG_TRACE_UOPS))
 
 
-def _timed(fn):
-    start = time.perf_counter()
-    result = fn()
-    return result, time.perf_counter() - start
-
-
 def _cold_setup(workload):
     """Simulation + graph build: the cold-analysis cost both walks share."""
-    start = time.perf_counter()
-    result = simulate(workload, baseline_config())
-    graph = build_graph(result)
-    return graph, time.perf_counter() - start
+
+    def body():
+        result = simulate(workload, baseline_config())
+        return build_graph(result)
+
+    return timed(body)
 
 
 def _generator(graph, jobs=1):
@@ -67,9 +61,9 @@ def test_generate_smoke():
     array-native path must clearly beat the reference walk."""
     workload = make_workload(WORKLOAD, 2000)
     graph, _ = _cold_setup(workload)
-    serial, serial_seconds = _timed(_generator(graph, jobs=1).generate)
-    parallel, _ = _timed(_generator(graph, jobs=2).generate)
-    reference, reference_seconds = _timed(
+    serial, serial_seconds = timed(_generator(graph, jobs=1).generate)
+    parallel, _ = timed(_generator(graph, jobs=2).generate)
+    reference, reference_seconds = timed(
         _generator(graph)._generate_reference
     )
     assert serial.content_digest() == parallel.content_digest()
@@ -84,9 +78,9 @@ def test_long_trace_generation():
     workload = make_long_trace(WORKLOAD, min_uops=BENCH_UOPS)
     graph, setup_seconds = _cold_setup(workload)
 
-    jobs8, jobs8_seconds = _timed(_generator(graph, jobs=8).generate)
-    jobs1, jobs1_seconds = _timed(_generator(graph, jobs=1).generate)
-    reference, reference_seconds = _timed(
+    jobs8, jobs8_seconds = timed(_generator(graph, jobs=8).generate)
+    jobs1, jobs1_seconds = timed(_generator(graph, jobs=1).generate)
+    reference, reference_seconds = timed(
         _generator(graph)._generate_reference
     )
 
@@ -148,22 +142,13 @@ requires_native = pytest.mark.skipif(
 
 
 def _best_of(fn, reps):
-    """Minimum wall-clock over *reps* calls, collecting between runs.
+    """Minimum wall-clock over *reps* calls (see ``conftest.best_of``).
 
     Timing both paths rep-by-rep (native, python, native, ...) and
     taking each side's minimum makes the ratio robust against the
     machine-load noise a single alternating pair is exposed to.
     """
-    best = None
-    result = None
-    for _ in range(reps):
-        gc.collect()
-        start = time.perf_counter()
-        result = fn()
-        elapsed = time.perf_counter() - start
-        if best is None or elapsed < best:
-            best = elapsed
-    return result, best
+    return best_of(fn, reps)
 
 
 def _bench_simulate(workload, reps):

@@ -13,9 +13,7 @@ the ROADMAP's "fast as the hardware allows" engineering claim, the same
 front-end-caching pattern LightningSimV2 applies to RTL simulation.
 """
 
-import time
-
-from conftest import BENCH_MACROS, write_report
+from conftest import BENCH_MACROS, timed, write_report
 
 from repro.dse.pipeline import analyze
 from repro.dse.report import format_table
@@ -33,16 +31,13 @@ def test_warm_cache_speedup(benchmark, tmp_path):
     speedups = []
     for name in PROBE_WORKLOADS:
         workload = make_workload(name, BENCH_MACROS)
-        start = time.perf_counter()
-        analyze(workload, cache=cache)
-        cold = time.perf_counter() - start
+        _, cold = timed(lambda: analyze(workload, cache=cache))
         # Best-of-3: a cache hit is ~20 ms, where a single sample is at
         # the mercy of scheduler and GC noise on a loaded box.
         warm = float("inf")
         for _ in range(3):
-            start = time.perf_counter()
-            analyze(workload, cache=cache)
-            warm = min(warm, time.perf_counter() - start)
+            _, sample = timed(lambda: analyze(workload, cache=cache))
+            warm = min(warm, sample)
         speedups.append(cold / warm)
         rows.append(
             [name, f"{cold * 1e3:.1f} ms", f"{warm * 1e3:.1f} ms",

@@ -16,12 +16,10 @@ committed numbers in ``results/trace_columns.txt`` and enforces the
 issue's >=4x bar against the committed PR-6 native baseline.
 """
 
-import gc
 import os
-import time
 
 import pytest
-from conftest import write_report
+from conftest import best_of, timed, write_report
 
 from repro.common.config import baseline_config
 from repro.graphmodel.builder import build_graph
@@ -48,15 +46,7 @@ BENCH_UOPS = int(
 
 
 def _best_of(fn, reps):
-    best = None
-    result = None
-    for _ in range(reps):
-        gc.collect()
-        start = time.perf_counter()
-        result = fn()
-        elapsed = time.perf_counter() - start
-        best = elapsed if best is None else min(best, elapsed)
-    return result, best
+    return best_of(fn, reps)
 
 
 def _bench(workload, reps):
@@ -109,10 +99,7 @@ def test_long_trace_columns():
     )
 
     # Graph-build cost on columns (context for the report, untimed bar).
-    gc.collect()
-    start = time.perf_counter()
-    graph = build_graph(result)
-    graph_seconds = time.perf_counter() - start
+    graph, graph_seconds = timed(lambda: build_graph(result))
 
     tax = materialised_seconds - columnar_seconds
     uops_per_second = len(workload) / columnar_seconds

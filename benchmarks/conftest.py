@@ -22,6 +22,7 @@ from typing import Dict
 import pytest
 
 from repro.dse.pipeline import AnalysisSession, analyze
+from repro.obs.bench import measure
 from repro.runtime.cache import ArtifactCache
 from repro.workloads.suite import make_workload, suite_names
 
@@ -57,6 +58,38 @@ def get_session(name: str, macros: int = BENCH_MACROS) -> AnalysisSession:
             make_workload(name, macros), cache=ARTIFACT_CACHE
         )
     return _SESSION_CACHE[key]
+
+
+def timed(fn):
+    """``(result, seconds)`` of one call of *fn*.
+
+    The benches' shared timing primitive: it defers to
+    :func:`repro.obs.bench.measure` (the harness measurement protocol —
+    ``repro.obs.clock`` seam, GC paused across the body, collection
+    between calls), so ad-hoc figure benches and the governed
+    ``repro bench`` scenarios measure the same way.
+    """
+    box = {}
+
+    def body():
+        box["result"] = fn()
+
+    seconds = measure(body)
+    return box["result"], seconds
+
+
+def best_of(fn, reps: int):
+    """``(last result, fastest seconds)`` over *reps* timed calls.
+
+    Timing rep-by-rep and keeping the minimum makes ratios robust
+    against machine-load noise a single sample is exposed to.
+    """
+    best = None
+    result = None
+    for _ in range(reps):
+        result, elapsed = timed(fn)
+        best = elapsed if best is None else min(best, elapsed)
+    return result, best
 
 
 def write_report(filename: str, text: str) -> pathlib.Path:

@@ -15,6 +15,10 @@ Commands mirror the workflow of the paper's Figure 6a:
 * ``suite``      — the Figure 12 table over all workload analogues;
 * ``profile``    — per-stage overhead breakdown (the paper's Table VI)
   measured live, with Chrome-trace / metrics-JSON export;
+* ``bench``      — governed benchmark scenarios: ``run`` measures and
+  appends to the ``BENCH_<scenario>.json`` trajectory store, ``compare``
+  gates against committed baselines (CI fails on regression), ``report``
+  renders the committed perf-trajectory table;
 * ``cache``      — inspect or clear the artifact cache.
 
 ``analyze``, ``suite``, ``dse sweep`` and ``profile`` accept
@@ -27,6 +31,7 @@ same instrumentation without flags (see ``docs/observability.md``).
 from __future__ import annotations
 
 import argparse
+import pathlib
 import sys
 from typing import Dict, List, Optional, Sequence
 
@@ -473,6 +478,229 @@ def cmd_profile(args) -> int:
     return 0
 
 
+def _bench_scenarios(args) -> list:
+    """Resolve the scenario objects a ``bench`` subcommand targets."""
+    from repro.obs.bench import get_scenario, scenario_names
+
+    if args.all:
+        names = scenario_names()
+    elif args.scenarios:
+        names = args.scenarios
+    else:
+        raise SystemExit(
+            "bench: name scenarios or pass --all "
+            f"(registered: {', '.join(scenario_names())})"
+        )
+    return [get_scenario(name) for name in names]
+
+
+def _native_available() -> bool:
+    try:
+        from repro.simulator.native import load_native_sim
+
+        return load_native_sim() is not None
+    except Exception:
+        return False
+
+
+def _bench_summary(record) -> str:
+    shares = sorted(
+        record.stage_shares().items(), key=lambda kv: kv[1], reverse=True
+    )
+    top = ", ".join(f"{name} {share:.0%}" for name, share in shares[:3])
+    line = (
+        f"{record.scenario}[{record.tier}]: "
+        f"min {record.min_seconds:.4f}s  "
+        f"median {record.median_seconds:.4f}s  "
+        f"spread {record.spread:.1%}"
+    )
+    if top:
+        line += f"  [{top}]"
+    return line
+
+
+def _bench_measure(args, scenario):
+    """Run one scenario at the requested tier, or ``None`` if skipped
+    (native-sensitive scenario without the compiled kernel)."""
+    from repro.obs.bench import run_scenario
+
+    if scenario.native_sensitive and not _native_available():
+        print(
+            f"{scenario.name}: skipped (native kernel unavailable "
+            "or REPRO_NATIVE=0)",
+            file=sys.stderr,
+        )
+        return None
+    progress = None
+    if args.progress:
+        progress = lambda message: print(message, file=sys.stderr)
+    return run_scenario(
+        scenario,
+        tier=args.tier,
+        repeats=args.repeats,
+        warmup=args.warmup,
+        progress=progress,
+    )
+
+
+def cmd_bench_run(args) -> int:
+    """Measure scenarios and append records to the trajectory store."""
+    from repro.obs.bench import REPO_ROOT
+    from repro.obs.schema import TrajectoryFile, trajectory_path
+
+    directory = args.dir or REPO_ROOT
+    for scenario in _bench_scenarios(args):
+        record = _bench_measure(args, scenario)
+        if record is None:
+            continue
+        trajectory = TrajectoryFile.open(directory, scenario.name)
+        trajectory.append(record)
+        if args.update_baseline:
+            trajectory.set_baseline(record)
+        path = trajectory.save(trajectory_path(directory, scenario.name))
+        note = " (baseline updated)" if args.update_baseline else ""
+        print(f"{_bench_summary(record)} -> {path.name}{note}")
+    return 0
+
+
+def cmd_bench_compare(args) -> int:
+    """Re-measure scenarios and gate them against committed baselines.
+
+    Exit status 1 iff any scenario regressed (or broke digest parity) —
+    the contract the ``bench-trajectory`` CI job enforces.
+    """
+    from repro.obs.bench import REPO_ROOT
+    from repro.obs.regress import GatePolicy, compare_records
+    from repro.obs.schema import TrajectoryFile, trajectory_path
+
+    directory = args.dir or REPO_ROOT
+    policy = GatePolicy.for_tier(
+        args.tier,
+        env_policy="strict" if args.strict_env else "warn",
+    )
+    failures = 0
+    for scenario in _bench_scenarios(args):
+        trajectory = TrajectoryFile.open(directory, scenario.name)
+        if args.latest:
+            record = trajectory.latest_run(args.tier)
+            if record is None:
+                print(
+                    f"{scenario.name}: no stored {args.tier}-tier run "
+                    "to compare"
+                )
+                failures += 1
+                continue
+        else:
+            record = _bench_measure(args, scenario)
+            if record is None:
+                continue
+            trajectory.append(record)
+            trajectory.save(trajectory_path(directory, scenario.name))
+        finding = compare_records(
+            record, trajectory.baseline_for(args.tier), policy
+        )
+        print(finding.describe())
+        if finding.failed:
+            failures += 1
+    if failures:
+        print(f"bench compare: {failures} scenario(s) failed the gates")
+        return 1
+    print("bench compare: all gates passed")
+    return 0
+
+
+def cmd_bench_report(args) -> int:
+    """Render the committed perf trajectory as a table."""
+    from repro.obs.bench import REPO_ROOT, get_scenario, scenario_names
+    from repro.obs.schema import TrajectoryFile, trajectory_path
+
+    directory = pathlib.Path(args.dir or REPO_ROOT)
+    rows = []
+    for name in scenario_names():
+        path = trajectory_path(directory, name)
+        if not path.exists():
+            continue
+        trajectory = TrajectoryFile.load(path)
+        record = trajectory.baseline_for(args.tier)
+        if record is None:
+            record = trajectory.latest_run(args.tier)
+        if record is None:
+            continue
+        shares = sorted(
+            record.stage_shares().items(),
+            key=lambda kv: kv[1],
+            reverse=True,
+        )
+        throughput = ""
+        for key, unit in (
+            ("points_per_second", "points/s"),
+            ("uops_per_second", "uops/s"),
+            ("macros_per_second", "macros/s"),
+        ):
+            value = record.aux.get(key)
+            if value:
+                throughput = f"{value:,.0f} {unit}"
+                break
+        rows.append(
+            {
+                "scenario": name,
+                "title": get_scenario(name).title,
+                "scale": " ".join(
+                    f"{k}={v}" for k, v in sorted(record.scale.items())
+                ),
+                "best": f"{record.min_seconds:.4f}",
+                "median": f"{record.median_seconds:.4f}",
+                "spread": f"{record.spread:.1%}",
+                "throughput": throughput,
+                "stages": ", ".join(
+                    f"{stage} {share:.0%}" for stage, share in shares[:3]
+                ),
+            }
+        )
+    if not rows:
+        print(f"no BENCH_<scenario>.json trajectories under {directory}")
+        return 1
+    headers = [
+        ("scenario", "Scenario"),
+        ("scale", "Scale"),
+        ("best", "Best (s)"),
+        ("median", "Median (s)"),
+        ("spread", "Spread"),
+        ("throughput", "Throughput"),
+        ("stages", "Top stages"),
+    ]
+    if args.markdown:
+        print(
+            f"<!-- generated by `repro bench report --markdown "
+            f"--tier {args.tier}` — do not hand-edit -->"
+        )
+        print("| " + " | ".join(title for _, title in headers) + " |")
+        print("|" + "|".join(" --- " for _ in headers) + "|")
+        for row in rows:
+            print(
+                "| "
+                + " | ".join(row[key] for key, _ in headers)
+                + " |"
+            )
+    else:
+        widths = {
+            key: max(len(title), *(len(row[key]) for row in rows))
+            for key, title in headers
+        }
+        print(
+            "  ".join(
+                title.ljust(widths[key]) for key, title in headers
+            ).rstrip()
+        )
+        for row in rows:
+            print(
+                "  ".join(
+                    row[key].ljust(widths[key]) for key, _ in headers
+                ).rstrip()
+            )
+    return 0
+
+
 def cmd_cache(args) -> int:
     from repro.runtime.cache import ArtifactCache
 
@@ -673,6 +901,93 @@ def build_parser() -> argparse.ArgumentParser:
                    help="emit the breakdown (with metrics) as JSON")
     add_obs_args(p)
     p.set_defaults(func=cmd_profile)
+
+    p = sub.add_parser(
+        "bench",
+        help="governed benchmark scenarios + perf-trajectory store",
+    )
+    bench_sub = p.add_subparsers(dest="bench_command", required=True)
+
+    def add_bench_target_args(bp):
+        bp.add_argument(
+            "scenarios", nargs="*",
+            help="registered scenario names (see --all)",
+        )
+        bp.add_argument(
+            "--all", action="store_true",
+            help="target every registered scenario",
+        )
+        bp.add_argument(
+            "--tier", choices=["full", "ci"], default="full",
+            help="measurement tier: 'full' = committed headline scale, "
+            "'ci' = reduced per-PR gating scale",
+        )
+        bp.add_argument(
+            "--dir", default=None,
+            help="trajectory-store directory (default: repo root)",
+        )
+
+    def add_bench_measure_args(bp):
+        bp.add_argument(
+            "--repeats", type=int, default=None,
+            help="timed repetitions (default: per-scenario)",
+        )
+        bp.add_argument(
+            "--warmup", type=int, default=None,
+            help="throwaway repetitions (default: per-scenario)",
+        )
+        bp.add_argument(
+            "--progress", action="store_true",
+            help="narrate setup and per-rep timings on stderr",
+        )
+
+    bp = bench_sub.add_parser(
+        "run",
+        help="measure scenarios, append to BENCH_<scenario>.json",
+    )
+    add_bench_target_args(bp)
+    add_bench_measure_args(bp)
+    bp.add_argument(
+        "--update-baseline", action="store_true",
+        help="also promote this run to the tier's committed baseline",
+    )
+    bp.set_defaults(func=cmd_bench_run)
+
+    bp = bench_sub.add_parser(
+        "compare",
+        help="measure and gate against committed baselines "
+        "(exit 1 on regression)",
+    )
+    add_bench_target_args(bp)
+    add_bench_measure_args(bp)
+    bp.add_argument(
+        "--latest", action="store_true",
+        help="gate the most recent stored run instead of re-measuring",
+    )
+    bp.add_argument(
+        "--strict-env", action="store_true",
+        help="treat environment-fingerprint drift as incomparable "
+        "instead of gating anyway",
+    )
+    bp.set_defaults(func=cmd_bench_compare)
+
+    bp = bench_sub.add_parser(
+        "report",
+        help="render the committed perf trajectory as a table",
+    )
+    bp.add_argument(
+        "--tier", choices=["full", "ci"], default="full",
+        help="which tier's baselines to render",
+    )
+    bp.add_argument(
+        "--dir", default=None,
+        help="trajectory-store directory (default: repo root)",
+    )
+    bp.add_argument(
+        "--markdown", action="store_true",
+        help="emit a GitHub-flavoured markdown table (for README)",
+    )
+    bp.set_defaults(func=cmd_bench_report)
 
     p = sub.add_parser("cache", help="inspect or clear the artifact cache")
     p.add_argument("cache_command", choices=["stats", "clear"])

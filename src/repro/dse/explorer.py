@@ -127,6 +127,11 @@ class SweepMetrics:
     chunk_size: int = 0
     #: 95th-percentile single-chunk evaluation, seconds
     p95_chunk_seconds: float = 0.0
+    #: trailing-window throughput (last few chunks) — what the
+    #: ``--progress`` lines report; at completion, the end-of-run rate
+    rolling_points_per_second: float = 0.0
+    #: remaining-work estimate at snapshot time (0.0 once complete)
+    eta_seconds: float = 0.0
 
     @classmethod
     def from_registry(
@@ -145,6 +150,17 @@ class SweepMetrics:
         sweep engine records (:func:`repro.dse.sweep.sweep_space`).
         """
         chunks = registry.histogram("sweep.chunk_seconds")
+        # Trailing-window rate: the histogram keeps observations in
+        # arrival order, so the tail is the run's final few chunks.
+        # Full chunks carry chunk_size points (the final partial chunk
+        # slightly understates the rate — acceptable for an ETA signal).
+        window = chunks.values[-8:]
+        window_seconds = sum(window)
+        rolling = (
+            len(window) * chunk_size / window_seconds
+            if window_seconds > 0 and chunk_size > 0
+            else 0.0
+        )
         return cls(
             num_points=num_points,
             total_seconds=total_seconds,
@@ -158,6 +174,8 @@ class SweepMetrics:
             ),
             jobs=jobs,
             chunk_size=chunk_size,
+            rolling_points_per_second=rolling,
+            eta_seconds=registry.gauge_value("sweep.eta_seconds", 0.0),
         )
 
     def describe(self) -> str:

@@ -61,6 +61,10 @@ DEFAULT_CHUNK_SIZE = 65536
 #: explicitly (progress is emitted only under an enabled observer).
 DEFAULT_PROGRESS_INTERVAL = 10.0
 
+#: chunks in the trailing window behind the progress line's rolling
+#: points/s and ETA (and SweepMetrics' end-of-run rolling rate).
+ROLLING_WINDOW_CHUNKS = 8
+
 
 def _prune(
     indices: np.ndarray, cpis: np.ndarray, costs: np.ndarray
@@ -158,6 +162,10 @@ def _sweep_shard(
         chunk_seconds = []
     chunks_done = 0
     total_chunks = -(-(stop - start) // chunk_size) if stop > start else 0
+    # Trailing (points, seconds) window for the progress line's rolling
+    # rate — deliberately not checkpointed: a resumed run's early ETA
+    # should reflect the new process, not the dead one.
+    recent: List[Tuple[int, float]] = []
     for lo in range(start, stop, chunk_size):
         hi = min(lo + chunk_size, stop)
         wall_tick = clock.wall_ns() if instrumented else 0
@@ -194,6 +202,9 @@ def _sweep_shard(
         now = clock.perf_seconds()
         chunk_seconds.append(now - tick)
         chunks_done += 1
+        recent.append((hi - lo, chunk_seconds[-1]))
+        if len(recent) > ROLLING_WINDOW_CHUNKS:
+            del recent[0]
         if instrumented:
             obs.record(
                 "sweep.chunk",
@@ -208,14 +219,25 @@ def _sweep_shard(
             obs.gauge("prune.survivors").set(int(held_idx.size))
             if now - last_progress >= interval:
                 last_progress = now
+                window_points = sum(p for p, _ in recent)
+                window_seconds = sum(s for _, s in recent)
+                rolling = (
+                    window_points / window_seconds
+                    if window_seconds > 0
+                    else 0.0
+                )
+                eta = (stop - hi) / rolling if rolling > 0 else 0.0
                 obs.progress(
                     f"sweep: {chunks_done}/{total_chunks} chunks, "
                     f"{hi - start:,} points priced, "
-                    f"front size {held_idx.size}",
+                    f"front size {held_idx.size}, "
+                    f"{rolling:,.0f} points/s, ETA {eta:.1f}s",
                     chunks_done=chunks_done,
                     total_chunks=total_chunks,
                     points_priced=hi - start,
                     front_size=int(held_idx.size),
+                    rolling_points_per_sec=rolling,
+                    eta_seconds=eta,
                 )
     return {
         "indices": held_idx,

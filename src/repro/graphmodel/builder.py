@@ -466,8 +466,19 @@ def build_graph_columns(
     order, charges and CSR layout), with no per-µop Python loop — the
     production path since the columnar trace rework.
     """
+    from repro.obs.observer import get_observer
+
     options = options or BuilderOptions()
     core = result.config.core
+    with get_observer().span(
+        "graph.build_columns", uops=len(result.workload)
+    ):
+        return _build_graph_columns(result, options, core)
+
+
+def _build_graph_columns(
+    result: SimResult, options: BuilderOptions, core
+) -> DependenceGraph:
     tc = result.columns
     n = tc.n
     if n == 0:

@@ -17,6 +17,12 @@ Three cooperating pieces (see ``docs/observability.md``):
 (enforced by ``tools/check_timing.py``), and :mod:`repro.obs.report`
 renders the per-stage breakdown tables behind ``repro profile``.
 
+The benchmark-observability layer builds on all three:
+:mod:`repro.obs.bench` (scenario registry + measurement protocol),
+:mod:`repro.obs.schema` (the ``BENCH_<scenario>.json`` trajectory
+store) and :mod:`repro.obs.regress` (noise-aware regression gates) —
+together they are the ``repro bench`` CLI.
+
 Quickstart::
 
     from repro import obs
@@ -28,6 +34,13 @@ Quickstart::
     observer.finish()          # writes trace.json (load it in Perfetto)
 """
 
+from repro.obs.bench import (
+    Scenario,
+    env_fingerprint,
+    get_scenario,
+    run_scenario,
+    scenario_names,
+)
 from repro.obs.clock import perf_ns, perf_seconds, wall_iso, wall_ns
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
 from repro.obs.observer import (
@@ -39,28 +52,42 @@ from repro.obs.observer import (
     set_observer,
     use_observer,
 )
+from repro.obs.regress import Finding, GatePolicy, Verdict, compare_records
 from repro.obs.report import format_seconds, span_rollup, stage_table
+from repro.obs.schema import BenchRecord, TrajectoryFile, trajectory_path
 from repro.obs.tracer import Span, Tracer, load_chrome_trace
 
 __all__ = [
+    "BenchRecord",
     "Counter",
+    "Finding",
     "Gauge",
+    "GatePolicy",
     "Histogram",
     "MetricsRegistry",
     "NULL_OBSERVER",
     "Observer",
+    "Scenario",
     "Span",
     "Tracer",
+    "TrajectoryFile",
+    "Verdict",
+    "compare_records",
+    "env_fingerprint",
     "format_seconds",
     "from_env",
     "get_observer",
+    "get_scenario",
     "load_chrome_trace",
     "perf_ns",
     "perf_seconds",
     "resolve",
+    "run_scenario",
+    "scenario_names",
     "set_observer",
     "span_rollup",
     "stage_table",
+    "trajectory_path",
     "use_observer",
     "wall_iso",
     "wall_ns",

@@ -197,6 +197,17 @@ class TraceColumns:
         native record builder — this is the legacy compatibility path,
         paid only when something touches ``SimResult.uops``.
         """
+        # PR 7 moved this tax off the hot path; the span and counter
+        # keep it visible in `repro profile` / `repro bench` if a code
+        # path reintroduces it.
+        from repro.obs.observer import get_observer
+
+        obs = get_observer()
+        obs.counter("trace.materializations").inc()
+        with obs.span("columns.materialize", uops=self.n):
+            return self._to_records()
+
+    def _to_records(self) -> List[UopTrace]:
         n = self.n
         members = _EVENT_MEMBERS
         exec_pairs = list(

@@ -231,6 +231,11 @@ def load_result(path: Union[str, pathlib.Path]) -> SimResult:
                 f"(this build reads versions "
                 f"{COMPAT_FORMAT_VERSION}..{FORMAT_VERSION})"
             )
+        # Format-version observability: how often the compatibility
+        # path (v1) still runs vs the columnar format (v2).
+        from repro.obs.observer import get_observer
+
+        get_observer().counter(f"traceio.loads.v{version}").inc()
         uop = {
             key[4:]: archive[key]
             for key in archive.files

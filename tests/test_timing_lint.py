@@ -10,7 +10,7 @@ sys.path.insert(0, str(REPO / "tools"))
 from check_timing import ALLOWED, find_violations  # noqa: E402
 
 
-def test_src_tree_is_clean():
+def test_src_and_benchmarks_trees_are_clean():
     assert find_violations(REPO) == []
 
 
@@ -25,11 +25,35 @@ def test_lint_catches_a_bare_perf_counter(tmp_path):
     assert "src/pkg/hot.py:2" in violations[0]
 
 
-def test_allowlist_covers_only_the_clock_module(tmp_path):
-    assert ALLOWED == frozenset({"src/repro/obs/clock.py"})
+def test_lint_covers_benchmarks_tree(tmp_path):
+    bench = tmp_path / "benchmarks"
+    bench.mkdir(parents=True)
+    (bench / "bench_new.py").write_text(
+        "import time\nstart = time.monotonic()\n"
+    )
+    violations = find_violations(tmp_path)
+    assert len(violations) == 1
+    assert "benchmarks/bench_new.py:2" in violations[0]
+
+
+def test_allowlist_covers_only_the_seam_and_legacy_figure_benches(
+    tmp_path,
+):
+    assert ALLOWED == frozenset(
+        {
+            "src/repro/obs/clock.py",
+            "benchmarks/bench_fig07_sampling.py",
+            "benchmarks/bench_eval_scaling.py",
+        }
+    )
     src = tmp_path / "src" / "repro" / "obs"
     src.mkdir(parents=True)
     (src / "clock.py").write_text("import time\nt = time.time_ns()\n")
+    bench = tmp_path / "benchmarks"
+    bench.mkdir(parents=True)
+    (bench / "bench_fig07_sampling.py").write_text(
+        "import time\nt = time.perf_counter()\n"
+    )
     assert find_violations(tmp_path) == []
 
 

@@ -7,7 +7,10 @@ through :mod:`repro.obs.clock`.  A new ``time.perf_counter()`` sprinkled
 into a pipeline stage silently re-creates the scattered-timing problem
 this layer exists to end, so the build fails on any bare
 ``time.perf_counter`` / ``time.time`` / ``time.monotonic`` (and their
-``_ns`` variants) call under ``src/`` except in the clock module itself.
+``_ns`` variants) call under ``src/`` or ``benchmarks/`` except in the
+clock module itself and the two legacy figure benches that measure
+wall-clock of external-style runs (committed headline numbers go
+through the ``repro bench`` harness, which times via the seam).
 
 Run from anywhere: ``python tools/check_timing.py``.
 """
@@ -23,21 +26,37 @@ FORBIDDEN = re.compile(
     r"monotonic_ns)\s*\("
 )
 
-#: The only files allowed to touch the stdlib clocks directly.
-ALLOWED = frozenset({"src/repro/obs/clock.py"})
+#: Directories swept for bare clock reads, relative to the repo root.
+SCANNED_DIRS = ("src", "benchmarks")
+
+#: The only files allowed to touch the stdlib clocks directly: the seam
+#: itself, plus the two legacy figure benches whose *subject* is the
+#: wall-clock of external-style runs (they predate the harness and
+#: measure comparison loops, not committed headline numbers).
+ALLOWED = frozenset(
+    {
+        "src/repro/obs/clock.py",
+        "benchmarks/bench_fig07_sampling.py",
+        "benchmarks/bench_eval_scaling.py",
+    }
+)
 
 
 def find_violations(root: pathlib.Path) -> list:
     violations = []
-    for path in sorted((root / "src").rglob("*.py")):
-        rel = path.relative_to(root).as_posix()
-        if rel in ALLOWED:
+    for scanned in SCANNED_DIRS:
+        base = root / scanned
+        if not base.is_dir():
             continue
-        for lineno, line in enumerate(
-            path.read_text().splitlines(), start=1
-        ):
-            if FORBIDDEN.search(line):
-                violations.append(f"{rel}:{lineno}: {line.strip()}")
+        for path in sorted(base.rglob("*.py")):
+            rel = path.relative_to(root).as_posix()
+            if rel in ALLOWED:
+                continue
+            for lineno, line in enumerate(
+                path.read_text().splitlines(), start=1
+            ):
+                if FORBIDDEN.search(line):
+                    violations.append(f"{rel}:{lineno}: {line.strip()}")
     return violations
 
 
@@ -52,7 +71,11 @@ def main() -> int:
         for violation in violations:
             print(f"  {violation}")
         return 1
-    checked = sum(1 for _ in (root / "src").rglob("*.py"))
+    checked = sum(
+        1
+        for scanned in SCANNED_DIRS
+        for _ in (root / scanned).rglob("*.py")
+    )
     print(f"timing lint ok ({checked} files checked)")
     return 0
 
