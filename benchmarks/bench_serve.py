@@ -1,0 +1,141 @@
+"""Extension — serve daemon warm-path latency and throughput.
+
+The ROADMAP north star is serving design-space queries to heavy
+traffic, and the whole RpStacks bargain (one simulation, then
+microsecond predictions) only pays off if the *serving* layer preserves
+it: a warm ``/predict`` should cost HTTP overhead plus one
+matrix-vector product, never a re-simulation.
+
+``test_serve_smoke`` is the CI guard: the warm path must sustain the
+committed ≥ 200 req/s floor with zero errors and byte-identical
+bodies.  ``test_serve_load_report`` backs the committed numbers in
+``results/serve.txt`` — closed-loop load runs per endpoint plus the
+cold-build vs warm-hit amortisation the daemon exists to provide.
+The governed headline numbers live in the ``serve_latency`` scenario
+(``repro bench run serve_latency``; baselines in
+``BENCH_serve_latency.json``) — this module is the wider lens.
+"""
+
+import json
+
+from conftest import write_report
+
+from repro.dse.report import format_table
+from repro.obs.bench import measure
+from repro.serve.loadgen import run_load
+from repro.serve.server import ServeConfig, ServerThread
+
+WORKLOAD = {"workload": "gamess", "macros": 300}
+
+#: The committed floor (matches tests/serve/test_load.py and the ISSUE).
+MIN_REQUESTS_PER_SECOND = 200.0
+
+
+def _start_server(tmp_path, **overrides):
+    overrides.setdefault("cache_dir", str(tmp_path / "cache"))
+    overrides.setdefault("workers", 1)
+    return ServerThread(ServeConfig(**overrides)).start()
+
+
+def _prime(server, coord=WORKLOAD):
+    """One cold analyze so later requests ride the warm plane; returns
+    the build's wall-clock seconds."""
+    import http.client
+
+    connection = http.client.HTTPConnection(
+        "127.0.0.1", server.port, timeout=300
+    )
+    body = json.dumps(coord).encode()
+
+    def build():
+        connection.request(
+            "POST", "/analyze", body=body,
+            headers={"Content-Type": "application/json"},
+        )
+        response = connection.getresponse()
+        assert response.status == 200, response.read()
+        response.read()
+
+    seconds = measure(build)
+    connection.close()
+    return seconds
+
+
+def _load(server, path, payload, requests=300, concurrency=4):
+    report = run_load(
+        "127.0.0.1",
+        server.port,
+        path,
+        json.dumps(payload).encode() if payload is not None else None,
+        method="POST" if payload is not None else "GET",
+        requests=requests,
+        concurrency=concurrency,
+        warmup=20,
+    )
+    assert report.errors == 0, report.status_counts
+    assert report.digest  # byte-identical bodies across the run
+    return report
+
+
+def test_serve_smoke(tmp_path):
+    """CI guard: warm /predict sustains the committed throughput floor."""
+    server = _start_server(tmp_path)
+    try:
+        _prime(server)
+        report = _load(
+            server, "/predict",
+            {**WORKLOAD, "overrides": {"L2D": 30}},
+            requests=200, concurrency=2,
+        )
+        assert report.requests_per_second >= MIN_REQUESTS_PER_SECOND, (
+            f"{report.requests_per_second:,.0f} req/s"
+        )
+    finally:
+        server.stop()
+
+
+def test_serve_load_report(tmp_path):
+    """Per-endpoint load table + the cold/warm amortisation headline."""
+    server = _start_server(tmp_path)
+    try:
+        cold_seconds = _prime(server)
+        runs = [
+            ("POST /predict (warm)", "/predict",
+             {**WORKLOAD, "overrides": {"L2D": 30, "FP_MUL": 2}}),
+            ("POST /analyze (warm)", "/analyze", {**WORKLOAD, "top": 5}),
+            ("GET /healthz", "/healthz", None),
+        ]
+        rows = []
+        warm_predict = None
+        for label, path, payload in runs:
+            report = _load(server, path, payload)
+            if path == "/predict":
+                warm_predict = report
+            rows.append(
+                [
+                    label,
+                    f"{report.requests_per_second:,.0f} req/s",
+                    f"{report.percentile(0.50) * 1e3:.2f}ms",
+                    f"{report.percentile(0.99) * 1e3:.2f}ms",
+                    f"{report.requests}",
+                ]
+            )
+
+        amortisation = cold_seconds / warm_predict.percentile(0.50)
+        text = (
+            "Serve daemon: closed-loop load (4 keep-alive connections, "
+            f"gamess {WORKLOAD['macros']} macros)\n"
+            + format_table(
+                ["endpoint", "throughput", "p50", "p99", "requests"],
+                rows,
+            )
+            + f"\n\ncold session build: {cold_seconds:.2f}s (once, "
+            "cached on disk)"
+            f"\nwarm predict p50: "
+            f"{warm_predict.percentile(0.50) * 1e3:.2f}ms — "
+            f"{amortisation:,.0f}x the cold build, amortised per request"
+        )
+        write_report("serve.txt", text)
+        assert warm_predict.requests_per_second >= MIN_REQUESTS_PER_SECOND
+    finally:
+        server.stop()

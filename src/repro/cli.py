@@ -633,6 +633,7 @@ def cmd_bench_report(args) -> int:
         )
         throughput = ""
         for key, unit in (
+            ("requests_per_second", "req/s"),
             ("points_per_second", "points/s"),
             ("uops_per_second", "uops/s"),
             ("macros_per_second", "macros/s"),
@@ -713,6 +714,33 @@ def cmd_cache(args) -> int:
         print(f"removed {removed} cache entries from {cache.root}")
         return 0
     raise SystemExit(f"unknown cache command {args.cache_command!r}")
+
+
+def cmd_serve(args) -> int:
+    """Run the long-lived analysis daemon (see ``docs/serve.md``).
+
+    Blocks until a SIGTERM/SIGINT drain completes; exits 0 on a clean
+    drain.  The observer is always collecting (``/metrics`` exports its
+    registry live); ``--trace-out`` / ``--metrics-json`` additionally
+    write files when the daemon shuts down.
+    """
+    from repro.serve.server import ServeConfig, run_forever
+
+    obs = _observer_from_args(args, force_enabled=True)
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        jobs=args.jobs,
+        workers=args.workers,
+        queue_limit=args.queue_limit,
+        cache_dir=args.cache_dir,
+        retries=args.retries,
+        drain_grace=args.drain_grace,
+    )
+    try:
+        return run_forever(config, obs=obs)
+    finally:
+        _finish_observer(obs)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -994,6 +1022,31 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--cache-dir", required=True,
                    help="artifact cache directory")
     p.set_defaults(func=cmd_cache)
+
+    p = sub.add_parser(
+        "serve",
+        help="long-running analysis daemon (HTTP/JSON, warm models)",
+    )
+    p.add_argument("--host", default="127.0.0.1",
+                   help="bind address (default 127.0.0.1)")
+    p.add_argument("--port", type=int, default=8321,
+                   help="bind port; 0 picks a free one (default 8321)")
+    p.add_argument("--jobs", type=int, default=1,
+                   help="worker processes per sweep job")
+    p.add_argument("--workers", type=int, default=2,
+                   help="executor threads for cold builds and sweeps")
+    p.add_argument("--queue-limit", type=int, default=8,
+                   help="heavy requests allowed to queue before 429")
+    p.add_argument("--cache-dir", default=None,
+                   help="artifact cache directory (content-addressed "
+                   "reuse across restarts; also holds job checkpoints)")
+    p.add_argument("--retries", type=int, default=2,
+                   help="extra attempts per sweep shard on worker "
+                   "failure (sharded jobs only)")
+    p.add_argument("--drain-grace", type=float, default=10.0,
+                   help="seconds in-flight work gets after SIGTERM")
+    add_obs_args(p)
+    p.set_defaults(func=cmd_serve)
 
     return parser
 

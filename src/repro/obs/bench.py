@@ -314,4 +314,7 @@ def _derive_aux(
         macros = scale.get("macros")
         if macros:
             aux["macros_per_second"] = macros / best_seconds
+        requests = counters.get("serve.client_requests", 0.0)
+        if requests:
+            aux["requests_per_second"] = requests / best_seconds
     return aux

@@ -226,6 +226,73 @@ def _dse_sweep_recipe(scale: Dict[str, int]):
 
 
 # --------------------------------------------------------------------------
+# serving
+# --------------------------------------------------------------------------
+
+
+def _serve_latency_recipe(scale: Dict[str, int]):
+    import json as _json
+    import tempfile
+
+    from repro.obs.observer import get_observer
+    from repro.serve.loadgen import run_load
+    from repro.serve.server import ServeConfig, ServerThread
+
+    # One daemon serves every rep: setup starts it, primes the session
+    # (one cold analyze through the artifact cache), and pre-encodes the
+    # request body, so the timed body measures the pure warm plane —
+    # socket, HTTP parse, validate, predict, respond.  The thread is a
+    # daemon and holds only a TemporaryDirectory, so scenario teardown
+    # is process exit (matching the cache-holding recipes above).
+    tmp = tempfile.TemporaryDirectory(prefix="repro-bench-serve-")
+    server = ServerThread(
+        ServeConfig(cache_dir=tmp.name, workers=1, queue_limit=4)
+    ).start()
+    holder = {"tmp": tmp, "server": server}
+    coord = {"workload": _WORKLOAD, "macros": scale["workload_macros"]}
+    import http.client
+
+    connection = http.client.HTTPConnection(
+        "127.0.0.1", server.port, timeout=120
+    )
+    connection.request(
+        "POST", "/analyze", body=_json.dumps(coord).encode(),
+        headers={"Content-Type": "application/json"},
+    )
+    connection.getresponse().read()
+    connection.close()
+    predict_body = _json.dumps(
+        {**coord, "overrides": {"L2D": 30, "FP_MUL": 2}}
+    ).encode()
+    requests = scale["requests"]
+    concurrency = scale["concurrency"]
+
+    def body():
+        report = run_load(
+            "127.0.0.1",
+            server.port,
+            "/predict",
+            predict_body,
+            requests=requests,
+            concurrency=concurrency,
+        )
+        if report.errors or report.requests != requests:
+            raise RuntimeError(
+                f"load run degraded: {report.requests}/{requests} ok, "
+                f"{report.errors} errors, statuses {report.status_counts}"
+            )
+        get_observer().counter("serve.client_requests").inc(
+            report.requests
+        )
+        holder["report"] = report
+
+    def digest():
+        return holder["report"].digest
+
+    return body, digest
+
+
+# --------------------------------------------------------------------------
 # registration
 # --------------------------------------------------------------------------
 
@@ -300,6 +367,30 @@ def ensure_registered() -> None:
             # the minimum needs more reps to converge across processes.
             repeats=7,
             warmup=2,
+        )
+    )
+    register(
+        Scenario(
+            name="serve_latency",
+            title="serve daemon warm-path request throughput",
+            recipe=_serve_latency_recipe,
+            scales={
+                "full": {
+                    "workload_macros": 300,
+                    "requests": 600,
+                    "concurrency": 4,
+                },
+                "ci": {
+                    "workload_macros": 150,
+                    "requests": 200,
+                    "concurrency": 2,
+                },
+            },
+            env_overrides={
+                "workload_macros": "REPRO_BENCH_SERVE_MACROS",
+                "requests": "REPRO_BENCH_SERVE_REQUESTS",
+                "concurrency": "REPRO_BENCH_SERVE_CONCURRENCY",
+            },
         )
     )
     register(

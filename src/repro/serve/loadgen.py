@@ -1,0 +1,192 @@
+"""Closed-loop load generator for the serve daemon.
+
+A deliberately boring client: N worker threads, each with one
+persistent keep-alive :class:`http.client.HTTPConnection`, firing the
+same request back-to-back until a shared budget runs out.  Closed-loop
+(a worker waits for its response before sending the next request)
+means the measured throughput is an honest "this is what the server
+sustained" number, not an open-loop arrival rate that silently queues.
+
+Shared by the load tests (``tests/serve/test_load.py``) and the
+``serve_latency`` bench scenario: both need throughput, percentile
+latency, and a digest over response bodies proving every repetition got
+byte-identical answers.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import http.client
+import threading
+from typing import Dict, List, Optional
+
+from repro.obs import clock
+
+__all__ = ["LoadReport", "run_load"]
+
+
+@dataclasses.dataclass
+class LoadReport:
+    """Outcome of one closed-loop load run."""
+
+    requests: int
+    errors: int
+    elapsed_seconds: float
+    latencies: List[float]
+    status_counts: Dict[int, int]
+    body_digests: List[str]
+
+    @property
+    def requests_per_second(self) -> float:
+        if self.elapsed_seconds <= 0:
+            return 0.0
+        return self.requests / self.elapsed_seconds
+
+    @property
+    def digest(self) -> str:
+        """The one body digest every response shared.
+
+        Raises if responses diverged — the load run's whole point is
+        that identical requests against identical state yield
+        byte-identical bodies.
+        """
+        if len(self.body_digests) != 1:
+            raise AssertionError(
+                f"responses diverged: {len(self.body_digests)} distinct "
+                f"bodies observed ({self.body_digests[:4]}...)"
+            )
+        return self.body_digests[0]
+
+    def percentile(self, q: float) -> float:
+        """Latency quantile in seconds (nearest-rank on sorted samples)."""
+        if not self.latencies:
+            return 0.0
+        ordered = sorted(self.latencies)
+        index = min(
+            len(ordered) - 1, int(round(q * (len(ordered) - 1)))
+        )
+        return ordered[index]
+
+
+def _worker(
+    host: str,
+    port: int,
+    method: str,
+    path: str,
+    body: Optional[bytes],
+    take,
+    latencies: List[float],
+    statuses: List[int],
+    digests: set,
+    errors: List[int],
+    lock: threading.Lock,
+    timeout: float,
+) -> None:
+    headers = {"Content-Type": "application/json"} if body else {}
+    connection = http.client.HTTPConnection(host, port, timeout=timeout)
+    local_latencies: List[float] = []
+    local_statuses: List[int] = []
+    local_digests = set()
+    local_errors = 0
+    try:
+        while take():
+            started = clock.perf_seconds()
+            try:
+                connection.request(method, path, body=body, headers=headers)
+                response = connection.getresponse()
+                payload = response.read()
+            except (http.client.HTTPException, OSError):
+                local_errors += 1
+                connection.close()  # reconnect on the next iteration
+                continue
+            local_latencies.append(clock.perf_seconds() - started)
+            local_statuses.append(response.status)
+            if response.status == 200:
+                local_digests.add(hashlib.sha256(payload).hexdigest())
+            else:
+                local_errors += 1
+    finally:
+        connection.close()
+        with lock:
+            latencies.extend(local_latencies)
+            statuses.extend(local_statuses)
+            digests.update(local_digests)
+            errors.append(local_errors)
+
+
+def run_load(
+    host: str,
+    port: int,
+    path: str,
+    body: Optional[bytes],
+    *,
+    requests: int,
+    concurrency: int,
+    method: str = "POST",
+    warmup: int = 0,
+    timeout: float = 30.0,
+) -> LoadReport:
+    """Drive ``requests`` identical calls at ``concurrency`` workers.
+
+    ``warmup`` extra requests are issued serially first and excluded
+    from every reported number (they absorb connection setup and any
+    first-touch page faults on the response path).
+    """
+    if warmup > 0:
+        connection = http.client.HTTPConnection(host, port, timeout=timeout)
+        try:
+            headers = (
+                {"Content-Type": "application/json"} if body else {}
+            )
+            for _ in range(warmup):
+                connection.request(method, path, body=body, headers=headers)
+                connection.getresponse().read()
+        finally:
+            connection.close()
+
+    remaining = [requests]
+    counter_lock = threading.Lock()
+
+    def take() -> bool:
+        with counter_lock:
+            if remaining[0] <= 0:
+                return False
+            remaining[0] -= 1
+            return True
+
+    latencies: List[float] = []
+    statuses: List[int] = []
+    digests: set = set()
+    errors: List[int] = []
+    results_lock = threading.Lock()
+    threads = [
+        threading.Thread(
+            target=_worker,
+            args=(
+                host, port, method, path, body, take,
+                latencies, statuses, digests, errors, results_lock,
+                timeout,
+            ),
+            name=f"loadgen-{index}",
+            daemon=True,
+        )
+        for index in range(concurrency)
+    ]
+    started = clock.perf_seconds()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    elapsed = clock.perf_seconds() - started
+    status_counts: Dict[int, int] = {}
+    for status in statuses:
+        status_counts[status] = status_counts.get(status, 0) + 1
+    return LoadReport(
+        requests=len(latencies),
+        errors=sum(errors),
+        elapsed_seconds=elapsed,
+        latencies=latencies,
+        status_counts=status_counts,
+        body_digests=sorted(digests),
+    )

@@ -1,0 +1,71 @@
+"""Single-flight deduplication for identical concurrent computations.
+
+When N clients ask for the same cold artifact at the same time, only
+the first ("leader") call actually computes; the other N-1
+("followers") await the leader's future and share its result.  This is
+what keeps a cache stampede — e.g. a fleet of dashboards all asking for
+the same uncached analysis after a deploy — from running the same
+simulation N times.
+
+The map is keyed by caller-chosen strings and holds at most one
+in-flight future per key; completed futures are removed before the
+result is returned, so a later request with the same key starts a
+fresh flight (which will then hit the warm cache).
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Awaitable, Callable, Dict, Tuple, TypeVar
+
+__all__ = ["SingleFlight"]
+
+T = TypeVar("T")
+
+
+class SingleFlight:
+    """Coalesce concurrent calls with equal keys into one execution."""
+
+    def __init__(self) -> None:
+        self._inflight: Dict[str, asyncio.Future] = {}
+
+    def inflight(self) -> int:
+        """Number of keys currently being computed (for /metrics)."""
+        return len(self._inflight)
+
+    async def run(
+        self, key: str, compute: Callable[[], Awaitable[T]]
+    ) -> Tuple[T, bool]:
+        """Run ``compute`` for ``key``, deduplicating concurrent calls.
+
+        Returns ``(result, leader)`` where ``leader`` is True for the
+        call that actually executed ``compute``.  If the leader raises,
+        every waiter of that flight sees the same exception; the key is
+        cleared so the next request retries fresh.
+        """
+        existing = self._inflight.get(key)
+        if existing is not None:
+            # Shield the shared future: one follower being cancelled
+            # (client disconnect) must not tear down the computation
+            # the leader and other followers still depend on.
+            return await asyncio.shield(existing), False
+
+        loop = asyncio.get_running_loop()
+        future: asyncio.Future = loop.create_future()
+        self._inflight[key] = future
+        try:
+            result = await compute()
+        except BaseException as error:
+            self._inflight.pop(key, None)
+            if not future.cancelled():
+                future.set_exception(error)
+                # A flight with no followers leaves the exception
+                # unretrieved; consume it so the loop doesn't log a
+                # "Future exception was never retrieved" warning.
+                future.exception()
+            raise
+        else:
+            self._inflight.pop(key, None)
+            if not future.cancelled():
+                future.set_result(result)
+            return result, True

@@ -1,0 +1,76 @@
+"""Shared plumbing for the serve test suite: an in-process daemon
+factory plus a tiny blocking HTTP client, so tests exercise the real
+socket path without shelling out per request."""
+
+import http.client
+import json
+
+import pytest
+
+from repro.obs.observer import Observer
+from repro.serve.server import ServeConfig, ServerThread
+
+#: Small enough that a cold build is sub-second, large enough that the
+#: pipeline is exercised for real.
+MACROS = 120
+
+COORD = {"workload": "gamess", "macros": MACROS}
+
+
+@pytest.fixture
+def make_server(tmp_path):
+    """Factory: start a ServerThread with an enabled observer and a
+    per-test artifact cache; every server started is drained at
+    teardown."""
+    started = []
+
+    def factory(model_transform=None, **overrides):
+        overrides.setdefault("cache_dir", str(tmp_path / "cache"))
+        overrides.setdefault("workers", 2)
+        obs = Observer(enabled=True, progress_stream=None)
+        thread = ServerThread(
+            ServeConfig(**overrides),
+            obs=obs,
+            model_transform=model_transform,
+        ).start()
+        started.append(thread)
+        return thread
+
+    yield factory
+    for thread in started:
+        thread.stop()
+
+
+def request(
+    port,
+    method,
+    path,
+    payload=None,
+    *,
+    raw_body=None,
+    timeout=60.0,
+    headers=None,
+):
+    """One blocking HTTP exchange; returns (status, headers, body bytes)."""
+    body = raw_body
+    if payload is not None:
+        body = json.dumps(payload).encode()
+    send_headers = {"Content-Type": "application/json"} if body else {}
+    if headers:
+        send_headers.update(headers)
+    connection = http.client.HTTPConnection(
+        "127.0.0.1", port, timeout=timeout
+    )
+    try:
+        connection.request(method, path, body=body, headers=send_headers)
+        response = connection.getresponse()
+        return response.status, dict(response.getheaders()), response.read()
+    finally:
+        connection.close()
+
+
+def request_json(port, method, path, payload=None, **kwargs):
+    status, _headers, body = request(
+        port, method, path, payload, **kwargs
+    )
+    return status, json.loads(body)

@@ -1,0 +1,81 @@
+"""Load test: sustained warm-path throughput against a live daemon.
+
+Two layers:
+
+* a direct :func:`repro.serve.loadgen.run_load` drive asserting the
+  ISSUE's floor — ≥ 200 warm requests/s sustained with a bounded p99 —
+  plus zero errors and byte-identical bodies;
+* the registered ``serve_latency`` bench scenario run end to end at the
+  reduced tier, proving the committed-baseline path (measure protocol,
+  digest parity, ``requests_per_second`` aux) works, so
+  ``repro bench compare`` can gate regressions in CI.
+"""
+
+import json
+
+from repro.obs.bench import get_scenario, run_scenario
+from repro.serve.loadgen import run_load
+from tests.serve.conftest import COORD, request_json
+
+#: The ISSUE's acceptance floor at the reduced scale.  The daemon
+#: sustains well over 1k req/s on one core; 200 leaves headroom for a
+#: noisy shared runner without weakening the claim that the warm path
+#: is serving-grade.
+MIN_REQUESTS_PER_SECOND = 200.0
+
+#: Warm predicts run in ~1ms; p99 beyond this means queueing pathology.
+MAX_P99_SECONDS = 0.25
+
+
+def test_sustained_warm_path_throughput_and_p99(make_server):
+    server = make_server(workers=1)
+    # Prime: one cold analyze builds the session the load run reuses.
+    status, _body = request_json(
+        server.port, "POST", "/analyze", COORD, timeout=120
+    )
+    assert status == 200
+
+    body = json.dumps(
+        {**COORD, "overrides": {"L2D": 30, "FP_MUL": 2}}
+    ).encode()
+    report = run_load(
+        "127.0.0.1",
+        server.port,
+        "/predict",
+        body,
+        requests=400,
+        concurrency=4,
+        warmup=20,
+    )
+    assert report.errors == 0, report.status_counts
+    assert report.requests == 400
+    assert report.status_counts == {200: 400}
+    assert report.requests_per_second >= MIN_REQUESTS_PER_SECOND, (
+        f"warm path sustained only "
+        f"{report.requests_per_second:.0f} req/s"
+    )
+    assert report.percentile(0.99) <= MAX_P99_SECONDS, (
+        f"p99 {report.percentile(0.99) * 1000:.1f} ms"
+    )
+    assert report.percentile(0.50) <= report.percentile(0.99)
+    # Bit-identical bodies across the whole run (raises if diverged).
+    assert report.digest
+
+    # The server kept serving its warm plane throughout.
+    status, health = request_json(server.port, "GET", "/healthz")
+    assert status == 200 and health["status"] == "ok"
+
+
+def test_serve_latency_scenario_records_through_bench_harness():
+    """The committed-baseline path: run the registered scenario at the
+    ci tier and check the record carries throughput + a stable digest."""
+    scenario = get_scenario("serve_latency")
+    record = run_scenario(scenario, tier="ci", repeats=2, warmup=1)
+    assert record.scenario == "serve_latency"
+    assert record.tier == "ci"
+    assert record.digest  # parity across reps already enforced inside
+    assert record.counters["serve.client_requests"] == (
+        record.scale["requests"]
+    )
+    assert record.aux["requests_per_second"] >= MIN_REQUESTS_PER_SECOND
+    assert len(record.samples) == 2

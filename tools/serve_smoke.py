@@ -1,0 +1,142 @@
+"""Live-daemon smoke drive for the CI ``serve-smoke`` job.
+
+Starts ``repro serve`` as a real subprocess, drives one round-trip
+through each endpoint family (health, warm analysis, prediction, job
+lifecycle, metrics), then proves the graceful-drain contract: SIGTERM
+while a request is in flight lets that request complete and the daemon
+exit 0.
+
+Run from the repo root: ``PYTHONPATH=src python tools/serve_smoke.py``.
+Exits non-zero (with the failing step named) on any violation.
+"""
+
+import http.client
+import json
+import os
+import re
+import signal
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+MACROS = int(os.environ.get("SERVE_SMOKE_MACROS", "200"))
+
+
+def request(port, method, path, payload=None, timeout=120):
+    connection = http.client.HTTPConnection("127.0.0.1", port, timeout=timeout)
+    try:
+        body = None if payload is None else json.dumps(payload).encode()
+        headers = {} if body is None else {"Content-Type": "application/json"}
+        connection.request(method, path, body=body, headers=headers)
+        response = connection.getresponse()
+        return response.status, json.loads(response.read())
+    finally:
+        connection.close()
+
+
+def check(label, condition, detail=""):
+    if not condition:
+        print(f"FAIL {label}: {detail}", file=sys.stderr)
+        sys.exit(1)
+    print(f"ok   {label}")
+
+
+def main():
+    env = dict(os.environ)
+    env.setdefault("PYTHONPATH", "src")
+    with tempfile.TemporaryDirectory() as tmp:
+        proc = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro", "serve", "--port", "0",
+                "--cache-dir", os.path.join(tmp, "cache"),
+            ],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            text=True,
+            env=env,
+            cwd=REPO_ROOT,
+        )
+        try:
+            banner = proc.stderr.readline().strip()
+            match = re.search(r":(\d+)$", banner)
+            check("daemon bound", match, f"no port in banner {banner!r}")
+            port = int(match.group(1))
+
+            status, health = request(port, "GET", "/healthz")
+            check("healthz", status == 200 and health["status"] == "ok",
+                  (status, health))
+
+            coord = {"workload": "gamess", "macros": MACROS}
+            status, analysis = request(port, "POST", "/analyze", coord)
+            check("cold analyze",
+                  status == 200 and analysis["baseline_cpi"] > 0,
+                  (status, analysis))
+
+            status, prediction = request(
+                port, "POST", "/predict",
+                {**coord, "overrides": {"L2D": 30, "FP_MUL": 2}},
+            )
+            check("warm predict",
+                  status == 200 and prediction["predicted_cpi"] > 0,
+                  (status, prediction))
+
+            status, submitted = request(
+                port, "POST", "/jobs",
+                {**coord, "axes": {"L1D": [1, 2], "FP_ADD": [1, 3, 6]},
+                 "chunk_size": 4},
+            )
+            check("job submit", status == 202 and submitted["job_id"],
+                  (status, submitted))
+            job_id = submitted["job_id"]
+            deadline = time.monotonic() + 300
+            while time.monotonic() < deadline:
+                status, polled = request(port, "GET", f"/jobs/{job_id}")
+                if polled["state"] in ("done", "failed"):
+                    break
+                time.sleep(0.1)
+            check("job done", polled["state"] == "done", polled)
+            status, front = request(port, "GET", f"/jobs/{job_id}/front")
+            check("job front",
+                  status == 200 and len(front["pareto_front"]) >= 1,
+                  (status, front))
+
+            status, metrics = request(port, "GET", "/metrics")
+            counters = metrics["metrics"]["counters"]
+            check("metrics counters",
+                  status == 200
+                  and counters.get("serve.requests", 0) >= 6
+                  and counters.get("serve.session_builds", 0) == 1,
+                  (status, counters))
+
+            # Graceful drain: SIGTERM with a request in flight.
+            results = {}
+
+            def inflight():
+                results["slow"] = request(
+                    port, "POST", "/analyze",
+                    {"workload": "mcf", "macros": MACROS * 10},
+                )
+
+            thread = threading.Thread(target=inflight, daemon=True)
+            thread.start()
+            time.sleep(0.3)
+            proc.send_signal(signal.SIGTERM)
+            thread.join(timeout=300)
+            returncode = proc.wait(timeout=120)
+            check("drain exit 0", returncode == 0, returncode)
+            status, body = results.get("slow", (None, None))
+            check("in-flight request completed during drain",
+                  status == 200 and body["baseline_cpi"] > 0,
+                  (status, body))
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait()
+    print("serve smoke: all checks passed")
+
+
+if __name__ == "__main__":
+    main()
