@@ -80,28 +80,41 @@ def sample_space_statistics(
         if not values:
             raise ValueError(f"empty axis for {event.name}")
 
+    # One matrix draw replaces the per-sample, per-event scalar RNG
+    # calls: column ``j`` holds uniform indices into axis ``j``'s
+    # candidate list (``rng.integers`` broadcasts the per-column highs).
+    highs = np.array([len(candidates[event]) for event in events])
+    indices = rng.integers(0, highs, size=(num_samples, len(events)))
+    latency_matrix = np.column_stack([
+        np.asarray(candidates[event], dtype=float)[indices[:, j]]
+        for j, event in enumerate(events)
+    ])
     drawn: List[LatencyConfig] = []
-    latency_columns = {event: np.empty(num_samples) for event in events}
-    for index in range(num_samples):
-        overrides = {}
-        for event in events:
-            values = candidates[event]
-            choice = values[int(rng.integers(0, len(values)))]
-            overrides[event] = choice
-            latency_columns[event][index] = choice
+    for row in indices:
+        overrides = {
+            event: candidates[event][int(row[j])]
+            for j, event in enumerate(events)
+        }
         drawn.append(base.with_overrides(overrides))
 
-    cpis = np.asarray(model.predict_many(drawn)) / model.num_uops
+    cpis = np.asarray(model.predict_many(drawn), dtype=float)
+    cpis = cpis / model.num_uops
 
-    correlations = {}
-    for event in events:
-        column = latency_columns[event]
-        if column.std() == 0 or cpis.std() == 0:
-            correlations[event] = 0.0
-        else:
-            correlations[event] = float(
-                np.corrcoef(column, cpis)[0, 1]
-            )
+    # Pearson correlation per axis, in one pass over the matrix.  A
+    # constant column — a one-value axis, or a model whose
+    # ``predict_many`` returns identical CPIs — has zero variance, so
+    # the quotient is forced to 0.0 instead of the NaN ``np.corrcoef``
+    # would emit (and any non-finite CPI is likewise neutralised).
+    centered = latency_matrix - latency_matrix.mean(axis=0)
+    cpi_centered = cpis - cpis.mean()
+    covariance = centered.T @ cpi_centered / num_samples
+    denominator = latency_matrix.std(axis=0) * cpis.std()
+    with np.errstate(invalid="ignore", divide="ignore"):
+        pearson = np.where(denominator > 0, covariance / denominator, 0.0)
+    pearson = np.nan_to_num(pearson, nan=0.0, posinf=0.0, neginf=0.0)
+    correlations = {
+        event: float(pearson[j]) for j, event in enumerate(events)
+    }
 
     return SpaceStatistics(
         num_samples=num_samples,

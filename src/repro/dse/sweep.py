@@ -293,6 +293,7 @@ def sweep_space(
     checkpoint_interval: int = 16,
     resume: bool = False,
     abort_after_chunks: Optional[int] = None,
+    backend=None,
 ) -> ExplorationResult:
     """Sweep *space* in bounded memory, streaming chunks of pricing
     vectors through the predictor and a Pareto reduction.
@@ -346,6 +347,13 @@ def sweep_space(
             :class:`~repro.runtime.resilience.SweepInterrupted` after
             pricing this many chunks (checkpoint already persisted).
             Requires *checkpoint*.
+        backend: executor backend for the sharded path —
+            ``None``/``"local"``, ``"subprocess"``, ``"ssh"``, a
+            :class:`~repro.runtime.executors.BackendSpec` or a ready
+            backend instance.  A non-local backend shards the sweep
+            even at ``jobs == 1`` (the ``ssh`` fleet sizes itself from
+            its host list); the merged front is bit-identical across
+            backends because the prune is confluent under any sharding.
 
     Returns:
         An :class:`ExplorationResult` whose candidates are the pruned
@@ -360,10 +368,18 @@ def sweep_space(
         raise ValueError("jobs must be at least 1")
     if top_k is not None and top_k < 1:
         raise ValueError("top_k must be at least 1 (or None)")
-    if checkpoint is not None and jobs > 1:
+    from repro.runtime.executors import BackendSpec, normalize_backend
+
+    resolved_backend = normalize_backend(backend)
+    distributed = (
+        not isinstance(resolved_backend, BackendSpec)
+        or resolved_backend.kind != "local"
+    )
+    if checkpoint is not None and (jobs > 1 or distributed):
         raise ValueError(
             "checkpointing tracks a single linear chunk cursor; "
-            "use jobs=1 (sharded sweeps recover via the retry policy)"
+            "use jobs=1 on the local backend (sharded sweeps recover "
+            "via the retry policy)"
         )
     if checkpoint_interval < 1:
         raise ValueError("checkpoint_interval must be at least 1")
@@ -427,46 +443,69 @@ def sweep_space(
             cursor = resume_start
             chunks_this_run = 0
             segment_points = checkpoint_interval * chunk_size
-            while cursor < total:
-                segment_stop = min(cursor + segment_points, total)
-                if abort_after_chunks is not None:
-                    budget = abort_after_chunks - chunks_this_run
-                    segment_stop = min(
-                        segment_stop, cursor + budget * chunk_size
-                    )
-                state = _sweep_shard(
-                    predictor, space, cursor, segment_stop, chunk_size,
-                    target_cpi, cost_model, top_k, progress_interval,
-                    initial=state,
-                )
-                chunks_this_run += -(-(segment_stop - cursor) // chunk_size)
-                cursor = segment_stop
-                with obs.span("sweep.checkpoint", next_start=cursor):
-                    SweepCheckpoint(
-                        space_fingerprint=space_fp,
-                        model_fingerprint=model_fp,
-                        cost_model_id=cost_id,
-                        chunk_size=chunk_size,
-                        target_cpi=target_cpi,
-                        top_k=top_k,
-                        total=total,
-                        next_start=cursor,
-                        indices=state["indices"],
-                        cpis=state["cpis"],
-                        costs=state["costs"],
-                        meeting=state["meeting"],
-                        peak=state["peak"],
-                        chunk_seconds=state["chunk_seconds"],
-                    ).save(ckpt_path)
+
+            def snapshot_state(state: dict, cursor: int) -> None:
+                SweepCheckpoint(
+                    space_fingerprint=space_fp,
+                    model_fingerprint=model_fp,
+                    cost_model_id=cost_id,
+                    chunk_size=chunk_size,
+                    target_cpi=target_cpi,
+                    top_k=top_k,
+                    total=total,
+                    next_start=cursor,
+                    indices=state["indices"],
+                    cpis=state["cpis"],
+                    costs=state["costs"],
+                    meeting=state["meeting"],
+                    peak=state["peak"],
+                    chunk_seconds=state["chunk_seconds"],
+                ).save(ckpt_path)
                 obs.counter("sweep.checkpoints").inc()
-                if (
-                    abort_after_chunks is not None
-                    and chunks_this_run >= abort_after_chunks
-                    and cursor < total
-                ):
-                    raise SweepInterrupted(str(ckpt_path), chunks_this_run)
+
+            try:
+                while cursor < total:
+                    segment_stop = min(cursor + segment_points, total)
+                    if abort_after_chunks is not None:
+                        budget = abort_after_chunks - chunks_this_run
+                        segment_stop = min(
+                            segment_stop, cursor + budget * chunk_size
+                        )
+                    state = _sweep_shard(
+                        predictor, space, cursor, segment_stop,
+                        chunk_size, target_cpi, cost_model, top_k,
+                        progress_interval, initial=state,
+                    )
+                    chunks_this_run += (
+                        -(-(segment_stop - cursor) // chunk_size)
+                    )
+                    cursor = segment_stop
+                    with obs.span("sweep.checkpoint", next_start=cursor):
+                        snapshot_state(state, cursor)
+                    if (
+                        abort_after_chunks is not None
+                        and chunks_this_run >= abort_after_chunks
+                        and cursor < total
+                    ):
+                        raise SweepInterrupted(
+                            str(ckpt_path), chunks_this_run
+                        )
+            except KeyboardInterrupt:
+                # Ctrl-C: flush a snapshot at the last completed
+                # segment (the partially-priced segment is dropped —
+                # resume re-prices it bit-identically) and surface the
+                # documented interrupted condition instead of a
+                # traceback.  Even pre-first-interval this leaves a
+                # valid, resumable checkpoint on disk.
+                snapshot_state(
+                    state if state is not None else _empty_state(),
+                    cursor,
+                )
+                raise SweepInterrupted(
+                    str(ckpt_path), chunks_this_run
+                ) from None
             shards = [state if state is not None else _empty_state()]
-        elif jobs == 1:
+        elif jobs == 1 and not distributed:
             shards = [
                 _sweep_shard(
                     predictor, space, 0, total, chunk_size, target_cpi,
@@ -476,13 +515,18 @@ def sweep_space(
         else:
             from repro.runtime.runner import parallel_map
 
+            if isinstance(resolved_backend, BackendSpec):
+                fanout = resolved_backend.fanout(jobs)
+            else:
+                fanout = max(jobs, getattr(resolved_backend, "slots", 1))
             tasks = [
                 (predictor, space, lo, hi, chunk_size, target_cpi,
                  cost_model, top_k, progress_interval)
-                for lo, hi in _shard_ranges(total, chunk_size, jobs)
+                for lo, hi in _shard_ranges(total, chunk_size, fanout)
             ]
             outcomes = parallel_map(
-                _sweep_shard, tasks, jobs=jobs, obs=obs, retry=retry
+                _sweep_shard, tasks, jobs=fanout, obs=obs, retry=retry,
+                backend=resolved_backend,
             )
             failed = [o for o in outcomes if not o.ok]
             if failed:

@@ -1,0 +1,14 @@
+"""Worker entry point: ``python -m repro.runtime._pipemain``.
+
+A separate module from :mod:`repro.runtime.pipeworker` only so that
+``-m`` does not re-execute a module the ``repro.runtime`` package
+already imported (runpy would warn about unpredictable double import
+on every worker spawn).
+"""
+
+import sys
+
+from repro.runtime.pipeworker import main
+
+if __name__ == "__main__":
+    sys.exit(main())

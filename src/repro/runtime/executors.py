@@ -1,0 +1,851 @@
+"""Pluggable executor backends behind :func:`repro.runtime.parallel_map`.
+
+The sweep engine's prerequisites for distribution all landed earlier —
+chunk-aligned shards, a confluent (merge-order-independent) Pareto
+prune, fingerprinted checkpoints, lossless worker span/metric merge —
+so the only machinery still pinning a sweep to one host was the
+hard-wired ``ProcessPoolExecutor`` inside ``parallel_map``.  This
+module abstracts that pool behind an :class:`ExecutorBackend`
+interface and ships three implementations:
+
+``local``
+    The existing process pool, now an implementation of the interface.
+    Semantics are bit-for-bit the historical ones: a worker death
+    surfaces as ``BrokenProcessPool`` which dooms every in-flight
+    future, so recovery is a full pool respawn.
+
+``subprocess``
+    Worker processes spawned over the :mod:`repro.runtime.pipeworker`
+    length-prefixed pickle protocol — the CI-testable stand-in for
+    remote nodes.  One worker dying kills exactly one task
+    (:class:`WorkerDied`); the slot respawns its worker and the task is
+    requeued through the normal retry policy.
+
+``ssh``
+    A vusec-style fleet: a host list with per-host job slots, workers
+    launched as ``ssh host python -m repro.runtime.pipeworker``,
+    artifact-cache-keyed shard shipping (large payloads cross the wire
+    once per worker, keyed by content digest), and dead-host detection
+    — a host accumulating ``max_host_failures`` unexpected worker
+    deaths is dropped from the rotation and its shards requeue to a
+    surviving host with an attempt charged.
+
+All three preserve ``parallel_map``'s contracts (deterministic
+ordering, retry/backoff, per-task deadlines with straggler reaping,
+worker span/metric capture), which is what makes a sharded sweep merge
+to a bit-identical Pareto front regardless of backend or node deaths —
+asserted by ``tests/runtime/test_backend_differential.py``.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import hashlib
+import itertools
+import os
+import pathlib
+import pickle
+import queue
+import select
+import shlex
+import subprocess
+import sys
+import threading
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+    Union,
+)
+
+from repro.runtime import pipeworker
+
+#: Recognised backend kinds, in documentation order.
+BACKEND_KINDS = ("local", "subprocess", "ssh")
+
+#: Environment variable overriding the ssh client command — the
+#: loopback fleet tests point it at a stub script so the ``ssh``
+#: backend is exercised end to end without an sshd in the container.
+SSH_COMMAND_ENV = "REPRO_SSH_CMD"
+
+#: Default ssh client invocation when neither the spec nor the
+#: environment overrides it.
+_DEFAULT_SSH_COMMAND = ("ssh", "-o", "BatchMode=yes")
+
+#: Payloads at least this many pickled bytes ship content-addressed
+#: (``put``/``ref`` frames): a sweep's predictor model crosses the wire
+#: once per worker instead of once per shard.  Smaller payloads go
+#: inline — digesting them would cost more than re-sending.
+_INTERN_MIN_BYTES = 4096
+
+#: How long to wait for a terminated worker before escalating, matching
+#: the historical pool-reap grace.
+_REAP_GRACE_SECONDS = 5.0
+
+#: Idle poll cadence of a fleet slot waiting for work (also the bound
+#: on how long shutdown waits for a slot thread to notice the flag).
+_SLOT_POLL_SECONDS = 0.1
+
+
+class WorkerDied(Exception):
+    """A pipe worker exited (or its connection broke) without reporting
+    a result for its in-flight task — the per-worker analogue of
+    ``BrokenProcessPool``."""
+
+
+class RemoteTaskError(Exception):
+    """A remote task raised an exception that could not be pickled back;
+    carries the remote traceback text instead."""
+
+
+class _RemoteTraceback(Exception):
+    """Chained onto reconstructed remote exceptions so the parent's
+    ``traceback.format_exc()`` renders the worker-side traceback, the
+    way ``concurrent.futures`` does for process pools."""
+
+    def __init__(self, text: str):
+        super().__init__(text)
+        self.text = text
+
+    def __str__(self) -> str:
+        return f"\n{self.text}"
+
+
+@dataclass(frozen=True)
+class HostSpec:
+    """One fleet host: its ssh name and how many worker slots it runs."""
+
+    name: str
+    slots: int = 1
+
+
+def parse_hosts_file(path: Union[str, pathlib.Path]) -> Tuple[HostSpec, ...]:
+    """Parse a hosts file: one ``hostname [slots]`` per line, ``#``
+    comments and blank lines ignored."""
+    hosts: List[HostSpec] = []
+    seen: Set[str] = set()
+    text = pathlib.Path(path).expanduser().read_text()
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        parts = line.split()
+        if len(parts) > 2:
+            raise ValueError(
+                f"{path}:{lineno}: expected 'hostname [slots]', "
+                f"got {raw.strip()!r}"
+            )
+        name = parts[0]
+        if name in seen:
+            raise ValueError(f"{path}:{lineno}: duplicate host {name!r}")
+        seen.add(name)
+        slots = 1
+        if len(parts) == 2:
+            try:
+                slots = int(parts[1])
+            except ValueError:
+                raise ValueError(
+                    f"{path}:{lineno}: slots must be an integer, "
+                    f"got {parts[1]!r}"
+                ) from None
+            if slots < 1:
+                raise ValueError(
+                    f"{path}:{lineno}: slots must be >= 1, got {slots}"
+                )
+        hosts.append(HostSpec(name=name, slots=slots))
+    if not hosts:
+        raise ValueError(f"hosts file {path} names no hosts")
+    return tuple(hosts)
+
+
+@dataclass(frozen=True)
+class BackendSpec:
+    """A picklable description of where tasks run.
+
+    ``ssh_command=()`` means "resolve at creation time": the
+    :data:`SSH_COMMAND_ENV` environment variable if set, else plain
+    ``ssh`` with BatchMode (a fleet must never hang on a password
+    prompt).
+    """
+
+    kind: str = "local"
+    hosts: Tuple[HostSpec, ...] = ()
+    ssh_command: Tuple[str, ...] = ()
+    #: Remote interpreter for ssh workers; the local interpreter is the
+    #: right default for the loopback fleet and homogeneous clusters.
+    python: str = sys.executable
+    #: Seconds to wait for a worker's ``ready`` handshake before the
+    #: spawn counts as a host failure.
+    connect_timeout: float = 30.0
+    #: Unexpected worker deaths (spawn failures or mid-task deaths,
+    #: without an intervening completed task) before a host is declared
+    #: dead and dropped from the rotation.
+    max_host_failures: int = 3
+
+    def __post_init__(self):
+        if self.kind not in BACKEND_KINDS:
+            raise ValueError(
+                f"unknown backend kind {self.kind!r} "
+                f"(expected one of {', '.join(BACKEND_KINDS)})"
+            )
+        if self.kind == "ssh" and not self.hosts:
+            raise ValueError(
+                "ssh backend requires a host list (--hosts FILE, one "
+                "'hostname [slots]' per line)"
+            )
+
+    def total_slots(self) -> int:
+        return sum(host.slots for host in self.hosts)
+
+    def fanout(self, jobs: int) -> int:
+        """Worker slots this spec actually provides: the fleet's summed
+        host slots for ``ssh``, *jobs* otherwise."""
+        if self.kind == "ssh":
+            return max(self.total_slots(), 1)
+        return max(jobs, 1)
+
+    def resolved_ssh_command(self) -> Tuple[str, ...]:
+        if self.ssh_command:
+            return self.ssh_command
+        override = os.environ.get(SSH_COMMAND_ENV)
+        if override:
+            return tuple(shlex.split(override))
+        return _DEFAULT_SSH_COMMAND
+
+    def create(self, jobs: int) -> "ExecutorBackend":
+        """Instantiate the backend for one ``parallel_map`` call."""
+        if self.kind == "local":
+            return LocalBackend(max(jobs, 1))
+        if self.kind == "subprocess":
+            return FleetBackend(
+                self, (HostSpec(name="local", slots=max(jobs, 1)),)
+            )
+        return FleetBackend(self, self.hosts)
+
+
+def normalize_backend(
+    backend: Union[None, str, BackendSpec, "ExecutorBackend"],
+    hosts: Union[None, str, pathlib.Path, Sequence[HostSpec]] = None,
+) -> Union[BackendSpec, "ExecutorBackend"]:
+    """Coerce the user-facing ``backend=`` argument (``None``, a kind
+    name, a spec, or a ready instance) into something ``parallel_map``
+    can run on.  *hosts* — a hosts-file path or parsed host specs —
+    only applies when *backend* is a kind name."""
+    if backend is None:
+        return BackendSpec()
+    if isinstance(backend, (BackendSpec, ExecutorBackend)):
+        return backend
+    if isinstance(backend, str):
+        host_specs: Tuple[HostSpec, ...] = ()
+        if hosts is not None:
+            if isinstance(hosts, (str, pathlib.Path)):
+                host_specs = parse_hosts_file(hosts)
+            else:
+                host_specs = tuple(hosts)
+        return BackendSpec(kind=backend, hosts=host_specs)
+    raise TypeError(
+        f"backend must be None, a kind name, a BackendSpec or an "
+        f"ExecutorBackend, not {type(backend).__name__}"
+    )
+
+
+class ExecutorBackend:
+    """The pool abstraction ``parallel_map`` drives.
+
+    The event loop's contract with a backend:
+
+    * :meth:`submit` returns a ``concurrent.futures.Future`` resolving
+      to the ``_timed_call`` 4-tuple ``(value, elapsed, events,
+      metrics)``;
+    * a worker death surfaces through ``future.result()`` as one of
+      :attr:`death_exceptions`; :attr:`death_dooms_all` says whether
+      one death invalidates every in-flight future (process pool) or
+      exactly its own (pipe fleet);
+    * :meth:`recover` runs after a death batch is attributed — a
+      ``True`` return means a full pool respawn happened (counted as
+      ``runner.pool_respawns``);
+    * :meth:`reap` kills deadline stragglers; ``True`` means the
+      reaping disturbed every other in-flight future too, and the
+      caller must resubmit them (charge-free).
+    """
+
+    #: Exception types raised by ``future.result()`` that mean "the
+    #: worker died", as opposed to "the task raised".
+    death_exceptions: Tuple[type, ...] = (WorkerDied,)
+    #: One worker death dooms every in-flight future.
+    death_dooms_all: bool = False
+    #: Outcome text for a task whose worker died with no retries left.
+    death_error: str = (
+        "worker process died abruptly (WorkerDied — remote worker "
+        "killed or connection lost) and the task was out of retries"
+    )
+    #: Unexpected worker deaths observed over the backend's lifetime.
+    worker_deaths: int = 0
+
+    @property
+    def dead_hosts(self) -> Tuple[str, ...]:
+        return ()
+
+    def start(self) -> None:
+        raise NotImplementedError
+
+    def submit(
+        self,
+        fn: Callable,
+        args: Tuple,
+        capture: bool,
+        label: str,
+        delay: float,
+    ) -> concurrent.futures.Future:
+        raise NotImplementedError
+
+    def wait(
+        self,
+        futures: Iterable[concurrent.futures.Future],
+        timeout: Optional[float],
+    ):
+        return concurrent.futures.wait(
+            set(futures),
+            timeout=timeout,
+            return_when=concurrent.futures.FIRST_COMPLETED,
+        )
+
+    def running(self, future: concurrent.futures.Future) -> bool:
+        return future.running()
+
+    def recover(self) -> bool:
+        return False
+
+    def reap(
+        self, stragglers: Sequence[concurrent.futures.Future]
+    ) -> bool:
+        raise NotImplementedError
+
+    def shutdown(self) -> None:
+        raise NotImplementedError
+
+    def terminate(self) -> None:
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        return type(self).__name__
+
+
+def _terminate_pool(pool: concurrent.futures.ProcessPoolExecutor) -> None:
+    """Tear a process pool down *now*, reaping every worker process.
+
+    Used when a straggler holds a worker hostage (deadline overrun) or
+    the pool is already broken: terminate, join, escalate to SIGKILL if
+    termination is ignored.  Guarantees no orphaned worker outlives the
+    :func:`~repro.runtime.runner.parallel_map` call that spawned it
+    (asserted by ``tests/runtime/test_parallel_map.py``).
+    """
+    # Snapshot before shutdown(): the executor drops its _processes
+    # reference during shutdown, and the manager thread would otherwise
+    # wait politely for the straggler to finish its 30-minute nap.
+    processes = list((getattr(pool, "_processes", None) or {}).values())
+    pool.shutdown(wait=False, cancel_futures=True)
+    for process in processes:
+        try:
+            process.terminate()
+        except (OSError, ValueError):
+            pass
+    for process in processes:
+        process.join(timeout=_REAP_GRACE_SECONDS)
+        if process.is_alive():
+            process.kill()
+            process.join(timeout=_REAP_GRACE_SECONDS)
+
+
+class LocalBackend(ExecutorBackend):
+    """The historical single-host process pool behind the interface."""
+
+    death_exceptions = (BrokenProcessPool,)
+    death_dooms_all = True
+    death_error = (
+        "worker process died abruptly (BrokenProcessPool — killed, "
+        "segfaulted or OOM-reaped) and the task was out of retries"
+    )
+
+    def __init__(self, jobs: int):
+        self.jobs = jobs
+        self._pool: Optional[concurrent.futures.ProcessPoolExecutor] = None
+
+    def start(self) -> None:
+        # Imported here, not at module top: runner.py imports this
+        # module, and the worker body must keep its historical
+        # ``repro.runtime.runner._timed_call`` pickle identity.
+        from repro.runtime.runner import _timed_call
+
+        self._timed_call = _timed_call
+        self._pool = concurrent.futures.ProcessPoolExecutor(
+            max_workers=self.jobs
+        )
+
+    def submit(self, fn, args, capture, label, delay):
+        return self._pool.submit(
+            self._timed_call, fn, args, capture, label, delay
+        )
+
+    def _respawn(self) -> None:
+        _terminate_pool(self._pool)
+        self._pool = concurrent.futures.ProcessPoolExecutor(
+            max_workers=self.jobs
+        )
+
+    def recover(self) -> bool:
+        self.worker_deaths += 1
+        self._respawn()
+        return True
+
+    def reap(self, stragglers) -> bool:
+        # The stragglers hold workers hostage; the only reclaim a
+        # process pool offers is a full respawn, which disturbs every
+        # other in-flight future.
+        for future in stragglers:
+            future.cancel()
+        self._respawn()
+        return True
+
+    def shutdown(self) -> None:
+        self._pool.shutdown(wait=True, cancel_futures=True)
+
+    def terminate(self) -> None:
+        _terminate_pool(self._pool)
+
+    def describe(self) -> str:
+        return f"local process pool ({self.jobs} workers)"
+
+
+@dataclass
+class _FleetHost:
+    """Mutable per-host state: strike accounting and liveness."""
+
+    spec: HostSpec
+    strikes: int = 0
+    dead: bool = False
+
+
+class _Item:
+    """One queued task: its future plus everything a slot needs to
+    build the wire frame."""
+
+    __slots__ = ("future", "payload", "capture", "label", "delay", "seq")
+
+    def __init__(self, future, payload, capture, label, delay, seq):
+        self.future = future
+        self.payload = payload  # [(digest_or_None, pickled_bytes), ...]
+        self.capture = capture
+        self.label = label
+        self.delay = delay
+        self.seq = seq
+
+
+class _Slot:
+    """One worker slot: a feeder thread owning at most one child
+    process, executing one task at a time over the pipe protocol."""
+
+    def __init__(self, fleet: "FleetBackend", host: _FleetHost, index: int):
+        self.fleet = fleet
+        self.host = host
+        self.name = f"{host.spec.name}/{index}"
+        self.proc: Optional[subprocess.Popen] = None
+        self.shipped: Set[str] = set()
+        self.lock = threading.Lock()
+        self.current: Optional[concurrent.futures.Future] = None
+        self.expect_death = False
+        self.thread = threading.Thread(
+            target=self._run, daemon=True, name=f"repro-slot-{self.name}"
+        )
+
+    # -- process lifecycle -------------------------------------------------
+
+    def _handshake(self, proc: subprocess.Popen) -> bool:
+        """Wait for the worker's ``ready`` frame (bounded)."""
+        readable, _w, _x = select.select(
+            [proc.stdout], [], [], self.fleet.spec.connect_timeout
+        )
+        if not readable:
+            return False
+        frame = pipeworker.read_frame(proc.stdout)
+        return frame is not None and frame[0] == "ready"
+
+    def _ensure_process(self) -> bool:
+        """A live, handshaken worker — spawning (and striking the host
+        on failure) as needed.  ``False`` once the host is dead or the
+        fleet is shutting down."""
+        while not self.fleet.closing and not self.host.dead:
+            if self.proc is not None and self.proc.poll() is None:
+                return True
+            self._discard_process()
+            proc = None
+            try:
+                proc = self.fleet.spawn_process(self.host)
+                if not self._handshake(proc):
+                    raise WorkerDied(
+                        f"worker {self.name} never reached ready"
+                    )
+            except Exception:
+                if proc is not None:
+                    self._kill(proc)
+                self.fleet.record_worker_death(self.host)
+                continue
+            self.proc = proc
+            self.shipped.clear()
+            return True
+        return False
+
+    def _discard_process(self) -> None:
+        if self.proc is not None:
+            self._kill(self.proc)
+            self.proc = None
+            self.shipped.clear()
+
+    @staticmethod
+    def _kill(proc: subprocess.Popen) -> None:
+        try:
+            proc.kill()
+        except OSError:
+            pass
+        try:
+            proc.wait(timeout=_REAP_GRACE_SECONDS)
+        except (OSError, subprocess.TimeoutExpired):
+            pass
+
+    # -- task execution ----------------------------------------------------
+
+    def _wire_refs(self, item: _Item) -> List[Tuple]:
+        refs: List[Tuple] = []
+        for digest, data in item.payload:
+            if digest is None:
+                refs.append(("val", data))
+            elif digest in self.shipped:
+                refs.append(("ref", digest))
+            else:
+                refs.append(("put", digest, data))
+                self.shipped.add(digest)
+        return refs
+
+    @staticmethod
+    def _settle(future: concurrent.futures.Future, error=None, value=None):
+        try:
+            if error is not None:
+                future.set_exception(error)
+            else:
+                future.set_result(value)
+        except concurrent.futures.InvalidStateError:
+            # The parent already finalised this task (deadline overrun);
+            # the late verdict has no audience.
+            pass
+
+    def _execute(self, item: _Item) -> None:
+        refs = self._wire_refs(item)
+        with self.lock:
+            self.current = item.future
+            self.expect_death = False
+        if not item.future.set_running_or_notify_cancel():
+            with self.lock:
+                self.current = None
+            return
+        try:
+            pipeworker.write_frame(
+                self.proc.stdin,
+                ("task", item.seq, refs, item.capture, item.label,
+                 item.delay),
+            )
+            response = pipeworker.read_frame(self.proc.stdout)
+        except (OSError, ValueError, EOFError, pickle.UnpicklingError):
+            response = None
+        if response is None:
+            self._on_worker_death(item)
+            return
+        with self.lock:
+            self.current = None
+        kind = response[0]
+        if kind == "done":
+            try:
+                self._settle(item.future, value=pickle.loads(response[2]))
+            except Exception as error:
+                self._settle(item.future, error=error)
+            self.fleet.record_task_served(self.host)
+        elif kind == "fail":
+            self._settle(item.future, error=self._rebuild(response))
+            # A task-level exception is the task's problem, not the
+            # host's: a healthy worker reported it and lives on.
+            self.fleet.record_task_served(self.host)
+        else:
+            # Protocol violation: treat as a worker death.
+            self._discard_process()
+            self._on_worker_death(item)
+
+    @staticmethod
+    def _rebuild(response) -> BaseException:
+        _kind, _task_id, exc_bytes, tb_text = response
+        error: Optional[BaseException] = None
+        if exc_bytes is not None:
+            try:
+                error = pickle.loads(exc_bytes)
+            except Exception:
+                error = None
+        if error is None:
+            error = RemoteTaskError(tb_text)
+        error.__cause__ = _RemoteTraceback(tb_text)
+        return error
+
+    def _on_worker_death(self, item: _Item) -> None:
+        returncode = self.proc.poll() if self.proc is not None else None
+        self._discard_process()
+        with self.lock:
+            expected = self.expect_death
+            self.current = None
+            self.expect_death = False
+        if not expected:
+            self.fleet.record_worker_death(self.host)
+        self._settle(item.future, error=WorkerDied(
+            f"worker {self.name} died mid-task "
+            f"(exit {returncode if returncode is not None else 'unknown'})"
+        ))
+
+    # -- thread body -------------------------------------------------------
+
+    def _next_item(self) -> Optional[_Item]:
+        while not self.fleet.closing and not self.host.dead:
+            try:
+                return self.fleet.task_queue.get(
+                    timeout=_SLOT_POLL_SECONDS
+                )
+            except queue.Empty:
+                continue
+        return None
+
+    def _run(self) -> None:
+        try:
+            while True:
+                item = self._next_item()
+                if item is None:
+                    break
+                if not self._ensure_process():
+                    # Host went dead before dispatch: the task never
+                    # ran, so it requeues charge-free to a survivor.
+                    self.fleet.requeue_undispatched(item, self)
+                    break
+                self._execute(item)
+        finally:
+            self.fleet.slot_exited(self)
+
+
+class FleetBackend(ExecutorBackend):
+    """Pipe-protocol worker fleet — both the single-host ``subprocess``
+    backend and the multi-host ``ssh`` one (they differ only in the
+    argv used to spawn a worker)."""
+
+    def __init__(self, spec: BackendSpec, hosts: Sequence[HostSpec]):
+        self.spec = spec
+        self.hosts = [_FleetHost(spec=h) for h in hosts]
+        self.task_queue: "queue.Queue[_Item]" = queue.Queue()
+        self.closing = False
+        self.worker_deaths = 0
+        self._dead_hosts: List[str] = []
+        self._lock = threading.Lock()
+        self._slots: List[_Slot] = []
+        self._live_slots = 0
+        self._seq = itertools.count()
+        # id(obj) -> (obj, (digest, bytes)): pickle each distinct shard
+        # payload once per parallel_map call, not once per task.  The
+        # strong reference keeps the id stable.
+        self._encoded: Dict[int, Tuple[Any, Tuple[Optional[str], bytes]]] = {}
+
+    @property
+    def dead_hosts(self) -> Tuple[str, ...]:
+        with self._lock:
+            return tuple(self._dead_hosts)
+
+    @property
+    def slots(self) -> int:
+        return sum(h.spec.slots for h in self.hosts)
+
+    # -- spawning ----------------------------------------------------------
+
+    def _worker_argv(self, host: _FleetHost) -> List[str]:
+        worker = ["-u", "-m", "repro.runtime._pipemain"]
+        if self.spec.kind == "ssh":
+            return (
+                list(self.spec.resolved_ssh_command())
+                + [host.spec.name, self.spec.python]
+                + worker
+            )
+        return [sys.executable] + worker
+
+    def _worker_env(self) -> Dict[str, str]:
+        # Make ``-m repro.runtime.pipeworker`` importable in the child
+        # regardless of how the parent found the package.  (For real
+        # ssh the remote shell controls the environment; the remote
+        # host needs repro installed or PYTHONPATH set in its profile.)
+        import repro
+
+        env = dict(os.environ)
+        src_root = str(pathlib.Path(repro.__file__).resolve().parent.parent)
+        existing = env.get("PYTHONPATH", "")
+        if src_root not in existing.split(os.pathsep):
+            env["PYTHONPATH"] = (
+                src_root + (os.pathsep + existing if existing else "")
+            )
+        return env
+
+    def spawn_process(self, host: _FleetHost) -> subprocess.Popen:
+        return subprocess.Popen(
+            self._worker_argv(host),
+            stdin=subprocess.PIPE,
+            stdout=subprocess.PIPE,
+            stderr=None,
+            env=self._env,
+        )
+
+    # -- ExecutorBackend interface -----------------------------------------
+
+    def start(self) -> None:
+        self._env = self._worker_env()
+        for host in self.hosts:
+            for index in range(host.spec.slots):
+                self._slots.append(_Slot(self, host, index))
+        self._live_slots = len(self._slots)
+        for slot in self._slots:
+            slot.thread.start()
+
+    def _encode(self, obj: Any) -> Tuple[Optional[str], bytes]:
+        key = id(obj)
+        hit = self._encoded.get(key)
+        if hit is not None and hit[0] is obj:
+            return hit[1]
+        data = pickle.dumps(obj, protocol=pipeworker.WIRE_PROTOCOL)
+        digest = (
+            hashlib.sha256(data).hexdigest()
+            if len(data) >= _INTERN_MIN_BYTES
+            else None
+        )
+        encoded = (digest, data)
+        self._encoded[key] = (obj, encoded)
+        return encoded
+
+    def submit(self, fn, args, capture, label, delay):
+        future: concurrent.futures.Future = concurrent.futures.Future()
+        payload = [self._encode(fn)] + [self._encode(arg) for arg in args]
+        item = _Item(future, payload, capture, label, delay,
+                     seq=next(self._seq))
+        with self._lock:
+            if self._live_slots == 0:
+                self._fail_item_locked(item)
+                return future
+            self.task_queue.put(item)
+        return future
+
+    def recover(self) -> bool:
+        # Nothing to do: the slot that lost its worker respawns it
+        # lazily on the next dispatch, and other slots were never
+        # disturbed.  No pool-wide respawn happened.
+        return False
+
+    def reap(self, stragglers) -> bool:
+        targets = {id(f) for f in stragglers}
+        for slot in self._slots:
+            proc = None
+            with slot.lock:
+                if slot.current is not None and id(slot.current) in targets:
+                    slot.expect_death = True
+                    proc = slot.proc
+            if proc is not None:
+                try:
+                    proc.kill()
+                except OSError:
+                    pass
+        return False
+
+    def shutdown(self) -> None:
+        self.closing = True
+        # No task is in flight when parallel_map shuts down cleanly, so
+        # slots notice the flag within one poll; closing stdin asks any
+        # idle worker to exit on its own.
+        for slot in self._slots:
+            if slot.proc is not None and slot.proc.stdin is not None:
+                try:
+                    slot.proc.stdin.close()
+                except OSError:
+                    pass
+        for slot in self._slots:
+            slot.thread.join(timeout=_REAP_GRACE_SECONDS)
+        for slot in self._slots:
+            slot._discard_process()
+
+    def terminate(self) -> None:
+        self.closing = True
+        for slot in self._slots:
+            with slot.lock:
+                slot.expect_death = True
+            if slot.proc is not None:
+                try:
+                    slot.proc.kill()
+                except OSError:
+                    pass
+        for slot in self._slots:
+            slot.thread.join(timeout=_REAP_GRACE_SECONDS)
+        for slot in self._slots:
+            slot._discard_process()
+
+    def describe(self) -> str:
+        if self.spec.kind == "ssh":
+            names = ", ".join(
+                f"{h.spec.name}x{h.spec.slots}" for h in self.hosts
+            )
+            return f"ssh fleet ({names})"
+        return f"subprocess pool ({self.slots} workers)"
+
+    # -- fleet bookkeeping (called from slot threads) ----------------------
+
+    def record_task_served(self, host: _FleetHost) -> None:
+        with self._lock:
+            host.strikes = 0
+
+    def record_worker_death(self, host: _FleetHost) -> None:
+        with self._lock:
+            self.worker_deaths += 1
+            if host.dead:
+                return
+            host.strikes += 1
+            if host.strikes >= self.spec.max_host_failures:
+                host.dead = True
+                self._dead_hosts.append(host.spec.name)
+
+    def requeue_undispatched(self, item: _Item, exiting: _Slot) -> None:
+        with self._lock:
+            # The exiting slot still counts itself in _live_slots.
+            if self._live_slots > 1 and not self.closing:
+                self.task_queue.put(item)
+                return
+            self._fail_item_locked(item)
+
+    def slot_exited(self, slot: _Slot) -> None:
+        with self._lock:
+            self._live_slots -= 1
+            drain = self._live_slots == 0 and not self.closing
+            if not drain:
+                return
+            while True:
+                try:
+                    item = self.task_queue.get_nowait()
+                except queue.Empty:
+                    break
+                self._fail_item_locked(item)
+
+    def _fail_item_locked(self, item: _Item) -> None:
+        dead = ", ".join(self._dead_hosts) or "all hosts"
+        _Slot._settle(item.future, error=WorkerDied(
+            f"no live worker slots remain (dead: {dead})"
+        ))

@@ -1,0 +1,156 @@
+"""Pipe-protocol worker: the remote half of the non-local executors.
+
+``python -m repro.runtime.pipeworker`` turns a child process — spawned
+directly (``subprocess`` backend) or through ``ssh host ...`` (fleet
+backend) — into a task server speaking length-prefixed pickle frames
+over its stdio.  One worker executes one task at a time; the parent
+side (:mod:`repro.runtime.executors`) runs one feeder thread per slot,
+so the strict request/response discipline here is all the framing the
+fleet needs.
+
+Protocol (every frame is ``>I`` byte length + a pickled tuple):
+
+parent → worker
+    ``("task", task_id, refs, capture, label, delay)``
+        *refs* reconstructs ``(fn, *args)``; each element is one of
+        ``("val", bytes)`` — inline pickle, small payloads;
+        ``("put", digest, bytes)`` — inline pickle the worker also
+        caches under *digest* (artifact-cache-keyed shipping: big
+        shard payloads such as the predictor model cross the wire
+        once per worker, not once per task);
+        ``("ref", digest)`` — look up a previously ``put`` payload.
+        Interned payloads are treated as immutable, exactly like the
+        fresh-unpickle-per-task objects a process pool would see.
+    ``("exit",)`` — drain and exit 0 (EOF on stdin means the same).
+
+worker → parent
+    ``("ready", pid)`` — handshake, sent once after startup;
+    ``("done", task_id, payload_bytes)`` — *payload_bytes* pickles the
+    ``_timed_call`` 4-tuple ``(value, elapsed, events, metrics)``;
+    ``("fail", task_id, exc_bytes_or_None, traceback_str)`` — the task
+    (or result pickling) raised; *exc_bytes* ships the exception object
+    when it pickles so the parent's retry policy can classify it.
+
+Hygiene: before anything else the worker dups its real stdout for the
+protocol and points fd 1 at stderr, so a ``print()`` inside task code
+lands in the parent's log instead of corrupting the frame stream.
+"""
+
+from __future__ import annotations
+
+import io
+import os
+import pickle
+import struct
+import sys
+import traceback
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+#: Frame header: big-endian unsigned length of the pickled body.
+_HEADER = struct.Struct(">I")
+
+#: Wire pickle protocol — the highest the oldest supported interpreter
+#: (3.10) speaks; both ends are CPython so this is symmetric.
+WIRE_PROTOCOL = min(pickle.HIGHEST_PROTOCOL, 5)
+
+
+def write_frame(stream: io.RawIOBase, message: Tuple) -> None:
+    """Pickle *message* and write it as one length-prefixed frame."""
+    body = pickle.dumps(message, protocol=WIRE_PROTOCOL)
+    stream.write(_HEADER.pack(len(body)) + body)
+    stream.flush()
+
+
+def _read_exact(stream: io.RawIOBase, count: int) -> Optional[bytes]:
+    """Read exactly *count* bytes, or ``None`` on EOF (even mid-read —
+    a torn frame from a dying peer is EOF, not data)."""
+    chunks: List[bytes] = []
+    remaining = count
+    while remaining > 0:
+        chunk = stream.read(remaining)
+        if not chunk:
+            return None
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def read_frame(stream: io.RawIOBase) -> Optional[Tuple]:
+    """Read one frame, or ``None`` on EOF / torn frame."""
+    header = _read_exact(stream, _HEADER.size)
+    if header is None:
+        return None
+    body = _read_exact(stream, _HEADER.unpack(header)[0])
+    if body is None:
+        return None
+    return pickle.loads(body)
+
+
+def _resolve_refs(
+    refs: Sequence[Tuple], cache: Dict[str, Any]
+) -> List[Any]:
+    """Materialise ``(fn, *args)`` from the wire representation."""
+    items: List[Any] = []
+    for ref in refs:
+        tag = ref[0]
+        if tag == "val":
+            items.append(pickle.loads(ref[1]))
+        elif tag == "put":
+            value = pickle.loads(ref[2])
+            cache[ref[1]] = value
+            items.append(value)
+        elif tag == "ref":
+            items.append(cache[ref[1]])
+        else:  # pragma: no cover - protocol error
+            raise ValueError(f"unknown payload ref tag {tag!r}")
+    return items
+
+
+def serve(source: io.RawIOBase, sink: io.RawIOBase) -> int:
+    """Run the request/response loop until ``exit`` or EOF."""
+    # Imported lazily: the worker body lives in runner.py and pulling it
+    # at module import would make ``-m repro.runtime.pipeworker`` pay
+    # for the whole pipeline import graph before the handshake.
+    from repro.runtime.runner import _timed_call
+
+    cache: Dict[str, Any] = {}
+    write_frame(sink, ("ready", os.getpid()))
+    while True:
+        frame = read_frame(source)
+        if frame is None or frame[0] == "exit":
+            return 0
+        _kind, task_id, refs, capture, label, delay = frame
+        try:
+            items = _resolve_refs(refs, cache)
+            payload = _timed_call(
+                items[0], tuple(items[1:]), capture, label, delay
+            )
+            body = pickle.dumps(payload, protocol=WIRE_PROTOCOL)
+        except Exception as error:
+            try:
+                exc_bytes = pickle.dumps(error, protocol=WIRE_PROTOCOL)
+            except Exception:
+                exc_bytes = None
+            write_frame(
+                sink, ("fail", task_id, exc_bytes, traceback.format_exc())
+            )
+            continue
+        write_frame(sink, ("done", task_id, body))
+
+
+def main() -> int:
+    # Claim the protocol channel before any user code can print to it:
+    # the dup'd descriptor keeps the real pipe, then fd 1 is pointed at
+    # stderr so sys.stdout (and C-level writes) go to the parent's log.
+    sink = os.fdopen(os.dup(1), "wb")
+    os.dup2(2, 1)
+    source = os.fdopen(os.dup(0), "rb")
+    try:
+        return serve(source, sink)
+    except (BrokenPipeError, KeyboardInterrupt):
+        # Parent went away or reaped us mid-frame; nothing to report to.
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

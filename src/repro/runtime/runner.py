@@ -40,7 +40,6 @@ import concurrent.futures
 import pathlib
 import time
 import traceback
-from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import (
     Any,
@@ -58,6 +57,12 @@ from repro.dse.pipeline import AnalysisSession, analyze
 from repro.obs import clock
 from repro.obs.observer import Observer, get_observer, use_observer
 from repro.runtime.cache import ArtifactCache, open_cache
+from repro.runtime.executors import (  # noqa: F401  (_terminate_pool re-exported)
+    BackendSpec,
+    ExecutorBackend,
+    _terminate_pool,
+    normalize_backend,
+)
 from repro.runtime.resilience import (
     RetryPolicy,
     SuiteCheckpoint,
@@ -142,32 +147,6 @@ def _timed_call(
     )
 
 
-def _terminate_pool(pool: concurrent.futures.ProcessPoolExecutor) -> None:
-    """Tear a pool down *now*, reaping every worker process.
-
-    Used when a straggler holds a worker hostage (deadline overrun) or
-    the pool is already broken: terminate, join, escalate to SIGKILL if
-    termination is ignored.  Guarantees no orphaned worker outlives the
-    :func:`parallel_map` call that spawned it (asserted by
-    ``tests/runtime/test_parallel_map.py``).
-    """
-    # Snapshot before shutdown(): the executor drops its _processes
-    # reference during shutdown, and the manager thread would otherwise
-    # wait politely for the straggler to finish its 30-minute nap.
-    processes = list((getattr(pool, "_processes", None) or {}).values())
-    pool.shutdown(wait=False, cancel_futures=True)
-    for process in processes:
-        try:
-            process.terminate()
-        except (OSError, ValueError):
-            pass
-    for process in processes:
-        process.join(timeout=_REAP_GRACE_SECONDS)
-        if process.is_alive():
-            process.kill()
-            process.join(timeout=_REAP_GRACE_SECONDS)
-
-
 def _serial_map(
     fn: Callable,
     tasks: List[Tuple],
@@ -223,9 +202,10 @@ def parallel_map(
     obs=None,
     retry: Optional[RetryPolicy] = None,
     on_result: Optional[Callable[[int, TaskOutcome], None]] = None,
+    backend: Union[None, str, BackendSpec, ExecutorBackend] = None,
 ) -> List["TaskOutcome"]:
     """Apply ``fn(*args)`` to every argument tuple, optionally across
-    worker processes.
+    worker processes — local or remote, depending on *backend*.
 
     This is the pool machinery shared by the suite runner and the
     design-space sweep engine, with the conventions both rely on:
@@ -237,10 +217,12 @@ def parallel_map(
       traceback instead of sinking the whole batch;
     * **retries** — with a *retry* policy, a task failing with a
       retryable exception is requeued after its deterministic backoff
-      (slept worker-side), up to ``max_attempts`` tries; a
-      ``BrokenProcessPool`` (worker SIGKILLed, segfaulted, OOM-killed)
-      respawns the pool, charges an attempt to the tasks that were
-      running, and requeues queued tasks for free;
+      (slept worker-side), up to ``max_attempts`` tries; a worker death
+      (SIGKILLed, segfaulted, OOM-killed, connection lost) charges an
+      attempt to the tasks that were running and requeues queued tasks
+      for free — on the ``local`` backend a death breaks the whole
+      pool (``BrokenProcessPool``) and every in-flight task is a
+      victim, on the pipe backends exactly the dead worker's task is;
     * **per-task deadlines** — *timeout* bounds each task's wall clock
       measured from when it is first observed running (queue time is
       free); an overrun records a failed outcome with the real elapsed
@@ -254,9 +236,10 @@ def parallel_map(
     Args:
         fn: a picklable module-level callable.
         tasks: one positional-argument tuple per task.
-        jobs: worker processes; ``1`` runs serially in-process
-            (retries apply, deadlines do not — there is no second
-            process to reap).
+        jobs: worker processes; ``1`` on the ``local`` backend runs
+            serially in-process (retries apply, deadlines do not —
+            there is no second process to reap).  The ``ssh`` backend
+            sizes itself from its host list instead.
         timeout: per-task wall-clock budget in seconds.
         obs: observer to record into; defaults to the ambient one.
         retry: a :class:`~repro.runtime.resilience.RetryPolicy`;
@@ -265,6 +248,11 @@ def parallel_map(
             parent the moment each task reaches a final outcome (in
             completion order) — the hook incremental checkpointing
             hangs off.
+        backend: where workers run — ``None``/``"local"`` (process
+            pool), ``"subprocess"`` (pipe-protocol children), ``"ssh"``
+            (fleet), a :class:`~repro.runtime.executors.BackendSpec`,
+            or a ready :class:`~repro.runtime.executors.ExecutorBackend`
+            instance (started and shut down by this call either way).
 
     Returns:
         One :class:`TaskOutcome` per task, in *tasks* order.
@@ -273,19 +261,23 @@ def parallel_map(
         raise ValueError("jobs must be at least 1")
     obs = obs if obs is not None else get_observer()
     tasks = list(tasks)
-    if jobs == 1:
-        return _serial_map(fn, tasks, obs, retry, on_result)
+    resolved = normalize_backend(backend)
+    if isinstance(resolved, ExecutorBackend):
+        executor = resolved
+    else:
+        if resolved.kind == "local" and jobs == 1:
+            return _serial_map(fn, tasks, obs, retry, on_result)
+        executor = resolved.create(jobs)
 
     capture = obs.enabled
     outcomes: List[Optional[TaskOutcome]] = [None] * len(tasks)
     attempts: List[int] = [1] * len(tasks)
-    pool = concurrent.futures.ProcessPoolExecutor(max_workers=jobs)
     pending: Dict[concurrent.futures.Future, int] = {}
     started_at: Dict[concurrent.futures.Future, float] = {}
 
     def submit(index: int, delay: float = 0.0) -> None:
-        future = pool.submit(
-            _timed_call, fn, tasks[index], capture, str(index), delay
+        future = executor.submit(
+            fn, tasks[index], capture, str(index), delay
         )
         pending[future] = index
 
@@ -294,167 +286,184 @@ def parallel_map(
         if on_result is not None:
             on_result(index, outcome)
 
-    def respawn() -> None:
-        nonlocal pool
-        _terminate_pool(pool)
-        pool = concurrent.futures.ProcessPoolExecutor(max_workers=jobs)
-        obs.counter("runner.pool_respawns").inc()
+    executor.start()
+    try:
+        for index in range(len(tasks)):
+            submit(index)
 
-    for index in range(len(tasks)):
-        submit(index)
-
-    while pending:
-        now = clock.perf_seconds()
-        for future, index in pending.items():
-            if future not in started_at and future.running():
-                started_at[future] = now
-        wait_timeout = None
-        if timeout is not None:
-            deadlines = [
-                started_at[f] + timeout for f in pending if f in started_at
-            ]
-            if deadlines:
-                wait_timeout = max(0.0, min(deadlines) - now)
-        if any(f not in started_at for f in pending):
-            # Keep polling until every pending task has a run-start
-            # stamp: deadlines measure from it, and pool-break
-            # attribution (below) relies on knowing who was running.
-            wait_timeout = (
-                _START_POLL_SECONDS
-                if wait_timeout is None
-                else min(wait_timeout, _START_POLL_SECONDS)
-            )
-        done, _not_done = concurrent.futures.wait(
-            set(pending),
-            timeout=wait_timeout,
-            return_when=concurrent.futures.FIRST_COMPLETED,
-        )
-
-        requeue: List[Tuple[int, float]] = []
-        broken: List[Tuple[int, bool]] = []
-        pool_broken = False
-        for future in done:
-            index = pending.pop(future)
-            was_running = started_at.pop(future, None) is not None
-            try:
-                value, elapsed, events, metrics = future.result()
-            except BrokenProcessPool:
-                pool_broken = True
-                broken.append((index, was_running))
-                continue
-            except Exception as error:
-                if retry is not None and retry.should_retry(
-                    error, attempts[index]
-                ):
-                    obs.counter("runner.retries").inc()
-                    obs.event(
-                        "task.retry", index=index, attempt=attempts[index]
-                    )
-                    delay = retry.delay_for(
-                        attempts[index], task_key=index
-                    )
-                    attempts[index] += 1
-                    requeue.append((index, delay))
-                else:
-                    finalise(index, TaskOutcome(
-                        ok=False, error=traceback.format_exc(),
-                        attempts=attempts[index],
-                    ))
-                continue
-            obs.absorb(events, metrics)
-            finalise(index, TaskOutcome(
-                ok=True,
-                value=value,
-                elapsed_seconds=elapsed,
-                trace_events=events,
-                metrics=metrics,
-                attempts=attempts[index],
-            ))
-
-        if pool_broken:
-            # The whole pool is dead: every still-pending future is
-            # doomed too.  Tasks that were actually running when it
-            # broke are charged an attempt (one of them is the killer,
-            # and attribution is impossible); queued tasks requeue free.
-            for future in list(pending):
-                index = pending.pop(future)
-                broken.append((index, started_at.pop(future, None) is not None))
-            if not any(was_running for _idx, was_running in broken):
-                # The killer died faster than the run-start poll could
-                # observe it.  Attribution is impossible, so charge an
-                # attempt to every victim — this keeps a
-                # deterministically-crashing task from being requeued
-                # for free forever.
-                broken = [(index, True) for index, _w in broken]
-            for index, was_running in sorted(broken):
-                if not was_running:
-                    requeue.append((index, 0.0))
-                elif (
-                    retry is not None
-                    and retry.retry_pool_breaks
-                    and attempts[index] < retry.max_attempts
-                ):
-                    obs.counter("runner.retries").inc()
-                    delay = retry.delay_for(attempts[index], task_key=index)
-                    attempts[index] += 1
-                    requeue.append((index, delay))
-                else:
-                    finalise(index, TaskOutcome(
-                        ok=False,
-                        error=(
-                            "worker process died abruptly "
-                            "(BrokenProcessPool — killed, segfaulted or "
-                            "OOM-reaped) and the task was out of retries"
-                        ),
-                        attempts=attempts[index],
-                    ))
-            respawn()
-            for index, delay in requeue:
-                submit(index, delay)
-            continue
-
-        if timeout is not None:
+        while pending:
             now = clock.perf_seconds()
-            expired = [
-                (future, index)
-                for future, index in pending.items()
-                if future in started_at
-                and now - started_at[future] >= timeout
-            ]
-            if expired:
-                for future, index in expired:
-                    elapsed = now - started_at.pop(future)
-                    pending.pop(future)
-                    future.cancel()
-                    obs.counter("runner.timeouts").inc()
-                    finalise(index, TaskOutcome(
-                        ok=False,
-                        error=(
-                            f"timed out after {elapsed:.1f}s "
-                            f"({timeout:.1f}s per-task budget); "
-                            "straggler worker reaped"
-                        ),
-                        elapsed_seconds=elapsed,
-                        attempts=attempts[index],
-                        timed_out=True,
-                    ))
-                # The stragglers hold workers hostage; reclaim them by
-                # respawning the pool and requeuing the innocents
-                # (no attempt charged — they never misbehaved).
-                survivors = sorted(pending.values())
-                pending.clear()
-                started_at.clear()
-                respawn()
-                for index in survivors:
-                    submit(index)
+            for future, index in pending.items():
+                if future not in started_at and executor.running(future):
+                    started_at[future] = now
+            wait_timeout = None
+            if timeout is not None:
+                deadlines = [
+                    started_at[f] + timeout
+                    for f in pending if f in started_at
+                ]
+                if deadlines:
+                    wait_timeout = max(0.0, min(deadlines) - now)
+            if any(f not in started_at for f in pending):
+                # Keep polling until every pending task has a run-start
+                # stamp: deadlines measure from it, and pool-break
+                # attribution (below) relies on knowing who was running.
+                wait_timeout = (
+                    _START_POLL_SECONDS
+                    if wait_timeout is None
+                    else min(wait_timeout, _START_POLL_SECONDS)
+                )
+            done, _not_done = executor.wait(pending, wait_timeout)
+
+            requeue: List[Tuple[int, float]] = []
+            broken: List[Tuple[int, bool]] = []
+            worker_died = False
+            for future in done:
+                index = pending.pop(future)
+                was_running = started_at.pop(future, None) is not None
+                try:
+                    value, elapsed, events, metrics = future.result()
+                except executor.death_exceptions:
+                    worker_died = True
+                    broken.append((index, was_running))
+                    continue
+                except Exception as error:
+                    if retry is not None and retry.should_retry(
+                        error, attempts[index]
+                    ):
+                        obs.counter("runner.retries").inc()
+                        obs.event(
+                            "task.retry", index=index,
+                            attempt=attempts[index],
+                        )
+                        delay = retry.delay_for(
+                            attempts[index], task_key=index
+                        )
+                        attempts[index] += 1
+                        requeue.append((index, delay))
+                    else:
+                        finalise(index, TaskOutcome(
+                            ok=False, error=traceback.format_exc(),
+                            attempts=attempts[index],
+                        ))
+                    continue
+                obs.absorb(events, metrics)
+                finalise(index, TaskOutcome(
+                    ok=True,
+                    value=value,
+                    elapsed_seconds=elapsed,
+                    trace_events=events,
+                    metrics=metrics,
+                    attempts=attempts[index],
+                ))
+
+            if worker_died:
+                if executor.death_dooms_all:
+                    # Process pool: the whole pool is dead and every
+                    # still-pending future is doomed too.  Tasks that
+                    # were actually running when it broke are charged
+                    # an attempt (one of them is the killer, and
+                    # attribution is impossible); queued tasks requeue
+                    # free.
+                    for future in list(pending):
+                        index = pending.pop(future)
+                        broken.append(
+                            (index,
+                             started_at.pop(future, None) is not None)
+                        )
+                    if not any(w for _idx, w in broken):
+                        # The killer died faster than the run-start
+                        # poll could observe it.  Attribution is
+                        # impossible, so charge an attempt to every
+                        # victim — this keeps a deterministically-
+                        # crashing task from being requeued for free
+                        # forever.
+                        broken = [(index, True) for index, _w in broken]
+                else:
+                    # Pipe fleet: a death names its victim exactly —
+                    # being dispatched to the dead worker means it was
+                    # running, whether or not the run-start poll saw it.
+                    broken = [(index, True) for index, _w in broken]
+                for index, was_running in sorted(broken):
+                    obs.counter("runner.worker_task_losses").inc()
+                    if not was_running:
+                        requeue.append((index, 0.0))
+                    elif (
+                        retry is not None
+                        and retry.retry_pool_breaks
+                        and attempts[index] < retry.max_attempts
+                    ):
+                        obs.counter("runner.retries").inc()
+                        delay = retry.delay_for(
+                            attempts[index], task_key=index
+                        )
+                        attempts[index] += 1
+                        requeue.append((index, delay))
+                    else:
+                        finalise(index, TaskOutcome(
+                            ok=False,
+                            error=executor.death_error,
+                            attempts=attempts[index],
+                        ))
+                if executor.recover():
+                    obs.counter("runner.pool_respawns").inc()
                 for index, delay in requeue:
                     submit(index, delay)
                 continue
 
-        for index, delay in requeue:
-            submit(index, delay)
+            if timeout is not None:
+                now = clock.perf_seconds()
+                expired = [
+                    (future, index)
+                    for future, index in pending.items()
+                    if future in started_at
+                    and now - started_at[future] >= timeout
+                ]
+                if expired:
+                    for future, index in expired:
+                        elapsed = now - started_at.pop(future)
+                        pending.pop(future)
+                        obs.counter("runner.timeouts").inc()
+                        finalise(index, TaskOutcome(
+                            ok=False,
+                            error=(
+                                f"timed out after {elapsed:.1f}s "
+                                f"({timeout:.1f}s per-task budget); "
+                                "straggler worker reaped"
+                            ),
+                            elapsed_seconds=elapsed,
+                            attempts=attempts[index],
+                            timed_out=True,
+                        ))
+                    # The stragglers hold workers hostage; reclaim
+                    # them.  A process pool can only respawn wholesale,
+                    # disturbing the innocents (requeued with no
+                    # attempt charged — they never misbehaved); a pipe
+                    # fleet kills exactly the straggler's worker.
+                    if executor.reap([f for f, _i in expired]):
+                        survivors = sorted(pending.values())
+                        pending.clear()
+                        started_at.clear()
+                        obs.counter("runner.pool_respawns").inc()
+                        for index in survivors:
+                            submit(index)
+                    for index, delay in requeue:
+                        submit(index, delay)
+                    continue
 
-    pool.shutdown(wait=True, cancel_futures=True)
+            for index, delay in requeue:
+                submit(index, delay)
+    except BaseException:
+        # Interrupt / internal error: reap every worker before
+        # propagating so no orphan outlives the call (the Ctrl-C path
+        # of `repro dse sweep` and `repro suite` rides on this).
+        executor.terminate()
+        raise
+    executor.shutdown()
+    if executor.worker_deaths and obs.enabled:
+        obs.counter("runner.worker_deaths").inc(executor.worker_deaths)
+    for _host in executor.dead_hosts:
+        obs.counter("runner.dead_hosts").inc()
     return outcomes
 
 
@@ -623,6 +632,7 @@ def run_suite(
     retry: Optional[RetryPolicy] = None,
     checkpoint: Union[None, str, pathlib.Path] = None,
     resume: bool = False,
+    backend: Union[None, str, BackendSpec, ExecutorBackend] = None,
     **analyze_kwargs,
 ) -> SuiteReport:
     """Analyse a set of suite workloads, optionally in parallel.
@@ -652,6 +662,11 @@ def run_suite(
         checkpoint: path to a
             :class:`~repro.runtime.resilience.SuiteCheckpoint` journal,
             atomically rewritten as each workload completes.
+        backend: executor backend selection, forwarded to
+            :func:`parallel_map` — ``None``/``"local"``,
+            ``"subprocess"``, ``"ssh"``, a
+            :class:`~repro.runtime.executors.BackendSpec` or a ready
+            backend instance.
         resume: skip workloads the checkpoint records as completed,
             reloading their sessions through the (required) artifact
             cache; the journal's fingerprint must match this run's
@@ -733,6 +748,7 @@ def run_suite(
             _analyze_one, tasks, jobs=jobs, timeout=timeout, obs=obs,
             retry=retry,
             on_result=journal_result if journal is not None else None,
+            backend=backend,
         )
     by_name: Dict[str, WorkloadOutcome] = dict(resumed)
     for name, result in zip(remaining, results):

@@ -19,11 +19,15 @@ import dataclasses
 import hashlib
 import http.client
 import threading
+import time
 from typing import Dict, List, Optional
 
 from repro.obs import clock
 
 __all__ = ["LoadReport", "run_load"]
+
+#: Fallback pause when a 429 arrives without a parsable Retry-After.
+_DEFAULT_BACKOFF_SECONDS = 0.05
 
 
 @dataclasses.dataclass
@@ -36,6 +40,11 @@ class LoadReport:
     latencies: List[float]
     status_counts: Dict[int, int]
     body_digests: List[str]
+    #: 429 responses honoured: each one slept out its ``Retry-After``
+    #: and re-sent the same logical request.  Backpressure is the
+    #: server working as designed, so these are neither errors nor
+    #: completed requests.
+    backpressured: int = 0
 
     @property
     def requests_per_second(self) -> float:
@@ -69,6 +78,16 @@ class LoadReport:
         return ordered[index]
 
 
+def _retry_after_seconds(response, cap: float) -> float:
+    """The pause a 429 asked for, clamped so a load run stays bounded."""
+    raw = response.getheader("Retry-After")
+    try:
+        delay = float(raw) if raw is not None else _DEFAULT_BACKOFF_SECONDS
+    except ValueError:
+        delay = _DEFAULT_BACKOFF_SECONDS
+    return max(0.0, min(delay, cap))
+
+
 def _worker(
     host: str,
     port: int,
@@ -80,8 +99,10 @@ def _worker(
     statuses: List[int],
     digests: set,
     errors: List[int],
+    backpressured: List[int],
     lock: threading.Lock,
     timeout: float,
+    backoff_cap: float,
 ) -> None:
     headers = {"Content-Type": "application/json"} if body else {}
     connection = http.client.HTTPConnection(host, port, timeout=timeout)
@@ -89,23 +110,35 @@ def _worker(
     local_statuses: List[int] = []
     local_digests = set()
     local_errors = 0
+    local_backpressured = 0
     try:
         while take():
-            started = clock.perf_seconds()
-            try:
-                connection.request(method, path, body=body, headers=headers)
-                response = connection.getresponse()
-                payload = response.read()
-            except (http.client.HTTPException, OSError):
-                local_errors += 1
-                connection.close()  # reconnect on the next iteration
-                continue
-            local_latencies.append(clock.perf_seconds() - started)
-            local_statuses.append(response.status)
-            if response.status == 200:
-                local_digests.add(hashlib.sha256(payload).hexdigest())
-            else:
-                local_errors += 1
+            # One taken token = one logical request.  A 429 response
+            # is backpressure, not completion: honour its Retry-After,
+            # then re-send the same request without taking a new token.
+            while True:
+                started = clock.perf_seconds()
+                try:
+                    connection.request(
+                        method, path, body=body, headers=headers
+                    )
+                    response = connection.getresponse()
+                    payload = response.read()
+                except (http.client.HTTPException, OSError):
+                    local_errors += 1
+                    connection.close()  # reconnect on the next iteration
+                    break
+                local_statuses.append(response.status)
+                if response.status == 429:
+                    local_backpressured += 1
+                    time.sleep(_retry_after_seconds(response, backoff_cap))
+                    continue
+                local_latencies.append(clock.perf_seconds() - started)
+                if response.status == 200:
+                    local_digests.add(hashlib.sha256(payload).hexdigest())
+                elif response.status >= 300:
+                    local_errors += 1
+                break
     finally:
         connection.close()
         with lock:
@@ -113,6 +146,7 @@ def _worker(
             statuses.extend(local_statuses)
             digests.update(local_digests)
             errors.append(local_errors)
+            backpressured.append(local_backpressured)
 
 
 def run_load(
@@ -126,12 +160,18 @@ def run_load(
     method: str = "POST",
     warmup: int = 0,
     timeout: float = 30.0,
+    backoff_cap: float = 1.0,
 ) -> LoadReport:
     """Drive ``requests`` identical calls at ``concurrency`` workers.
 
     ``warmup`` extra requests are issued serially first and excluded
     from every reported number (they absorb connection setup and any
     first-touch page faults on the response path).
+
+    A 429 response is honoured rather than counted as an error: the
+    worker sleeps out the server's ``Retry-After`` hint (clamped to
+    ``backoff_cap`` seconds) and re-sends the same logical request.
+    Each honoured bounce increments :attr:`LoadReport.backpressured`.
     """
     if warmup > 0:
         connection = http.client.HTTPConnection(host, port, timeout=timeout)
@@ -159,14 +199,15 @@ def run_load(
     statuses: List[int] = []
     digests: set = set()
     errors: List[int] = []
+    backpressured: List[int] = []
     results_lock = threading.Lock()
     threads = [
         threading.Thread(
             target=_worker,
             args=(
                 host, port, method, path, body, take,
-                latencies, statuses, digests, errors, results_lock,
-                timeout,
+                latencies, statuses, digests, errors, backpressured,
+                results_lock, timeout, backoff_cap,
             ),
             name=f"loadgen-{index}",
             daemon=True,
@@ -189,4 +230,5 @@ def run_load(
         latencies=latencies,
         status_counts=status_counts,
         body_digests=sorted(digests),
+        backpressured=sum(backpressured),
     )

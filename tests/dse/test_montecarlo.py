@@ -77,6 +77,53 @@ class TestSampling:
             )
 
 
+class ConstantModel:
+    """A degenerate predictor: every design point prices identically."""
+
+    num_uops = 100
+
+    def predict_many(self, points):
+        return np.full(len(points), 42.0)
+
+
+class TestNaNSafety:
+    def test_constant_predictor_yields_zero_correlations(self):
+        """Regression: a zero-variance CPI vector used to reach
+        ``np.corrcoef`` and come back NaN; it must read as 'no
+        correlation' for every axis, warning-free."""
+        with np.errstate(all="raise"):
+            stats = sample_space_statistics(ConstantModel(), AXES, 200)
+        assert stats.event_correlations == {
+            EventType.L1D: 0.0,
+            EventType.FP_ADD: 0.0,
+        }
+        assert all(
+            math.isfinite(v) for v in stats.event_correlations.values()
+        )
+        assert stats.cpi_quantiles[0.5] == pytest.approx(0.42)
+
+    def test_single_value_axis_is_zero_not_nan(self, linear_model):
+        stats = sample_space_statistics(
+            linear_model,
+            {EventType.L1D: [1, 2, 3, 4], EventType.FP_ADD: [3]},
+            200,
+        )
+        assert stats.event_correlations[EventType.FP_ADD] == 0.0
+        assert stats.event_correlations[EventType.L1D] > 0.9
+
+
+def test_vectorised_draw_matches_sample_budget(linear_model):
+    """The matrix draw must still honour num_samples exactly and stay
+    deterministic per seed across the vectorised path."""
+    a = sample_space_statistics(linear_model, AXES, 333, seed=7)
+    b = sample_space_statistics(linear_model, AXES, 333, seed=7)
+    c = sample_space_statistics(linear_model, AXES, 333, seed=8)
+    assert a.num_samples == 333
+    assert a.event_correlations == b.event_correlations
+    assert a.cpi_quantiles == b.cpi_quantiles
+    assert a.cpi_quantiles != c.cpi_quantiles
+
+
 def test_on_real_model(gamess_session):
     axes = {
         EventType.L1D: list(range(1, 5)),

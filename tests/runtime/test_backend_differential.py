@@ -1,0 +1,199 @@
+"""Cross-backend differential suite (the tentpole's acceptance bar).
+
+The same sharded sweep — and the full 12-workload suite — must merge to
+byte-identical results on every executor backend: the single-host
+``local`` pool, the pipe-protocol ``subprocess`` workers, and a
+2-"host" loopback ``ssh`` fleet.  That includes a chaos drill where one
+fleet host is killed mid-sweep: the shard requeues to the surviving
+host with an attempt charged, and the front still matches.
+"""
+
+import json
+import stat
+
+import numpy as np
+import pytest
+
+from repro.common.config import LatencyConfig
+from repro.common.events import NUM_EVENTS, EventType
+from repro.core.model import RpStacksModel
+from repro.dse.designspace import DesignSpace
+from repro.dse.sweep import sweep_space
+from repro.obs.observer import Observer
+from repro.runtime import RetryPolicy, run_suite
+from repro.runtime.executors import BackendSpec, HostSpec
+from tests.chaos import faults
+
+
+def vec(**units):
+    out = np.zeros(NUM_EVENTS)
+    for name, value in units.items():
+        out[EventType[name]] = value
+    return out
+
+
+@pytest.fixture(scope="module")
+def model():
+    seg0 = np.stack([vec(FP_ADD=4, BASE=10), vec(L1D=5, LD=2, BASE=8)])
+    seg1 = np.stack([vec(MEM_D=1, BASE=6), vec(L2D=7, BASE=20)])
+    return RpStacksModel(
+        [seg0, seg1], baseline=LatencyConfig(), num_uops=100
+    )
+
+
+@pytest.fixture(scope="module")
+def space():
+    """8 * 10 * 25 * 5 = 10,000 points — a dozen-odd 768-point chunks."""
+    return DesignSpace.from_mapping(
+        {
+            EventType.L1D: list(range(1, 9)),
+            EventType.FP_ADD: list(range(1, 11)),
+            EventType.L2D: list(range(1, 26)),
+            EventType.MEM_D: list(range(30, 130, 20)),
+        }
+    )
+
+
+def loopback_fleet(tmp_path, dead_hosts=(), **kwargs):
+    """A 2-host ssh fleet whose 'ssh client' is a local exec stub."""
+    lines = ["#!/bin/sh", 'host="$1"', "shift"]
+    for name in dead_hosts:
+        lines.append(f'[ "$host" = "{name}" ] && exit 255')
+    lines.append('exec "$@"')
+    script = tmp_path / "fake-ssh.sh"
+    script.write_text("\n".join(lines) + "\n")
+    script.chmod(script.stat().st_mode | stat.S_IXUSR)
+    return BackendSpec(
+        kind="ssh",
+        hosts=(HostSpec("node-a", 1), HostSpec("node-b", 1)),
+        ssh_command=(str(script),),
+        connect_timeout=20.0,
+        **kwargs,
+    )
+
+
+def result_json(result):
+    """The result's exact JSON rendering, minus wall-clock throughput
+    numbers (every other byte must be backend-independent)."""
+    payload = result.as_dict()
+    metrics = payload.pop("metrics")
+    payload["num_chunks"] = metrics["num_chunks"]
+    payload["candidates"] = [
+        (repr(c.latency), repr(c.predicted_cpi), repr(c.cost))
+        for c in result.candidates
+    ]
+    return json.dumps(payload, sort_keys=True)
+
+
+def run_sweep(model, space, backend, retry=None):
+    """One sharded sweep; returns its observer and the comparison key."""
+    obs = Observer(enabled=True, progress_stream=None)
+    result = sweep_space(
+        model, space, chunk_size=768, jobs=2, obs=obs,
+        backend=backend, retry=retry,
+    )
+    return obs, result_json(result)
+
+
+def merged_metric_key(obs):
+    """The deterministic slice of the merged worker metrics: points
+    priced and target hits must match across backends (timings and
+    respawn counters legitimately differ)."""
+    return {
+        "sweep.points": obs.counter("sweep.points").value,
+        "sweep.meeting_target": obs.counter("sweep.meeting_target").value,
+    }
+
+
+@pytest.fixture(scope="module")
+def local_sweep(model, space):
+    return run_sweep(model, space, backend=None)
+
+
+class TestSweepDifferential:
+    def test_subprocess_front_and_metrics_match_local(
+        self, model, space, local_sweep
+    ):
+        local_obs, local_json = local_sweep
+        obs, swept_json = run_sweep(model, space, backend="subprocess")
+        assert swept_json == local_json
+        assert merged_metric_key(obs) == merged_metric_key(local_obs)
+
+    def test_ssh_loopback_front_and_metrics_match_local(
+        self, tmp_path, model, space, local_sweep
+    ):
+        local_obs, local_json = local_sweep
+        obs, swept_json = run_sweep(
+            model, space, backend=loopback_fleet(tmp_path)
+        )
+        assert swept_json == local_json
+        assert merged_metric_key(obs) == merged_metric_key(local_obs)
+
+    def test_host_killed_mid_sweep_requeues_and_matches(
+        self, tmp_path, monkeypatch, model, space, local_sweep
+    ):
+        """The first chunk priced anywhere SIGKILLs its worker; with
+        ``max_host_failures=1`` that kills the whole "host".  The shard
+        must requeue to the survivor with an attempt charged and the
+        merged front must still be byte-identical."""
+        for key, value in faults.arm(
+            {"pricing": {"kind": "sigkill", "attempts": 1}},
+            tmp_path / "chaos",
+        ).items():
+            monkeypatch.setenv(key, value)
+        _local_obs, local_json = local_sweep
+        obs = Observer(enabled=True, progress_stream=None)
+        result = sweep_space(
+            faults.ChaosModel(model, probe_id="pricing"),
+            space, chunk_size=768, jobs=2, obs=obs,
+            backend=loopback_fleet(tmp_path, max_host_failures=1),
+            retry=RetryPolicy(
+                max_attempts=3, base_delay=0.01, max_delay=0.05
+            ),
+        )
+        assert result_json(result) == local_json
+        # Not a sunk sweep: the killed shard was re-attempted...
+        assert obs.counter("runner.retries").value >= 1
+        assert obs.counter("runner.worker_deaths").value >= 1
+        # ...because its host was declared dead and dropped.
+        assert obs.counter("runner.dead_hosts").value == 1
+
+
+def suite_key(report):
+    """Per-workload results that must be bitwise backend-independent."""
+    key = []
+    for outcome in report:
+        assert outcome.ok, outcome.error
+        session = outcome.session
+        key.append(
+            (
+                outcome.name,
+                repr(session.baseline_cpi),
+                tuple(
+                    label
+                    for label, _v in session.rpstacks.bottlenecks(
+                        session.config.latency, top=3
+                    )
+                ),
+            )
+        )
+    return key
+
+
+class TestSuiteDifferential:
+    def test_twelve_workload_suite_matches_across_backends(
+        self, tmp_path
+    ):
+        """The full 12-workload suite analysed on each backend yields
+        identical models (no cache, so every backend does the work)."""
+        local = run_suite(macros=80, jobs=4)
+        assert len(local) == 12
+        expected = suite_key(local)
+        subprocess_report = run_suite(
+            macros=80, jobs=4, backend="subprocess"
+        )
+        assert suite_key(subprocess_report) == expected
+        ssh_report = run_suite(
+            macros=80, jobs=2, backend=loopback_fleet(tmp_path)
+        )
+        assert suite_key(ssh_report) == expected

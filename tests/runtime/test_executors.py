@@ -1,0 +1,254 @@
+"""Executor backend tests: spec parsing/validation, the subprocess
+pipe-protocol backend, the loopback ssh fleet, and fleet failure
+semantics (worker death, dead-host requeue, all-hosts-dead)."""
+
+import os
+import signal
+import stat
+import time
+
+import pytest
+
+from repro.obs.observer import Observer
+from repro.runtime.executors import (
+    BackendSpec,
+    HostSpec,
+    normalize_backend,
+    parse_hosts_file,
+)
+from repro.runtime.resilience import RetryPolicy
+from repro.runtime.runner import parallel_map
+from tests.chaos import faults
+
+
+def square(value):
+    return value * value
+
+
+def add(left, right):
+    return left + right
+
+
+def explode(value):
+    raise RuntimeError(f"boom {value}")
+
+
+def whoami(value):
+    return value, os.getpid()
+
+
+def kill_self(value):
+    os.kill(os.getpid(), signal.SIGKILL)
+
+
+def nap_and_square(value):
+    time.sleep(0.05)
+    return value * value
+
+
+def fake_ssh(tmp_path, dead_hosts=()):
+    """A loopback 'ssh client': drops the hostname and execs the rest
+    of the command locally.  Hostnames in *dead_hosts* refuse the
+    connection the way an unreachable node would."""
+    lines = ["#!/bin/sh", 'host="$1"', "shift"]
+    for name in dead_hosts:
+        lines.append(
+            f'if [ "$host" = "{name}" ]; then\n'
+            f'  echo "ssh: connect to host {name}: Connection refused" >&2\n'
+            f"  exit 255\nfi"
+        )
+    lines.append('exec "$@"')
+    script = tmp_path / "fake-ssh.sh"
+    script.write_text("\n".join(lines) + "\n")
+    script.chmod(script.stat().st_mode | stat.S_IXUSR)
+    return str(script)
+
+
+def loopback_spec(tmp_path, hosts, dead_hosts=(), **kwargs):
+    return BackendSpec(
+        kind="ssh",
+        hosts=tuple(hosts),
+        ssh_command=(fake_ssh(tmp_path, dead_hosts),),
+        connect_timeout=20.0,
+        **kwargs,
+    )
+
+
+class TestHostsFile:
+    def test_parses_names_slots_and_comments(self, tmp_path):
+        path = tmp_path / "hosts"
+        path.write_text(
+            "# fleet\n"
+            "node-a 4\n"
+            "node-b   # defaults to one slot\n"
+            "\n"
+            "node-c 2\n"
+        )
+        assert parse_hosts_file(path) == (
+            HostSpec("node-a", 4),
+            HostSpec("node-b", 1),
+            HostSpec("node-c", 2),
+        )
+
+    @pytest.mark.parametrize(
+        "content, match",
+        [
+            ("", "names no hosts"),
+            ("# only comments\n", "names no hosts"),
+            ("a 1\na 2\n", "duplicate host"),
+            ("a one\n", "slots must be an integer"),
+            ("a 0\n", "slots must be >= 1"),
+            ("a 1 extra\n", "expected 'hostname"),
+        ],
+    )
+    def test_rejects_malformed_files(self, tmp_path, content, match):
+        path = tmp_path / "hosts"
+        path.write_text(content)
+        with pytest.raises(ValueError, match=match):
+            parse_hosts_file(path)
+
+
+class TestSpec:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown backend kind"):
+            BackendSpec(kind="carrier-pigeon")
+
+    def test_ssh_requires_hosts(self):
+        with pytest.raises(ValueError, match="requires a host list"):
+            BackendSpec(kind="ssh")
+
+    def test_fanout_follows_host_slots_for_ssh(self):
+        spec = BackendSpec(
+            kind="ssh", hosts=(HostSpec("a", 3), HostSpec("b", 2))
+        )
+        assert spec.total_slots() == 5
+        assert spec.fanout(jobs=2) == 5
+        assert BackendSpec(kind="subprocess").fanout(jobs=2) == 2
+
+    def test_normalize_accepts_the_public_shapes(self, tmp_path):
+        assert normalize_backend(None) == BackendSpec()
+        assert normalize_backend("subprocess").kind == "subprocess"
+        spec = BackendSpec(kind="subprocess")
+        assert normalize_backend(spec) is spec
+        hosts_file = tmp_path / "hosts"
+        hosts_file.write_text("a 2\nb\n")
+        from_file = normalize_backend("ssh", hosts=hosts_file)
+        assert from_file.hosts == (HostSpec("a", 2), HostSpec("b", 1))
+        from_seq = normalize_backend("ssh", hosts=[HostSpec("a", 1)])
+        assert from_seq.hosts == (HostSpec("a", 1),)
+        with pytest.raises(TypeError):
+            normalize_backend(42)
+
+
+class TestSubprocessBackend:
+    def test_preserves_order_and_unpacks_args(self):
+        outcomes = parallel_map(
+            square, [(n,) for n in range(8)], jobs=3,
+            backend="subprocess",
+        )
+        assert [o.value for o in outcomes] == [n * n for n in range(8)]
+        outcomes = parallel_map(
+            add, [(1, 2), (3, 4)], jobs=2, backend="subprocess"
+        )
+        assert [o.value for o in outcomes] == [3, 7]
+
+    def test_errors_are_isolated_with_remote_tracebacks(self):
+        outcomes = parallel_map(
+            explode, [(1,), (2,)], jobs=2, backend="subprocess"
+        )
+        assert not any(o.ok for o in outcomes)
+        assert "boom 1" in outcomes[0].error
+        assert "boom 2" in outcomes[1].error
+        # The worker-side traceback crossed the pipe, not just the
+        # exception message.
+        assert "explode" in outcomes[0].error
+
+    def test_tasks_actually_run_out_of_process(self):
+        outcomes = parallel_map(
+            whoami, [(1,), (2,)], jobs=2, backend="subprocess"
+        )
+        pids = {o.value[1] for o in outcomes}
+        assert os.getpid() not in pids
+
+    def test_worker_death_charges_only_the_victim(
+        self, tmp_path, monkeypatch
+    ):
+        for key, value in faults.arm(
+            {"1": {"kind": "sigkill", "attempts": 1}}, tmp_path
+        ).items():
+            monkeypatch.setenv(key, value)
+        obs = Observer(enabled=True, progress_stream=None)
+        outcomes = parallel_map(
+            faults.chaos_task, [(n,) for n in range(4)], jobs=2,
+            backend="subprocess", obs=obs,
+            retry=RetryPolicy(
+                max_attempts=3, base_delay=0.01, max_delay=0.05,
+                retry_pool_breaks=True,
+            ),
+        )
+        assert [o.value for o in outcomes] == [0, 1, 4, 9]
+        assert outcomes[1].attempts == 2
+        # Unlike BrokenProcessPool, bystanders are not charged.
+        assert all(
+            o.attempts == 1 for o in outcomes if o is not outcomes[1]
+        )
+        assert obs.counter("runner.worker_deaths").value >= 1
+
+    def test_deadline_reaps_only_the_straggler(self):
+        outcomes = parallel_map(
+            nap_and_square, [(2,), (3,)], jobs=2, timeout=10.0,
+            backend="subprocess",
+        )
+        assert [o.value for o in outcomes] == [4, 9]
+
+
+class TestSshLoopbackFleet:
+    def test_two_host_fleet_runs_and_preserves_order(self, tmp_path):
+        spec = loopback_spec(
+            tmp_path, [HostSpec("alpha", 1), HostSpec("beta", 1)]
+        )
+        outcomes = parallel_map(
+            square, [(n,) for n in range(6)], jobs=2, backend=spec
+        )
+        assert [o.value for o in outcomes] == [n * n for n in range(6)]
+
+    def test_env_override_selects_the_ssh_client(
+        self, tmp_path, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_SSH_CMD", fake_ssh(tmp_path))
+        spec = BackendSpec(kind="ssh", hosts=(HostSpec("alpha", 2),))
+        outcomes = parallel_map(
+            square, [(n,) for n in range(4)], jobs=2, backend=spec
+        )
+        assert [o.value for o in outcomes] == [0, 1, 4, 9]
+
+    def test_dead_host_detected_and_work_requeued(self, tmp_path):
+        """One host refuses every connection: it is struck out after
+        ``max_host_failures`` spawn failures and the whole batch
+        completes on the surviving host."""
+        spec = loopback_spec(
+            tmp_path,
+            [HostSpec("alive", 1), HostSpec("deadhost", 1)],
+            dead_hosts=("deadhost",),
+            max_host_failures=2,
+        )
+        obs = Observer(enabled=True, progress_stream=None)
+        outcomes = parallel_map(
+            square, [(n,) for n in range(6)], jobs=2, backend=spec,
+            obs=obs,
+        )
+        assert [o.value for o in outcomes] == [n * n for n in range(6)]
+        assert obs.counter("runner.dead_hosts").value == 1
+
+    def test_all_hosts_dead_fails_loudly_not_hangs(self, tmp_path):
+        spec = loopback_spec(
+            tmp_path,
+            [HostSpec("deadhost", 1)],
+            dead_hosts=("deadhost",),
+            max_host_failures=1,
+        )
+        outcomes = parallel_map(
+            square, [(1,), (2,)], jobs=1, backend=spec
+        )
+        assert not any(o.ok for o in outcomes)
+        assert all("worker" in (o.error or "") for o in outcomes)

@@ -1,0 +1,96 @@
+"""JobRegistry retention/eviction tests (regression for the quadratic
+``_evict_locked`` scan and its fruitless all-live re-scans)."""
+
+from repro.serve.jobs import JobRegistry
+from repro.serve.protocol import JobRequest
+
+
+class CountingDict(dict):
+    """A record store that counts lookups, so the tests can assert the
+    eviction pass is single-scan rather than scan-per-eviction."""
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.lookups = 0
+
+    def __getitem__(self, key):
+        self.lookups += 1
+        return super().__getitem__(key)
+
+
+def make_request():
+    return JobRequest.from_dict(
+        {
+            "workload": "gamess",
+            "macros": 120,
+            "axes": {"L1D": [1, 2]},
+        }
+    )
+
+
+def make_registry(retention):
+    registry = JobRegistry(retention=retention)
+    registry._records = CountingDict(registry._records)
+    return registry
+
+
+class TestEviction:
+    def test_under_retention_keeps_everything(self):
+        registry = make_registry(retention=8)
+        records = [registry.create(make_request()) for _ in range(8)]
+        assert registry.active() == 8
+        assert [r.job_id for r in records] == registry._order
+
+    def test_oldest_terminal_records_evicted_first(self):
+        registry = make_registry(retention=4)
+        records = [registry.create(make_request()) for _ in range(4)]
+        for record in records[:3]:
+            record.state = "done"
+        # Two more creates: the two oldest terminal records go, the
+        # remaining terminal one and every live job survive, in order.
+        fifth = registry.create(make_request())
+        sixth = registry.create(make_request())
+        assert registry.get(records[0].job_id) is None
+        assert registry.get(records[1].job_id) is None
+        assert registry.get(records[2].job_id) is records[2]
+        assert registry._order == [
+            records[2].job_id,
+            records[3].job_id,
+            fifth.job_id,
+            sixth.job_id,
+        ]
+
+    def test_all_live_over_retention_neither_evicts_nor_spins(self):
+        """Live jobs are never evicted — and discovering that costs at
+        most one pass over the registry, not a rescanning loop."""
+        registry = make_registry(retention=2)
+        records = [registry.create(make_request()) for _ in range(50)]
+        assert registry.active() == 50  # nothing evicted
+        registry._records.lookups = 0
+        with registry._lock:
+            registry._evict_locked()
+        assert registry.active() == 50
+        assert registry._records.lookups <= len(records)
+
+    def test_mass_eviction_is_a_single_pass(self):
+        """Evicting K records must cost one ordered scan (the old loop
+        rescanned from the top per eviction — quadratic under churn)."""
+        registry = make_registry(retention=10)
+        records = [registry.create(make_request()) for _ in range(10)]
+        for record in records:
+            record.state = "failed"
+        # Push the registry 40 over retention in one burst by loading
+        # records directly, then evict once.
+        for _ in range(40):
+            record = registry.create(make_request())
+            record.state = "done"
+        assert registry.active() == 0
+        assert len(registry._order) == 10
+        registry._records.lookups = 0
+        for record in [registry.get(job_id) for job_id in registry._order]:
+            record.state = "done"
+        registry._retention = 2
+        with registry._lock:
+            registry._evict_locked()
+        assert len(registry._order) == 2
+        assert registry._records.lookups <= 10

@@ -66,6 +66,46 @@ def test_sustained_warm_path_throughput_and_p99(make_server):
     assert status == 200 and health["status"] == "ok"
 
 
+def test_backpressure_honored_not_counted_as_errors(make_server):
+    """Regression: a 429 with ``Retry-After`` used to be booked as a
+    plain error, skewing the committed req/s floor under saturation.
+    Against a zero-queue single-worker daemon the load generator must
+    sleep out the hint, re-send the same request, and report the
+    bounces in ``backpressured`` — finishing every logical request with
+    zero errors."""
+    server = make_server(workers=1, queue_limit=0)
+    # Prime the session so job sweeps themselves are warm and quick.
+    status, _body = request_json(
+        server.port, "POST", "/analyze", COORD, timeout=120
+    )
+    assert status == 200
+
+    # POST /jobs rides the heavy plane: with workers=1 and no queue,
+    # concurrent submissions beyond the one admitted job bounce 429.
+    body = json.dumps(
+        {**COORD, "axes": {"L1D": [1, 2, 3], "L2D": [6, 12]}}
+    ).encode()
+    report = run_load(
+        "127.0.0.1",
+        server.port,
+        "/jobs",
+        body,
+        requests=24,
+        concurrency=6,
+        backoff_cap=0.05,
+        timeout=120,
+    )
+    assert report.errors == 0, report.status_counts
+    assert report.requests == 24
+    assert report.status_counts.get(202) == 24
+    assert report.backpressured > 0
+    assert report.status_counts.get(429) == report.backpressured
+
+    # The warm plane stayed responsive under saturation.
+    status, health = request_json(server.port, "GET", "/healthz")
+    assert status == 200 and health["status"] == "ok"
+
+
 def test_serve_latency_scenario_records_through_bench_harness():
     """The committed-baseline path: run the registered scenario at the
     ci tier and check the record carries throughput + a stable digest."""

@@ -1,0 +1,170 @@
+"""Ctrl-C regression tests: interrupted checkpointed CLI runs must
+flush their checkpoint and exit 4 (the documented interrupted code),
+never traceback — and a ``--resume`` must finish the work with results
+identical to an uninterrupted run.
+
+Real subprocesses, real SIGINT: each drill launches ``python -m repro``
+in its own session and signals it mid-run."""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import numpy as np
+import pytest
+
+from repro.cli import EXIT_SWEEP_INTERRUPTED
+from repro.common.config import LatencyConfig
+from repro.common.events import NUM_EVENTS, EventType
+from repro.core.io import save_model
+from repro.core.model import RpStacksModel
+from repro.obs import clock
+
+SWEEP_AXES = [
+    "--axis", "L1D=1,2,3,4,5,6,7,8",
+    "--axis", "Fadd=1,2,3,4,5,6,7,8,9,10",
+    "--axis", "L2D=" + ",".join(str(v) for v in range(1, 26)),
+    "--axis", "MemD=" + ",".join(str(v) for v in range(10, 110, 2)),
+    "--axis", "Ld=1,2,3,4",
+]
+
+
+@pytest.fixture(scope="module")
+def model_path(tmp_path_factory):
+    def vec(**units):
+        out = np.zeros(NUM_EVENTS)
+        for name, value in units.items():
+            out[EventType[name]] = value
+        return out
+
+    seg0 = np.stack([vec(FP_ADD=4, BASE=10), vec(L1D=5, LD=2, BASE=8)])
+    seg1 = np.stack([vec(MEM_D=1, BASE=6), vec(L2D=7, BASE=20)])
+    model = RpStacksModel(
+        [seg0, seg1], baseline=LatencyConfig(), num_uops=100
+    )
+    return str(
+        save_model(model, tmp_path_factory.mktemp("model") / "m.npz")
+    )
+
+
+def launch(*argv, **popen_kwargs):
+    """Run ``python -m repro ...`` in its own session (so the SIGINT we
+    send reaches only the child, like a terminal foreground group)."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in ("src", env.get("PYTHONPATH", "")) if p
+    )
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro", *argv],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+        start_new_session=True,
+        env=env,
+        cwd=os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+        **popen_kwargs,
+    )
+
+
+def interrupt_once_checkpointed(process, checkpoint_ready, grace=60.0):
+    """SIGINT *process* as soon as *checkpoint_ready* reports progress
+    on disk; returns (returncode, stdout, stderr)."""
+    deadline = clock.perf_seconds() + grace
+    while not checkpoint_ready():
+        if process.poll() is not None:
+            out, err = process.communicate()
+            raise AssertionError(
+                f"run finished before it could be interrupted "
+                f"(rc={process.returncode})\n{out}\n{err}"
+            )
+        if clock.perf_seconds() > deadline:
+            process.kill()
+            raise AssertionError("checkpoint never appeared")
+        time.sleep(0.01)
+    process.send_signal(signal.SIGINT)
+    out, err = process.communicate(timeout=60)
+    return process.returncode, out, err
+
+
+def front_of(stdout):
+    # --model prints a "loaded model: ..." line ahead of the JSON body.
+    return json.loads(stdout[stdout.index("{"):])["pareto_front"]
+
+
+class TestSweepInterrupt:
+    def test_sigint_flushes_checkpoint_exits_4_and_resumes_identical(
+        self, tmp_path, model_path
+    ):
+        baseline = launch(
+            "dse", "sweep", "gamess", "--model", model_path, *SWEEP_AXES, "--json"
+        )
+        out, err = baseline.communicate(timeout=300)
+        assert baseline.returncode == 0, err
+        expected_front = front_of(out)
+
+        ckpt = tmp_path / "sweep.ckpt.npz"
+        interrupted = launch(
+            "dse", "sweep", "gamess", "--model", model_path, *SWEEP_AXES, "--json",
+            "--chunk-size", "1024", "--checkpoint", str(ckpt),
+            "--checkpoint-interval", "1",
+        )
+        rc, out, err = interrupt_once_checkpointed(
+            interrupted, ckpt.exists
+        )
+        assert rc == EXIT_SWEEP_INTERRUPTED, (out, err)
+        assert "Traceback" not in err
+        assert ckpt.exists()
+
+        resumed = launch(
+            "dse", "sweep", "gamess", "--model", model_path, *SWEEP_AXES, "--json",
+            "--chunk-size", "1024", "--checkpoint", str(ckpt),
+            "--resume",
+        )
+        out, err = resumed.communicate(timeout=300)
+        assert resumed.returncode == 0, err
+        assert front_of(out) == expected_front
+
+
+class TestSuiteInterrupt:
+    def test_sigint_exits_4_with_journal_and_resume_finishes(
+        self, tmp_path
+    ):
+        journal = tmp_path / "suite.json"
+        cache = tmp_path / "cache"
+        names = ["gamess", "mcf", "milc", "soplex", "lbm", "omnetpp"]
+        only = [arg for name in names for arg in ("--only", name)]
+
+        def journalled_progress():
+            if not journal.exists():
+                return False
+            try:
+                return bool(
+                    json.loads(journal.read_text()).get("completed")
+                )
+            except (ValueError, OSError):
+                return False  # mid-rewrite; poll again
+
+        interrupted = launch(
+            "suite", *only, "--macros", "200",
+            "--checkpoint", str(journal), "--cache-dir", str(cache),
+        )
+        rc, out, err = interrupt_once_checkpointed(
+            interrupted, journalled_progress
+        )
+        assert rc == EXIT_SWEEP_INTERRUPTED, (out, err)
+        assert "Traceback" not in err
+        completed = json.loads(journal.read_text())["completed"]
+        assert completed  # flushed before exiting
+
+        resumed = launch(
+            "suite", *only, "--macros", "200",
+            "--checkpoint", str(journal), "--cache-dir", str(cache),
+            "--resume",
+        )
+        out, err = resumed.communicate(timeout=300)
+        assert resumed.returncode == 0, err
+        assert f"{len(names)}/{len(names)} workloads" in out
+        assert "resumed" in out
